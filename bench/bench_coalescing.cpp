@@ -1,0 +1,61 @@
+// Experiment Q1 (DESIGN.md §4): the AM++ coalescing claim — "coalescing
+// greatly improves performance when large amounts of messages are sent".
+//
+// A fixed stream of fine-grained messages (an SSSP-shaped payload) is
+// pushed through the transport with varying coalescing buffer sizes; the
+// expected shape is throughput rising steeply from buffer=1 and then
+// plateauing once per-envelope overhead is amortized.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "ampp/epoch.hpp"
+#include "ampp/transport.hpp"
+#include "common.hpp"
+
+namespace dpg::bench {
+namespace {
+
+struct relax_payload {
+  std::uint64_t vertex;
+  double dist;
+};
+
+void BM_CoalescingSweep(benchmark::State& state) {
+  const auto buffer = static_cast<std::size_t>(state.range(0));
+  constexpr ampp::rank_t kRanks = 4;
+  constexpr std::uint64_t kMessages = 200000;
+  ampp::transport tp(
+      ampp::transport_config{.n_ranks = kRanks, .coalescing_size = buffer});
+  std::atomic<std::uint64_t> sink{0};
+  auto& mt = tp.make_message_type<relax_payload>(
+      "relax", [&](ampp::transport_context&, const relax_payload& p) {
+        sink.fetch_add(p.vertex, std::memory_order_relaxed);
+      });
+  for (auto _ : state) {
+    tp.run([&](ampp::transport_context& ctx) {
+      ampp::epoch ep(ctx);
+      dpg::xoshiro256ss rng(ctx.rank() + 1);
+      for (std::uint64_t i = 0; i < kMessages / kRanks; ++i)
+        mt.send(ctx, static_cast<ampp::rank_t>(rng.below(kRanks)),
+                relax_payload{i, 1.0});
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kMessages) * state.iterations());
+  state.counters["buffer"] = static_cast<double>(buffer);
+  state.counters["envelopes"] = static_cast<double>(tp.stats().envelopes_sent.load());
+}
+BENCHMARK(BM_CoalescingSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace dpg::bench
+
+BENCHMARK_MAIN();

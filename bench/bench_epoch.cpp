@@ -1,0 +1,126 @@
+// Experiments Q3 + Q7 (DESIGN.md §4): epoch and termination-detection
+// overhead.
+//
+// Series:
+//   * empty-epoch cost vs rank count — the fixed price of the message-based
+//     four-counter protocol (expected: a small constant, growing mildly
+//     with ranks);
+//   * epoch cost vs message volume — detection cost amortizes: TD rounds
+//     per epoch stay O(1) while work grows;
+//   * end() vs try_finish()-loop termination styles on identical work
+//     (Q7: the uncoordinated style costs about the same).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "ampp/epoch.hpp"
+#include "ampp/transport.hpp"
+#include "common.hpp"
+
+namespace dpg::bench {
+namespace {
+
+struct token {
+  std::uint64_t hops;
+};
+
+void BM_EmptyEpoch(benchmark::State& state) {
+  const auto ranks = static_cast<ampp::rank_t>(state.range(0));
+  ampp::transport tp(ampp::transport_config{.n_ranks = ranks});
+  for (auto _ : state) {
+    tp.run([&](ampp::transport_context& ctx) {
+      for (int i = 0; i < 100; ++i) ampp::epoch ep(ctx);
+    });
+  }
+  state.SetItemsProcessed(100 * state.iterations());
+  state.counters["td_rounds_total"] = static_cast<double>(tp.stats().td_rounds.load());
+}
+BENCHMARK(BM_EmptyEpoch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_EpochWithWork(benchmark::State& state) {
+  // One epoch carrying `range(0)` messages of parallel (fan-out) work:
+  // termination-detection rounds per epoch must stay O(1) as the work
+  // inside grows — detection cost amortizes over real work.
+  const std::uint64_t volume = static_cast<std::uint64_t>(state.range(0));
+  constexpr ampp::rank_t kRanks = 4;
+  ampp::transport tp(ampp::transport_config{.n_ranks = kRanks});
+  auto& mt = tp.make_message_type<token>(
+      "bulk", [](ampp::transport_context&, const token& t) { benchmark::DoNotOptimize(t); });
+  std::uint64_t epochs = 0;
+  for (auto _ : state) {
+    tp.run([&](ampp::transport_context& ctx) {
+      ampp::epoch ep(ctx);
+      dpg::xoshiro256ss rng(ctx.rank() + 7);
+      for (std::uint64_t i = 0; i < volume / kRanks; ++i)
+        mt.send(ctx, static_cast<ampp::rank_t>(rng.below(kRanks)), token{0});
+    });
+    ++epochs;
+  }
+  state.counters["td_rounds_per_epoch"] =
+      static_cast<double>(tp.stats().td_rounds.load()) / static_cast<double>(epochs);
+  state.counters["msgs_per_epoch"] = static_cast<double>(volume);
+}
+BENCHMARK(BM_EpochWithWork)->Arg(0)->Arg(100)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_EpochSerialChain(benchmark::State& state) {
+  // Worst case for any termination detector: one strictly serial message
+  // chain — every other rank is idle and keeps probing. TD rounds grow
+  // with chain length here; this bounds the protocol from the bad side.
+  const std::uint64_t chain = static_cast<std::uint64_t>(state.range(0));
+  constexpr ampp::rank_t kRanks = 4;
+  ampp::transport tp(ampp::transport_config{.n_ranks = kRanks});
+  ampp::message_type<token>* mtp = nullptr;
+  auto& mt = tp.make_message_type<token>("chain", [&](ampp::transport_context& ctx,
+                                                      const token& t) {
+    if (t.hops > 0) mtp->send(ctx, (ctx.rank() + 1) % kRanks, token{t.hops - 1});
+  });
+  mtp = &mt;
+  std::uint64_t epochs = 0;
+  for (auto _ : state) {
+    tp.run([&](ampp::transport_context& ctx) {
+      ampp::epoch ep(ctx);
+      if (ctx.rank() == 0) mt.send(ctx, 1, token{chain});
+    });
+    ++epochs;
+  }
+  state.counters["td_rounds_per_epoch"] =
+      static_cast<double>(tp.stats().td_rounds.load()) / static_cast<double>(epochs);
+}
+BENCHMARK(BM_EpochSerialChain)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_TerminationEndVsTryFinish(benchmark::State& state) {
+  // Identical message tree; range(0)==0 ends with end(), ==1 with a
+  // try_finish loop (the §III-D uncoordinated style).
+  const bool use_try_finish = state.range(0) != 0;
+  constexpr ampp::rank_t kRanks = 4;
+  ampp::transport tp(ampp::transport_config{.n_ranks = kRanks, .coalescing_size = 16});
+  ampp::message_type<token>* mtp = nullptr;
+  auto& mt = tp.make_message_type<token>("tree", [&](ampp::transport_context& ctx,
+                                                     const token& t) {
+    if (t.hops > 0) {
+      mtp->send(ctx, (ctx.rank() + 1) % kRanks, token{t.hops - 1});
+      mtp->send(ctx, (ctx.rank() + 2) % kRanks, token{t.hops - 1});
+    }
+  });
+  mtp = &mt;
+  for (auto _ : state) {
+    tp.run([&](ampp::transport_context& ctx) {
+      ampp::epoch ep(ctx);
+      if (ctx.rank() == 0) mt.send(ctx, 1, token{14});
+      if (use_try_finish) {
+        while (!ep.try_finish()) {
+        }
+      } else {
+        ep.end();
+      }
+    });
+  }
+  state.counters["style"] = use_try_finish ? 1 : 0;
+}
+BENCHMARK(BM_TerminationEndVsTryFinish)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace dpg::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Experiment Q4 (DESIGN.md §4): the §IV-B lock map schemes.
+//
+// The same contended relaxation workload runs under (a) the atomic
+// single-value fast path, (b) per-vertex locks, (c) per-block locks of
+// increasing coarseness. Expected shape: atomics ≥ fine locks > coarse
+// locks under contention (the paper's stated trade-off between coarseness
+// of synchronization and the number of locks).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "graph/distribution.hpp"
+#include "pmap/lock_map.hpp"
+
+namespace dpg::bench {
+namespace {
+
+using graph::distribution;
+using pmap::lock_map;
+using pmap::lock_scheme;
+
+constexpr std::size_t kVertices = 1024;
+constexpr int kThreads = 4;
+constexpr int kOpsPerThread = 100000;
+
+/// Contended min-updates against a shared distance array; the vertex
+/// stream is hub-skewed (low ids repeat) to create real contention.
+template <class Update>
+void run_contended(benchmark::State& state, Update update) {
+  std::vector<double> dist(kVertices);
+  for (auto _ : state) {
+    std::fill(dist.begin(), dist.end(), 1e100);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        dpg::xoshiro256ss rng(t + 1);
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          // Square the uniform draw: quadratic skew toward vertex 0.
+          const double u = rng.uniform01();
+          const auto v = static_cast<std::size_t>(u * u * kVertices);
+          update(dist[std::min(v, kVertices - 1)], static_cast<double>(i));
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kThreads) * kOpsPerThread *
+                          state.iterations());
+}
+
+void BM_LockMapAtomic(benchmark::State& state) {
+  run_contended(state, [](double& slot, double proposed) {
+    pmap::atomic_update_if(slot, proposed,
+                           [](double cur, double prop) { return prop < cur; });
+  });
+}
+BENCHMARK(BM_LockMapAtomic)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_LockMapScheme(benchmark::State& state) {
+  // range(0): block_bits; 0 = per-vertex.
+  const auto bits = static_cast<unsigned>(state.range(0));
+  auto d = distribution::block(kVertices, 1);
+  lock_map locks(d, bits == 0 ? lock_scheme::per_vertex : lock_scheme::per_block, bits);
+  std::vector<double> dist(kVertices);
+  for (auto _ : state) {
+    std::fill(dist.begin(), dist.end(), 1e100);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        dpg::xoshiro256ss rng(t + 1);
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          const double u = rng.uniform01();
+          const auto v =
+              std::min(static_cast<std::size_t>(u * u * kVertices), kVertices - 1);
+          pmap::locked_update_if(locks.lock_for(v), dist[v], static_cast<double>(i),
+                                 [](double cur, double prop) { return prop < cur; });
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kThreads) * kOpsPerThread *
+                          state.iterations());
+  state.counters["locks"] = static_cast<double>(kVertices >> bits);
+}
+BENCHMARK(BM_LockMapScheme)
+    ->Arg(0)    // per-vertex: 1024 locks
+    ->Arg(2)    // 256 locks
+    ->Arg(5)    // 32 locks
+    ->Arg(8)    // 4 locks
+    ->Arg(10)   // single lock
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace dpg::bench
+
+BENCHMARK_MAIN();

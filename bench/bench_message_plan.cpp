@@ -1,0 +1,144 @@
+// Experiments F5 + F6 (DESIGN.md §4): the synthesized communication plans.
+//
+// The paper's Fig. 6 shows the SSSP pattern compiling to ONE message per
+// relaxation because the evaluate+modify step is merged with (the only
+// required hop to) the modification locality, and the paper's Fig. 5 shows
+// general multi-hop gather chains (pointer chases). This benchmark measures
+// exactly that: messages per application and wall time for
+//   * push SSSP   — 1 message/edge  (the merged Fig. 6 plan),
+//   * pull SSSP   — 2 messages/edge (gather at neighbour + evaluate at v),
+//   * pointer chase (cc_jump shape) — 2 messages/application,
+// plus the §IV-B synchronization ablation (atomic fast path vs lock map)
+// on the same push pattern.
+#include <benchmark/benchmark.h>
+
+#include "algo/baselines.hpp"
+#include "common.hpp"
+#include "pattern/action.hpp"
+#include "pmap/lock_map.hpp"
+#include "strategy/strategies.hpp"
+
+namespace dpg::bench {
+namespace {
+
+using namespace dpg::pattern;
+
+constexpr unsigned kScale = 10;
+
+const workload& wl() {
+  static workload w = workload::rmat(kScale, 8);
+  return w;
+}
+
+/// One full sweep (apply at every local vertex) of the given action.
+template <class Setup>
+void run_sweep_bench(benchmark::State& state, ampp::rank_t ranks, Setup setup) {
+  auto g = wl().build(ranks, /*bidirectional=*/true);
+  auto weight = wl().weights(g);
+  pmap::vertex_property_map<double> dist(g, 1e100);
+  pmap::lock_map locks(g.dist(), pmap::lock_scheme::per_vertex);
+  ampp::transport tp(ampp::transport_config{.n_ranks = ranks});
+  auto act = setup(tp, g, dist, weight, locks);
+
+  std::uint64_t msgs = 0, applications = 0;
+  for (auto _ : state) {
+    for (ampp::rank_t r = 0; r < ranks; ++r)
+      for (auto& x : dist.local(r)) x = 1e100;
+    dist[0] = 0.0;
+    const auto before = tp.stats().snap();
+    const std::uint64_t inv_before = act->invocations();
+    tp.run([&](ampp::transport_context& ctx) {
+      ampp::epoch ep(ctx);
+      strategy::for_each_local_vertex(ctx, g, [&](vertex_id v) { (*act)(ctx, v); });
+    });
+    msgs = (tp.stats().snap() - before).messages_sent;
+    applications = act->invocations() - inv_before;
+  }
+  state.counters["messages"] = static_cast<double>(msgs);
+  state.counters["plan_msgs_per_app"] =
+      static_cast<double>(act->plan().messages_per_application());
+  state.counters["gather_hops"] = static_cast<double>(act->plan().gather_hops);
+  state.counters["atomic"] = act->plan().atomic_path ? 1 : 0;
+  state.counters["applications"] = static_cast<double>(applications);
+}
+
+void BM_PlanPushSssp(benchmark::State& state) {
+  run_sweep_bench(state, 2, [](auto& tp, auto& g, auto& dist, auto& weight, auto& locks) {
+    property d(dist);
+    property w(weight);
+    return instantiate(tp, g, locks,
+                       make_action("push", out_edges_gen{},
+                                   when(d(trg(e_)) > d(v_) + w(e_),
+                                        assign(d(trg(e_)), d(v_) + w(e_)))));
+  });
+}
+BENCHMARK(BM_PlanPushSssp)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_PlanPullSssp(benchmark::State& state) {
+  run_sweep_bench(state, 2, [](auto& tp, auto& g, auto& dist, auto& weight, auto& locks) {
+    property d(dist);
+    property w(weight);
+    return instantiate(tp, g, locks,
+                       make_action("pull", out_edges_gen{},
+                                   when(d(v_) > d(trg(e_)) + w(e_),
+                                        assign(d(v_), d(trg(e_)) + w(e_)))));
+  });
+}
+BENCHMARK(BM_PlanPullSssp)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_PlanPushLockedAblation(benchmark::State& state) {
+  // Same push pattern, but a two-arm condition disables the atomic
+  // fast path — isolating the §IV-B synchronization choice.
+  run_sweep_bench(state, 2, [](auto& tp, auto& g, auto& dist, auto& weight, auto& locks) {
+    property d(dist);
+    property w(weight);
+    return instantiate(tp, g, locks,
+                       make_action("push_locked", out_edges_gen{},
+                                   when(d(trg(e_)) > d(v_) + w(e_),
+                                        assign(d(trg(e_)), d(v_) + w(e_))),
+                                   when(lit(false), assign(d(trg(e_)), lit(0.0)))));
+  });
+}
+BENCHMARK(BM_PlanPushLockedAblation)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_PlanPointerChase(benchmark::State& state) {
+  // The cc_jump shape (Fig. 5's multi-hop gather): v -> pnt(v) -> v.
+  const ampp::rank_t ranks = 2;
+  const vertex_id n = wl().n;
+  auto g = wl().build(ranks);
+  pmap::vertex_property_map<vertex_id> pnt(g, 0), chg(g, 0);
+  for (vertex_id v = 0; v < n; ++v) {
+    pnt[v] = v == 0 ? 0 : v - 1;
+    chg[v] = v;
+  }
+  pmap::lock_map locks(g.dist(), pmap::lock_scheme::per_vertex);
+  ampp::transport tp(ampp::transport_config{.n_ranks = ranks});
+  property P(pnt);
+  property C(chg);
+  auto jump = instantiate(tp, g, locks,
+                          make_action("jump", no_generator{},
+                                      when(C(P(v_)) < C(v_), assign(C(v_), C(P(v_))))));
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    for (ampp::rank_t r = 0; r < ranks; ++r) {
+      auto span = chg.local(r);
+      for (std::size_t li = 0; li < span.size(); ++li) span[li] = chg.global_id(r, li);
+    }
+    const auto before = tp.stats().snap();
+    tp.run([&](ampp::transport_context& ctx) {
+      ampp::epoch ep(ctx);
+      strategy::for_each_local_vertex(ctx, g, [&](vertex_id v) { (*jump)(ctx, v); });
+    });
+    msgs = (tp.stats().snap() - before).messages_sent;
+  }
+  state.counters["messages"] = static_cast<double>(msgs);
+  state.counters["plan_msgs_per_app"] =
+      static_cast<double>(jump->plan().messages_per_application());
+  state.counters["gather_hops"] = static_cast<double>(jump->plan().gather_hops);
+}
+BENCHMARK(BM_PlanPointerChase)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace dpg::bench
+
+BENCHMARK_MAIN();

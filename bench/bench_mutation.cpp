@@ -1,0 +1,83 @@
+// Experiment FW2 (DESIGN.md §4/§7): graph mutation at the non-morphing
+// boundary — warm-started incremental SSSP repair vs a cold re-solve after
+// adding shortcut edges. Expected shape: the warm repair performs a small
+// fraction of the cold solve's relaxations and wall time, because the
+// dependency mechanism only re-touches the part of the shortest-path tree
+// the new edges actually improve.
+#include <benchmark/benchmark.h>
+
+#include "algo/sssp.hpp"
+#include "common.hpp"
+#include "strategy/strategies.hpp"
+
+namespace dpg::bench {
+namespace {
+
+constexpr ampp::rank_t kRanks = 2;
+
+const workload& wl() {
+  static workload w = workload::erdos_renyi(4000, 24000, 9, 20.0);
+  return w;
+}
+
+std::vector<graph::edge> shortcut_edges(int count) {
+  std::vector<graph::edge> extra;
+  dpg::xoshiro256ss rng(3);
+  for (int i = 0; i < count; ++i) extra.push_back({rng.below(wl().n), rng.below(wl().n)});
+  return extra;
+}
+
+void BM_MutationColdResolve(benchmark::State& state) {
+  const auto extra = shortcut_edges(static_cast<int>(state.range(0)));
+  auto base = wl().build(kRanks);
+  auto g2 = graph::with_added_edges(base, extra);
+  auto w2 = wl().weights(g2);
+  ampp::transport tp(ampp::transport_config{.n_ranks = kRanks});
+  algo::sssp_solver solver(tp, g2, w2);
+  std::uint64_t relaxations = 0;
+  for (auto _ : state) {
+    const auto before = solver.relaxations();
+    tp.run([&](ampp::transport_context& ctx) { solver.run_delta(ctx, 0, 5.0); });
+    relaxations = solver.relaxations() - before;
+  }
+  state.counters["relaxations"] = static_cast<double>(relaxations);
+}
+BENCHMARK(BM_MutationColdResolve)->Arg(8)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_MutationWarmRepair(benchmark::State& state) {
+  const auto extra = shortcut_edges(static_cast<int>(state.range(0)));
+  auto base = wl().build(kRanks);
+  auto w1 = wl().weights(base);
+  auto g2 = graph::with_added_edges(base, extra);
+  auto w2 = wl().weights(g2);
+
+  // Solve once on the base graph; its distances seed every warm repair.
+  ampp::transport tp1(ampp::transport_config{.n_ranks = kRanks});
+  algo::sssp_solver base_solver(tp1, base, w1);
+  tp1.run([&](ampp::transport_context& ctx) { base_solver.run_delta(ctx, 0, 5.0); });
+
+  ampp::transport tp2(ampp::transport_config{.n_ranks = kRanks});
+  algo::sssp_solver solver(tp2, g2, w2);
+  std::uint64_t relaxations = 0;
+  for (auto _ : state) {
+    for (ampp::rank_t r = 0; r < kRanks; ++r) {
+      auto src = base_solver.dist().local(r);
+      std::copy(src.begin(), src.end(), solver.dist().local(r).begin());
+    }
+    const auto before = solver.relaxations();
+    tp2.run([&](ampp::transport_context& ctx) {
+      std::vector<vertex_id> seeds;
+      for (const auto& e : extra)
+        if (g2.owner(e.src) == ctx.rank()) seeds.push_back(e.src);
+      strategy::fixed_point(ctx, solver.relax(), seeds);
+    });
+    relaxations = solver.relaxations() - before;
+  }
+  state.counters["relaxations"] = static_cast<double>(relaxations);
+}
+BENCHMARK(BM_MutationWarmRepair)->Arg(8)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace dpg::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Supplementary experiment: PageRank via the scatter pattern vs the
+// sequential power-iteration baseline — bounds the cost of expressing an
+// accumulate-style algorithm declaratively (the `modify` statement path,
+// which always takes the lock-map route).
+#include <benchmark/benchmark.h>
+
+#include "algo/baselines.hpp"
+#include "algo/pagerank.hpp"
+#include "common.hpp"
+
+namespace dpg::bench {
+namespace {
+
+constexpr int kIters = 10;
+
+const workload& wl() {
+  static workload w = workload::rmat(10, 8);
+  return w;
+}
+
+void BM_PageRankPattern(benchmark::State& state) {
+  const auto ranks = static_cast<ampp::rank_t>(state.range(0));
+  auto g = wl().build(ranks);
+  ampp::transport tp(ampp::transport_config{.n_ranks = ranks});
+  algo::pagerank_solver pr(tp, g);
+  for (auto _ : state) {
+    tp.run([&](ampp::transport_context& ctx) { pr.run(ctx, 0.85, kIters); });
+  }
+  state.counters["iters"] = kIters;
+}
+BENCHMARK(BM_PageRankPattern)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_PageRankBaseline(benchmark::State& state) {
+  auto g = wl().build(1);
+  for (auto _ : state) {
+    auto r = algo::pagerank(g, 0.85, kIters);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PageRankBaseline)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace dpg::bench
+
+BENCHMARK_MAIN();

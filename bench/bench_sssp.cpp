@@ -1,0 +1,109 @@
+// Experiment F1 + Q5 (DESIGN.md §4): the two SSSP algorithms of the
+// paper's Fig. 1 — chaotic fixed point and Δ-stepping — built from ONE
+// shared relax pattern, against the sequential Dijkstra baseline.
+//
+// Series reported:
+//   * fixed_point vs Δ-stepping vs Δ-stepping(uncoordinated) wall time,
+//     with `relaxations` counters (label-correcting work) per run;
+//   * a Δ sweep (Q5): small Δ ⇒ many epochs; huge Δ ⇒ chaotic-like
+//     re-relaxation — the U-shaped cost curve;
+//   * the Dijkstra baseline for the abstraction-overhead bound.
+#include <benchmark/benchmark.h>
+
+#include "algo/baselines.hpp"
+#include "algo/sssp.hpp"
+#include "common.hpp"
+
+namespace dpg::bench {
+namespace {
+
+constexpr unsigned kScale = 11;      // 2048 vertices, ~16k edges
+constexpr unsigned kEdgeFactor = 8;
+
+const workload& wl() {
+  static workload w = workload::rmat(kScale, kEdgeFactor);
+  return w;
+}
+
+void BM_SsspFixedPoint(benchmark::State& state) {
+  const auto ranks = static_cast<ampp::rank_t>(state.range(0));
+  auto g = wl().build(ranks);
+  auto weight = wl().weights(g);
+  ampp::transport tp(ampp::transport_config{.n_ranks = ranks});
+  algo::sssp_solver solver(tp, g, weight);
+  std::uint64_t relaxations = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = solver.relaxations();
+    tp.run([&](ampp::transport_context& ctx) { solver.run_fixed_point(ctx, 0); });
+    relaxations = solver.relaxations() - before;
+  }
+  state.counters["relaxations"] = static_cast<double>(relaxations);
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+}
+BENCHMARK(BM_SsspFixedPoint)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SsspDelta(benchmark::State& state) {
+  const auto ranks = static_cast<ampp::rank_t>(state.range(0));
+  const double delta = static_cast<double>(state.range(1));
+  auto g = wl().build(ranks);
+  auto weight = wl().weights(g);
+  ampp::transport tp(ampp::transport_config{.n_ranks = ranks});
+  algo::sssp_solver solver(tp, g, weight);
+  std::uint64_t relaxations = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = solver.relaxations();
+    tp.run([&](ampp::transport_context& ctx) { solver.run_delta(ctx, 0, delta); });
+    relaxations = solver.relaxations() - before;
+  }
+  state.counters["relaxations"] = static_cast<double>(relaxations);
+  state.counters["epochs"] = static_cast<double>(solver.delta_epochs());
+}
+// Q5 Δ sweep at 2 ranks, plus rank scaling at the sweet spot.
+BENCHMARK(BM_SsspDelta)
+    ->Args({2, 2})
+    ->Args({2, 10})
+    ->Args({2, 50})
+    ->Args({2, 250})
+    ->Args({2, 100000})
+    ->Args({1, 50})
+    ->Args({4, 50})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SsspDeltaUncoordinated(benchmark::State& state) {
+  const auto ranks = static_cast<ampp::rank_t>(state.range(0));
+  auto g = wl().build(ranks);
+  auto weight = wl().weights(g);
+  ampp::transport tp(ampp::transport_config{.n_ranks = ranks});
+  algo::sssp_solver solver(tp, g, weight);
+  for (auto _ : state) {
+    tp.run([&](ampp::transport_context& ctx) {
+      solver.run_delta_uncoordinated(ctx, 0, 50.0);
+    });
+  }
+}
+BENCHMARK(BM_SsspDeltaUncoordinated)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SsspDijkstraBaseline(benchmark::State& state) {
+  auto g = wl().build(1);
+  auto weight = wl().weights(g);
+  for (auto _ : state) {
+    auto d = algo::dijkstra(g, weight, 0);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_SsspDijkstraBaseline)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SsspBellmanFordBaseline(benchmark::State& state) {
+  auto g = wl().build(1);
+  auto weight = wl().weights(g);
+  for (auto _ : state) {
+    auto d = algo::bellman_ford(g, weight, 0);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_SsspBellmanFordBaseline)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace dpg::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Shared workload builders for the benchmark harness. Each benchmark
+// binary regenerates one experiment row of DESIGN.md §4; the graphs are
+// sized for a single machine (the abstractions under test are
+// size-independent; see DESIGN.md §2).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "graph/distributed_graph.hpp"
+#include "graph/generators.hpp"
+#include "pmap/edge_map.hpp"
+
+namespace dpg::bench {
+
+using graph::distributed_graph;
+using graph::distribution;
+using graph::edge_handle;
+using graph::vertex_id;
+
+/// Graph500-flavoured workload: R-MAT with hashed edge weights in [1, maxw].
+struct workload {
+  vertex_id n;
+  std::vector<graph::edge> edges;
+  std::uint64_t weight_seed;
+  double max_weight;
+
+  static workload rmat(unsigned scale, unsigned edge_factor = 8,
+                       std::uint64_t seed = 42, double max_weight = 100.0) {
+    graph::rmat_params p;
+    p.scale = scale;
+    p.edge_factor = edge_factor;
+    return workload{vertex_id{1} << scale, graph::rmat(p, seed), seed ^ 0x77, max_weight};
+  }
+
+  static workload erdos_renyi(vertex_id n, std::uint64_t m, std::uint64_t seed = 42,
+                              double max_weight = 100.0) {
+    return workload{n, graph::erdos_renyi(n, m, seed), seed ^ 0x77, max_weight};
+  }
+
+  distributed_graph build(ampp::rank_t ranks, bool bidirectional = false) const {
+    return distributed_graph(n, edges, distribution::cyclic(n, ranks), bidirectional);
+  }
+
+  distributed_graph build_symmetric(ampp::rank_t ranks) const {
+    return distributed_graph(n, graph::symmetrize(edges),
+                             distribution::cyclic(n, ranks));
+  }
+
+  pmap::edge_property_map<double> weights(const distributed_graph& g) const {
+    const std::uint64_t s = weight_seed;
+    const double mw = max_weight;
+    return pmap::edge_property_map<double>(
+        g, [s, mw](const edge_handle& e) { return graph::edge_weight(e.src, e.dst, s, mw); });
+  }
+};
+
+}  // namespace dpg::bench

@@ -1,0 +1,23 @@
+// The CC pattern of the paper's §II-B / Fig. 4: parallel search with
+// conflict recording, plus the pointer-jumping rewrite action.
+pattern CC {
+  vertex_property<vertex> pnt;
+  vertex_property<vertex> chg;
+  vertex_property<vertex_list> conf;
+
+  action cc_search(v) {
+    generator e : out_edges;
+    when (pnt[trg(e)] == null_vertex) {
+      pnt[trg(e)] = pnt[v];
+    }
+    when (pnt[trg(e)] != pnt[v]) {
+      conf[trg(e)].insert(pnt[v]);
+    }
+  }
+
+  action cc_jump(v) {
+    when (chg[pnt[v]] < chg[v]) {
+      chg[v] = chg[pnt[v]];
+    }
+  }
+}

@@ -1,0 +1,22 @@
+// Two more shapes: a pull-style relax (gather at the generator end,
+// modify back at v) and an unconditional scatter-accumulate.
+pattern Extras {
+  vertex_property<double> dist;
+  edge_property<double> weight;
+  vertex_property<double> next;
+  vertex_property<double> share;
+
+  action pull_relax(v) {
+    generator e : out_edges;
+    when (dist[v] > dist[trg(e)] + weight[e]) {
+      dist[v] = dist[trg(e)] + weight[e];
+    }
+  }
+
+  action scatter(v) {
+    generator e : out_edges;
+    when (true) {
+      next[trg(e)].accumulate(share[v]);
+    }
+  }
+}

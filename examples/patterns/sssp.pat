@@ -1,0 +1,14 @@
+// The SSSP pattern of the paper's Fig. 2, in the textual grammar.
+// Run:  pattern_explain examples/patterns/sssp.pat
+pattern SSSP {
+  vertex_property<double> dist;
+  edge_property<double> weight;
+
+  action relax(v) {
+    generator e : out_edges;
+    alias d = dist[v] + weight[e];
+    when (dist[trg(e)] > d) {
+      dist[trg(e)] = d;
+    }
+  }
+}

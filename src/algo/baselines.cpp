@@ -1,0 +1,174 @@
+#include "algo/baselines.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <unordered_set>
+
+namespace dpg::algo {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::vector<double> dijkstra(const distributed_graph& g,
+                             const pmap::edge_property_map<double>& weight,
+                             vertex_id source) {
+  const vertex_id n = g.num_vertices();
+  std::vector<double> dist(n, kInf);
+  dist[source] = 0.0;
+  using entry = std::pair<double, vertex_id>;
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> pq;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;  // stale entry
+    for (const graph::edge_handle e : g.out_edges(v)) {
+      const double nd = d + weight[e];
+      if (nd < dist[e.dst]) {
+        dist[e.dst] = nd;
+        pq.emplace(nd, e.dst);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> bellman_ford(const distributed_graph& g,
+                                 const pmap::edge_property_map<double>& weight,
+                                 vertex_id source) {
+  const vertex_id n = g.num_vertices();
+  std::vector<double> dist(n, kInf);
+  dist[source] = 0.0;
+  for (vertex_id round = 0; round < n; ++round) {
+    bool changed = false;
+    for (vertex_id v = 0; v < n; ++v) {
+      if (dist[v] == kInf) continue;
+      for (const graph::edge_handle e : g.out_edges(v)) {
+        const double nd = dist[v] + weight[e];
+        if (nd < dist[e.dst]) {
+          dist[e.dst] = nd;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+std::vector<std::int64_t> bfs_levels(const distributed_graph& g, vertex_id source) {
+  const vertex_id n = g.num_vertices();
+  std::vector<std::int64_t> level(n, -1);
+  level[source] = 0;
+  std::queue<vertex_id> q;
+  q.push(source);
+  while (!q.empty()) {
+    const vertex_id v = q.front();
+    q.pop();
+    for (const vertex_id u : g.adjacent(v)) {
+      if (level[u] == -1) {
+        level[u] = level[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return level;
+}
+
+namespace {
+
+class union_find {
+ public:
+  explicit union_find(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a < b)
+      parent_[b] = a;  // root by minimum id → canonical min labels
+    else
+      parent_[a] = b;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<vertex_id> cc_union_find(const distributed_graph& g) {
+  const vertex_id n = g.num_vertices();
+  union_find uf(n);
+  for (vertex_id v = 0; v < n; ++v)
+    for (const vertex_id u : g.adjacent(v)) uf.unite(v, u);
+  std::vector<vertex_id> label(n);
+  for (vertex_id v = 0; v < n; ++v) label[v] = uf.find(v);
+  return label;
+}
+
+std::vector<vertex_id> cc_label_propagation(const distributed_graph& g) {
+  const vertex_id n = g.num_vertices();
+  std::vector<vertex_id> label(n);
+  std::iota(label.begin(), label.end(), vertex_id{0});
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (vertex_id v = 0; v < n; ++v) {
+      for (const vertex_id u : g.adjacent(v)) {
+        // Push the smaller label across the edge in both directions (the
+        // graph may store only one direction).
+        if (label[v] < label[u]) {
+          label[u] = label[v];
+          changed = true;
+        } else if (label[u] < label[v]) {
+          label[v] = label[u];
+          changed = true;
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<double> pagerank(const distributed_graph& g, double damping,
+                             int iterations) {
+  const vertex_id n = g.num_vertices();
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n)), next(n);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double sink_mass = 0.0;
+    for (vertex_id v = 0; v < n; ++v) {
+      const std::uint64_t deg = g.out_degree(v);
+      if (deg == 0) {
+        sink_mass += rank[v];
+        continue;
+      }
+      const double share = rank[v] / static_cast<double>(deg);
+      for (const vertex_id u : g.adjacent(v)) next[u] += share;
+    }
+    const double base =
+        (1.0 - damping) / static_cast<double>(n) + damping * sink_mass / static_cast<double>(n);
+    for (vertex_id v = 0; v < n; ++v) next[v] = base + damping * next[v];
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::size_t count_components(const std::vector<vertex_id>& labels) {
+  std::unordered_set<vertex_id> roots(labels.begin(), labels.end());
+  return roots.size();
+}
+
+}  // namespace dpg::algo

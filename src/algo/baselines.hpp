@@ -1,0 +1,56 @@
+// Sequential baseline algorithms.
+//
+// These serve two roles: (a) correctness oracles for the pattern-based
+// distributed algorithms, and (b) the single-threaded comparison points in
+// the benchmark harness (the paper positions its abstraction against
+// hand-written implementations; the sequential versions bound the
+// abstraction overhead from below). They run outside transport::run, where
+// the owner-access discipline is relaxed, and traverse the same
+// distributed_graph + property maps as the distributed runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/distributed_graph.hpp"
+#include "pmap/edge_map.hpp"
+
+namespace dpg::algo {
+
+using graph::distributed_graph;
+using graph::vertex_id;
+
+/// Dijkstra with a binary heap; returns dist[] with infinity for
+/// unreachable vertices.
+std::vector<double> dijkstra(const distributed_graph& g,
+                             const pmap::edge_property_map<double>& weight,
+                             vertex_id source);
+
+/// Bellman-Ford (label-correcting baseline; also validates graphs whose
+/// weight structure Δ-stepping stresses). Returns dist[].
+std::vector<double> bellman_ford(const distributed_graph& g,
+                                 const pmap::edge_property_map<double>& weight,
+                                 vertex_id source);
+
+/// Breadth-first search levels (-1 for unreachable), as int64.
+std::vector<std::int64_t> bfs_levels(const distributed_graph& g, vertex_id source);
+
+/// Connected components by union-find over the edge list; labels are the
+/// minimum vertex id of each component. The graph is interpreted as
+/// undirected (each directed edge connects its endpoints).
+std::vector<vertex_id> cc_union_find(const distributed_graph& g);
+
+/// Connected components by sequential label propagation (the algorithm the
+/// paper's parallel search is compared to in spirit); same label
+/// convention as cc_union_find.
+std::vector<vertex_id> cc_label_propagation(const distributed_graph& g);
+
+/// Power-iteration PageRank with uniform teleport; sinks redistribute
+/// uniformly. Returns the rank vector after `iterations` rounds.
+std::vector<double> pagerank(const distributed_graph& g, double damping,
+                             int iterations);
+
+/// Counts how many distinct labels a component labelling uses.
+std::size_t count_components(const std::vector<vertex_id>& labels);
+
+}  // namespace dpg::algo

@@ -1,0 +1,76 @@
+// Breadth-first search as a pattern: the relax shape of §II-A with unit
+// weights and an integer depth map. Demonstrates the paper's reuse story in
+// the other direction — the same declarative action runs under fixed_point
+// (chaotic) or Δ-stepping with Δ=1 (level-synchronous flavour).
+#pragma once
+
+#include <memory>
+
+#include "pattern/action.hpp"
+#include "strategy/delta_stepping.hpp"
+#include "strategy/strategies.hpp"
+
+namespace dpg::algo {
+
+using graph::vertex_id;
+
+class bfs_solver {
+ public:
+  /// Depth value for unreachable vertices: num_vertices() (no reachable
+  /// vertex can be that deep, and it cannot overflow in depth+1).
+  bfs_solver(ampp::transport& tp, const graph::distributed_graph& g)
+      : g_(&g),
+        unreachable_(g.num_vertices()),
+        depth_(g, unreachable_),
+        locks_(g.dist(), pmap::lock_scheme::per_vertex) {
+    using namespace pattern;
+    property d(depth_);
+    explore_ = instantiate(
+        tp, g, locks_,
+        make_action("bfs.explore", out_edges_gen{},
+                    when(d(trg(e_)) > d(v_) + lit<std::uint64_t>(1),
+                         assign(d(trg(e_)), d(v_) + lit<std::uint64_t>(1)))));
+  }
+
+  /// Collective: chaotic fixed-point BFS.
+  void run_fixed_point(ampp::transport_context& ctx, vertex_id source) {
+    reset(ctx, source);
+    std::vector<vertex_id> seeds;
+    if (g_->owner(source) == ctx.rank()) seeds.push_back(source);
+    strategy::fixed_point(ctx, *explore_, seeds);
+  }
+
+  /// Collective: bucket-per-level schedule (Δ-stepping with Δ = 1), i.e.
+  /// a label-setting frontier expansion.
+  void run_level_sync(ampp::transport_context& ctx, vertex_id source) {
+    reset(ctx, source);
+    if (ctx.rank() == 0)
+      delta_ = std::make_unique<strategy::delta_stepping<std::uint64_t>>(
+          ctx.tp(), *g_, *explore_, depth_, 1.0);
+    ctx.barrier();
+    std::vector<vertex_id> seeds;
+    if (g_->owner(source) == ctx.rank()) seeds.push_back(source);
+    delta_->run(ctx, seeds);
+    ctx.barrier();
+  }
+
+  pmap::vertex_property_map<std::uint64_t>& depth() { return depth_; }
+  std::uint64_t unreachable_depth() const { return unreachable_; }
+  pattern::action_instance& explore() { return *explore_; }
+
+ private:
+  void reset(ampp::transport_context& ctx, vertex_id source) {
+    for (auto& x : depth_.local(ctx.rank())) x = unreachable_;
+    if (g_->owner(source) == ctx.rank()) depth_[source] = 0;
+    ctx.barrier();
+  }
+
+  const graph::distributed_graph* g_;
+  std::uint64_t unreachable_;
+  pmap::vertex_property_map<std::uint64_t> depth_;
+  pmap::lock_map locks_;
+  std::unique_ptr<pattern::action_instance> explore_;
+  std::unique_ptr<strategy::delta_stepping<std::uint64_t>> delta_;
+};
+
+}  // namespace dpg::algo

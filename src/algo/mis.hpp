@@ -1,0 +1,136 @@
+// Maximal independent set, Luby-style, as a genuinely multi-pattern
+// algorithm: two declarative actions (priority broadcast, knock-out) driven
+// by an imperative round loop with local decisions and a global
+// convergence reduction — the paper's "declarative patterns in imperative
+// algorithms" thesis exercised beyond single-action solvers.
+//
+// Per round, over the candidates still undecided:
+//   1. every candidate pushes its random 64-bit priority to its candidate
+//      neighbours (pattern `mis.push_prio`: min-combine at the target);
+//   2. a candidate whose priority is strictly smaller than every candidate
+//      neighbour's joins the set (local decision, no communication);
+//   3. new members knock their candidate neighbours out
+//      (pattern `mis.knock_out`).
+// Priorities are re-hashed per round, so ties (probability ~2^-64) only
+// cost an extra round, never progress.
+//
+// The input graph must be symmetric (undirected MIS); self-loops are
+// excluded by an explicit trg(e) != src(e) conjunct in the pattern.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "pattern/action.hpp"
+#include "strategy/strategies.hpp"
+#include "util/rng.hpp"
+
+namespace dpg::algo {
+
+using graph::vertex_id;
+
+class mis_solver {
+ public:
+  enum class state : std::uint32_t { candidate = 0, in = 1, out = 2 };
+
+  mis_solver(ampp::transport& tp, const graph::distributed_graph& g)
+      : g_(&g),
+        state_(g, static_cast<std::uint32_t>(state::candidate)),
+        prio_(g, 0),
+        min_nbr_(g, ~0ULL),
+        locks_(g.dist(), pmap::lock_scheme::per_vertex) {
+    using namespace pattern;
+    property S(state_);
+    property P(prio_);
+    property M(min_nbr_);
+    constexpr auto CAND = static_cast<std::uint32_t>(state::candidate);
+    constexpr auto IN = static_cast<std::uint32_t>(state::in);
+    constexpr auto OUT = static_cast<std::uint32_t>(state::out);
+
+    push_prio_ = instantiate(
+        tp, g, locks_,
+        make_action("mis.push_prio", out_edges_gen{},
+                    when(S(v_) == lit(CAND) && S(trg(e_)) == lit(CAND) &&
+                             trg(e_) != src(e_) && M(trg(e_)) > P(v_),
+                         assign(M(trg(e_)), P(v_)))));
+    knock_out_ = instantiate(
+        tp, g, locks_,
+        make_action("mis.knock_out", out_edges_gen{},
+                    when(S(v_) == lit(IN) && S(trg(e_)) == lit(CAND),
+                         assign(S(trg(e_)), lit(OUT)))));
+  }
+
+  /// Collective: computes the MIS; returns the number of rounds used.
+  int run(ampp::transport_context& ctx, std::uint64_t seed = 0x715e) {
+    const ampp::rank_t r = ctx.rank();
+    for (auto& s : state_.local(r)) s = static_cast<std::uint32_t>(state::candidate);
+    ctx.barrier();
+
+    int rounds = 0;
+    for (;;) {
+      // Round prologue: fresh priorities, reset neighbour minima (local).
+      {
+        auto states = state_.local(r);
+        auto prios = prio_.local(r);
+        auto minn = min_nbr_.local(r);
+        for (std::size_t li = 0; li < states.size(); ++li) {
+          minn[li] = ~0ULL;
+          if (states[li] == static_cast<std::uint32_t>(state::candidate))
+            prios[li] = splitmix64(seed ^ (rounds * 0x9e3779b97f4a7c15ULL) ^
+                                   prio_.global_id(r, li))
+                            .next();
+        }
+      }
+      bool any_candidate = false;
+      {
+        ampp::epoch ep(ctx);
+        strategy::for_each_local_vertex(ctx, *g_, [&](vertex_id v) {
+          if (state_[v] == static_cast<std::uint32_t>(state::candidate)) {
+            any_candidate = true;
+            (*push_prio_)(ctx, v);
+          }
+        });
+      }
+      if (!ctx.allreduce_or(any_candidate)) break;
+      ++rounds;
+
+      // Local decision: strict minimum among candidate neighbours wins.
+      {
+        auto states = state_.local(r);
+        auto prios = prio_.local(r);
+        auto minn = min_nbr_.local(r);
+        for (std::size_t li = 0; li < states.size(); ++li)
+          if (states[li] == static_cast<std::uint32_t>(state::candidate) &&
+              prios[li] < minn[li])
+            states[li] = static_cast<std::uint32_t>(state::in);
+      }
+      ctx.barrier();
+
+      // Knock out the neighbours of the new members.
+      {
+        ampp::epoch ep(ctx);
+        strategy::for_each_local_vertex(ctx, *g_, [&](vertex_id v) {
+          if (state_[v] == static_cast<std::uint32_t>(state::in))
+            (*knock_out_)(ctx, v);
+        });
+      }
+    }
+    return rounds;
+  }
+
+  bool in_set(vertex_id v) const {
+    return state_[v] == static_cast<std::uint32_t>(state::in);
+  }
+  pmap::vertex_property_map<std::uint32_t>& states() { return state_; }
+
+ private:
+  const graph::distributed_graph* g_;
+  pmap::vertex_property_map<std::uint32_t> state_;
+  pmap::vertex_property_map<std::uint64_t> prio_;
+  pmap::vertex_property_map<std::uint64_t> min_nbr_;
+  pmap::lock_map locks_;
+  std::unique_ptr<pattern::action_instance> push_prio_;
+  std::unique_ptr<pattern::action_instance> knock_out_;
+};
+
+}  // namespace dpg::algo

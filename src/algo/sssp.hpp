@@ -1,0 +1,106 @@
+// Single-source shortest paths built from the SSSP pattern of §II-A.
+//
+// One declarative relax action (Fig. 2) is shared verbatim by all three
+// execution schedules — this is the paper's headline reuse claim:
+//   * fixed_point  — the chaotic label-correcting iteration of Fig. 1,
+//   * Δ-stepping   — the bucketed strategy (coordinated, epoch per bucket),
+//   * Δ-stepping (uncoordinated) — the try_finish form of §III-D.
+#pragma once
+
+#include <limits>
+#include <memory>
+
+#include "pattern/action.hpp"
+#include "strategy/delta_stepping.hpp"
+#include "strategy/strategies.hpp"
+
+namespace dpg::algo {
+
+using graph::vertex_id;
+
+class sssp_solver {
+ public:
+  static constexpr double infinity = std::numeric_limits<double>::infinity();
+
+  /// Registers the relax action's message types with `tp`. Construct before
+  /// transport::run; `g` and `weight` must outlive the solver.
+  sssp_solver(ampp::transport& tp, const graph::distributed_graph& g,
+              pmap::edge_property_map<double>& weight,
+              pmap::lock_scheme locking = pmap::lock_scheme::per_vertex)
+      : g_(&g),
+        dist_(g, infinity),
+        locks_(g.dist(), locking),
+        weight_(&weight) {
+    pattern::property d(dist_);
+    pattern::property w(*weight_);
+    using namespace pattern;
+    relax_ = instantiate(tp, g, locks_,
+                         make_action("sssp.relax", out_edges_gen{},
+                                     when(d(trg(e_)) > d(v_) + w(e_),
+                                          assign(d(trg(e_)), d(v_) + w(e_)))));
+  }
+
+  /// Collective: resets distances and solves from `source` with the
+  /// fixed_point strategy.
+  void run_fixed_point(ampp::transport_context& ctx, vertex_id source) {
+    reset(ctx, source);
+    std::vector<vertex_id> seeds;
+    if (g_->owner(source) == ctx.rank()) seeds.push_back(source);
+    strategy::fixed_point(ctx, *relax_, seeds);
+  }
+
+  /// Collective: Δ-stepping with one epoch per bucket level.
+  void run_delta(ampp::transport_context& ctx, vertex_id source, double delta) {
+    reset(ctx, source);
+    // The Δ-stepping driver is per-call state shared across ranks; build it
+    // collectively on rank 0 and publish through a barrier.
+    if (ctx.rank() == 0)
+      delta_ = std::make_unique<strategy::delta_stepping<double>>(ctx.tp(), *g_, *relax_,
+                                                                  dist_, delta);
+    ctx.barrier();
+    std::vector<vertex_id> seeds;
+    if (g_->owner(source) == ctx.rank()) seeds.push_back(source);
+    delta_->run(ctx, seeds);
+    ctx.barrier();
+  }
+
+  /// Collective: the §III-D uncoordinated variant (local buckets, a single
+  /// epoch terminated via try_finish).
+  void run_delta_uncoordinated(ampp::transport_context& ctx, vertex_id source,
+                               double delta) {
+    reset(ctx, source);
+    if (ctx.rank() == 0)
+      delta_ = std::make_unique<strategy::delta_stepping<double>>(ctx.tp(), *g_, *relax_,
+                                                                  dist_, delta);
+    ctx.barrier();
+    std::vector<vertex_id> seeds;
+    if (g_->owner(source) == ctx.rank()) seeds.push_back(source);
+    delta_->run_uncoordinated(ctx, seeds);
+    ctx.barrier();
+  }
+
+  pmap::vertex_property_map<double>& dist() { return dist_; }
+  const pmap::vertex_property_map<double>& dist() const { return dist_; }
+  pattern::action_instance& relax() { return *relax_; }
+  /// Relaxations performed since construction (successful condition fires).
+  std::uint64_t relaxations() const { return relax_->modifications(); }
+  /// Epochs consumed by the last Δ-stepping run.
+  std::uint64_t delta_epochs() const { return delta_ ? delta_->epochs_used() : 0; }
+
+ private:
+  void reset(ampp::transport_context& ctx, vertex_id source) {
+    auto mine = dist_.local(ctx.rank());
+    for (auto& x : mine) x = infinity;
+    if (g_->owner(source) == ctx.rank()) dist_[source] = 0.0;
+    ctx.barrier();
+  }
+
+  const graph::distributed_graph* g_;
+  pmap::vertex_property_map<double> dist_;
+  pmap::lock_map locks_;
+  pmap::edge_property_map<double>* weight_;
+  std::unique_ptr<pattern::action_instance> relax_;
+  std::unique_ptr<strategy::delta_stepping<double>> delta_;
+};
+
+}  // namespace dpg::algo

@@ -1,0 +1,84 @@
+// SSSP with predecessor tracking: the paper's §III-C discusses exactly
+// this shape ("preds[v].insert(u)" as a general modification). Here the
+// relax action performs TWO modifications under one condition — updating
+// the distance and recording the parent — which the planner keeps at one
+// locality and executes under the lock map (two modifications disable the
+// single-value atomic path), so (dist, parent) stay mutually consistent.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "pattern/action.hpp"
+#include "strategy/strategies.hpp"
+
+namespace dpg::algo {
+
+using graph::vertex_id;
+
+class sssp_tree_solver {
+ public:
+  static constexpr double infinity = std::numeric_limits<double>::infinity();
+
+  sssp_tree_solver(ampp::transport& tp, const graph::distributed_graph& g,
+                   pmap::edge_property_map<double>& weight)
+      : g_(&g),
+        dist_(g, infinity),
+        parent_(g, graph::invalid_vertex),
+        locks_(g.dist(), pmap::lock_scheme::per_vertex),
+        weight_(&weight) {
+    using namespace pattern;
+    property d(dist_);
+    property par(parent_);
+    property w(*weight_);
+    relax_ = instantiate(
+        tp, g, locks_,
+        make_action("sssp_tree.relax", out_edges_gen{},
+                    when(d(trg(e_)) > d(v_) + w(e_),
+                         assign(d(trg(e_)), d(v_) + w(e_)),
+                         assign(par(trg(e_)), src(e_)))));
+  }
+
+  /// Collective: fixed-point solve from `source`.
+  void run(ampp::transport_context& ctx, vertex_id source) {
+    const ampp::rank_t r = ctx.rank();
+    for (auto& x : dist_.local(r)) x = infinity;
+    for (auto& x : parent_.local(r)) x = graph::invalid_vertex;
+    if (g_->owner(source) == ctx.rank()) dist_[source] = 0.0;
+    ctx.barrier();
+    std::vector<vertex_id> seeds;
+    if (g_->owner(source) == ctx.rank()) seeds.push_back(source);
+    strategy::fixed_point(ctx, *relax_, seeds);
+  }
+
+  /// Reconstructs the shortest path source→v (empty if unreachable).
+  /// Call outside transport::run.
+  std::vector<vertex_id> path_to(vertex_id v, vertex_id source) const {
+    if (dist_[v] == infinity) return {};
+    std::vector<vertex_id> path{v};
+    while (v != source) {
+      v = parent_[v];
+      if (v == graph::invalid_vertex) return {};  // defensive: broken tree
+      path.push_back(v);
+      if (path.size() > g_->num_vertices()) return {};  // cycle guard
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+
+  pmap::vertex_property_map<double>& dist() { return dist_; }
+  pmap::vertex_property_map<vertex_id>& parent() { return parent_; }
+  pattern::action_instance& relax() { return *relax_; }
+
+ private:
+  const graph::distributed_graph* g_;
+  pmap::vertex_property_map<double> dist_;
+  pmap::vertex_property_map<vertex_id> parent_;
+  pmap::lock_map locks_;
+  pmap::edge_property_map<double>* weight_;
+  std::unique_ptr<pattern::action_instance> relax_;
+};
+
+}  // namespace dpg::algo

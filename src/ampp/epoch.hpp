@@ -1,0 +1,63 @@
+// Epochs (§II, §III-D, §IV of the paper).
+//
+// An epoch is the coarse-grained synchronization construct for the
+// fine-grained world of actions: it finishes, on all ranks, only when every
+// action invoked inside it — and every action transitively created by
+// dependency work items or message handlers — has finished. Epochs map
+// directly onto AM++ epochs; termination is established by the transport's
+// message-based four-counter protocol (transport::td_round).
+//
+// The two mid-epoch primitives from §III-D:
+//   * epoch::flush()      — the paper's `epoch_flush`: perform as much
+//     pending work as possible (flush coalescing buffers, run handlers
+//     until this rank is locally quiescent), then return control.
+//   * epoch::try_finish() — participate in exactly one termination-
+//     detection round; returns true (and ends the epoch) iff no work was
+//     left anywhere in the system. Used by uncoordinated algorithms such as
+//     the per-thread-buckets Δ-stepping the paper describes.
+#pragma once
+
+#include "ampp/transport.hpp"
+
+namespace dpg::ampp {
+
+/// RAII scope for one epoch. Construction and destruction are collective:
+/// every rank of the transport must construct its epoch, and destruction
+/// (or end()) blocks until global termination is detected.
+class epoch {
+ public:
+  /// Collective. Enables message sends on this rank and synchronizes entry
+  /// so that no rank can inject epoch-N+1 messages while another rank is
+  /// still completing epoch N.
+  explicit epoch(transport_context& ctx);
+
+  epoch(const epoch&) = delete;
+  epoch& operator=(const epoch&) = delete;
+
+  /// `epoch_flush`: flush outgoing buffers and run handlers until this rank
+  /// is locally quiescent. Does not synchronize with other ranks.
+  void flush();
+
+  /// One termination-detection round. True iff the epoch ended globally;
+  /// afterwards the epoch must not be used further. When false, pending
+  /// work may have arrived — the caller typically returns to its local
+  /// work source (e.g. its bucket structure) and tries again later.
+  bool try_finish();
+
+  /// Block until global termination (repeated TD rounds), then end the
+  /// epoch. Idempotent.
+  void end();
+
+  bool ended() const noexcept { return ended_; }
+
+  /// Ends the epoch if still active.
+  ~epoch();
+
+ private:
+  void finish();
+
+  transport_context& ctx_;
+  bool ended_ = false;
+};
+
+}  // namespace dpg::ampp

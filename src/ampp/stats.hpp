@@ -1,0 +1,56 @@
+// Runtime statistics. These counters are the measurement surface for the
+// benchmark harness (message counts for the Fig. 5/6 plan ablation, cache
+// hit rates for the AM++ caching claim, termination-detection rounds for
+// the epoch-overhead experiment).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dpg::ampp {
+
+/// Aggregate transport statistics. All counters are cumulative over the
+/// transport's lifetime; callers snapshot-and-subtract to measure a region.
+struct transport_stats {
+  std::atomic<std::uint64_t> messages_sent{0};      ///< user payloads enqueued to a remote inbox
+  std::atomic<std::uint64_t> envelopes_sent{0};     ///< coalesced buffers delivered
+  std::atomic<std::uint64_t> bytes_sent{0};         ///< payload bytes delivered
+  std::atomic<std::uint64_t> handler_invocations{0};///< user handler calls
+  std::atomic<std::uint64_t> self_deliveries{0};    ///< payloads whose destination was the sender
+  std::atomic<std::uint64_t> cache_hits{0};         ///< sends absorbed by a reduction cache
+  std::atomic<std::uint64_t> cache_evictions{0};    ///< cache slots spilled to the wire
+  std::atomic<std::uint64_t> td_rounds{0};          ///< termination-detection rounds completed
+  std::atomic<std::uint64_t> barriers{0};           ///< barrier operations completed
+  std::atomic<std::uint64_t> epochs{0};             ///< epochs ended
+  std::atomic<std::uint64_t> control_messages{0};   ///< internal control-plane payloads
+
+  /// Plain-value snapshot, convenient for deltas in tests and benches.
+  struct snapshot {
+    std::uint64_t messages_sent, envelopes_sent, bytes_sent, handler_invocations,
+        self_deliveries, cache_hits, cache_evictions, td_rounds, barriers, epochs,
+        control_messages;
+
+    snapshot operator-(const snapshot& o) const {
+      return {messages_sent - o.messages_sent,
+              envelopes_sent - o.envelopes_sent,
+              bytes_sent - o.bytes_sent,
+              handler_invocations - o.handler_invocations,
+              self_deliveries - o.self_deliveries,
+              cache_hits - o.cache_hits,
+              cache_evictions - o.cache_evictions,
+              td_rounds - o.td_rounds,
+              barriers - o.barriers,
+              epochs - o.epochs,
+              control_messages - o.control_messages};
+    }
+  };
+
+  snapshot snap() const {
+    return {messages_sent.load(), envelopes_sent.load(), bytes_sent.load(),
+            handler_invocations.load(), self_deliveries.load(), cache_hits.load(),
+            cache_evictions.load(), td_rounds.load(), barriers.load(), epochs.load(),
+            control_messages.load()};
+  }
+};
+
+}  // namespace dpg::ampp

@@ -1,0 +1,412 @@
+#include "ampp/transport.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "ampp/epoch.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace dpg::ampp {
+
+// ---------------------------------------------------------------------------
+// current_rank
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local rank_t tl_current_rank = invalid_rank;
+}  // namespace
+
+rank_t current_rank() noexcept { return tl_current_rank; }
+
+namespace detail {
+
+current_rank_scope::current_rank_scope(rank_t r) noexcept {
+  DPG_ASSERT_MSG(tl_current_rank == invalid_rank, "nested transport::run on one thread");
+  tl_current_rank = r;
+}
+
+current_rank_scope::~current_rank_scope() { tl_current_rank = invalid_rank; }
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// transport: construction / control plane registration
+// ---------------------------------------------------------------------------
+
+transport::transport(transport_config cfg) : cfg_(cfg), ranks_(cfg.n_ranks) {
+  DPG_ASSERT_MSG(cfg_.n_ranks >= 1, "transport needs at least one rank");
+  DPG_ASSERT_MSG(cfg_.coalescing_size >= 1, "coalescing size must be positive");
+  for (rank_t r = 0; r < cfg_.n_ranks; ++r)
+    ranks_[r].scramble_rng_state = substream_seed(cfg_.seed, r);
+  register_control_plane();
+}
+
+transport::~transport() = default;
+
+void transport::register_control_plane() {
+  mt_td_report_ = &make_internal<td_report_t>(
+      "dpg.td_report",
+      [this](transport_context& ctx, const td_report_t& r) { td_on_report(ctx, r); });
+
+  mt_td_result_ = &make_internal<td_result_t>(
+      "dpg.td_result", [this](transport_context& ctx, const td_result_t& r) {
+        rank_state& rs = ranks_[ctx.rank()];
+        rs.td_result_done.store(r.done != 0, std::memory_order_relaxed);
+        rs.td_result_round.store(static_cast<std::int64_t>(r.round), std::memory_order_release);
+      });
+
+  mt_coll_contrib_ = &make_internal<coll_contrib_t>(
+      "dpg.coll_contrib", [this](transport_context&, const coll_contrib_t& c) {
+        std::lock_guard<std::mutex> g(coll_.mu);
+        coll_.rounds[c.gen].contribs.push_back(c);
+      });
+
+  mt_coll_result_ = &make_internal<coll_result_t>(
+      "dpg.coll_result", [this](transport_context& ctx, const coll_result_t& r) {
+        rank_state& rs = ranks_[ctx.rank()];
+        rs.coll_result_bytes = r.bytes;
+        rs.coll_result_gen.store(r.gen, std::memory_order_release);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// wire
+// ---------------------------------------------------------------------------
+
+void transport::deliver(rank_t src, rank_t dest, detail::envelope env,
+                        std::uint32_t user_payloads) {
+  stats_.envelopes_sent.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(env.bytes.size(), std::memory_order_relaxed);
+  if (user_payloads != 0) {
+    stats_.messages_sent.fetch_add(user_payloads, std::memory_order_relaxed);
+    if (src == dest)
+      stats_.self_deliveries.fetch_add(user_payloads, std::memory_order_relaxed);
+    ranks_[src].sent.fetch_add(user_payloads, std::memory_order_relaxed);
+  }
+  rank_state& rs = ranks_[dest];
+  std::lock_guard<std::mutex> g(rs.inbox_mu);
+  rs.inbox.push_back(std::move(env));
+}
+
+std::size_t transport::drain_rank(transport_context& ctx, bool at_most_one) {
+  rank_state& rs = ranks_[ctx.rank()];
+  std::size_t handled = 0;
+  for (;;) {
+    detail::envelope env;
+    {
+      std::lock_guard<std::mutex> g(rs.inbox_mu);
+      if (rs.inbox.empty()) break;
+      std::size_t pick = 0;
+      if (cfg_.scramble_delivery && rs.inbox.size() > 1) {
+        // Seeded adversarial reordering: active messages promise no
+        // delivery order, so correctness may not depend on the pick.
+        splitmix64 sm(rs.scramble_rng_state);
+        pick = static_cast<std::size_t>(sm.next() % rs.inbox.size());
+        rs.scramble_rng_state = sm.next();
+      }
+      env = std::move(rs.inbox[pick]);
+      rs.inbox.erase(rs.inbox.begin() + static_cast<std::ptrdiff_t>(pick));
+      // Claimed under the lock: quiescence tests see either the queued
+      // envelope or the active handler, never a gap.
+      rs.active_handlers.fetch_add(1, std::memory_order_relaxed);
+    }
+    env.vt->dispatch(env.vt->self, ctx, env.bytes.data(), env.count);
+    const bool internal = env.vt->self->internal_;
+    if (!internal) {
+      rs.received.fetch_add(env.count, std::memory_order_relaxed);
+      stats_.handler_invocations.fetch_add(env.count, std::memory_order_relaxed);
+      handled += env.count;
+    }
+    rs.active_handlers.fetch_sub(1, std::memory_order_release);
+    if (at_most_one) break;
+  }
+  return handled;
+}
+
+bool transport::locally_quiet(rank_t r) const {
+  const rank_state& rs = ranks_[r];
+  std::lock_guard<std::mutex> g(rs.inbox_mu);
+  return rs.inbox.empty() && rs.active_handlers.load(std::memory_order_acquire) == 0;
+}
+
+void transport::flush_all_types(rank_t src) {
+  for (auto& mt : types_) mt->flush_rank(src);
+}
+
+bool transport::all_buffers_empty(rank_t src) const {
+  for (const auto& mt : types_)
+    if (!mt->rank_buffers_empty(src)) return false;
+  const rank_state& rs = ranks_[src];
+  std::lock_guard<std::mutex> g(rs.inbox_mu);
+  return rs.inbox.empty();
+}
+
+// ---------------------------------------------------------------------------
+// run
+// ---------------------------------------------------------------------------
+
+void transport::run(const std::function<void(transport_context&)>& f) {
+  DPG_ASSERT_MSG(!running_, "transport::run is not reentrant");
+  running_ = true;
+  // Reset per-run control-plane state; message counters stay cumulative
+  // (the four-counter protocol only needs monotonicity).
+  td_.round = 0;
+  td_.reports = 0;
+  td_.sum_sent = td_.sum_recv = 0;
+  td_.prev_sent = td_.prev_recv = ~0ULL;
+  coll_.rounds.clear();
+  for (rank_state& rs : ranks_) {
+    rs.td_result_round.store(-1, std::memory_order_relaxed);
+    rs.td_result_done.store(false, std::memory_order_relaxed);
+    rs.coll_result_gen.store(0, std::memory_order_relaxed);
+  }
+
+  if (cfg_.n_ranks == 1 && cfg_.handler_threads == 0) {
+    detail::current_rank_scope scope(0);
+    transport_context ctx(this, 0);
+    f(ctx);
+    DPG_ASSERT_MSG(all_buffers_empty(0), "messages left undelivered at end of run");
+    running_ = false;
+    return;
+  }
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  // Optional dedicated handler threads (§II-A multithreaded ranks): each
+  // concurrently drains its rank's inbox for the whole run. They hold an
+  // always-in-epoch context so the handlers they execute may send.
+  std::atomic<bool> stop_helpers{false};
+  std::vector<std::thread> helpers;
+  for (rank_t r = 0; r < cfg_.n_ranks; ++r) {
+    for (unsigned h = 0; h < cfg_.handler_threads; ++h) {
+      helpers.emplace_back([this, r, &stop_helpers, &err_mu, &first_error] {
+        detail::current_rank_scope scope(r);
+        transport_context hctx(this, r);
+        hctx.in_epoch_ = true;
+        try {
+          while (!stop_helpers.load(std::memory_order_acquire)) {
+            if (drain_rank(hctx, /*at_most_one=*/true) == 0) std::this_thread::yield();
+          }
+        } catch (...) {
+          std::lock_guard<std::mutex> g(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(cfg_.n_ranks);
+  for (rank_t r = 0; r < cfg_.n_ranks; ++r) {
+    threads.emplace_back([this, r, &f, &err_mu, &first_error] {
+      detail::current_rank_scope scope(r);
+      transport_context ctx(this, r);
+      try {
+        f(ctx);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop_helpers.store(true, std::memory_order_release);
+  for (auto& t : helpers) t.join();
+  running_ = false;
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+// ---------------------------------------------------------------------------
+// termination detection (message-based four-counter protocol)
+// ---------------------------------------------------------------------------
+
+void transport::td_on_report(transport_context& ctx, const td_report_t& r) {
+  DPG_ASSERT_MSG(ctx.rank() == 0, "TD reports must arrive at the coordinator");
+  bool decide = false;
+  std::uint64_t round = 0;
+  bool done = false;
+  {
+    std::lock_guard<std::mutex> g(td_.mu);
+    DPG_ASSERT_MSG(r.round == td_.round, "TD round mismatch (lockstep violated)");
+    td_.sum_sent += r.sent;
+    td_.sum_recv += r.recv;
+    if (++td_.reports == cfg_.n_ranks) {
+      done = td_.sum_sent == td_.sum_recv && td_.sum_sent == td_.prev_sent &&
+             td_.sum_recv == td_.prev_recv;
+      td_.prev_sent = td_.sum_sent;
+      td_.prev_recv = td_.sum_recv;
+      round = td_.round;
+      ++td_.round;
+      td_.reports = 0;
+      td_.sum_sent = td_.sum_recv = 0;
+      decide = true;
+    }
+  }
+  if (decide) {
+    stats_.td_rounds.fetch_add(1, std::memory_order_relaxed);
+    const td_result_t result{round, done ? 1u : 0u};
+    for (rank_t d = 0; d < cfg_.n_ranks; ++d) mt_td_result_->send(ctx, d, result);
+    mt_td_result_->flush_rank(ctx.rank());
+  }
+}
+
+bool transport::td_round(transport_context& ctx) {
+  const rank_t r = ctx.rank();
+  const std::uint64_t round = ctx.td_round_;
+
+  // Locally quiesce: alternate flushing outgoing buffers and handling
+  // arrived messages until neither produces work — and, with dedicated
+  // handler threads, until no handler is mid-flight (an in-flight handler
+  // may still send). Handlers may refill buffers, hence the loop.
+  for (;;) {
+    flush_all_types(r);
+    const std::size_t handled = drain_rank(ctx, /*at_most_one=*/false);
+    bool buffers_empty = true;
+    for (const auto& mt : types_)
+      if (!mt->rank_buffers_empty(r)) {
+        buffers_empty = false;
+        break;
+      }
+    if (handled == 0 && buffers_empty && locally_quiet(r)) break;
+    if (handled == 0) std::this_thread::yield();
+  }
+
+  const td_report_t report{round, ranks_[r].sent.load(std::memory_order_relaxed),
+                           ranks_[r].received.load(std::memory_order_relaxed), r};
+  mt_td_report_->send(ctx, 0, report);
+  mt_td_report_->flush_rank(r);
+
+  // Wait for the coordinator's verdict for this round; keep making
+  // progress while waiting (handlers run, which may create new work — that
+  // is fine, the next round will observe it).
+  while (ranks_[r].td_result_round.load(std::memory_order_acquire) <
+         static_cast<std::int64_t>(round)) {
+    if (drain_rank(ctx, /*at_most_one=*/false) == 0) std::this_thread::yield();
+  }
+  ctx.td_round_ = round + 1;
+  return ranks_[r].td_result_done.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// collectives
+// ---------------------------------------------------------------------------
+
+rank_t transport_context::size() const noexcept { return tp_->size(); }
+
+std::size_t transport_context::drain() { return tp_->drain_rank(*this, false); }
+
+std::size_t transport_context::poll_once() { return tp_->drain_rank(*this, true); }
+
+void transport_context::barrier() {
+  std::uint32_t dummy = 0;
+  allreduce(dummy, [](std::uint32_t a, std::uint32_t) { return a; });
+  tp_->stats_.barriers.fetch_add(1, std::memory_order_relaxed);
+}
+
+void transport_context::allreduce_raw(const void* in, void* out, std::size_t size,
+                                      void (*combine)(void*, const void*, void*),
+                                      void* opctx) {
+  DPG_ASSERT(size <= 56);
+  transport& tp = *tp_;
+  const std::uint64_t gen = ++coll_gen_;
+
+  transport::coll_contrib_t contrib{};
+  contrib.gen = gen;
+  contrib.src = rank_;
+  contrib.size = static_cast<std::uint32_t>(size);
+  std::memcpy(contrib.bytes.data(), in, size);
+  tp.mt_coll_contrib_->send(*this, 0, contrib);
+  tp.mt_coll_contrib_->flush_rank(rank_);
+
+  if (rank_ == 0) {
+    // Coordinator: gather all contributions for this generation, fold them
+    // in rank order (deterministic for non-commutative ops), broadcast.
+    std::vector<transport::coll_contrib_t> contribs;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> g(tp.coll_.mu);
+        auto it = tp.coll_.rounds.find(gen);
+        if (it != tp.coll_.rounds.end() && it->second.contribs.size() == tp.size()) {
+          contribs = std::move(it->second.contribs);
+          tp.coll_.rounds.erase(it);
+          break;
+        }
+      }
+      if (drain() == 0) std::this_thread::yield();
+    }
+    std::sort(contribs.begin(), contribs.end(),
+              [](const auto& a, const auto& b) { return a.src < b.src; });
+    transport::coll_result_t result{};
+    result.gen = gen;
+    result.size = static_cast<std::uint32_t>(size);
+    std::memcpy(result.bytes.data(), contribs[0].bytes.data(), size);
+    for (rank_t i = 1; i < tp.size(); ++i)
+      combine(opctx, contribs[i].bytes.data(), result.bytes.data());
+    for (rank_t d = 0; d < tp.size(); ++d) tp.mt_coll_result_->send(*this, d, result);
+    tp.mt_coll_result_->flush_rank(rank_);
+  }
+
+  transport::rank_state& rs = tp.ranks_[rank_];
+  while (rs.coll_result_gen.load(std::memory_order_acquire) < gen) {
+    if (drain() == 0) std::this_thread::yield();
+  }
+  std::memcpy(out, rs.coll_result_bytes.data(), size);
+}
+
+// ---------------------------------------------------------------------------
+// epoch
+// ---------------------------------------------------------------------------
+
+epoch::epoch(transport_context& ctx) : ctx_(ctx) {
+  DPG_ASSERT_MSG(!ctx.in_epoch_, "epochs do not nest");
+  // Enable sends before the entry barrier: a rank waiting in the barrier
+  // already runs handlers, and handlers may legitimately send.
+  ctx.in_epoch_ = true;
+  ctx.barrier();
+}
+
+void epoch::flush() {
+  DPG_ASSERT_MSG(!ended_, "epoch_flush after the epoch ended");
+  transport& tp = ctx_.tp();
+  for (;;) {
+    tp.flush_all_types(ctx_.rank());
+    const std::size_t handled = ctx_.drain();
+    bool buffers_empty = true;
+    for (const auto& mt : tp.types_)
+      if (!mt->rank_buffers_empty(ctx_.rank())) {
+        buffers_empty = false;
+        break;
+      }
+    if (handled == 0 && buffers_empty && tp.locally_quiet(ctx_.rank())) break;
+    if (handled == 0) std::this_thread::yield();
+  }
+}
+
+bool epoch::try_finish() {
+  DPG_ASSERT_MSG(!ended_, "try_finish after the epoch ended");
+  if (ctx_.tp().td_round(ctx_)) {
+    finish();
+    return true;
+  }
+  return false;
+}
+
+void epoch::end() {
+  if (ended_) return;
+  while (!ctx_.tp().td_round(ctx_)) {
+  }
+  finish();
+}
+
+void epoch::finish() {
+  ctx_.in_epoch_ = false;
+  ended_ = true;
+  if (ctx_.rank() == 0) ctx_.tp().stats_.epochs.fetch_add(1, std::memory_order_relaxed);
+}
+
+epoch::~epoch() { end(); }
+
+}  // namespace dpg::ampp

@@ -1,0 +1,579 @@
+// The active-message transport: a from-scratch reimplementation of the
+// AM++ / Active Pebbles facilities the paper builds on (§I, §IV), running
+// over a simulated distributed machine (N ranks inside one process, one
+// SPMD thread per rank).
+//
+// Faithfulness notes:
+//  * Message types are statically typed; handlers are arbitrary functions
+//    and are NOT restricted — a handler may send any number of further
+//    messages (the AM++ property the paper singles out in §I).
+//  * Coalescing: sends are buffered per (source, destination) lane and
+//    delivered as batched envelopes (§IV "built-in layers for message
+//    coalescing").
+//  * Caching/reductions: a message type may opt into a direct-mapped
+//    reduction cache that combines same-key payloads before they reach the
+//    wire (§IV "caching allows to avoid unnecessary message sends").
+//  * Object-based addressing: a message type may carry an address map that
+//    computes the destination rank from the payload (§IV-D).
+//  * Termination detection / epochs: epochs map to AM++ epochs; the end of
+//    an epoch is detected with a message-based four-counter protocol (see
+//    epoch.hpp). No shortcut through shared memory is taken for the
+//    decision — only the monotonic sent/received counters that a real
+//    distributed runtime would also reduce.
+//
+// Progress model: polling. Messages are handled when the owning rank's
+// thread calls into the runtime (drain/flush/collectives/epoch ends), the
+// same progress discipline AM++ uses.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "ampp/stats.hpp"
+#include "ampp/types.hpp"
+#include "util/assert.hpp"
+#include "util/spinlock.hpp"
+
+namespace dpg::ampp {
+
+class transport;
+class transport_context;
+class epoch;
+
+/// Transport configuration.
+struct transport_config {
+  rank_t n_ranks = 4;
+  /// Payloads buffered per (source, destination) lane before an envelope is
+  /// delivered. 1 disables coalescing.
+  std::size_t coalescing_size = 256;
+  /// Root seed for runtime-internal randomization (delivery scrambling).
+  std::uint64_t seed = 42;
+  /// Fault-injection mode: deliver queued envelopes in a seeded random
+  /// order instead of FIFO. Active-message semantics promise nothing about
+  /// ordering, so every algorithm must survive this; tests use it to
+  /// falsify accidental ordering assumptions (in the library and in
+  /// patterns alike).
+  bool scramble_delivery = false;
+  /// Dedicated message-handler threads per rank (§II-A: ranks "each
+  /// running multiple threads"). 0 = polling-only progress (handlers run
+  /// when the rank's SPMD thread calls into the runtime). With helpers,
+  /// handlers execute concurrently with the SPMD thread: property maps
+  /// touched by patterns should hold atomic-capable values or the
+  /// algorithm must phase its accesses (see docs/runtime.md).
+  unsigned handler_threads = 0;
+};
+
+namespace detail {
+
+class message_type_base;
+
+/// Type-erased dispatch table for one registered message type.
+struct message_vtable {
+  void (*dispatch)(message_type_base* self, transport_context& ctx, const std::byte* data,
+                   std::uint32_t count);
+  std::size_t payload_size;
+  message_type_base* self;
+};
+
+/// A coalesced batch of `count` payloads of one message type.
+struct envelope {
+  const message_vtable* vt = nullptr;
+  std::uint32_t count = 0;
+  std::vector<std::byte> bytes;
+};
+
+/// Base class for registered message types; the transport needs uniform
+/// access to buffered lanes for flushing during epochs.
+class message_type_base {
+ public:
+  virtual ~message_type_base() = default;
+
+  /// Spill every buffered payload and cached reduction slot owned by
+  /// `src` onto the wire.
+  virtual void flush_rank(rank_t src) = 0;
+
+  /// True when rank `src` has nothing buffered for any destination.
+  virtual bool rank_buffers_empty(rank_t src) const = 0;
+
+  const std::string& name() const { return name_; }
+  msg_type_id id() const { return id_; }
+
+ protected:
+  friend class dpg::ampp::transport;
+  std::string name_;
+  msg_type_id id_ = 0;
+  bool internal_ = false;  ///< control-plane types bypass epoch/TD accounting
+  transport* tp_ = nullptr;
+};
+
+}  // namespace detail
+
+/// Handler concept: invocable with (transport_context&, const Payload&).
+template <class H, class Payload>
+concept message_handler = std::invocable<H&, transport_context&, const Payload&>;
+
+/// Address map concept: computes a destination rank from a payload (§IV-D).
+template <class A, class Payload>
+concept address_map = std::invocable<const A&, const Payload&> &&
+    std::convertible_to<std::invoke_result_t<const A&, const Payload&>, rank_t>;
+
+/// A registered, statically typed active-message type.
+///
+/// Payloads must be trivially copyable: they travel through byte buffers
+/// exactly as they would through a network. Handlers run on the destination
+/// rank's thread and may freely send further messages of any type.
+template <class Payload>
+class message_type final : public detail::message_type_base {
+  static_assert(std::is_trivially_copyable_v<Payload>,
+                "active-message payloads must be trivially copyable");
+
+ public:
+  using handler_fn = std::function<void(transport_context&, const Payload&)>;
+  using address_fn = std::function<rank_t(const Payload&)>;
+  using key_fn = std::function<std::uint64_t(const Payload&)>;
+  using combine_fn = std::function<Payload(const Payload&, const Payload&)>;
+
+  /// Send `p` to rank `dest`. Must be called from inside transport::run on
+  /// the sending rank's thread and, for non-internal types, inside an epoch.
+  void send(transport_context& ctx, rank_t dest, const Payload& p);
+
+  /// Object-based addressing: destination computed by the address map.
+  void send(transport_context& ctx, const Payload& p);
+
+  /// Enable the AM++-style reduction cache: sends whose key collides with a
+  /// cached entry are combined instead of transmitted. `cache_bits` gives a
+  /// 2^cache_bits-slot direct-mapped cache per destination lane. The
+  /// combine function must make one combined message semantically equal to
+  /// delivering both (e.g. min for SSSP relaxations).
+  void enable_reduction(key_fn key, combine_fn combine, unsigned cache_bits = 10);
+
+  bool reduction_enabled() const { return reduce_.has_value(); }
+
+  void flush_rank(rank_t src) override;
+  bool rank_buffers_empty(rank_t src) const override;
+
+ private:
+  friend class transport;
+  message_type() = default;
+
+  struct red_slot {
+    bool used = false;
+    std::uint64_t key = 0;
+    Payload payload;
+  };
+
+  /// One outgoing lane: source rank -> one destination rank. With
+  /// handler threads, handlers running on the source rank send
+  /// concurrently with the SPMD thread, so each lane carries its own lock
+  /// (uncontended and near-free in polling mode).
+  struct lane {
+    mutable dpg::spinlock mu;
+    std::vector<Payload> buf;
+    std::vector<red_slot> cache;  // empty unless reduction enabled
+  };
+
+  struct per_source {
+    std::deque<lane> lanes;  // indexed by destination rank; deque: lanes hold locks
+  };
+
+  struct reduction {
+    key_fn key;
+    combine_fn combine;
+    unsigned bits;
+  };
+
+  static void dispatch_thunk(detail::message_type_base* self, transport_context& ctx,
+                             const std::byte* data, std::uint32_t count);
+
+  void flush_lane(rank_t src, rank_t dest);
+  void flush_lane_locked(rank_t src, rank_t dest, lane& ln, bool spill_cache);
+
+  handler_fn handler_;
+  address_fn addr_;
+  std::optional<reduction> reduce_;
+  std::deque<per_source> rows_;  // indexed by source rank (deque: lanes hold locks)
+  detail::message_vtable vt_{};
+};
+
+/// Per-rank view of the transport handed to the SPMD function and to
+/// message handlers. Provides rank identity, progress, and collectives.
+class transport_context {
+ public:
+  rank_t rank() const noexcept { return rank_; }
+  rank_t size() const noexcept;
+  transport& tp() noexcept { return *tp_; }
+
+  /// Process every envelope currently queued for this rank (handlers may
+  /// enqueue more locally; those are processed too). Returns the number of
+  /// payloads handled.
+  std::size_t drain();
+
+  /// Process at most one queued envelope. Returns payloads handled.
+  std::size_t poll_once();
+
+  /// Message-based barrier across all ranks (progress keeps running while
+  /// waiting, as in AM++: handlers execute inside blocking calls).
+  void barrier();
+
+  /// Message-based all-reduce of a trivially copyable value (<= 56 bytes).
+  /// All ranks must call with the same op in the same program order.
+  template <class T, class Op>
+  T allreduce(T value, Op op);
+
+  /// Convenience reductions.
+  template <class T>
+  T allreduce_sum(T v) {
+    return allreduce(v, [](T a, T b) { return a + b; });
+  }
+  template <class T>
+  T allreduce_min(T v) {
+    return allreduce(v, [](T a, T b) { return b < a ? b : a; });
+  }
+  template <class T>
+  T allreduce_max(T v) {
+    return allreduce(v, [](T a, T b) { return a < b ? b : a; });
+  }
+  bool allreduce_or(bool v) {
+    return allreduce_sum(std::uint32_t{v ? 1u : 0u}) != 0;
+  }
+
+  bool in_epoch() const noexcept { return in_epoch_; }
+
+ private:
+  friend class transport;
+  friend class epoch;
+  template <class P>
+  friend class message_type;
+
+  transport_context(transport* tp, rank_t r) : tp_(tp), rank_(r) {}
+
+  // Type-erased allreduce plumbing (implemented in transport.cpp).
+  void allreduce_raw(const void* in, void* out, std::size_t size,
+                     void (*combine)(void* ctx, const void* contrib, void* acc), void* opctx);
+
+  transport* tp_;
+  rank_t rank_;
+  bool in_epoch_ = false;
+  std::uint64_t coll_gen_ = 0;   ///< per-rank collective call counter (SPMD order)
+  std::uint64_t td_round_ = 0;   ///< next termination-detection round to join
+};
+
+/// The simulated distributed machine: N ranks, per-rank inboxes, a message
+/// type registry, and the control plane (termination detection,
+/// collectives) implemented with internal message types.
+class transport {
+ public:
+  explicit transport(transport_config cfg);
+  ~transport();
+
+  transport(const transport&) = delete;
+  transport& operator=(const transport&) = delete;
+
+  rank_t size() const noexcept { return cfg_.n_ranks; }
+  const transport_config& config() const noexcept { return cfg_; }
+
+  /// Register a message type. Must happen before run(). The handler runs on
+  /// the destination rank; the optional address map enables send(payload)
+  /// without an explicit rank (§IV-D).
+  template <class Payload, message_handler<Payload> H>
+  message_type<Payload>& make_message_type(std::string name, H handler);
+
+  template <class Payload, message_handler<Payload> H, address_map<Payload> A>
+  message_type<Payload>& make_message_type(std::string name, H handler, A addr);
+
+  /// Execute `f` as an SPMD program: one thread per rank, each receiving
+  /// its own transport_context. Blocks until all ranks return; rethrows the
+  /// first exception thrown by any rank. May be called repeatedly.
+  void run(const std::function<void(transport_context&)>& f);
+
+  transport_stats& stats() noexcept { return stats_; }
+  const transport_stats& stats() const noexcept { return stats_; }
+
+  /// Payloads delivered per message type, indexed by msg_type_id; for
+  /// benchmark reporting.
+  std::uint64_t sent_of_type(msg_type_id id) const {
+    return per_type_sent_.at(id)->load(std::memory_order_relaxed);
+  }
+  const std::string& type_name(msg_type_id id) const { return types_.at(id)->name(); }
+  std::size_t num_types() const { return types_.size(); }
+
+ private:
+  friend class transport_context;
+  friend class epoch;
+  template <class P>
+  friend class message_type;
+
+  // ---- wire -------------------------------------------------------------
+  struct rank_state {
+    mutable std::mutex inbox_mu;
+    std::deque<detail::envelope> inbox;
+    std::uint64_t scramble_rng_state = 0;  ///< splitmix64 state (scramble mode)
+    /// Handlers currently executing on this rank (incremented under
+    /// inbox_mu before the envelope is popped, so "inbox empty and no
+    /// handler active" is an exact local-quiescence predicate).
+    std::atomic<int> active_handlers{0};
+    std::atomic<std::uint64_t> sent{0};      ///< user payloads this rank pushed out
+    std::atomic<std::uint64_t> received{0};  ///< user payloads this rank handled
+    // Control-plane mailboxes (written by handlers on this rank's thread).
+    std::atomic<std::int64_t> td_result_round{-1};
+    std::atomic<bool> td_result_done{false};
+    std::atomic<std::uint64_t> coll_result_gen{0};
+    std::array<std::byte, 56> coll_result_bytes{};
+  };
+
+  void deliver(rank_t src, rank_t dest, detail::envelope env, std::uint32_t user_payloads);
+  std::size_t drain_rank(transport_context& ctx, bool at_most_one);
+  void flush_all_types(rank_t src);
+  bool all_buffers_empty(rank_t src) const;
+  /// Inbox empty and no handler mid-flight (exact snapshot under inbox_mu).
+  bool locally_quiet(rank_t r) const;
+
+  // ---- control plane ------------------------------------------------------
+  struct td_report_t {
+    std::uint64_t round, sent, recv;
+    rank_t src;
+  };
+  struct td_result_t {
+    std::uint64_t round;
+    std::uint32_t done;
+  };
+  struct coll_contrib_t {
+    std::uint64_t gen;
+    rank_t src;
+    std::uint32_t size;
+    std::array<std::byte, 56> bytes;
+  };
+  struct coll_result_t {
+    std::uint64_t gen;
+    std::uint32_t size;
+    std::array<std::byte, 56> bytes;
+  };
+
+  struct td_coordinator {
+    std::mutex mu;
+    std::uint64_t round = 0;
+    std::uint32_t reports = 0;
+    std::uint64_t sum_sent = 0, sum_recv = 0;
+    std::uint64_t prev_sent = ~0ULL, prev_recv = ~0ULL;
+  };
+  struct coll_round {
+    std::vector<coll_contrib_t> contribs;
+  };
+  struct coll_coordinator {
+    std::mutex mu;
+    std::map<std::uint64_t, coll_round> rounds;
+  };
+
+  void register_control_plane();
+  void td_on_report(transport_context& ctx, const td_report_t& r);
+  /// One termination-detection round for the calling rank: flush, drain to
+  /// empty, report, wait for the verdict. Returns true iff globally done.
+  bool td_round(transport_context& ctx);
+
+  template <class Payload>
+  message_type<Payload>& make_internal(std::string name,
+                                       std::function<void(transport_context&, const Payload&)> h);
+
+  transport_config cfg_;
+  std::vector<std::unique_ptr<detail::message_type_base>> types_;
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> per_type_sent_;
+  std::vector<rank_state> ranks_;
+  transport_stats stats_;
+  bool running_ = false;
+
+  td_coordinator td_;
+  coll_coordinator coll_;
+  message_type<td_report_t>* mt_td_report_ = nullptr;
+  message_type<td_result_t>* mt_td_result_ = nullptr;
+  message_type<coll_contrib_t>* mt_coll_contrib_ = nullptr;
+  message_type<coll_result_t>* mt_coll_result_ = nullptr;
+};
+
+// ===========================================================================
+// message_type implementation
+// ===========================================================================
+
+template <class Payload>
+void message_type<Payload>::dispatch_thunk(detail::message_type_base* self,
+                                           transport_context& ctx, const std::byte* data,
+                                           std::uint32_t count) {
+  auto* mt = static_cast<message_type<Payload>*>(self);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Payload p;
+    std::memcpy(&p, data + i * sizeof(Payload), sizeof(Payload));
+    mt->handler_(ctx, p);
+  }
+}
+
+template <class Payload>
+void message_type<Payload>::send(transport_context& ctx, rank_t dest, const Payload& p) {
+  DPG_ASSERT_MSG(ctx.rank() == current_rank(), "send from a foreign rank's context");
+  DPG_ASSERT_MSG(dest < tp_->size(), "destination rank out of range");
+  DPG_ASSERT_MSG(internal_ || ctx.in_epoch(),
+                 "user messages may only be sent inside an epoch");
+  lane& ln = rows_[ctx.rank()].lanes[dest];
+  std::lock_guard<dpg::spinlock> lane_guard(ln.mu);
+
+  if (reduce_) {
+    const std::uint64_t key = reduce_->key(p);
+    // Fibonacci hash into the direct-mapped cache.
+    const std::size_t slot_idx =
+        static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >> (64 - reduce_->bits));
+    red_slot& slot = ln.cache[slot_idx];
+    if (slot.used && slot.key == key) {
+      slot.payload = reduce_->combine(slot.payload, p);
+      tp_->stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (slot.used) {
+      ln.buf.push_back(slot.payload);
+      tp_->stats_.cache_evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    slot.used = true;
+    slot.key = key;
+    slot.payload = p;
+    if (ln.buf.size() >= tp_->cfg_.coalescing_size)
+      flush_lane_locked(ctx.rank(), dest, ln, /*spill_cache=*/false);
+    return;
+  }
+
+  ln.buf.push_back(p);
+  if (ln.buf.size() >= tp_->cfg_.coalescing_size)
+    flush_lane_locked(ctx.rank(), dest, ln, /*spill_cache=*/false);
+}
+
+template <class Payload>
+void message_type<Payload>::send(transport_context& ctx, const Payload& p) {
+  DPG_ASSERT_MSG(static_cast<bool>(addr_), "message type has no address map");
+  send(ctx, addr_(p), p);
+}
+
+template <class Payload>
+void message_type<Payload>::enable_reduction(key_fn key, combine_fn combine,
+                                             unsigned cache_bits) {
+  DPG_ASSERT_MSG(cache_bits >= 1 && cache_bits <= 24, "unreasonable reduction cache size");
+  reduce_ = reduction{std::move(key), std::move(combine), cache_bits};
+  for (auto& row : rows_)
+    for (auto& ln : row.lanes) ln.cache.assign(std::size_t{1} << cache_bits, red_slot{});
+}
+
+template <class Payload>
+void message_type<Payload>::flush_lane(rank_t src, rank_t dest) {
+  lane& ln = rows_[src].lanes[dest];
+  std::lock_guard<dpg::spinlock> lane_guard(ln.mu);
+  flush_lane_locked(src, dest, ln, /*spill_cache=*/true);
+}
+
+template <class Payload>
+void message_type<Payload>::flush_lane_locked(rank_t src, rank_t dest, lane& ln,
+                                              bool spill_cache) {
+  if (reduce_ && spill_cache) {
+    for (auto& slot : ln.cache) {
+      if (slot.used) {
+        ln.buf.push_back(slot.payload);
+        slot.used = false;
+      }
+    }
+  }
+  if (ln.buf.empty()) return;
+  const auto count = static_cast<std::uint32_t>(ln.buf.size());
+  detail::envelope env;
+  env.vt = &vt_;
+  env.count = count;
+  env.bytes.resize(ln.buf.size() * sizeof(Payload));
+  std::memcpy(env.bytes.data(), ln.buf.data(), env.bytes.size());
+  ln.buf.clear();
+  tp_->deliver(src, dest, std::move(env), internal_ ? 0 : count);
+  if (!internal_) {
+    tp_->per_type_sent_[id_]->fetch_add(count, std::memory_order_relaxed);
+  } else {
+    tp_->stats_.control_messages.fetch_add(count, std::memory_order_relaxed);
+  }
+}
+
+template <class Payload>
+void message_type<Payload>::flush_rank(rank_t src) {
+  for (rank_t d = 0; d < static_cast<rank_t>(rows_[src].lanes.size()); ++d)
+    flush_lane(src, d);
+}
+
+template <class Payload>
+bool message_type<Payload>::rank_buffers_empty(rank_t src) const {
+  for (const lane& ln : rows_[src].lanes) {
+    std::lock_guard<dpg::spinlock> lane_guard(ln.mu);
+    if (!ln.buf.empty()) return false;
+    for (const red_slot& s : ln.cache)
+      if (s.used) return false;
+  }
+  return true;
+}
+
+// ===========================================================================
+// transport template members
+// ===========================================================================
+
+template <class Payload, message_handler<Payload> H>
+message_type<Payload>& transport::make_message_type(std::string name, H handler) {
+  DPG_ASSERT_MSG(!running_, "message types must be registered before transport::run");
+  auto mt = std::unique_ptr<message_type<Payload>>(new message_type<Payload>());
+  mt->name_ = std::move(name);
+  mt->id_ = static_cast<msg_type_id>(types_.size());
+  mt->tp_ = this;
+  mt->handler_ = std::move(handler);
+  mt->rows_.resize(cfg_.n_ranks);
+  for (auto& row : mt->rows_) row.lanes.resize(cfg_.n_ranks);
+  mt->vt_ = detail::message_vtable{&message_type<Payload>::dispatch_thunk, sizeof(Payload),
+                                   mt.get()};
+  auto& ref = *mt;
+  per_type_sent_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  types_.push_back(std::move(mt));
+  return ref;
+}
+
+template <class Payload, message_handler<Payload> H, address_map<Payload> A>
+message_type<Payload>& transport::make_message_type(std::string name, H handler, A addr) {
+  auto& mt = make_message_type<Payload>(std::move(name), std::move(handler));
+  mt.addr_ = [a = std::move(addr)](const Payload& p) { return static_cast<rank_t>(a(p)); };
+  return mt;
+}
+
+template <class Payload>
+message_type<Payload>& transport::make_internal(
+    std::string name, std::function<void(transport_context&, const Payload&)> h) {
+  auto& mt = make_message_type<Payload>(std::move(name), std::move(h));
+  mt.internal_ = true;
+  return mt;
+}
+
+template <class T, class Op>
+T transport_context::allreduce(T value, Op op) {
+  static_assert(std::is_trivially_copyable_v<T>, "allreduce values must be trivially copyable");
+  static_assert(sizeof(T) <= 56, "allreduce values are limited to 56 bytes");
+  T out{};
+  auto combine = [](void* opctx, const void* contrib, void* acc) {
+    auto& o = *static_cast<Op*>(opctx);
+    T a, c;
+    std::memcpy(&a, acc, sizeof(T));
+    std::memcpy(&c, contrib, sizeof(T));
+    a = o(a, c);
+    std::memcpy(acc, &a, sizeof(T));
+  };
+  allreduce_raw(&value, &out, sizeof(T), combine, &op);
+  return out;
+}
+
+}  // namespace dpg::ampp

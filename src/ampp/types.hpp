@@ -1,0 +1,33 @@
+// Fundamental identifiers for the active-message runtime.
+#pragma once
+
+#include <cstdint>
+
+namespace dpg::ampp {
+
+/// Rank identifier (a "node" of the simulated distributed machine).
+using rank_t = std::uint32_t;
+
+/// Message-type identifier assigned at registration time.
+using msg_type_id = std::uint32_t;
+
+inline constexpr rank_t invalid_rank = static_cast<rank_t>(-1);
+
+/// Rank of the calling thread inside transport::run, or invalid_rank
+/// outside. Property maps and graph accessors use this to enforce the
+/// owner-computes discipline the paper assumes (§III-A / §IV).
+rank_t current_rank() noexcept;
+
+namespace detail {
+/// Set by transport::run for each SPMD thread. RAII so nested runs
+/// (not supported) fail loudly rather than corrupt state.
+class current_rank_scope {
+ public:
+  explicit current_rank_scope(rank_t r) noexcept;
+  ~current_rank_scope();
+  current_rank_scope(const current_rank_scope&) = delete;
+  current_rank_scope& operator=(const current_rank_scope&) = delete;
+};
+}  // namespace detail
+
+}  // namespace dpg::ampp

@@ -1,0 +1,123 @@
+#include "graph/distributed_graph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dpg::graph {
+
+distributed_graph::distributed_graph(vertex_id n, std::span<const edge> edges,
+                                     distribution dist, bool bidirectional)
+    : dist_(std::move(dist)), bidirectional_(bidirectional), num_edges_(edges.size()) {
+  DPG_ASSERT_MSG(dist_.num_vertices() == n, "distribution sized for a different graph");
+  const rank_t ranks = dist_.num_ranks();
+  shards_.resize(ranks);
+
+  // --- out-edges: counting sort by (owner(src), local_index(src)) ---------
+  for (rank_t r = 0; r < ranks; ++r)
+    shards_[r].out_offsets.assign(dist_.count(r) + 1, 0);
+  for (const edge& e : edges) {
+    DPG_ASSERT_MSG(e.src < n && e.dst < n, "edge endpoint out of range");
+    shards_[dist_.owner(e.src)].out_offsets[dist_.local_index(e.src) + 1]++;
+  }
+  std::uint64_t base = 0;
+  for (rank_t r = 0; r < ranks; ++r) {
+    shard& s = shards_[r];
+    s.edge_base = base;
+    for (std::size_t i = 1; i < s.out_offsets.size(); ++i)
+      s.out_offsets[i] += s.out_offsets[i - 1];
+    s.out_dst.resize(s.out_offsets.back());
+    base += s.out_dst.size();
+  }
+  // Fill, preserving input order within each vertex's edge list (stable:
+  // generators can rely on deterministic edge ids).
+  {
+    std::vector<std::vector<std::uint64_t>> cursor(ranks);
+    for (rank_t r = 0; r < ranks; ++r)
+      cursor[r].assign(shards_[r].out_offsets.begin(), shards_[r].out_offsets.end() - 1);
+    for (const edge& e : edges) {
+      const rank_t r = dist_.owner(e.src);
+      const std::uint64_t li = dist_.local_index(e.src);
+      shards_[r].out_dst[cursor[r][li]++] = e.dst;
+    }
+  }
+
+  if (!bidirectional_) return;
+
+  // --- in-edges: same construction keyed by dst, remembering each edge's
+  // out-numbering id so property lookups can reach the mirror copy.
+  for (rank_t r = 0; r < ranks; ++r)
+    shards_[r].in_offsets.assign(dist_.count(r) + 1, 0);
+  for (const edge& e : edges)
+    shards_[dist_.owner(e.dst)].in_offsets[dist_.local_index(e.dst) + 1]++;
+  for (rank_t r = 0; r < ranks; ++r) {
+    shard& s = shards_[r];
+    for (std::size_t i = 1; i < s.in_offsets.size(); ++i)
+      s.in_offsets[i] += s.in_offsets[i - 1];
+    s.in_src.resize(s.in_offsets.back());
+    s.in_eid.resize(s.in_offsets.back());
+  }
+  {
+    // Walk the out-CSR (not the input list) so in_eid matches assigned ids.
+    std::vector<std::vector<std::uint64_t>> cursor(ranks);
+    for (rank_t r = 0; r < ranks; ++r)
+      cursor[r].assign(shards_[r].in_offsets.begin(), shards_[r].in_offsets.end() - 1);
+    for (rank_t r = 0; r < ranks; ++r) {
+      const shard& src_shard = shards_[r];
+      for (std::uint64_t li = 0; li + 1 < src_shard.out_offsets.size(); ++li) {
+        const vertex_id u = dist_.global(r, li);
+        for (std::uint64_t p = src_shard.out_offsets[li]; p < src_shard.out_offsets[li + 1];
+             ++p) {
+          const vertex_id w = src_shard.out_dst[p];
+          const rank_t wr = dist_.owner(w);
+          const std::uint64_t wl = dist_.local_index(w);
+          shard& dst_shard = shards_[wr];
+          const std::uint64_t slot = cursor[wr][wl]++;
+          dst_shard.in_src[slot] = u;
+          dst_shard.in_eid[slot] = src_shard.edge_base + p;
+        }
+      }
+    }
+  }
+}
+
+std::vector<edge> edge_list_of(const distributed_graph& g) {
+  DPG_ASSERT_MSG(ampp::current_rank() == ampp::invalid_rank,
+                 "edge_list_of touches every shard; call it outside a run");
+  std::vector<edge> out;
+  out.reserve(g.num_edges());
+  const auto& dist = g.dist();
+  for (rank_t r = 0; r < g.num_ranks(); ++r)
+    for (std::uint64_t li = 0; li < dist.count(r); ++li) {
+      const vertex_id v = dist.global(r, li);
+      for (const edge_handle e : g.out_edges(v)) out.push_back(edge{e.src, e.dst});
+    }
+  return out;
+}
+
+distributed_graph with_added_edges(const distributed_graph& g, std::span<const edge> extra,
+                                   bool bidirectional) {
+  std::vector<edge> edges = edge_list_of(g);
+  edges.insert(edges.end(), extra.begin(), extra.end());
+  return distributed_graph(g.num_vertices(), edges, g.dist(), bidirectional);
+}
+
+std::vector<edge> symmetrize(std::span<const edge> edges) {
+  std::vector<edge> out;
+  out.reserve(edges.size() * 2);
+  for (const edge& e : edges) {
+    out.push_back(e);
+    if (e.src != e.dst) out.push_back(edge{e.dst, e.src});
+  }
+  return out;
+}
+
+std::vector<edge> simplify(std::vector<edge> edges) {
+  std::erase_if(edges, [](const edge& e) { return e.src == e.dst; });
+  std::sort(edges.begin(), edges.end(), [](const edge& a, const edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace dpg::graph

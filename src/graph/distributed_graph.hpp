@@ -1,0 +1,210 @@
+// The distributed, vertex-centric graph of §III-A: every rank stores a
+// portion of the vertices and their outgoing edges; a "bidirectional"
+// graph additionally stores incoming edges with each vertex ("bidirectional
+// describes the storage model rather than a property of the graph").
+//
+// Access discipline: out_edges(v) / in_edges(v) / adjacency may only be
+// enumerated on the rank that owns v. Inside ampp::transport::run this is
+// enforced with assertions; outside a run (test inspection, sequential
+// baselines) access is unrestricted.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ampp/types.hpp"
+#include "graph/distribution.hpp"
+#include "graph/ids.hpp"
+#include "util/assert.hpp"
+
+namespace dpg::graph {
+
+class distributed_graph {
+  struct shard;  // per-rank storage, defined below
+
+ public:
+  /// Builds the distributed representation from a global edge list.
+  /// Self-loops are kept; parallel edges are kept (they get distinct edge
+  /// ids). With `bidirectional` set, per-vertex in-edge lists are also
+  /// built so the `in_edges` generator is available.
+  distributed_graph(vertex_id n, std::span<const edge> edges, distribution dist,
+                    bool bidirectional = false);
+
+  const distribution& dist() const noexcept { return dist_; }
+  vertex_id num_vertices() const noexcept { return dist_.num_vertices(); }
+  std::uint64_t num_edges() const noexcept { return num_edges_; }
+  bool bidirectional() const noexcept { return bidirectional_; }
+  rank_t num_ranks() const noexcept { return dist_.num_ranks(); }
+
+  rank_t owner(vertex_id v) const { return dist_.owner(v); }
+
+  /// First global edge id assigned to rank r's out-edges.
+  std::uint64_t edge_base(rank_t r) const { return shards_[r].edge_base; }
+  /// Number of out-edges stored on rank r.
+  std::uint64_t edge_count(rank_t r) const {
+    return shards_[r].out_dst.size();
+  }
+  /// Number of in-edges stored on rank r (bidirectional graphs).
+  std::uint64_t in_edge_count(rank_t r) const { return shards_[r].in_src.size(); }
+
+  std::uint64_t out_degree(vertex_id v) const {
+    const shard& s = owner_shard(v);
+    const std::uint64_t li = dist_.local_index(v);
+    return s.out_offsets[li + 1] - s.out_offsets[li];
+  }
+
+  std::uint64_t in_degree(vertex_id v) const {
+    DPG_ASSERT_MSG(bidirectional_, "in_degree requires bidirectional storage");
+    const shard& s = owner_shard(v);
+    const std::uint64_t li = dist_.local_index(v);
+    return s.in_offsets[li + 1] - s.in_offsets[li];
+  }
+
+  /// Forward iteration over v's out-edges as edge_handles. Owner-only.
+  class out_edge_range {
+   public:
+    class iterator {
+     public:
+      using value_type = edge_handle;
+      edge_handle operator*() const {
+        return edge_handle{src_, r_->s_->out_dst[pos_], r_->s_->edge_base + pos_,
+                           static_cast<std::uint64_t>(-1)};
+      }
+      iterator& operator++() {
+        ++pos_;
+        return *this;
+      }
+      bool operator!=(const iterator& o) const { return pos_ != o.pos_; }
+      bool operator==(const iterator& o) const { return pos_ == o.pos_; }
+
+     private:
+      friend class out_edge_range;
+      iterator(const out_edge_range* r, vertex_id src, std::uint64_t pos)
+          : r_(r), src_(src), pos_(pos) {}
+      const out_edge_range* r_;
+      vertex_id src_;
+      std::uint64_t pos_;
+    };
+
+    iterator begin() const { return iterator(this, src_, first_); }
+    iterator end() const { return iterator(this, src_, last_); }
+    std::uint64_t size() const { return last_ - first_; }
+    bool empty() const { return first_ == last_; }
+
+   private:
+    friend class distributed_graph;
+    out_edge_range(const shard* s, vertex_id src, std::uint64_t first,
+                   std::uint64_t last)
+        : s_(s), src_(src), first_(first), last_(last) {}
+    const shard* s_;
+    vertex_id src_;
+    std::uint64_t first_, last_;
+  };
+
+  /// Forward iteration over v's in-edges as edge_handles (mirror slots set).
+  class in_edge_range {
+   public:
+    class iterator {
+     public:
+      using value_type = edge_handle;
+      edge_handle operator*() const {
+        return edge_handle{r_->s_->in_src[pos_], dst_, r_->s_->in_eid[pos_], pos_};
+      }
+      iterator& operator++() {
+        ++pos_;
+        return *this;
+      }
+      bool operator!=(const iterator& o) const { return pos_ != o.pos_; }
+      bool operator==(const iterator& o) const { return pos_ == o.pos_; }
+
+     private:
+      friend class in_edge_range;
+      iterator(const in_edge_range* r, vertex_id dst, std::uint64_t pos)
+          : r_(r), dst_(dst), pos_(pos) {}
+      const in_edge_range* r_;
+      vertex_id dst_;
+      std::uint64_t pos_;
+    };
+
+    iterator begin() const { return iterator(this, dst_, first_); }
+    iterator end() const { return iterator(this, dst_, last_); }
+    std::uint64_t size() const { return last_ - first_; }
+    bool empty() const { return first_ == last_; }
+
+   private:
+    friend class distributed_graph;
+    in_edge_range(const shard* s, vertex_id dst, std::uint64_t first,
+                  std::uint64_t last)
+        : s_(s), dst_(dst), first_(first), last_(last) {}
+    const shard* s_;
+    vertex_id dst_;
+    std::uint64_t first_, last_;
+  };
+
+  out_edge_range out_edges(vertex_id v) const {
+    const shard& s = owner_shard(v);
+    const std::uint64_t li = dist_.local_index(v);
+    return out_edge_range(&s, v, s.out_offsets[li], s.out_offsets[li + 1]);
+  }
+
+  in_edge_range in_edges(vertex_id v) const {
+    DPG_ASSERT_MSG(bidirectional_, "in_edges requires bidirectional storage");
+    const shard& s = owner_shard(v);
+    const std::uint64_t li = dist_.local_index(v);
+    return in_edge_range(&s, v, s.in_offsets[li], s.in_offsets[li + 1]);
+  }
+
+  /// Out-neighbour targets of v (the `adj` generator view). Owner-only.
+  std::span<const vertex_id> adjacent(vertex_id v) const {
+    const shard& s = owner_shard(v);
+    const std::uint64_t li = dist_.local_index(v);
+    return std::span<const vertex_id>(s.out_dst.data() + s.out_offsets[li],
+                                      s.out_offsets[li + 1] - s.out_offsets[li]);
+  }
+
+ private:
+  struct shard {
+    std::uint64_t edge_base = 0;
+    std::vector<std::uint64_t> out_offsets;  // CSR over local vertices
+    std::vector<vertex_id> out_dst;
+    std::vector<std::uint64_t> in_offsets;   // CSR over local vertices
+    std::vector<vertex_id> in_src;
+    std::vector<std::uint64_t> in_eid;       // the out-numbering id of each in-edge
+  };
+
+  const shard& owner_shard(vertex_id v) const {
+    const rank_t o = dist_.owner(v);
+    const rank_t cur = ampp::current_rank();
+    DPG_ASSERT_MSG(cur == ampp::invalid_rank || cur == o,
+                   "graph topology accessed on a rank that does not own the vertex");
+    return shards_[o];
+  }
+
+  distribution dist_;
+  bool bidirectional_;
+  std::uint64_t num_edges_ = 0;
+  std::vector<shard> shards_;
+};
+
+/// Recovers the full edge list of a distributed graph (in edge-id order).
+/// Call outside transport::run.
+std::vector<edge> edge_list_of(const distributed_graph& g);
+
+/// The framework is for non-morphing algorithms (the paper's footnote 1:
+/// patterns may not change graph structure). Mutation therefore happens
+/// *between* runs: this builds a new graph with `extra` edges appended,
+/// preserving the distribution, so existing property values can be carried
+/// over vertex-by-vertex (vertex ownership is unchanged). Newly appended
+/// edges receive fresh edge ids; edge property maps must be rebuilt.
+distributed_graph with_added_edges(const distributed_graph& g, std::span<const edge> extra,
+                                   bool bidirectional = false);
+
+/// Appends the reverse of every edge, producing the symmetric directed
+/// representation of an undirected graph (the CC algorithms assume this).
+std::vector<edge> symmetrize(std::span<const edge> edges);
+
+/// Removes duplicate edges and self-loops (useful for generator output).
+std::vector<edge> simplify(std::vector<edge> edges);
+
+}  // namespace dpg::graph

@@ -1,0 +1,132 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dpg::graph {
+
+std::vector<edge> erdos_renyi(vertex_id n, std::uint64_t m, std::uint64_t seed) {
+  DPG_ASSERT(n >= 1);
+  xoshiro256ss rng(seed);
+  std::vector<edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i)
+    edges.push_back(edge{rng.below(n), rng.below(n)});
+  return edges;
+}
+
+std::vector<edge> rmat(const rmat_params& p, std::uint64_t seed) {
+  DPG_ASSERT_MSG(p.a + p.b + p.c <= 1.0 + 1e-9, "R-MAT probabilities exceed 1");
+  const vertex_id n = vertex_id{1} << p.scale;
+  const std::uint64_t m = static_cast<std::uint64_t>(p.edge_factor) * n;
+  xoshiro256ss rng(seed);
+
+  // Optional id scramble: without it, low ids concentrate the heavy tail.
+  std::vector<vertex_id> perm;
+  if (p.scramble_ids) {
+    perm.resize(n);
+    std::iota(perm.begin(), perm.end(), vertex_id{0});
+    xoshiro256ss prng(substream_seed(seed, 1));
+    for (vertex_id i = n; i > 1; --i)
+      std::swap(perm[i - 1], perm[prng.below(i)]);
+  }
+
+  std::vector<edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    vertex_id u = 0, v = 0;
+    for (unsigned bit = 0; bit < p.scale; ++bit) {
+      const double r = rng.uniform01();
+      // Quadrant choice per the recursive adjacency-matrix subdivision,
+      // with per-level noise as in the Graph500 reference implementation.
+      const double noise = 0.95 + 0.1 * rng.uniform01();
+      const double a = p.a * noise, b = p.b * noise, c = p.c * noise;
+      const double norm = a + b + c + (1.0 - p.a - p.b - p.c) * noise;
+      const double ra = a / norm, rb = b / norm, rc = c / norm;
+      if (r < ra) {
+        // top-left: neither bit set
+      } else if (r < ra + rb) {
+        v |= vertex_id{1} << bit;
+      } else if (r < ra + rb + rc) {
+        u |= vertex_id{1} << bit;
+      } else {
+        u |= vertex_id{1} << bit;
+        v |= vertex_id{1} << bit;
+      }
+    }
+    if (p.scramble_ids) {
+      u = perm[u];
+      v = perm[v];
+    }
+    edges.push_back(edge{u, v});
+  }
+  return edges;
+}
+
+std::vector<edge> path_graph(vertex_id n) {
+  std::vector<edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (vertex_id v = 0; v + 1 < n; ++v) edges.push_back(edge{v, v + 1});
+  return edges;
+}
+
+std::vector<edge> cycle_graph(vertex_id n) {
+  auto edges = path_graph(n);
+  if (n > 1) edges.push_back(edge{n - 1, 0});
+  return edges;
+}
+
+std::vector<edge> star_graph(vertex_id n) {
+  std::vector<edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (vertex_id v = 1; v < n; ++v) edges.push_back(edge{0, v});
+  return edges;
+}
+
+std::vector<edge> complete_graph(vertex_id n) {
+  std::vector<edge> edges;
+  edges.reserve(n * (n - 1));
+  for (vertex_id u = 0; u < n; ++u)
+    for (vertex_id v = 0; v < n; ++v)
+      if (u != v) edges.push_back(edge{u, v});
+  return edges;
+}
+
+std::vector<edge> grid_graph(vertex_id rows, vertex_id cols) {
+  std::vector<edge> edges;
+  auto id = [cols](vertex_id r, vertex_id c) { return r * cols + c; };
+  for (vertex_id r = 0; r < rows; ++r) {
+    for (vertex_id c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        edges.push_back(edge{id(r, c), id(r, c + 1)});
+        edges.push_back(edge{id(r, c + 1), id(r, c)});
+      }
+      if (r + 1 < rows) {
+        edges.push_back(edge{id(r, c), id(r + 1, c)});
+        edges.push_back(edge{id(r + 1, c), id(r, c)});
+      }
+    }
+  }
+  return edges;
+}
+
+double edge_weight(vertex_id u, vertex_id v, std::uint64_t seed, double max_weight) {
+  const vertex_id lo = u < v ? u : v;
+  const vertex_id hi = u < v ? v : u;
+  splitmix64 h(seed ^ (lo * 0x9e3779b97f4a7c15ULL) ^ (hi + 0x7f4a7c15ULL));
+  const double u01 = static_cast<double>(h.next() >> 11) * 0x1.0p-53;
+  return 1.0 + u01 * (max_weight - 1.0);
+}
+
+std::uint32_t edge_weight_int(vertex_id u, vertex_id v, std::uint64_t seed,
+                              std::uint32_t max_weight) {
+  const vertex_id lo = u < v ? u : v;
+  const vertex_id hi = u < v ? v : u;
+  splitmix64 h(seed ^ (lo * 0x9e3779b97f4a7c15ULL) ^ (hi + 0x7f4a7c15ULL));
+  return 1 + static_cast<std::uint32_t>(h.next() % max_weight);
+}
+
+}  // namespace dpg::graph

@@ -1,0 +1,46 @@
+// Synthetic graph generators. All are deterministic in (parameters, seed).
+//
+// The paper motivates the system with Graph500-class inputs (§I); the
+// Kronecker (R-MAT) generator below follows the Graph500 reference
+// recipe (scale + edge factor + (A,B,C) skew), at scales sized for a
+// single machine — the abstractions under test are size-independent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ids.hpp"
+
+namespace dpg::graph {
+
+/// G(n, m) Erdős–Rényi multigraph: m directed edges sampled uniformly.
+std::vector<edge> erdos_renyi(vertex_id n, std::uint64_t m, std::uint64_t seed);
+
+/// Parameters of the Kronecker / R-MAT recursive generator.
+struct rmat_params {
+  unsigned scale = 10;        ///< n = 2^scale vertices
+  unsigned edge_factor = 16;  ///< m = edge_factor * n directed edges
+  double a = 0.57, b = 0.19, c = 0.19;  ///< Graph500 defaults (d = 1-a-b-c)
+  bool scramble_ids = true;   ///< permute vertex ids to break degree locality
+};
+
+std::vector<edge> rmat(const rmat_params& p, std::uint64_t seed);
+
+/// Simple deterministic topologies, useful for tests with known answers.
+std::vector<edge> path_graph(vertex_id n);                 ///< 0→1→…→n-1
+std::vector<edge> cycle_graph(vertex_id n);                ///< path + (n-1)→0
+std::vector<edge> star_graph(vertex_id n);                 ///< 0→{1..n-1}
+std::vector<edge> complete_graph(vertex_id n);             ///< all ordered pairs, no loops
+std::vector<edge> grid_graph(vertex_id rows, vertex_id cols);  ///< 4-neighbour, both directions
+
+/// Deterministic per-edge weight in [1, max_weight], a pure function of the
+/// *unordered* endpoint pair — so the two directions of a symmetrized edge
+/// carry equal weight, and primary/mirror property fills agree by
+/// construction.
+double edge_weight(vertex_id u, vertex_id v, std::uint64_t seed, double max_weight);
+
+/// Integer variant (Graph500 SSSP uses uniform integer weights).
+std::uint32_t edge_weight_int(vertex_id u, vertex_id v, std::uint64_t seed,
+                              std::uint32_t max_weight);
+
+}  // namespace dpg::graph

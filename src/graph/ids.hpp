@@ -1,0 +1,53 @@
+// Identifiers for vertices and edges of the distributed graph.
+//
+// The paper's model (§III): a directed graph G(V, E) with type Vertex and
+// type Edge; every rank stores a subset of the vertices together with their
+// outgoing edges (and, for "bidirectional" storage, their incoming edges).
+#pragma once
+
+#include <cstdint>
+
+namespace dpg::graph {
+
+/// Global vertex identifier: dense in [0, n).
+using vertex_id = std::uint64_t;
+
+inline constexpr vertex_id invalid_vertex = static_cast<vertex_id>(-1);
+
+/// A trivially copyable descriptor of one directed edge, suitable for
+/// travelling inside active-message payloads (this is the `Edge` type the
+/// pattern language manipulates).
+///
+/// `eid` is the edge's global id in the out-edge numbering: edge property
+/// maps are sharded by it and its values live on owner(src), exactly as the
+/// paper prescribes (§IV: "all the outgoing and incoming edges are located
+/// on the same node as are the corresponding vertex and edge property
+/// values").
+///
+/// `mirror_slot` is only meaningful for handles produced by the `in_edges`
+/// generator of a bidirectional graph: it indexes the read-only mirror copy
+/// of edge property values kept at owner(dst), so that `weight(e)` has
+/// locality `v` (the action's input vertex) for in-edge generators too,
+/// matching Definition 1 of the paper.
+struct edge_handle {
+  vertex_id src = invalid_vertex;
+  vertex_id dst = invalid_vertex;
+  std::uint64_t eid = static_cast<std::uint64_t>(-1);
+  std::uint64_t mirror_slot = static_cast<std::uint64_t>(-1);
+
+  friend bool operator==(const edge_handle&, const edge_handle&) = default;
+};
+
+/// Source / target accessors with the paper's names (§II-A uses trg(e)).
+constexpr vertex_id src(const edge_handle& e) noexcept { return e.src; }
+constexpr vertex_id trg(const edge_handle& e) noexcept { return e.dst; }
+
+/// An edge of an input edge list (pre-distribution).
+struct edge {
+  vertex_id src;
+  vertex_id dst;
+
+  friend bool operator==(const edge&, const edge&) = default;
+};
+
+}  // namespace dpg::graph

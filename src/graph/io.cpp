@@ -1,0 +1,67 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace dpg::graph {
+
+edge_list_file read_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  edge_list_file out;
+  bool pinned_n = false;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hdr(line.substr(1));
+      std::string word;
+      if (hdr >> word && word == "vertices") {
+        if (!(hdr >> out.num_vertices))
+          throw std::runtime_error(path + ": malformed '# vertices' header");
+        pinned_n = true;
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    edge e{};
+    if (!(ls >> e.src >> e.dst))
+      throw std::runtime_error(path + ":" + std::to_string(lineno) + ": malformed edge");
+    double w;
+    if (ls >> w) {
+      if (out.weights.size() != out.edges.size())
+        throw std::runtime_error(path + ": mixed weighted and unweighted lines");
+      out.weights.push_back(w);
+    } else if (!out.weights.empty()) {
+      throw std::runtime_error(path + ": mixed weighted and unweighted lines");
+    }
+    out.edges.push_back(e);
+    if (!pinned_n) {
+      if (e.src >= out.num_vertices) out.num_vertices = e.src + 1;
+      if (e.dst >= out.num_vertices) out.num_vertices = e.dst + 1;
+    }
+  }
+  return out;
+}
+
+void write_edge_list(const std::string& path, vertex_id num_vertices,
+                     const std::vector<edge>& edges, const std::vector<double>& weights) {
+  DPG_ASSERT_MSG(weights.empty() || weights.size() == edges.size(),
+                 "weight vector must match edge list");
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write edge list: " + path);
+  out << "# vertices " << num_vertices << "\n";
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    out << edges[i].src << ' ' << edges[i].dst;
+    if (!weights.empty()) out << ' ' << weights[i];
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace dpg::graph

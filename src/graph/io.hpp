@@ -1,0 +1,31 @@
+// Plain-text edge-list I/O.
+//
+// Format: '#'-prefixed comment lines, then one edge per line as
+// "src dst [weight]". Vertex count is 1 + the largest id seen, unless a
+// header comment "# vertices N" pins it explicitly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/ids.hpp"
+
+namespace dpg::graph {
+
+struct edge_list_file {
+  vertex_id num_vertices = 0;
+  std::vector<edge> edges;
+  /// Parallel to `edges`; empty when the file carries no weights.
+  std::vector<double> weights;
+};
+
+/// Parses an edge-list file. Throws std::runtime_error on malformed input.
+edge_list_file read_edge_list(const std::string& path);
+
+/// Writes an edge-list file (with weights when `weights` is non-empty;
+/// sizes must then match).
+void write_edge_list(const std::string& path, vertex_id num_vertices,
+                     const std::vector<edge>& edges,
+                     const std::vector<double>& weights = {});
+
+}  // namespace dpg::graph

@@ -1,0 +1,646 @@
+// Actions (§III-C) and their instantiation into AM++ message chains (§IV).
+//
+// An action is declared declaratively:
+//
+//   property dist(dist_map);            // property-map DSL handles
+//   property weight(weight_map);
+//   auto relax = make_action("relax", out_edges_gen{},
+//       when(dist(trg(e_)) > dist(v_) + weight(e_),
+//            assign(dist(trg(e_)), dist(v_) + weight(e_))));
+//
+// and instantiated against a transport + graph + lock map:
+//
+//   auto act = instantiate(tp, g, locks, relax);
+//   act->work([&](ampp::transport_context& ctx, vertex_id dep) {  // §IV-C
+//     (*act)(ctx, dep);                                           // fixed point
+//   });
+//
+// Instantiation performs the paper's §IV-A translation: locality analysis,
+// hop planning, merging of the final gather with evaluate+modify, message
+// type registration (with auto-generated address maps, §IV-D), and the
+// §IV-B synchronization choice (hardware atomics for the single-value
+// compare-and-update shape, lock map otherwise).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ampp/transport.hpp"
+#include "graph/distributed_graph.hpp"
+#include "pattern/planner.hpp"
+#include "pmap/lock_map.hpp"
+
+namespace dpg::pattern {
+
+// ---------------------------------------------------------------------------
+// Modification statements
+// ---------------------------------------------------------------------------
+
+/// assign: target-pmap[idx] = value. The leftmost property access of a
+/// modification is the modified one (the paper's left-to-right rule).
+template <class PM, class Idx, class Val>
+struct assign_stmt {
+  read_expr<PM, Idx> target;
+  Val value;
+};
+
+template <class PM, class Idx, class V>
+auto assign(read_expr<PM, Idx> target, V value) {
+  auto val = as_expr(value);
+  return assign_stmt<PM, Idx, decltype(val)>{target, val};
+}
+
+/// modify: fn(target-pmap[idx], arg-values...) — the general "property map
+/// modification" of the grammar (e.g. preds[v].insert(u)). fn must be the
+/// only writer of the slot and must not touch other property maps.
+template <class PM, class Idx, class F, class... Args>
+struct modify_stmt {
+  read_expr<PM, Idx> target;
+  F fn;
+  std::tuple<Args...> args;
+};
+
+template <class PM, class Idx, class F, class... Args>
+auto modify(read_expr<PM, Idx> target, F fn, Args... args) {
+  return modify_stmt<PM, Idx, F, decltype(as_expr(args))...>{
+      target, std::move(fn), std::tuple<decltype(as_expr(args))...>{as_expr(args)...}};
+}
+
+// ---------------------------------------------------------------------------
+// Conditions
+// ---------------------------------------------------------------------------
+
+/// One `if (cond) { modifications }` arm. Arms of an action chain as
+/// if / else-if: the first true condition fires and ends the action.
+template <class Cond, class... Mods>
+struct when_clause {
+  Cond cond;
+  std::tuple<Mods...> mods;
+};
+
+template <is_expr Cond, class... Mods>
+auto when(Cond cond, Mods... mods) {
+  static_assert(sizeof...(Mods) >= 1, "a condition must guard at least one modification");
+  return when_clause<Cond, Mods...>{cond, std::tuple<Mods...>{mods...}};
+}
+
+/// An unconditional arm (an `else` branch).
+template <class... Mods>
+auto otherwise(Mods... mods) {
+  return when(lit(true), mods...);
+}
+
+// ---------------------------------------------------------------------------
+// Action definition
+// ---------------------------------------------------------------------------
+
+template <generator_kind Gen, class... Whens>
+struct action_def {
+  std::string name;
+  Gen gen;
+  std::tuple<Whens...> whens;
+};
+
+template <generator_kind Gen, class... Whens>
+auto make_action(std::string name, Gen gen, Whens... whens) {
+  static_assert(sizeof...(Whens) >= 1, "an action needs at least one condition");
+  return action_def<Gen, Whens...>{std::move(name), gen, std::tuple<Whens...>{whens...}};
+}
+
+// ---------------------------------------------------------------------------
+// Instantiated action: type-erased interface used by strategies
+// ---------------------------------------------------------------------------
+
+/// Shape of the synthesized communication, exposed for tests/benchmarks
+/// (this is the observable form of Figs. 5 and 6).
+struct plan_info {
+  int gather_hops = 0;       ///< hops of the gather chain (hop 0 = invocation site)
+  bool final_merged = false; ///< evaluate+modify merged into the last gather hop
+  bool atomic_path = false;  ///< single-value compare-and-update via atomics
+  int final_reads = 0;       ///< reads deferred to the (synchronized) final hop
+  std::size_t arena_bytes = 0;  ///< gathered payload bytes
+  int conditions = 0;           ///< arms of the if/else-if chain
+  bool has_dependencies = false;  ///< §IV-C: some modification creates work items
+  /// Human-readable locality of each gather hop, then of the final hop,
+  /// e.g. {"v", "value of pmap@0x..[..]"} + "v" for the cc_jump chase.
+  std::vector<std::string> hop_localities;
+  std::vector<int> hop_reads;  ///< gather reads performed per hop
+  std::string final_locality;
+
+  int messages_per_application() const {
+    // Messages one application generates per generated item: one per hop
+    // transition (hop 0 is local), plus the final evaluate unless merged.
+    return (gather_hops - 1) + (final_merged ? 0 : 1);
+  }
+};
+
+/// Renders a plan as text — the reproduction of the paper's Figs. 5/6 as
+/// an inspectable artifact (what the authors' planned translator would
+/// print about the communication it generates).
+std::string explain(const std::string& action_name, const plan_info& p);
+
+class action_instance {
+ public:
+  virtual ~action_instance() = default;
+
+  /// Runs the action starting at vertex v. Must be called on the rank that
+  /// owns v, inside an epoch.
+  virtual void operator()(ampp::transport_context& ctx, graph::vertex_id v) = 0;
+
+  /// The work hook (§IV-C): called at the owner of a dependent vertex when
+  /// a condition modified a property value the action also reads. Default:
+  /// dependencies are ignored (per the paper).
+  using work_hook = std::function<void(ampp::transport_context&, graph::vertex_id)>;
+  void work(work_hook h) { hook_ = std::move(h); }
+
+  const std::string& name() const { return name_; }
+  const plan_info& plan() const { return plan_; }
+
+  /// Total applications of the action (across ranks).
+  std::uint64_t invocations() const { return sum(invocations_); }
+  /// Total successful condition firings, i.e. modifications performed.
+  std::uint64_t modifications() const { return sum(mods_); }
+  /// This-rank's modification counter (for `once`-style local deltas).
+  std::uint64_t modifications_on(ampp::rank_t r) const { return mods_[r].n.load(); }
+
+ protected:
+  struct padded_counter {
+    alignas(64) std::atomic<std::uint64_t> n{0};
+  };
+  static std::uint64_t sum(const std::vector<padded_counter>& v) {
+    std::uint64_t t = 0;
+    for (const auto& c : v) t += c.n.load(std::memory_order_relaxed);
+    return t;
+  }
+
+  std::string name_;
+  plan_info plan_;
+  work_hook hook_;
+  std::vector<padded_counter> invocations_;
+  std::vector<padded_counter> mods_;
+};
+
+// ---------------------------------------------------------------------------
+// Atomic-shape detection (§IV-B single-value fast path)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+template <class PM>
+inline constexpr bool atomic_eligible_map =
+    !is_edge_map<PM> && pmap::atomic_capable<typename PM::value_type>;
+
+/// Matches `when(target OP other, assign(target, other))` shapes where the
+/// comparison justifies a CAS loop. `cmp(cur, proposed)` returns whether
+/// the update should be applied against the current value.
+template <class When>
+struct atomic_shape : std::false_type {};
+
+// dist(trg(e)) > candidate  →  min-update (apply when proposed < current)
+template <class PM, class Idx, class R>
+  requires atomic_eligible_map<PM>
+struct atomic_shape<when_clause<bin_expr<op_gt, read_expr<PM, Idx>, R>,
+                                assign_stmt<PM, Idx, R>>> : std::true_type {
+  static bool cmp(const typename PM::value_type& cur, const typename PM::value_type& prop) {
+    return prop < cur;
+  }
+};
+
+// candidate < dist(trg(e))  →  min-update
+template <class PM, class Idx, class L>
+  requires atomic_eligible_map<PM>
+struct atomic_shape<when_clause<bin_expr<op_lt, L, read_expr<PM, Idx>>,
+                                assign_stmt<PM, Idx, L>>> : std::true_type {
+  static bool cmp(const typename PM::value_type& cur, const typename PM::value_type& prop) {
+    return prop < cur;
+  }
+};
+
+// dist(x) < candidate  →  max-update (apply when proposed > current)
+template <class PM, class Idx, class R>
+  requires atomic_eligible_map<PM>
+struct atomic_shape<when_clause<bin_expr<op_lt, read_expr<PM, Idx>, R>,
+                                assign_stmt<PM, Idx, R>>> : std::true_type {
+  static bool cmp(const typename PM::value_type& cur, const typename PM::value_type& prop) {
+    return cur < prop;
+  }
+};
+
+// candidate > dist(x)  →  max-update
+template <class PM, class Idx, class L>
+  requires atomic_eligible_map<PM>
+struct atomic_shape<when_clause<bin_expr<op_gt, L, read_expr<PM, Idx>>,
+                                assign_stmt<PM, Idx, L>>> : std::true_type {
+  static bool cmp(const typename PM::value_type& cur, const typename PM::value_type& prop) {
+    return cur < prop;
+  }
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Instantiated action implementation
+// ---------------------------------------------------------------------------
+
+template <class Gen, class... Whens>
+class instantiated_action final : public action_instance {
+ public:
+  instantiated_action(ampp::transport& tp, const graph::distributed_graph& g,
+                      pmap::lock_map& locks, action_def<Gen, Whens...> def)
+      : tp_(&tp), g_(&g), locks_(&locks), gen_(def.gen) {
+    name_ = std::move(def.name);
+    // vector(n) constructs counters in place (atomics are not movable).
+    invocations_ = std::vector<padded_counter>(tp.size());
+    mods_ = std::vector<padded_counter>(tp.size());
+    build(def);
+    register_messages();
+  }
+
+  void operator()(ampp::transport_context& ctx, graph::vertex_id v) override {
+    DPG_ASSERT_MSG(g_->owner(v) == ctx.rank(), "action invoked off the owner of v");
+    invocations_[ctx.rank()].n.fetch_add(1, std::memory_order_relaxed);
+    gather_state s;
+    s.v = v;
+    if constexpr (std::is_same_v<Gen, out_edges_gen>) {
+      for (const graph::edge_handle e : g_->out_edges(v)) {
+        s.e = e;
+        run_gather(ctx, 0, s);
+      }
+    } else if constexpr (std::is_same_v<Gen, in_edges_gen>) {
+      for (const graph::edge_handle e : g_->in_edges(v)) {
+        s.e = e;
+        run_gather(ctx, 0, s);
+      }
+    } else if constexpr (std::is_same_v<Gen, adj_gen>) {
+      for (const graph::vertex_id u : g_->adjacent(v)) {
+        s.u = u;
+        run_gather(ctx, 0, s);
+      }
+    } else if constexpr (is_pmap_gen<Gen>) {
+      for (const graph::vertex_id u : std::as_const(*gen_.pm)[v]) {
+        s.u = u;
+        run_gather(ctx, 0, s);
+      }
+    } else {
+      run_gather(ctx, 0, s);
+    }
+  }
+
+ private:
+  struct compiled_mod {
+    std::function<void(gather_state&)> exec;  // runs at the final locality
+    const void* written_pmap = nullptr;
+    bool creates_dependency = false;
+  };
+  struct compiled_when {
+    std::function<bool(const gather_state&)> cond;
+    std::vector<compiled_mod> mods;
+    bool any_dependency = false;
+  };
+
+  // ---- plan construction --------------------------------------------------
+
+  void build(action_def<Gen, Whens...>& def) {
+    plan_builder<Gen> pb;
+
+    // Compile conditions and modifications in declaration order (the
+    // paper's left-to-right, condition-by-condition analysis).
+    std::apply(
+        [&](auto&... ws) {
+          (compile_when(pb, ws), ...);
+        },
+        def.whens);
+
+    DPG_ASSERT_MSG(have_ml_, "an action must contain at least one modification");
+
+    // Dependency detection (§IV-C): a modification of a property map the
+    // action reads anywhere creates work items.
+    for (auto& w : whens_) {
+      for (auto& m : w.mods) {
+        m.creates_dependency = pb.reads_pmap(m.written_pmap);
+        w.any_dependency = w.any_dependency || m.creates_dependency;
+      }
+    }
+
+    // Partition reads into gather hops and final (synchronized) reads.
+    hops_.push_back(gather_hop{home_id{home_kind::at_v, nullptr,
+                                       std::type_index(typeid(void))},
+                               [](const gather_state& s) { return s.v; },
+                               {}});
+    for (auto& step : pb.steps()) {
+      if (step.home == ml_ && !step.pinned) {
+        final_reads_.push_back(step.perform);
+        continue;
+      }
+      gather_hop* hop = nullptr;
+      for (auto& h : hops_)
+        if (h.home == step.home) {
+          hop = &h;
+          break;
+        }
+      if (!hop) {
+        hops_.push_back(
+            gather_hop{step.home, locality_closure(step.home, pb), {}});
+        hop = &hops_.back();
+      }
+      hop->reads.push_back(step.perform);
+    }
+    ml_locality_ = locality_closure(ml_, pb);
+    merged_ = hops_.back().home == ml_;
+
+    // §IV-B: single-value compare-and-update fast path. The shape is
+    // checked statically; at runtime it additionally requires that the
+    // *only* synchronized read is the updated value itself.
+    using FirstWhen = std::tuple_element_t<0, std::tuple<Whens...>>;
+    if constexpr (sizeof...(Whens) == 1 && detail::atomic_shape<FirstWhen>::value) {
+      // Runtime refinements: the updated value must be the *only*
+      // synchronized read, and the proposed value must not read the target
+      // itself (read-modify-write shapes like x[u] = x[u] + 1 need the
+      // locked path, which fills the target's arena slot before use).
+      if (final_reads_.size() == 1 && !value_reads_target_) atomic_ok_ = true;
+    }
+
+    plan_.gather_hops = static_cast<int>(hops_.size());
+    plan_.final_merged = merged_;
+    plan_.atomic_path = atomic_ok_;
+    plan_.final_reads = static_cast<int>(final_reads_.size());
+    plan_.arena_bytes = pb.arena_used();
+    plan_.conditions = static_cast<int>(whens_.size());
+    for (const auto& w : whens_)
+      plan_.has_dependencies = plan_.has_dependencies || w.any_dependency;
+    for (const auto& h : hops_) {
+      plan_.hop_localities.push_back(home_name(h.home));
+      plan_.hop_reads.push_back(static_cast<int>(h.reads.size()));
+    }
+    plan_.final_locality = home_name(ml_);
+  }
+
+  static std::string home_name(const home_id& h) {
+    switch (h.kind) {
+      case home_kind::at_v: return "v";
+      case home_kind::at_gen:
+        if constexpr (std::is_same_v<Gen, out_edges_gen>) return "trg(e)";
+        else if constexpr (std::is_same_v<Gen, in_edges_gen>) return "src(e)";
+        else return "u";
+      case home_kind::chase: return "chase";  // the value of a gathered vertex read
+    }
+    return "?";
+  }
+
+  template <class Cond, class... Mods>
+  void compile_when(plan_builder<Gen>& pb, when_clause<Cond, Mods...>& w) {
+    compiled_when cw;
+    auto cond_fn = pb.compile(w.cond);
+    cw.cond = [cond_fn](const gather_state& s) { return static_cast<bool>(cond_fn(s)); };
+    std::apply([&](auto&... ms) { (cw.mods.push_back(compile_mod(pb, ms)), ...); },
+               w.mods);
+    // The atomic fast path needs the proposed value and slot accessors of
+    // the (single) assign; capture them from the first when.
+    if constexpr (sizeof...(Whens) == 1 && detail::atomic_shape<when_clause<Cond, Mods...>>::value) {
+      build_atomic_exec(pb, std::get<0>(w.mods));
+    }
+    whens_.push_back(std::move(cw));
+  }
+
+  template <class PM, class Idx, class Val>
+  compiled_mod compile_mod(plan_builder<Gen>& pb, assign_stmt<PM, Idx, Val>& m) {
+    note_ml(make_home<Idx, Gen>(m.target.idx), pb, m.target.idx);
+    auto idx_fn = pb.compile(m.target.idx);
+    auto val_fn = pb.compile(m.value);
+    PM* pm = m.target.pm;
+    compiled_mod out;
+    out.written_pmap = pm;
+    using T = typename PM::value_type;
+    out.exec = [pm, idx_fn, val_fn](gather_state& s) {
+      if constexpr (pmap::atomic_capable<T>) {
+        // Paired with the atomic gather reads in planner.hpp so concurrent
+        // handler threads never mix plain and atomic access to one slot.
+        std::atomic_ref<T>((*pm)[idx_fn(s)])
+            .store(static_cast<T>(val_fn(s)), std::memory_order_relaxed);
+      } else {
+        (*pm)[idx_fn(s)] = val_fn(s);
+      }
+    };
+    return out;
+  }
+
+  template <class PM, class Idx, class F, class... Args>
+  compiled_mod compile_mod(plan_builder<Gen>& pb, modify_stmt<PM, Idx, F, Args...>& m) {
+    note_ml(make_home<Idx, Gen>(m.target.idx), pb, m.target.idx);
+    auto idx_fn = pb.compile(m.target.idx);
+    auto arg_fns = std::apply(
+        [&](auto&... as) { return std::tuple{pb.compile(as)...}; }, m.args);
+    PM* pm = m.target.pm;
+    F fn = m.fn;
+    compiled_mod out;
+    out.written_pmap = pm;
+    out.exec = [pm, idx_fn, arg_fns, fn](gather_state& s) {
+      std::apply([&](const auto&... afs) { fn((*pm)[idx_fn(s)], afs(s)...); }, arg_fns);
+    };
+    return out;
+  }
+
+  template <class Idx>
+  void note_ml(const home_id& h, plan_builder<Gen>& pb, const Idx& idx) {
+    if (!have_ml_) {
+      ml_ = h;
+      have_ml_ = true;
+      // A chased modification locality needs the chase value gathered.
+      if constexpr (home_of<Idx, Gen>::kind == home_kind::chase)
+        (void)pb.register_read(idx);
+    } else {
+      DPG_ASSERT_MSG(h == ml_,
+                     "all modifications of an action must share one locality "
+                     "(the paper groups modification statements by locality; "
+                     "split the action instead)");
+    }
+  }
+
+  std::function<graph::vertex_id(const gather_state&)> locality_closure(
+      const home_id& h, plan_builder<Gen>& pb) {
+    switch (h.kind) {
+      case home_kind::at_v:
+        return [](const gather_state& s) { return s.v; };
+      case home_kind::at_gen:
+        if constexpr (std::is_same_v<Gen, out_edges_gen>)
+          return [](const gather_state& s) { return s.e.dst; };
+        else if constexpr (std::is_same_v<Gen, in_edges_gen>)
+          return [](const gather_state& s) { return s.e.src; };
+        else if constexpr (std::is_same_v<Gen, adj_gen> || is_pmap_gen<Gen>)
+          return [](const gather_state& s) { return s.u; };
+        else
+          DPG_ASSERT_MSG(false, "generator-homed access without a generator");
+      case home_kind::chase: {
+        // The chased vertex is the value of the inner read: find its slot.
+        for (const auto& step : pb.steps()) {
+          if (step.pmap_id == h.chase_pm && step.self_type == h.chase_type) {
+            const std::size_t ofs = step.arena_offset;
+            return [ofs](const gather_state& s) {
+              return s.template arena_get<graph::vertex_id>(ofs);
+            };
+          }
+        }
+        DPG_ASSERT_MSG(false, "chase locality lacks its gathered index value");
+      }
+    }
+    return {};
+  }
+
+  template <class PM, class Idx, class Val>
+  void build_atomic_exec(plan_builder<Gen>& pb, assign_stmt<PM, Idx, Val>& m) {
+    using FirstWhen = std::tuple_element_t<0, std::tuple<Whens...>>;
+    // Probe: does the value expression read the target access? Compile it
+    // into a scratch builder and look for the (map instance, index type)
+    // pair — type-level inspection cannot tell two same-typed maps apart.
+    {
+      plan_builder<Gen> probe;
+      (void)probe.compile(m.value);
+      const auto target_type = std::type_index(typeid(read_expr<PM, Idx>));
+      for (const auto& st : probe.steps())
+        if (st.pmap_id == m.target.pm && st.self_type == target_type)
+          value_reads_target_ = true;
+    }
+    auto idx_fn = pb.compile(m.target.idx);
+    auto val_fn = pb.compile(m.value);
+    PM* pm = m.target.pm;
+    atomic_exec_ = [pm, idx_fn, val_fn](gather_state& s) {
+      return pmap::atomic_update_if((*pm)[idx_fn(s)], val_fn(s),
+                                    [](const auto& cur, const auto& prop) {
+                                      return detail::atomic_shape<FirstWhen>::cmp(cur, prop);
+                                    });
+    };
+  }
+
+  // ---- message registration (§IV-A, §IV-D) --------------------------------
+
+  void register_messages() {
+    const auto* g = g_;
+    for (std::size_t k = 1; k < hops_.size(); ++k) {
+      auto loc = hops_[k].locality;
+      hop_msgs_.push_back(&tp_->make_message_type<gather_state>(
+          name_ + ".gather" + std::to_string(k),
+          [this, k](ampp::transport_context& ctx, const gather_state& s) {
+            gather_state copy = s;
+            run_gather(ctx, k, copy);
+          },
+          // Auto-generated address map: extract the destination vertex from
+          // the payload, ask the graph for its owner (§IV-D).
+          [g, loc](const gather_state& s) { return g->owner(loc(s)); }));
+    }
+    if (!merged_) {
+      auto loc = ml_locality_;
+      final_msg_ = &tp_->make_message_type<gather_state>(
+          name_ + ".eval",
+          [this](ampp::transport_context& ctx, const gather_state& s) {
+            gather_state copy = s;
+            run_final(ctx, copy);
+          },
+          [g, loc](const gather_state& s) { return g->owner(loc(s)); });
+    }
+  }
+
+  // ---- execution -----------------------------------------------------------
+
+  void run_gather(ampp::transport_context& ctx, std::size_t k, gather_state& s) {
+    for (const auto& read : hops_[k].reads) read(s);
+    if (k + 1 < hops_.size()) {
+      hop_msgs_[k]->send(ctx, s);  // hop_msgs_[k] targets hop k+1
+      return;
+    }
+    if (merged_)
+      run_final(ctx, s);
+    else
+      final_msg_->send(ctx, s);
+  }
+
+  void run_final(ampp::transport_context& ctx, gather_state& s) {
+    const graph::vertex_id mlv = ml_locality_(s);
+    DPG_DEBUG_ASSERT(g_->owner(mlv) == ctx.rank());
+
+    bool fired_dependency = false;
+    if (atomic_ok_) {
+      if (atomic_exec_(s)) {
+        mods_[ctx.rank()].n.fetch_add(1, std::memory_order_relaxed);
+        fired_dependency = whens_.front().any_dependency;
+      }
+    } else {
+      bool fired = false;
+      {
+        auto guard = locks_->guard(mlv);
+        for (const auto& read : final_reads_) read(s);
+        for (const auto& w : whens_) {
+          if (w.cond(s)) {
+            for (const auto& m : w.mods) m.exec(s);
+            fired = true;
+            fired_dependency = w.any_dependency;
+            break;  // if / else-if chain
+          }
+        }
+      }
+      if (fired) mods_[ctx.rank()].n.fetch_add(1, std::memory_order_relaxed);
+    }
+    // The hook runs outside the lock: it typically re-invokes the action
+    // (fixed_point) or inserts into a bucket structure (Δ-stepping).
+    if (fired_dependency && hook_) hook_(ctx, mlv);
+  }
+
+  ampp::transport* tp_;
+  const graph::distributed_graph* g_;
+  pmap::lock_map* locks_;
+  Gen gen_;
+
+  std::vector<compiled_when> whens_;
+  std::vector<gather_hop> hops_;
+  std::vector<std::function<void(gather_state&)>> final_reads_;
+  std::function<graph::vertex_id(const gather_state&)> ml_locality_;
+  home_id ml_{};
+  bool have_ml_ = false;
+  bool merged_ = false;
+  bool atomic_ok_ = false;
+  bool value_reads_target_ = false;
+  std::function<bool(gather_state&)> atomic_exec_;
+
+  std::vector<ampp::message_type<gather_state>*> hop_msgs_;
+  ampp::message_type<gather_state>* final_msg_ = nullptr;
+};
+
+inline std::string explain(const std::string& action_name, const plan_info& p) {
+  std::string out;
+  out += "action " + action_name + ":\n";
+  for (std::size_t k = 0; k < p.hop_localities.size(); ++k) {
+    out += "  hop " + std::to_string(k) + " at " + p.hop_localities[k];
+    out += k == 0 ? " (invocation site)" : " (gather message)";
+    out += ": " + std::to_string(p.hop_reads[k]) + " read(s)\n";
+  }
+  out += "  final at " + p.final_locality;
+  if (p.final_merged)
+    out += " (merged into the last gather hop)";
+  else
+    out += " (evaluate+modify message)";
+  out += ": " + std::to_string(p.final_reads) + " synchronized read(s), " +
+         std::to_string(p.conditions) + " condition(s)\n";
+  out += std::string("  synchronization: ") +
+         (p.atomic_path ? "atomic compare-and-update" : "lock map") + "\n";
+  out += "  dependencies: " + std::string(p.has_dependencies ? "yes (work hook fires)"
+                                                             : "none") + "\n";
+  out += "  messages per application: " + std::to_string(p.messages_per_application()) +
+         ", payload arena: " + std::to_string(p.arena_bytes) + " bytes\n";
+  return out;
+}
+
+/// Instantiates an action definition: performs the locality analysis and
+/// registers the synthesized message types with the transport. Must be
+/// called before transport::run; the returned object must outlive all runs
+/// that use it.
+template <class Gen, class... Whens>
+std::unique_ptr<instantiated_action<Gen, Whens...>> instantiate(
+    ampp::transport& tp, const graph::distributed_graph& g, pmap::lock_map& locks,
+    action_def<Gen, Whens...> def) {
+  return std::make_unique<instantiated_action<Gen, Whens...>>(tp, g, locks,
+                                                              std::move(def));
+}
+
+}  // namespace dpg::pattern

@@ -1,0 +1,287 @@
+// The pattern expression language (§III of the paper), embedded in C++20
+// as expression templates.
+//
+// Grammar correspondence:
+//   (pattern)   ::= property maps + actions          -> pattern.hpp
+//   (action)    ::= name(vertex v) generator? conditions  -> action.hpp
+//   (generator) ::= name in out_edges|in_edges|adj|pmap   -> action.hpp
+//   (condition) ::= if (expr involving pmaps) { modifications }  -> when(...)
+//   expressions  ::= arbitrary side-effect-free C++       -> this file
+//
+// Terminals:
+//   v_   the action's input vertex (paper: "every action starts at some
+//        vertex, named v")
+//   e_   the generated edge (when the generator yields edges)
+//   u_   the generated vertex (when the generator yields vertices)
+//   src(x), trg(x)  endpoint selectors on edge-valued expressions
+//   lit(c)          literal constant
+//   property(pm)(x) property-map read (built by property wrappers)
+//
+// "Aliases" from the paper's grammar need no machinery here: naming an
+// expression is just binding it to a C++ variable ("using an alias is the
+// same as pasting in the expression it stands for").
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstring>
+#include <cstdint>
+#include <type_traits>
+
+#include "graph/ids.hpp"
+#include "pmap/edge_map.hpp"
+#include "pmap/vertex_map.hpp"
+
+namespace dpg::pattern {
+
+using graph::edge_handle;
+using graph::vertex_id;
+
+/// Runtime evaluation state threaded through the gather-message chain: the
+/// action's input vertex, the generated edge/vertex, and an arena of
+/// gathered property values (filled hop by hop; see planner.hpp). The
+/// struct is trivially copyable — it *is* the message payload.
+struct gather_state {
+  static constexpr std::size_t arena_bytes = 48;
+
+  vertex_id v = graph::invalid_vertex;
+  edge_handle e{};
+  vertex_id u = graph::invalid_vertex;
+  alignas(8) std::byte arena[arena_bytes] = {};
+
+  template <class T>
+  T arena_get(std::size_t offset) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out;
+    std::memcpy(&out, arena + offset, sizeof(T));
+    return out;
+  }
+  template <class T>
+  void arena_put(std::size_t offset, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(arena + offset, &value, sizeof(T));
+  }
+};
+static_assert(std::is_trivially_copyable_v<gather_state>);
+
+// ---------------------------------------------------------------------------
+// AST nodes
+// ---------------------------------------------------------------------------
+
+struct expr_base {};
+
+template <class E>
+concept is_expr = std::derived_from<std::remove_cvref_t<E>, expr_base>;
+
+struct v_expr : expr_base {};
+struct e_expr : expr_base {};
+struct u_expr : expr_base {};
+
+template <is_expr E>
+struct src_expr : expr_base {
+  E inner;
+};
+template <is_expr E>
+struct trg_expr : expr_base {
+  E inner;
+};
+
+template <class T>
+struct lit_expr : expr_base {
+  T value;
+};
+
+/// Property-map read: PM is vertex_property_map<T> or edge_property_map<T>,
+/// Idx an expression yielding a vertex or an edge respectively.
+template <class PM, is_expr Idx>
+struct read_expr : expr_base {
+  PM* pm;
+  Idx idx;
+};
+
+// Binary / unary operator tags.
+struct op_add {}; struct op_sub {}; struct op_mul {}; struct op_div {};
+struct op_lt {};  struct op_gt {};  struct op_le {};  struct op_ge {};
+struct op_eq {};  struct op_ne {};  struct op_and {}; struct op_or {};
+struct op_min {}; struct op_max {};
+struct op_not {};
+
+template <class Op, is_expr L, is_expr R>
+struct bin_expr : expr_base {
+  L lhs;
+  R rhs;
+};
+template <class Op, is_expr X>
+struct un_expr : expr_base {
+  X inner;
+};
+
+// ---------------------------------------------------------------------------
+// Value types of expressions
+// ---------------------------------------------------------------------------
+
+template <class E>
+struct value_type_of;
+
+template <> struct value_type_of<v_expr> { using type = vertex_id; };
+template <> struct value_type_of<u_expr> { using type = vertex_id; };
+template <> struct value_type_of<e_expr> { using type = edge_handle; };
+template <class E> struct value_type_of<src_expr<E>> { using type = vertex_id; };
+template <class E> struct value_type_of<trg_expr<E>> { using type = vertex_id; };
+template <class T> struct value_type_of<lit_expr<T>> { using type = T; };
+template <class PM, class I> struct value_type_of<read_expr<PM, I>> {
+  using type = typename PM::value_type;
+};
+
+namespace detail {
+template <class Op, class L, class R>
+struct bin_result {
+  using type = std::common_type_t<L, R>;
+};
+template <class L, class R> struct bin_result<op_lt, L, R> { using type = bool; };
+template <class L, class R> struct bin_result<op_gt, L, R> { using type = bool; };
+template <class L, class R> struct bin_result<op_le, L, R> { using type = bool; };
+template <class L, class R> struct bin_result<op_ge, L, R> { using type = bool; };
+template <class L, class R> struct bin_result<op_eq, L, R> { using type = bool; };
+template <class L, class R> struct bin_result<op_ne, L, R> { using type = bool; };
+template <class L, class R> struct bin_result<op_and, L, R> { using type = bool; };
+template <class L, class R> struct bin_result<op_or, L, R> { using type = bool; };
+}  // namespace detail
+
+template <class Op, class L, class R>
+struct value_type_of<bin_expr<Op, L, R>> {
+  using type = typename detail::bin_result<Op, typename value_type_of<L>::type,
+                                           typename value_type_of<R>::type>::type;
+};
+template <class X>
+struct value_type_of<un_expr<op_not, X>> {
+  using type = bool;
+};
+
+template <class E>
+using value_t = typename value_type_of<std::remove_cvref_t<E>>::type;
+
+template <class E>
+concept vertex_expr = is_expr<E> && std::same_as<value_t<E>, vertex_id>;
+template <class E>
+concept edge_expr = is_expr<E> && std::same_as<value_t<E>, edge_handle>;
+
+// ---------------------------------------------------------------------------
+// DSL surface
+// ---------------------------------------------------------------------------
+
+inline constexpr v_expr v_{};
+inline constexpr e_expr e_{};
+inline constexpr u_expr u_{};
+
+template <edge_expr E>
+constexpr auto src(E e) {
+  return src_expr<E>{{}, e};
+}
+template <edge_expr E>
+constexpr auto trg(E e) {
+  return trg_expr<E>{{}, e};
+}
+
+template <class T>
+constexpr auto lit(T value) {
+  return lit_expr<T>{{}, value};
+}
+
+/// Wraps a non-expression operand (a plain number, a vertex id) as a
+/// literal; passes expressions through.
+template <class X>
+constexpr auto as_expr(X&& x) {
+  if constexpr (is_expr<X>)
+    return std::forward<X>(x);
+  else
+    return lit(std::remove_cvref_t<X>(std::forward<X>(x)));
+}
+
+/// DSL handle for a property map: `property pm(dist); pm(v_)` builds a read.
+/// The paper declares property maps in the pattern header (§III-B); here
+/// binding the map into the DSL *is* the declaration.
+template <class PM>
+class property {
+ public:
+  explicit property(PM& pm) : pm_(&pm) {}
+
+  template <is_expr Idx>
+  auto operator()(Idx idx) const {
+    return read_expr<PM, Idx>{{}, pm_, idx};
+  }
+
+  PM& map() const { return *pm_; }
+
+ private:
+  PM* pm_;
+};
+
+// Operator overloads, constrained so they never capture unrelated types.
+#define DPG_DEFINE_BINOP(sym, tag)                                        \
+  template <class L, class R>                                             \
+    requires(is_expr<L> || is_expr<R>)                                    \
+  constexpr auto operator sym(L l, R r) {                                 \
+    auto le = as_expr(l);                                                 \
+    auto re = as_expr(r);                                                 \
+    return bin_expr<tag, decltype(le), decltype(re)>{{}, le, re};         \
+  }
+
+DPG_DEFINE_BINOP(+, op_add)
+DPG_DEFINE_BINOP(-, op_sub)
+DPG_DEFINE_BINOP(*, op_mul)
+DPG_DEFINE_BINOP(/, op_div)
+DPG_DEFINE_BINOP(<, op_lt)
+DPG_DEFINE_BINOP(>, op_gt)
+DPG_DEFINE_BINOP(<=, op_le)
+DPG_DEFINE_BINOP(>=, op_ge)
+DPG_DEFINE_BINOP(==, op_eq)
+DPG_DEFINE_BINOP(!=, op_ne)
+DPG_DEFINE_BINOP(&&, op_and)
+DPG_DEFINE_BINOP(||, op_or)
+#undef DPG_DEFINE_BINOP
+
+template <class L, class R>
+  requires(is_expr<L> || is_expr<R>)
+constexpr auto min_(L l, R r) {
+  auto le = as_expr(l);
+  auto re = as_expr(r);
+  return bin_expr<op_min, decltype(le), decltype(re)>{{}, le, re};
+}
+template <class L, class R>
+  requires(is_expr<L> || is_expr<R>)
+constexpr auto max_(L l, R r) {
+  auto le = as_expr(l);
+  auto re = as_expr(r);
+  return bin_expr<op_max, decltype(le), decltype(re)>{{}, le, re};
+}
+template <is_expr X>
+constexpr auto operator!(X x) {
+  return un_expr<op_not, X>{{}, x};
+}
+
+/// Applies a binary operator tag to concrete values.
+template <class Op, class L, class R>
+constexpr auto apply_op(const L& l, const R& r) {
+  if constexpr (std::is_same_v<Op, op_add>) return l + r;
+  else if constexpr (std::is_same_v<Op, op_sub>) return l - r;
+  else if constexpr (std::is_same_v<Op, op_mul>) return l * r;
+  else if constexpr (std::is_same_v<Op, op_div>) return l / r;
+  else if constexpr (std::is_same_v<Op, op_lt>) return l < r;
+  else if constexpr (std::is_same_v<Op, op_gt>) return l > r;
+  else if constexpr (std::is_same_v<Op, op_le>) return l <= r;
+  else if constexpr (std::is_same_v<Op, op_ge>) return l >= r;
+  else if constexpr (std::is_same_v<Op, op_eq>) return l == r;
+  else if constexpr (std::is_same_v<Op, op_ne>) return l != r;
+  else if constexpr (std::is_same_v<Op, op_and>) return l && r;
+  else if constexpr (std::is_same_v<Op, op_or>) return l || r;
+  else if constexpr (std::is_same_v<Op, op_min>) {
+    using C = std::common_type_t<L, R>;
+    return C(l) < C(r) ? C(l) : C(r);
+  } else if constexpr (std::is_same_v<Op, op_max>) {
+    using C = std::common_type_t<L, R>;
+    return C(l) < C(r) ? C(r) : C(l);
+  }
+}
+
+}  // namespace dpg::pattern

@@ -1,0 +1,74 @@
+// The grammar's top-level construct (§III): "A pattern is a collection of
+// vertex and edge property maps and of actions that can operate on these
+// property maps."
+//
+// In this embedding, property maps are ordinary C++ objects and actions are
+// instantiated separately, so `pattern_set` is an ownership-and-naming
+// container: it keeps the instantiated actions alive (strategies hold
+// references into it), gives them the `using pattern X; X.action` feel of
+// the paper's pseudocode, and can render the whole pattern's synthesized
+// communication (explain_all) for inspection.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "pattern/action.hpp"
+
+namespace dpg::pattern {
+
+class pattern_set {
+ public:
+  explicit pattern_set(std::string name) : name_(std::move(name)) {}
+
+  pattern_set(const pattern_set&) = delete;
+  pattern_set& operator=(const pattern_set&) = delete;
+  pattern_set(pattern_set&&) = default;
+  pattern_set& operator=(pattern_set&&) = default;
+
+  /// Registers an instantiated action under its own name; returns it for
+  /// immediate use. Duplicate names are an error.
+  action_instance& add(std::unique_ptr<action_instance> a) {
+    DPG_ASSERT_MSG(a != nullptr, "cannot add a null action");
+    auto [it, fresh] = actions_.emplace(a->name(), std::move(a));
+    DPG_ASSERT_MSG(fresh, "duplicate action name in pattern");
+    return *it->second;
+  }
+
+  /// Access by action name (asserts existence — pattern names are static
+  /// program structure, not user input).
+  action_instance& operator[](const std::string& action_name) {
+    auto it = actions_.find(action_name);
+    DPG_ASSERT_MSG(it != actions_.end(), "unknown action in pattern");
+    return *it->second;
+  }
+  const action_instance& operator[](const std::string& action_name) const {
+    auto it = actions_.find(action_name);
+    DPG_ASSERT_MSG(it != actions_.end(), "unknown action in pattern");
+    return *it->second;
+  }
+
+  bool contains(const std::string& action_name) const {
+    return actions_.count(action_name) != 0;
+  }
+  std::size_t size() const { return actions_.size(); }
+  const std::string& name() const { return name_; }
+
+  /// The synthesized communication of every action, rendered as text.
+  std::string explain_all() const {
+    std::string out = "pattern " + name_ + " (" + std::to_string(actions_.size()) +
+                      " action(s)):\n";
+    for (const auto& [n, a] : actions_) out += explain(n, a->plan());
+    return out;
+  }
+
+  auto begin() const { return actions_.begin(); }
+  auto end() const { return actions_.end(); }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::unique_ptr<action_instance>> actions_;
+};
+
+}  // namespace dpg::pattern

@@ -1,0 +1,336 @@
+// Locality analysis and communication planning (§IV-A of the paper).
+//
+// Definition 1 (Locality): the locality of the input vertex v, the
+// generated edge e, and the generated vertex u is v; the locality of a
+// property access p(x) is x for vertex x, or the locality of x for edge x;
+// trg/src have the locality of their edge.
+//
+// Definition 2 (Dependency graph): an edge (l1, l2) between values when l1
+// is the locality of l2. Gather messages traverse this graph depth-first,
+// accumulating values in the payload; the final evaluate message runs the
+// condition — merged with the modification when their localities coincide
+// (the Fig. 6 one-message SSSP case).
+//
+// In this implementation localities are *compile-time classified* into
+//   at_v    — the action's input vertex (hop 0; the invocation site)
+//   at_gen  — the far endpoint of the generated edge / generated vertex
+//   chase   — the *value* of a vertex-valued property read (pointer chase,
+//             e.g. chg(pnt(v)) in the CC pointer-jumping action)
+// and the hop chain is built per action at instantiation time. Every
+// property read is assigned an arena slot in the travelling gather_state;
+// evaluators are composed lambdas reading only (v, e, u, arena), so the
+// final evaluation is a pure function of the gathered payload, exactly as
+// in the paper's message model.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <typeindex>
+#include <utility>
+#include <vector>
+
+#include "pattern/expr.hpp"
+#include "pmap/lock_map.hpp"
+#include "util/assert.hpp"
+
+namespace dpg::pattern {
+
+// ---------------------------------------------------------------------------
+// Generator kinds (§III-C: zero or one generator per action)
+// ---------------------------------------------------------------------------
+
+struct no_generator {};
+struct out_edges_gen {};
+struct in_edges_gen {};
+struct adj_gen {};
+/// Set-valued generator: iterates the vertices stored in pm[v] (the
+/// grammar's pmap-access set expression). PM's value_type must be a range
+/// of vertex_id.
+template <class PM>
+struct pmap_gen {
+  PM* pm;
+};
+
+template <class G>
+inline constexpr bool is_pmap_gen = false;
+template <class PM>
+inline constexpr bool is_pmap_gen<pmap_gen<PM>> = true;
+
+template <class G>
+concept generator_kind =
+    std::same_as<G, no_generator> || std::same_as<G, out_edges_gen> ||
+    std::same_as<G, in_edges_gen> || std::same_as<G, adj_gen> || is_pmap_gen<G>;
+
+// ---------------------------------------------------------------------------
+// Homes (runtime identity of a locality class)
+// ---------------------------------------------------------------------------
+
+enum class home_kind : std::uint8_t { at_v, at_gen, chase };
+
+/// Runtime identity of a locality: chases are distinguished by the property
+/// map instance and the static type of the full read expression that
+/// produces the chased vertex value.
+struct home_id {
+  home_kind kind = home_kind::at_v;
+  const void* chase_pm = nullptr;
+  std::type_index chase_type = std::type_index(typeid(void));
+
+  friend bool operator==(const home_id&, const home_id&) = default;
+};
+
+/// Compile-time locality classification of an index expression under a
+/// given generator kind. Mirrors Definition 1 plus the normalizations
+/// src(e) == v for out-edges and trg(e) == v for in-edges (those endpoint
+/// reads are local to the invocation site by the storage model of §III-A).
+template <class Idx, class Gen>
+struct home_of;
+
+template <class Gen>
+struct home_of<v_expr, Gen> {
+  static constexpr home_kind kind = home_kind::at_v;
+};
+// The generated edge e itself has locality v (Definition 1), so edge
+// property reads indexed by e_ are resolved at the invocation site (via
+// the mirror copy for in-edge generators; see edge_map.hpp).
+template <class Gen>
+struct home_of<e_expr, Gen> {
+  static constexpr home_kind kind = home_kind::at_v;
+};
+template <class Gen>
+struct home_of<u_expr, Gen> {
+  static constexpr home_kind kind = home_kind::at_gen;
+};
+template <>
+struct home_of<src_expr<e_expr>, out_edges_gen> {
+  static constexpr home_kind kind = home_kind::at_v;
+};
+template <>
+struct home_of<trg_expr<e_expr>, out_edges_gen> {
+  static constexpr home_kind kind = home_kind::at_gen;
+};
+template <>
+struct home_of<src_expr<e_expr>, in_edges_gen> {
+  static constexpr home_kind kind = home_kind::at_gen;
+};
+template <>
+struct home_of<trg_expr<e_expr>, in_edges_gen> {
+  static constexpr home_kind kind = home_kind::at_v;
+};
+// Pointer chase: the index is itself a property read yielding a vertex.
+// One level of chasing is supported (the paper's own patterns use one);
+// the chased read must be resolvable at the invocation site.
+template <class PM, class Inner, class Gen>
+  requires std::same_as<typename PM::value_type, vertex_id>
+struct home_of<read_expr<PM, Inner>, Gen> {
+  static_assert(home_of<Inner, Gen>::kind == home_kind::at_v,
+                "pointer-chase indices must be readable at the input vertex "
+                "(one level of chasing, per the paper's single-generator rule)");
+  static constexpr home_kind kind = home_kind::chase;
+};
+
+/// Builds the runtime home id for an index expression type.
+template <class Idx, class Gen>
+home_id make_home(const Idx& idx) {
+  home_id h;
+  h.kind = home_of<Idx, Gen>::kind;
+  if constexpr (home_of<Idx, Gen>::kind == home_kind::chase) {
+    h.chase_pm = idx.pm;
+    h.chase_type = std::type_index(typeid(Idx));
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Plan structures
+// ---------------------------------------------------------------------------
+
+/// One gather read: performed on the rank owning its home locality; loads a
+/// property value into the travelling arena.
+struct read_step {
+  home_id home;
+  bool pinned = false;  ///< must be gathered early even if homed at the
+                        ///< modification locality (it feeds a chase index)
+  std::size_t arena_offset = 0;
+  const void* pmap_id = nullptr;
+  std::type_index self_type = std::type_index(typeid(void));  ///< read_expr type
+  std::function<void(gather_state&)> perform;
+};
+
+/// One gather hop of the synthesized communication (a node of the pruned
+/// depth-first traversal of the dependency graph).
+struct gather_hop {
+  home_id home;
+  std::function<vertex_id(const gather_state&)> locality;
+  std::vector<std::function<void(gather_state&)>> reads;
+};
+
+// ---------------------------------------------------------------------------
+// Expression compiler
+// ---------------------------------------------------------------------------
+
+namespace detail {
+template <class PM>
+inline constexpr bool is_edge_map = false;
+template <class T>
+inline constexpr bool is_edge_map<pmap::edge_property_map<T>> = true;
+}  // namespace detail
+
+/// Accumulates read steps and arena layout while compiling the expressions
+/// of one action. The Gen parameter fixes the generator kind so locality
+/// classification is purely type-level.
+template <class Gen>
+class plan_builder {
+ public:
+  /// Compiles an expression into a callable (const gather_state&) ->
+  /// value_t<Expr>, registering every property read it contains.
+  template <class Expr>
+  auto compile(const Expr& ex) {
+    using E = std::remove_cvref_t<Expr>;
+    if constexpr (std::is_same_v<E, v_expr>) {
+      return [](const gather_state& s) { return s.v; };
+    } else if constexpr (std::is_same_v<E, e_expr>) {
+      return [](const gather_state& s) { return s.e; };
+    } else if constexpr (std::is_same_v<E, u_expr>) {
+      return [](const gather_state& s) { return s.u; };
+    } else if constexpr (is_src<E>::value) {
+      auto f = compile(ex.inner);
+      return [f](const gather_state& s) { return f(s).src; };
+    } else if constexpr (is_trg<E>::value) {
+      auto f = compile(ex.inner);
+      return [f](const gather_state& s) { return f(s).dst; };
+    } else if constexpr (is_lit<E>::value) {
+      auto val = ex.value;
+      return [val](const gather_state&) { return val; };
+    } else if constexpr (is_read<E>::value) {
+      return compile_read(ex);
+    } else if constexpr (is_bin<E>::value) {
+      auto l = compile(ex.lhs);
+      auto r = compile(ex.rhs);
+      using Op = typename is_bin<E>::op_type;
+      return [l, r](const gather_state& s) { return apply_op<Op>(l(s), r(s)); };
+    } else if constexpr (is_not<E>::value) {
+      auto f = compile(ex.inner);
+      return [f](const gather_state& s) { return !f(s); };
+    } else {
+      static_assert(sizeof(E) == 0, "unsupported expression node");
+    }
+  }
+
+  /// Registers (or dedups) the read for `ex` and returns its arena slot.
+  /// Also used for modification targets' condition-synchronized reads.
+  template <class PM, class Idx>
+  std::size_t register_read(const read_expr<PM, Idx>& ex) {
+    const dedup_key key{static_cast<const void*>(ex.pm), std::type_index(typeid(ex))};
+    for (const auto& [k, entry] : dedup_)
+      if (k == key) return entry.offset;
+
+    using T = typename PM::value_type;
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "property values read by a pattern travel in messages and "
+                  "must be trivially copyable");
+    const std::size_t ofs = allocate(sizeof(T), alignof(T));
+    auto idx_fn = compile(ex.idx);
+    PM* pm = ex.pm;
+
+    read_step step;
+    step.home = make_home<Idx, Gen>(ex.idx);
+    step.arena_offset = ofs;
+    step.pmap_id = pm;
+    step.self_type = std::type_index(typeid(ex));
+    step.perform = [pm, idx_fn, ofs](gather_state& s) {
+      if constexpr (detail::is_edge_map<PM>) {
+        s.arena_put(ofs, pm->read(idx_fn(s)));
+      } else if constexpr (pmap::atomic_capable<T>) {
+        // Handlers may run on dedicated threads concurrently with writers
+        // (§IV-B's atomic path): read through an atomic_ref so the access
+        // is well-defined. The paper gives no cross-vertex read guarantee,
+        // and neither do we — this is freshness-relaxed, not synchronized.
+        T& slot = const_cast<T&>(std::as_const(*pm)[idx_fn(s)]);
+        s.arena_put(ofs, std::atomic_ref<T>(slot).load(std::memory_order_relaxed));
+      } else {
+        s.arena_put(ofs, std::as_const(*pm)[idx_fn(s)]);
+      }
+    };
+    // A chase read needs its index value gathered strictly earlier: pin the
+    // inner read(s) so they are never deferred to the final hop.
+    if constexpr (home_of<Idx, Gen>::kind == home_kind::chase) pin_reads_of(ex.idx);
+
+    const std::size_t step_index = steps_.size();
+    steps_.push_back(std::move(step));
+    dedup_.emplace_back(key, dedup_entry{ofs, step_index});
+    return ofs;
+  }
+
+  const std::vector<read_step>& steps() const { return steps_; }
+  std::vector<read_step>& steps() { return steps_; }
+  std::size_t arena_used() const { return arena_used_; }
+
+  /// Was property map `pm` read anywhere in the compiled expressions?
+  /// (Dependency detection, §IV-C.)
+  bool reads_pmap(const void* pm) const {
+    for (const auto& s : steps_)
+      if (s.pmap_id == pm) return true;
+    return false;
+  }
+
+ private:
+  template <class E> struct is_src : std::false_type {};
+  template <class E> struct is_src<src_expr<E>> : std::true_type {};
+  template <class E> struct is_trg : std::false_type {};
+  template <class E> struct is_trg<trg_expr<E>> : std::true_type {};
+  template <class E> struct is_lit : std::false_type {};
+  template <class T> struct is_lit<lit_expr<T>> : std::true_type {};
+  template <class E> struct is_read : std::false_type {};
+  template <class PM, class I> struct is_read<read_expr<PM, I>> : std::true_type {};
+  template <class E> struct is_bin : std::false_type {};
+  template <class Op, class L, class R> struct is_bin<bin_expr<Op, L, R>> : std::true_type {
+    using op_type = Op;
+  };
+  template <class E> struct is_not : std::false_type {};
+  template <class X> struct is_not<un_expr<op_not, X>> : std::true_type {};
+
+  template <class PM, class Idx>
+  auto compile_read(const read_expr<PM, Idx>& ex) {
+    using T = typename PM::value_type;
+    const std::size_t ofs = register_read(ex);
+    return [ofs](const gather_state& s) { return s.template arena_get<T>(ofs); };
+  }
+
+  std::size_t allocate(std::size_t size, std::size_t align) {
+    arena_used_ = (arena_used_ + align - 1) & ~(align - 1);
+    const std::size_t ofs = arena_used_;
+    arena_used_ += size;
+    DPG_ASSERT_MSG(arena_used_ <= gather_state::arena_bytes,
+                   "pattern reads exceed the gather arena; raise "
+                   "gather_state::arena_bytes");
+    return ofs;
+  }
+
+  template <class Idx>
+  void pin_reads_of(const Idx& idx) {
+    // The chased index is itself a read (one level): find and pin it.
+    const dedup_key key{static_cast<const void*>(idx.pm), std::type_index(typeid(idx))};
+    for (auto& [k, entry] : dedup_)
+      if (k == key) {
+        steps_[entry.step_index].pinned = true;
+        return;
+      }
+    DPG_ASSERT_MSG(false, "chase inner read not registered before outer");
+  }
+
+  struct dedup_key {
+    const void* pm;
+    std::type_index type;
+    friend bool operator==(const dedup_key&, const dedup_key&) = default;
+  };
+  struct dedup_entry {
+    std::size_t offset;
+    std::size_t step_index;
+  };
+
+  std::vector<std::pair<dedup_key, dedup_entry>> dedup_;
+  std::vector<read_step> steps_;
+  std::size_t arena_used_ = 0;
+};
+
+}  // namespace dpg::pattern

@@ -1,0 +1,81 @@
+// Vertex property maps (§III-B): associate every vertex with an arbitrary
+// value. Values are sharded by the graph's distribution and live on the
+// owning rank; any access from a different rank inside a transport run is
+// an error (the pattern runtime reaches remote values with messages, never
+// through shared memory — that is the point of the paper).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ampp/types.hpp"
+#include "graph/distributed_graph.hpp"
+#include "util/assert.hpp"
+
+namespace dpg::pmap {
+
+using ampp::rank_t;
+using graph::vertex_id;
+
+template <class T>
+class vertex_property_map {
+ public:
+  using value_type = T;
+
+  vertex_property_map(const graph::distributed_graph& g, T init = T{})
+      : dist_(&g.dist()), shards_(g.num_ranks()) {
+    for (rank_t r = 0; r < g.num_ranks(); ++r)
+      shards_[r].assign(dist_->count(r), init);
+  }
+
+  /// Owner-side element access.
+  T& operator[](vertex_id v) {
+    return shards_[checked_owner(v)][dist_->local_index(v)];
+  }
+  const T& operator[](vertex_id v) const {
+    return shards_[checked_owner(v)][dist_->local_index(v)];
+  }
+
+  /// The calling rank's whole shard; for owner-local initialization loops
+  /// ("for (v in V) dist[v] = ∞" runs as a local loop on every rank).
+  std::span<T> local(rank_t r) {
+    check_rank(r);
+    return shards_[r];
+  }
+  std::span<const T> local(rank_t r) const {
+    check_rank(r);
+    return shards_[r];
+  }
+
+  /// Global id of rank r's li-th value (parallel to local(r)).
+  vertex_id global_id(rank_t r, std::uint64_t li) const { return dist_->global(r, li); }
+
+  /// Reset every value on every rank. Collective-or-outside-run only.
+  void fill(const T& value) {
+    DPG_ASSERT_MSG(ampp::current_rank() == ampp::invalid_rank,
+                   "fill() touches all shards; use local(rank) inside a run");
+    for (auto& s : shards_)
+      for (auto& x : s) x = value;
+  }
+
+  const graph::distribution& dist() const { return *dist_; }
+
+ private:
+  rank_t checked_owner(vertex_id v) const {
+    const rank_t o = dist_->owner(v);
+    const rank_t cur = ampp::current_rank();
+    DPG_ASSERT_MSG(cur == ampp::invalid_rank || cur == o,
+                   "vertex property accessed on a rank that does not own it");
+    return o;
+  }
+  void check_rank(rank_t r) const {
+    const rank_t cur = ampp::current_rank();
+    DPG_ASSERT_MSG(cur == ampp::invalid_rank || cur == r,
+                   "shard accessed from a foreign rank");
+  }
+
+  const graph::distribution* dist_;
+  std::vector<std::vector<T>> shards_;
+};
+
+}  // namespace dpg::pmap

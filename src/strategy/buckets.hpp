@@ -1,0 +1,110 @@
+// The thread-safe bucket structure backing the Δ-stepping strategy (§II-A:
+// "The Δ-stepping strategy, for example, has to provide a thread-safe
+// buckets data structure").
+//
+// Vertices are filed under bucket ⌊priority/Δ⌋. Duplicate insertions are
+// allowed (an improved vertex is simply filed again; popping a stale entry
+// re-applies the action, which is a no-op when nothing can improve) — the
+// classic lazy-deletion formulation of Δ-stepping.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "graph/ids.hpp"
+#include "util/assert.hpp"
+#include "util/spinlock.hpp"
+
+namespace dpg::strategy {
+
+using graph::vertex_id;
+
+class buckets {
+ public:
+  static constexpr std::uint64_t none = std::numeric_limits<std::uint64_t>::max();
+
+  explicit buckets(double delta) : delta_(delta) {
+    DPG_ASSERT_MSG(delta > 0.0, "Δ must be positive");
+  }
+
+  std::uint64_t bucket_of(double priority) const {
+    DPG_ASSERT_MSG(priority >= 0.0, "Δ-stepping priorities must be non-negative");
+    return static_cast<std::uint64_t>(priority / delta_);
+  }
+
+  void insert(vertex_id v, double priority) {
+    const std::uint64_t b = bucket_of(priority);
+    std::lock_guard<dpg::spinlock> g(mu_);
+    if (b >= rows_.size()) rows_.resize(b + 1);
+    rows_[b].push_back(v);
+    ++size_;
+  }
+
+  /// Pops from bucket i; nullopt when it is empty.
+  std::optional<vertex_id> pop(std::uint64_t i) {
+    std::lock_guard<dpg::spinlock> g(mu_);
+    if (i >= rows_.size() || rows_[i].empty()) return std::nullopt;
+    const vertex_id v = rows_[i].front();
+    rows_[i].pop_front();
+    --size_;
+    return v;
+  }
+
+  /// Pops from the lowest non-empty bucket (the uncoordinated variant's
+  /// local priority order).
+  std::optional<vertex_id> pop_any() {
+    std::lock_guard<dpg::spinlock> g(mu_);
+    for (auto& row : rows_) {
+      if (!row.empty()) {
+        const vertex_id v = row.front();
+        row.pop_front();
+        --size_;
+        return v;
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool empty(std::uint64_t i) const {
+    std::lock_guard<dpg::spinlock> g(mu_);
+    return i >= rows_.size() || rows_[i].empty();
+  }
+
+  bool empty() const {
+    std::lock_guard<dpg::spinlock> g(mu_);
+    return size_ == 0;
+  }
+
+  std::uint64_t size() const {
+    std::lock_guard<dpg::spinlock> g(mu_);
+    return size_;
+  }
+
+  /// Index of the first non-empty bucket, or `none`.
+  std::uint64_t first_nonempty() const {
+    std::lock_guard<dpg::spinlock> g(mu_);
+    for (std::uint64_t i = 0; i < rows_.size(); ++i)
+      if (!rows_[i].empty()) return i;
+    return none;
+  }
+
+  void clear() {
+    std::lock_guard<dpg::spinlock> g(mu_);
+    rows_.clear();
+    size_ = 0;
+  }
+
+  double delta() const { return delta_; }
+
+ private:
+  double delta_;
+  mutable dpg::spinlock mu_;
+  std::vector<std::deque<vertex_id>> rows_;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace dpg::strategy

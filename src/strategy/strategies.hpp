@@ -1,0 +1,81 @@
+// The basic strategies shipped with the framework (§II-A): fixed_point and
+// once. Strategies are ordinary imperative SPMD programs that apply pattern
+// actions through the framework's primitives — epochs, work hooks, and
+// collectives. Users write their own the same way (Δ-stepping lives in
+// delta_stepping.hpp).
+#pragma once
+
+#include <span>
+
+#include "ampp/epoch.hpp"
+#include "ampp/transport.hpp"
+#include "graph/distributed_graph.hpp"
+#include "pattern/action.hpp"
+
+namespace dpg::strategy {
+
+using graph::vertex_id;
+
+/// Collectively installs a work hook on a shared action instance: assigned
+/// on one rank, published to all by the barrier. (All strategies call this
+/// at entry so a single action can serve several strategies in sequence.)
+inline void install_hook_collective(ampp::transport_context& ctx,
+                                    pattern::action_instance& a,
+                                    pattern::action_instance::work_hook hook) {
+  if (ctx.rank() == 0) a.work(std::move(hook));
+  ctx.barrier();
+}
+
+/// Applies `fn` to every vertex the calling rank owns.
+template <class F>
+void for_each_local_vertex(ampp::transport_context& ctx,
+                           const graph::distributed_graph& g, F fn) {
+  const auto& d = g.dist();
+  const std::uint64_t cnt = d.count(ctx.rank());
+  for (std::uint64_t li = 0; li < cnt; ++li) fn(d.global(ctx.rank(), li));
+}
+
+/// The fixed_point strategy, verbatim from §II-A:
+///
+///   strategy fixed_point(action a, container vertices) {
+///     a.work(Vertex v) = { a(v) };
+///     epoch { for (v in vertices) a(v); }
+///   }
+///
+/// `seeds` holds the seed vertices owned by the calling rank (SPMD callers
+/// pass their local portion). Collective; returns when the fixed point is
+/// reached everywhere.
+inline void fixed_point(ampp::transport_context& ctx, pattern::action_instance& a,
+                        std::span<const vertex_id> seeds) {
+  install_hook_collective(
+      ctx, a, [&a](ampp::transport_context& c, vertex_id dep) { a(c, dep); });
+  ampp::epoch ep(ctx);
+  for (const vertex_id v : seeds) a(ctx, v);
+}
+
+/// The once strategy (§II-B): applies the action at every seed exactly once
+/// (dependencies are ignored) and reports whether any property-map
+/// modification happened anywhere in the system. Collective.
+inline bool once(ampp::transport_context& ctx, pattern::action_instance& a,
+                 std::span<const vertex_id> seeds) {
+  install_hook_collective(ctx, a, {});
+  ctx.barrier();  // all ranks snapshot the counter before anyone applies
+  const std::uint64_t before = a.modifications();
+  {
+    ampp::epoch ep(ctx);
+    for (const vertex_id v : seeds) a(ctx, v);
+  }
+  return a.modifications() != before;
+}
+
+/// Repeats `once` until no modification happens (a synchronous-round
+/// fixed point; used for the CC pointer-jump loop of Fig. 3, lines 14-17).
+/// Returns the number of rounds that performed work.
+inline int once_until_quiet(ampp::transport_context& ctx, pattern::action_instance& a,
+                            std::span<const vertex_id> seeds, int max_rounds = 1 << 20) {
+  int rounds = 0;
+  while (rounds < max_rounds && once(ctx, a, seeds)) ++rounds;
+  return rounds;
+}
+
+}  // namespace dpg::strategy

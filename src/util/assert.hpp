@@ -1,0 +1,38 @@
+// Assertion macros used throughout the library.
+//
+// DPG_ASSERT is active in all build types: the invariants it guards (e.g.
+// "property maps are only dereferenced on the owning rank") are the
+// correctness contract of the simulated distributed runtime, and violating
+// them silently would defeat the purpose of the simulation. DPG_DEBUG_ASSERT
+// compiles away in release builds and is reserved for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dpg {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "dpg assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace dpg
+
+#define DPG_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::dpg::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define DPG_ASSERT_MSG(expr, msg)                                   \
+  do {                                                              \
+    if (!(expr)) ::dpg::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifndef NDEBUG
+#define DPG_DEBUG_ASSERT(expr) DPG_ASSERT(expr)
+#else
+#define DPG_DEBUG_ASSERT(expr) ((void)0)
+#endif

@@ -1,0 +1,62 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace dpg {
+
+namespace {
+
+log_level level_from_env() {
+  const char* env = std::getenv("DPG_LOG");
+  if (!env) return log_level::off;
+  if (std::strcmp(env, "trace") == 0) return log_level::trace;
+  if (std::strcmp(env, "debug") == 0) return log_level::debug;
+  if (std::strcmp(env, "info") == 0) return log_level::info;
+  if (std::strcmp(env, "warn") == 0) return log_level::warn;
+  if (std::strcmp(env, "error") == 0) return log_level::error;
+  return log_level::off;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+const char* level_name(log_level lvl) {
+  switch (lvl) {
+    case log_level::trace: return "TRACE";
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO";
+    case log_level::warn: return "WARN";
+    case log_level::error: return "ERROR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+log_level get_log_level() noexcept {
+  return static_cast<log_level>(level_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_level(log_level lvl) noexcept {
+  level_storage().store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void vlog(log_level lvl, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::fprintf(stderr, "[dpg %s] ", level_name(lvl));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+}
+
+}  // namespace detail
+
+}  // namespace dpg

@@ -1,0 +1,33 @@
+// Tiny leveled logger. Off by default; enabled via dpg::set_log_level or the
+// DPG_LOG environment variable (trace|debug|info|warn|error). Kept
+// deliberately simple — the runtime's own statistics are exposed through
+// typed counters (see ampp::transport::stats), not log scraping.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dpg {
+
+enum class log_level : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+log_level get_log_level() noexcept;
+void set_log_level(log_level lvl) noexcept;
+
+namespace detail {
+void vlog(log_level lvl, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+}  // namespace dpg
+
+#define DPG_LOG(lvl, ...)                                            \
+  do {                                                               \
+    if (static_cast<int>(lvl) >= static_cast<int>(::dpg::get_log_level())) \
+      ::dpg::detail::vlog(lvl, __VA_ARGS__);                         \
+  } while (0)
+
+#define DPG_TRACE(...) DPG_LOG(::dpg::log_level::trace, __VA_ARGS__)
+#define DPG_DEBUG(...) DPG_LOG(::dpg::log_level::debug, __VA_ARGS__)
+#define DPG_INFO(...) DPG_LOG(::dpg::log_level::info, __VA_ARGS__)
+#define DPG_WARN(...) DPG_LOG(::dpg::log_level::warn, __VA_ARGS__)
+#define DPG_ERROR(...) DPG_LOG(::dpg::log_level::error, __VA_ARGS__)

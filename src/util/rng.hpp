@@ -1,0 +1,109 @@
+// Deterministic, seed-controlled random number generation.
+//
+// All stochastic components of the library (graph generators, workload
+// drivers, tests) draw from these generators so that every run is exactly
+// reproducible from a single 64-bit seed. std::mt19937 is deliberately
+// avoided: its state is large and its streams are awkward to split across
+// simulated ranks. splitmix64 is used to derive independent streams,
+// xoshiro256** for bulk generation (both public-domain algorithms by
+// Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dpg {
+
+/// splitmix64: tiny, high-quality 64-bit generator; primarily used to seed
+/// and to split one seed into many independent streams.
+class splitmix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr splitmix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast all-purpose 64-bit generator. Satisfies
+/// UniformRandomBitGenerator so it composes with <random> distributions.
+class xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from a splitmix64 stream, per the authors'
+  /// recommendation (avoids the all-zero state).
+  explicit constexpr xoshiro256ss(std::uint64_t seed) noexcept : s_{} {
+    splitmix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  /// Uniform in [0, bound). Uses Lemire's multiply-shift rejection-free
+  /// approximation (bias negligible for bound << 2^64, and determinism is
+  /// what we actually require).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Derives the seed for an independent substream, e.g. one per simulated
+/// rank or per generator task. Mixing through splitmix64 keeps substreams
+/// decorrelated even for adjacent indices.
+constexpr std::uint64_t substream_seed(std::uint64_t root_seed, std::uint64_t index) noexcept {
+  splitmix64 sm(root_seed ^ (0x517cc1b727220a95ULL * (index + 1)));
+  return sm.next();
+}
+
+}  // namespace dpg

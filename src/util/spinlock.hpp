@@ -1,0 +1,38 @@
+// Small spinlock for fine-grained, short critical sections (per-vertex
+// locks in the lock map). std::mutex is 40 bytes on glibc; a one-byte
+// test-and-test-and-set spinlock lets us afford a lock per vertex or per
+// block of vertices, which is exactly the trade-off §IV-B of the paper
+// discusses.
+#pragma once
+
+#include <atomic>
+
+namespace dpg {
+
+class spinlock {
+ public:
+  spinlock() = default;
+  spinlock(const spinlock&) = delete;
+  spinlock& operator=(const spinlock&) = delete;
+
+  void lock() noexcept {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // Test loop: spin on a plain load to avoid cache-line ping-pong.
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() noexcept { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace dpg

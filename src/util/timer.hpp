@@ -1,0 +1,26 @@
+// Minimal steady-clock stopwatch used by benchmarks and examples.
+#pragma once
+
+#include <chrono>
+
+namespace dpg {
+
+class timer {
+ public:
+  timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dpg

@@ -1,0 +1,103 @@
+// Direct unit tests of the sequential baselines on graphs with known
+// answers (the baselines must themselves be trustworthy oracles).
+#include "algo/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+
+#include "graph/generators.hpp"
+
+namespace dpg::algo {
+namespace {
+
+using graph::distributed_graph;
+using graph::distribution;
+using graph::edge_handle;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+distributed_graph single(vertex_id n, std::vector<graph::edge> edges) {
+  return distributed_graph(n, edges, distribution::block(n, 1));
+}
+
+TEST(Dijkstra, KnownSmallGraph) {
+  //     0 --1-- 1 --1-- 2
+  //      \--5-------/
+  auto g = single(3, {{0, 1}, {1, 2}, {0, 2}});
+  pmap::edge_property_map<double> w(g, [](const edge_handle& e) {
+    if (e.src == 0 && e.dst == 2) return 5.0;
+    return 1.0;
+  });
+  const auto d = dijkstra(g, w, 0);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 1.0);
+  EXPECT_DOUBLE_EQ(d[2], 2.0);  // through 1, not the direct 5-edge
+}
+
+TEST(Dijkstra, UnreachableIsInfinity) {
+  auto g = single(3, {{0, 1}});
+  pmap::edge_property_map<double> w(g, 1.0);
+  const auto d = dijkstra(g, w, 0);
+  EXPECT_EQ(d[2], kInf);
+}
+
+TEST(Dijkstra, DirectionMatters) {
+  auto g = single(2, {{0, 1}});
+  pmap::edge_property_map<double> w(g, 1.0);
+  EXPECT_DOUBLE_EQ(dijkstra(g, w, 0)[1], 1.0);
+  EXPECT_EQ(dijkstra(g, w, 1)[0], kInf);
+}
+
+TEST(BellmanFord, HandlesLongChains) {
+  auto g = single(50, graph::path_graph(50));
+  pmap::edge_property_map<double> w(g, 2.0);
+  const auto d = bellman_ford(g, w, 0);
+  for (vertex_id v = 0; v < 50; ++v) EXPECT_DOUBLE_EQ(d[v], 2.0 * v);
+}
+
+TEST(BfsLevels, GridDistances) {
+  auto g = single(12, graph::grid_graph(3, 4));
+  const auto lv = bfs_levels(g, 0);
+  EXPECT_EQ(lv[0], 0);
+  EXPECT_EQ(lv[3], 3);    // along the first row
+  EXPECT_EQ(lv[11], 5);   // opposite corner: 2 down + 3 right
+}
+
+TEST(CcUnionFind, LabelsAreComponentMinima) {
+  const std::vector<graph::edge> base{{0, 1}, {1, 2}, {4, 5}};
+  auto g = single(6, graph::symmetrize(base));
+  const auto l = cc_union_find(g);
+  EXPECT_EQ(l[0], 0u);
+  EXPECT_EQ(l[1], 0u);
+  EXPECT_EQ(l[2], 0u);
+  EXPECT_EQ(l[3], 3u);
+  EXPECT_EQ(l[4], 4u);
+  EXPECT_EQ(l[5], 4u);
+  std::vector<vertex_id> labels(l.begin(), l.end());
+  EXPECT_EQ(count_components(labels), 3u);
+}
+
+TEST(CcLabelPropagation, MatchesUnionFindOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto edges = graph::symmetrize(graph::erdos_renyi(100, 80 + seed * 30, seed));
+    auto g = single(100, edges);
+    ASSERT_EQ(cc_union_find(g), cc_label_propagation(g)) << "seed=" << seed;
+  }
+}
+
+TEST(PagerankBaseline, UniformOnRegularRing) {
+  auto g = single(10, graph::cycle_graph(10));
+  const auto r = pagerank(g, 0.85, 50);
+  for (vertex_id v = 0; v < 10; ++v) EXPECT_NEAR(r[v], 0.1, 1e-12);
+}
+
+TEST(PagerankBaseline, SumsToOneWithSinks) {
+  auto g = single(20, graph::star_graph(20));  // leaves are sinks
+  const auto r = pagerank(g, 0.85, 25);
+  EXPECT_NEAR(std::accumulate(r.begin(), r.end(), 0.0), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dpg::algo

@@ -1,0 +1,97 @@
+// BFS and PageRank built from patterns, validated against the sequential
+// baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "algo/baselines.hpp"
+#include "algo/bfs.hpp"
+#include "algo/pagerank.hpp"
+#include "graph/generators.hpp"
+
+namespace dpg::algo {
+namespace {
+
+using graph::distributed_graph;
+using graph::distribution;
+
+TEST(Bfs, FixedPointMatchesSequentialLevels) {
+  const vertex_id n = 200;
+  const auto edges = graph::erdos_renyi(n, 900, 15);
+  distributed_graph g(n, edges, distribution::cyclic(n, 3));
+  const auto oracle = bfs_levels(g, 0);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 3});
+  bfs_solver bfs(tp, g);
+  tp.run([&](ampp::transport_context& ctx) { bfs.run_fixed_point(ctx, 0); });
+  for (vertex_id v = 0; v < n; ++v) {
+    const auto got = bfs.depth()[v];
+    if (oracle[v] < 0)
+      EXPECT_EQ(got, bfs.unreachable_depth()) << "v=" << v;
+    else
+      EXPECT_EQ(got, static_cast<std::uint64_t>(oracle[v])) << "v=" << v;
+  }
+}
+
+TEST(Bfs, LevelSyncMatchesFixedPoint) {
+  const vertex_id n = 150;
+  const auto edges = graph::erdos_renyi(n, 700, 25);
+  distributed_graph g(n, edges, distribution::block(n, 2));
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  bfs_solver bfs(tp, g);
+  tp.run([&](ampp::transport_context& ctx) { bfs.run_fixed_point(ctx, 3); });
+  std::vector<std::uint64_t> fixed(n);
+  for (vertex_id v = 0; v < n; ++v) fixed[v] = bfs.depth()[v];
+  tp.run([&](ampp::transport_context& ctx) { bfs.run_level_sync(ctx, 3); });
+  for (vertex_id v = 0; v < n; ++v) ASSERT_EQ(bfs.depth()[v], fixed[v]) << "v=" << v;
+}
+
+TEST(Bfs, DisconnectedVerticesKeepSentinelDepth) {
+  std::vector<graph::edge> edges{{0, 1}, {1, 2}};
+  distributed_graph g(5, edges, distribution::cyclic(5, 2));
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  bfs_solver bfs(tp, g);
+  tp.run([&](ampp::transport_context& ctx) { bfs.run_fixed_point(ctx, 0); });
+  EXPECT_EQ(bfs.depth()[2], 2u);
+  EXPECT_EQ(bfs.depth()[3], bfs.unreachable_depth());
+  EXPECT_EQ(bfs.depth()[4], bfs.unreachable_depth());
+}
+
+TEST(PageRank, MatchesSequentialPowerIteration) {
+  const vertex_id n = 120;
+  const auto edges = graph::erdos_renyi(n, 700, 5);
+  distributed_graph g(n, edges, distribution::cyclic(n, 3));
+  const auto oracle = pagerank(g, 0.85, 20);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 3});
+  pagerank_solver pr(tp, g);
+  tp.run([&](ampp::transport_context& ctx) { pr.run(ctx, 0.85, 20); });
+  for (vertex_id v = 0; v < n; ++v)
+    ASSERT_NEAR(pr.ranks()[v], oracle[v], 1e-12) << "v=" << v;
+}
+
+TEST(PageRank, MassIsConserved) {
+  const vertex_id n = 90;
+  // Include sinks (star edges point outward only: leaves are sinks).
+  const auto edges = graph::star_graph(n);
+  distributed_graph g(n, edges, distribution::block(n, 2));
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  pagerank_solver pr(tp, g);
+  tp.run([&](ampp::transport_context& ctx) { pr.run(ctx, 0.85, 15); });
+  double total = 0;
+  for (vertex_id v = 0; v < n; ++v) total += pr.ranks()[v];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRank, HubCollectsMoreRankThanLeaves) {
+  // Symmetric star: the hub must dominate.
+  const vertex_id n = 50;
+  const auto edges = graph::symmetrize(graph::star_graph(n));
+  distributed_graph g(n, edges, distribution::cyclic(n, 2));
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  pagerank_solver pr(tp, g);
+  tp.run([&](ampp::transport_context& ctx) { pr.run(ctx, 0.85, 30); });
+  for (vertex_id v = 1; v < n; ++v) EXPECT_GT(pr.ranks()[0], pr.ranks()[v]);
+}
+
+}  // namespace
+}  // namespace dpg::algo

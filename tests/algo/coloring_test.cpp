@@ -1,0 +1,102 @@
+// Jones–Plassmann coloring: propriety, bounds, and special topologies.
+#include "algo/coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+
+namespace dpg::algo {
+namespace {
+
+using graph::distributed_graph;
+using graph::distribution;
+
+void expect_proper(const distributed_graph& g, coloring_solver& cs) {
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_NE(cs.colors()[v], coloring_solver::uncolored) << "v=" << v;
+    for (const vertex_id u : g.adjacent(v)) {
+      if (u != v) {
+        ASSERT_NE(cs.colors()[v], cs.colors()[u]) << "edge " << v << "-" << u;
+      }
+    }
+  }
+}
+
+TEST(Coloring, ProperOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const vertex_id n = 150;
+    const auto edges =
+        graph::symmetrize(graph::simplify(graph::erdos_renyi(n, 500, seed)));
+    distributed_graph g(n, edges, distribution::cyclic(n, 3));
+    ampp::transport tp(ampp::transport_config{.n_ranks = 3});
+    coloring_solver cs(tp, g);
+    std::uint64_t colors = 0;
+    tp.run([&](ampp::transport_context& ctx) {
+      const auto c = cs.run(ctx, seed);
+      if (ctx.rank() == 0) colors = c;
+    });
+    expect_proper(g, cs);
+    EXPECT_GT(colors, 1u);
+    EXPECT_LT(colors, 64u);  // JP uses few rounds on sparse graphs
+  }
+}
+
+TEST(Coloring, EdgelessGraphUsesOneColor) {
+  distributed_graph g(12, {}, distribution::block(12, 2));
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  coloring_solver cs(tp, g);
+  std::uint64_t colors = 0;
+  tp.run([&](ampp::transport_context& ctx) {
+    const auto c = cs.run(ctx);
+    if (ctx.rank() == 0) colors = c;
+  });
+  EXPECT_EQ(colors, 1u);
+  for (vertex_id v = 0; v < 12; ++v) EXPECT_EQ(cs.colors()[v], 0u);
+}
+
+TEST(Coloring, CompleteGraphNeedsNColors) {
+  const vertex_id n = 8;
+  distributed_graph g(n, graph::complete_graph(n), distribution::cyclic(n, 2));
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  coloring_solver cs(tp, g);
+  tp.run([&](ampp::transport_context& ctx) { cs.run(ctx); });
+  expect_proper(g, cs);
+  std::set<std::uint64_t> used;
+  for (vertex_id v = 0; v < n; ++v) used.insert(cs.colors()[v]);
+  EXPECT_EQ(used.size(), n);  // K_n is n-chromatic
+}
+
+TEST(Coloring, PathIsCheap) {
+  const vertex_id n = 64;
+  const auto edges = graph::symmetrize(graph::path_graph(n));
+  distributed_graph g(n, edges, distribution::block(n, 2));
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  coloring_solver cs(tp, g);
+  std::uint64_t colors = 0;
+  tp.run([&](ampp::transport_context& ctx) {
+    const auto c = cs.run(ctx);
+    if (ctx.rank() == 0) colors = c;
+  });
+  expect_proper(g, cs);
+  EXPECT_LE(colors, 16u);  // chromatic number 2; JP uses a few rounds
+}
+
+TEST(Coloring, DeterministicForFixedSeed) {
+  const vertex_id n = 60;
+  const auto edges = graph::symmetrize(graph::erdos_renyi(n, 200, 4));
+  distributed_graph g(n, edges, distribution::block(n, 1));
+  auto run_once = [&](std::uint64_t seed) {
+    ampp::transport tp(ampp::transport_config{.n_ranks = 1});
+    coloring_solver cs(tp, g);
+    tp.run([&](ampp::transport_context& ctx) { cs.run(ctx, seed); });
+    std::vector<std::uint64_t> out(n);
+    for (vertex_id v = 0; v < n; ++v) out[v] = cs.colors()[v];
+    return out;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+}
+
+}  // namespace
+}  // namespace dpg::algo

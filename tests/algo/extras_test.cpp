@@ -1,0 +1,227 @@
+// Tests for the extension algorithms: widest path (max-min relax), SSSP
+// with predecessor tree (two-modification action), and Luby MIS (two
+// patterns + imperative rounds).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "algo/mis.hpp"
+#include "algo/sssp_tree.hpp"
+#include "algo/widest_path.hpp"
+#include "graph/generators.hpp"
+
+namespace dpg::algo {
+namespace {
+
+using graph::distributed_graph;
+using graph::distribution;
+using graph::edge_handle;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// widest path
+// ---------------------------------------------------------------------------
+
+/// Oracle: Dijkstra-style max-bottleneck search.
+std::vector<double> widest_oracle(const distributed_graph& g,
+                                  const pmap::edge_property_map<double>& cap,
+                                  vertex_id s) {
+  std::vector<double> width(g.num_vertices(), 0.0);
+  width[s] = kInf;
+  using entry = std::pair<double, vertex_id>;
+  std::priority_queue<entry> pq;  // max-heap on width
+  pq.emplace(kInf, s);
+  while (!pq.empty()) {
+    auto [wd, v] = pq.top();
+    pq.pop();
+    if (wd < width[v]) continue;
+    for (const edge_handle e : g.out_edges(v)) {
+      const double nw = std::min(wd, cap[e]);
+      if (nw > width[e.dst]) {
+        width[e.dst] = nw;
+        pq.emplace(nw, e.dst);
+      }
+    }
+  }
+  return width;
+}
+
+TEST(WidestPath, MatchesOracleOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const vertex_id n = 80;
+    const auto edges = graph::erdos_renyi(n, 500, seed);
+    distributed_graph g(n, edges, distribution::cyclic(n, 3));
+    pmap::edge_property_map<double> cap(g, [seed](const edge_handle& e) {
+      return graph::edge_weight(e.src, e.dst, seed * 7, 50.0);
+    });
+    const auto oracle = widest_oracle(g, cap, 0);
+    ampp::transport tp(ampp::transport_config{.n_ranks = 3});
+    widest_path_solver solver(tp, g, cap);
+    tp.run([&](ampp::transport_context& ctx) { solver.run(ctx, 0); });
+    for (vertex_id v = 0; v < n; ++v)
+      ASSERT_DOUBLE_EQ(solver.width()[v], oracle[v]) << "seed=" << seed << " v=" << v;
+  }
+}
+
+TEST(WidestPath, UsesAtomicMaxUpdatePath) {
+  distributed_graph g(4, graph::path_graph(4), distribution::block(4, 2));
+  pmap::edge_property_map<double> cap(g, 1.0);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  widest_path_solver solver(tp, g, cap);
+  EXPECT_TRUE(solver.relax().plan().atomic_path);
+  EXPECT_EQ(solver.relax().plan().messages_per_application(), 1);
+}
+
+TEST(WidestPath, BottleneckOnKnownGraph) {
+  // 0 -10-> 1 -2-> 3 ;  0 -4-> 2 -4-> 3 : best bottleneck to 3 is 4.
+  std::vector<graph::edge> edges{{0, 1}, {1, 3}, {0, 2}, {2, 3}};
+  distributed_graph g(4, edges, distribution::cyclic(4, 2));
+  pmap::edge_property_map<double> cap(g, [](const edge_handle& e) -> double {
+    if (e.src == 0 && e.dst == 1) return 10;
+    if (e.src == 1 && e.dst == 3) return 2;
+    return 4;
+  });
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  widest_path_solver solver(tp, g, cap);
+  tp.run([&](ampp::transport_context& ctx) { solver.run(ctx, 0); });
+  EXPECT_DOUBLE_EQ(solver.width()[3], 4.0);
+  EXPECT_DOUBLE_EQ(solver.width()[1], 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// SSSP with predecessor tree
+// ---------------------------------------------------------------------------
+
+TEST(SsspTree, DistancesMatchAndTreeIsConsistent) {
+  const vertex_id n = 100;
+  const auto edges = graph::erdos_renyi(n, 700, 19);
+  distributed_graph g(n, edges, distribution::cyclic(n, 4));
+  pmap::edge_property_map<double> weight(g, [](const edge_handle& e) {
+    return graph::edge_weight(e.src, e.dst, 3, 9.0);
+  });
+  ampp::transport tp(ampp::transport_config{.n_ranks = 4});
+  sssp_tree_solver solver(tp, g, weight);
+  EXPECT_FALSE(solver.relax().plan().atomic_path);  // two mods => lock map
+  tp.run([&](ampp::transport_context& ctx) { solver.run(ctx, 0); });
+
+  // The (dist, parent) pair must be consistent: dist[v] equals
+  // dist[parent[v]] + weight(parent[v] -> v) for some edge with exactly
+  // that weight.
+  for (vertex_id v = 1; v < n; ++v) {
+    if (solver.dist()[v] == sssp_tree_solver::infinity) {
+      EXPECT_EQ(solver.parent()[v], graph::invalid_vertex);
+      continue;
+    }
+    const vertex_id p = solver.parent()[v];
+    ASSERT_NE(p, graph::invalid_vertex) << "v=" << v;
+    bool found_edge = false;
+    for (const edge_handle e : g.out_edges(p))
+      if (e.dst == v && solver.dist()[p] + weight[e] == solver.dist()[v])
+        found_edge = true;
+    EXPECT_TRUE(found_edge) << "no tree edge justifies dist[" << v << "]";
+  }
+}
+
+TEST(SsspTree, PathReconstructionWalksTheTree) {
+  const vertex_id n = 30;
+  distributed_graph g(n, graph::path_graph(n), distribution::cyclic(n, 2));
+  pmap::edge_property_map<double> weight(g, 1.0);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  sssp_tree_solver solver(tp, g, weight);
+  tp.run([&](ampp::transport_context& ctx) { solver.run(ctx, 0); });
+  const auto path = solver.path_to(n - 1, 0);
+  ASSERT_EQ(path.size(), n);
+  for (vertex_id i = 0; i < n; ++i) EXPECT_EQ(path[i], i);
+  EXPECT_TRUE(solver.path_to(5, 0).size() == 6);
+}
+
+TEST(SsspTree, UnreachableGivesEmptyPath) {
+  std::vector<graph::edge> edges{{0, 1}};
+  distributed_graph g(3, edges, distribution::block(3, 1));
+  pmap::edge_property_map<double> weight(g, 1.0);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 1});
+  sssp_tree_solver solver(tp, g, weight);
+  tp.run([&](ampp::transport_context& ctx) { solver.run(ctx, 0); });
+  EXPECT_TRUE(solver.path_to(2, 0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// MIS
+// ---------------------------------------------------------------------------
+
+void expect_valid_mis(const distributed_graph& g, mis_solver& mis) {
+  const vertex_id n = g.num_vertices();
+  for (vertex_id v = 0; v < n; ++v) {
+    if (mis.in_set(v)) {
+      for (const vertex_id u : g.adjacent(v)) {
+        if (u != v) {
+          ASSERT_FALSE(mis.in_set(u)) << "adjacent members " << v << "," << u;
+        }
+      }
+    } else {
+      bool has_in_neighbour = false;
+      for (const vertex_id u : g.adjacent(v))
+        if (u != v && mis.in_set(u)) has_in_neighbour = true;
+      ASSERT_TRUE(has_in_neighbour) << "vertex " << v << " is not dominated";
+    }
+  }
+}
+
+TEST(Mis, ValidOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const vertex_id n = 120;
+    const auto edges = graph::symmetrize(
+        graph::simplify(graph::erdos_renyi(n, 400, seed)));
+    distributed_graph g(n, edges, distribution::cyclic(n, 3));
+    ampp::transport tp(ampp::transport_config{.n_ranks = 3});
+    mis_solver mis(tp, g);
+    int rounds = 0;
+    tp.run([&](ampp::transport_context& ctx) {
+      const int r = mis.run(ctx, seed);
+      if (ctx.rank() == 0) rounds = r;
+    });
+    EXPECT_GT(rounds, 0);
+    EXPECT_LT(rounds, 64);  // Luby converges in O(log n) rounds w.h.p.
+    expect_valid_mis(g, mis);
+  }
+}
+
+TEST(Mis, EdgelessGraphSelectsEveryone) {
+  distributed_graph g(10, {}, distribution::block(10, 2));
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  mis_solver mis(tp, g);
+  tp.run([&](ampp::transport_context& ctx) { mis.run(ctx); });
+  for (vertex_id v = 0; v < 10; ++v) EXPECT_TRUE(mis.in_set(v));
+}
+
+TEST(Mis, CompleteGraphSelectsExactlyOne) {
+  const vertex_id n = 12;
+  distributed_graph g(n, graph::complete_graph(n), distribution::cyclic(n, 3));
+  ampp::transport tp(ampp::transport_config{.n_ranks = 3});
+  mis_solver mis(tp, g);
+  tp.run([&](ampp::transport_context& ctx) { mis.run(ctx); });
+  int members = 0;
+  for (vertex_id v = 0; v < n; ++v) members += mis.in_set(v) ? 1 : 0;
+  EXPECT_EQ(members, 1);
+}
+
+TEST(Mis, PathGraphAlternatesRoughly) {
+  const vertex_id n = 40;
+  const auto edges = graph::symmetrize(graph::path_graph(n));
+  distributed_graph g(n, edges, distribution::block(n, 2));
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  mis_solver mis(tp, g);
+  tp.run([&](ampp::transport_context& ctx) { mis.run(ctx); });
+  expect_valid_mis(g, mis);
+  int members = 0;
+  for (vertex_id v = 0; v < n; ++v) members += mis.in_set(v) ? 1 : 0;
+  // An MIS of a path of n vertices has between ceil(n/3) and ceil(n/2).
+  EXPECT_GE(members, static_cast<int>(n) / 3);
+  EXPECT_LE(members, (static_cast<int>(n) + 1) / 2);
+}
+
+}  // namespace
+}  // namespace dpg::algo

@@ -1,0 +1,118 @@
+// Message-based collectives: barrier and allreduce. These back the
+// strategies (`once` needs a global modified flag; Δ-stepping needs a
+// global bucket-empty test).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "ampp/transport.hpp"
+
+namespace dpg::ampp {
+namespace {
+
+TEST(Collectives, AllreduceSum) {
+  constexpr rank_t kRanks = 5;
+  transport tp(transport_config{.n_ranks = kRanks});
+  tp.run([&](transport_context& ctx) {
+    const std::uint64_t total = ctx.allreduce_sum<std::uint64_t>(ctx.rank() + 1);
+    EXPECT_EQ(total, 15u);  // 1+2+3+4+5
+  });
+}
+
+TEST(Collectives, AllreduceMinMax) {
+  constexpr rank_t kRanks = 4;
+  transport tp(transport_config{.n_ranks = kRanks});
+  tp.run([&](transport_context& ctx) {
+    const int v = static_cast<int>(ctx.rank()) * 10 - 5;
+    EXPECT_EQ(ctx.allreduce_min(v), -5);
+    EXPECT_EQ(ctx.allreduce_max(v), 25);
+  });
+}
+
+TEST(Collectives, AllreduceOr) {
+  constexpr rank_t kRanks = 4;
+  transport tp(transport_config{.n_ranks = kRanks});
+  tp.run([&](transport_context& ctx) {
+    EXPECT_TRUE(ctx.allreduce_or(ctx.rank() == 2));
+    EXPECT_FALSE(ctx.allreduce_or(false));
+  });
+}
+
+TEST(Collectives, AllreduceStructValue) {
+  struct stats {
+    double sum;
+    std::uint64_t count;
+  };
+  constexpr rank_t kRanks = 3;
+  transport tp(transport_config{.n_ranks = kRanks});
+  tp.run([&](transport_context& ctx) {
+    stats mine{static_cast<double>(ctx.rank()), 1};
+    stats all = ctx.allreduce(mine, [](stats a, stats b) {
+      return stats{a.sum + b.sum, a.count + b.count};
+    });
+    EXPECT_DOUBLE_EQ(all.sum, 3.0);  // 0+1+2
+    EXPECT_EQ(all.count, 3u);
+  });
+}
+
+TEST(Collectives, RepeatedAllreducesStayInLockstep) {
+  constexpr rank_t kRanks = 4;
+  transport tp(transport_config{.n_ranks = kRanks});
+  tp.run([&](transport_context& ctx) {
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      const std::uint64_t s = ctx.allreduce_sum<std::uint64_t>(i);
+      ASSERT_EQ(s, i * kRanks);
+    }
+  });
+}
+
+TEST(Collectives, BarrierOrdersSideEffects) {
+  // Every rank writes its slot before the barrier; after the barrier every
+  // rank must observe all slots written.
+  constexpr rank_t kRanks = 6;
+  transport tp(transport_config{.n_ranks = kRanks});
+  std::vector<std::atomic<int>> slots(kRanks);
+  std::atomic<int> failures{0};
+  tp.run([&](transport_context& ctx) {
+    slots[ctx.rank()].store(1, std::memory_order_release);
+    ctx.barrier();
+    for (rank_t r = 0; r < kRanks; ++r)
+      if (slots[r].load(std::memory_order_acquire) != 1) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Collectives, AllreduceIsDeterministicForNonCommutativeOp) {
+  // Contributions are folded in rank order at the coordinator, so even a
+  // non-commutative op gives a stable result.
+  constexpr rank_t kRanks = 4;
+  transport tp(transport_config{.n_ranks = kRanks});
+  std::atomic<std::uint64_t> results[3];
+  for (auto& r : results) r = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    tp.run([&](transport_context& ctx) {
+      // "Subtract-fold": a - b is non-commutative; determinism requires a
+      // fixed fold order.
+      const std::int64_t folded =
+          ctx.allreduce<std::int64_t>(static_cast<std::int64_t>(ctx.rank() + 1),
+                                      [](std::int64_t a, std::int64_t b) { return a - b; });
+      if (ctx.rank() == 0) results[trial] = static_cast<std::uint64_t>(folded);
+    });
+  }
+  EXPECT_EQ(results[0].load(), results[1].load());
+  EXPECT_EQ(results[1].load(), results[2].load());
+}
+
+TEST(Collectives, SingleRankAllreduceIsIdentity) {
+  transport tp(transport_config{.n_ranks = 1});
+  tp.run([&](transport_context& ctx) {
+    EXPECT_EQ(ctx.allreduce_sum<std::uint64_t>(42), 42u);
+    EXPECT_EQ(ctx.allreduce_min(7), 7);
+    ctx.barrier();  // must not deadlock
+  });
+}
+
+}  // namespace
+}  // namespace dpg::ampp

@@ -1,0 +1,123 @@
+// API-contract tests: the runtime's preconditions are enforced loudly
+// (assertion aborts), and its accounting invariants hold exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "ampp/epoch.hpp"
+#include "ampp/transport.hpp"
+
+namespace dpg::ampp {
+namespace {
+
+struct ping {
+  std::uint64_t x;
+};
+
+TEST(ContractDeathTest, SendOutsideEpochAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        transport tp(transport_config{.n_ranks = 1});
+        auto& mt = tp.make_message_type<ping>("p", [](transport_context&, const ping&) {});
+        tp.run([&](transport_context& ctx) { mt.send(ctx, 0, ping{1}); });
+      },
+      "inside an epoch");
+}
+
+TEST(ContractDeathTest, NestedEpochsAbort) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        transport tp(transport_config{.n_ranks = 1});
+        tp.run([&](transport_context& ctx) {
+          epoch outer(ctx);
+          epoch inner(ctx);
+        });
+      },
+      "do not nest");
+}
+
+TEST(ContractDeathTest, RegistrationDuringRunAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        transport tp(transport_config{.n_ranks = 1});
+        tp.run([&](transport_context&) {
+          tp.make_message_type<ping>("late", [](transport_context&, const ping&) {});
+        });
+      },
+      "before transport::run");
+}
+
+TEST(ContractDeathTest, DestinationOutOfRangeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        transport tp(transport_config{.n_ranks = 2});
+        auto& mt = tp.make_message_type<ping>("p", [](transport_context&, const ping&) {});
+        tp.run([&](transport_context& ctx) {
+          epoch ep(ctx);
+          mt.send(ctx, 7, ping{1});
+        });
+      },
+      "out of range");
+}
+
+TEST(Contract, AccountingInvariants) {
+  // After a run: messages_sent == handler_invocations (everything sent was
+  // handled), and per-type counts sum to the total.
+  constexpr rank_t kRanks = 3;
+  transport tp(transport_config{.n_ranks = kRanks, .coalescing_size = 8});
+  auto& a = tp.make_message_type<ping>("a", [](transport_context&, const ping&) {});
+  auto& b = tp.make_message_type<ping>("b", [](transport_context&, const ping&) {});
+  tp.run([&](transport_context& ctx) {
+    epoch ep(ctx);
+    for (int i = 0; i < 50; ++i) {
+      a.send(ctx, (ctx.rank() + 1) % kRanks, ping{1});
+      if (ctx.rank() == 0) b.send(ctx, 2, ping{2});
+    }
+  });
+  const auto s = tp.stats().snap();
+  EXPECT_EQ(s.messages_sent, s.handler_invocations);
+  EXPECT_EQ(tp.sent_of_type(a.id()) + tp.sent_of_type(b.id()), s.messages_sent);
+  EXPECT_EQ(tp.sent_of_type(a.id()), 50u * kRanks);
+  EXPECT_EQ(tp.sent_of_type(b.id()), 50u);
+}
+
+TEST(Contract, EnvelopeCountRespectsCoalescingBound) {
+  // Data envelopes >= messages / coalescing_size (can't batch more than
+  // the buffer holds).
+  transport tp(transport_config{.n_ranks = 2, .coalescing_size = 32});
+  auto& mt = tp.make_message_type<ping>("p", [](transport_context&, const ping&) {});
+  const auto before = tp.stats().snap();
+  tp.run([&](transport_context& ctx) {
+    epoch ep(ctx);
+    if (ctx.rank() == 0)
+      for (int i = 0; i < 1000; ++i) mt.send(ctx, 1, ping{1});
+  });
+  const auto d = tp.stats().snap() - before;
+  EXPECT_GE(d.envelopes_sent, 1000u / 32u);
+  EXPECT_EQ(d.messages_sent, 1000u);
+  EXPECT_EQ(d.bytes_sent >= 1000u * sizeof(ping), true);
+}
+
+TEST(Contract, AllreduceAtPayloadSizeLimit) {
+  struct big56 {
+    std::uint64_t words[7];  // exactly 56 bytes
+  };
+  static_assert(sizeof(big56) == 56);
+  transport tp(transport_config{.n_ranks = 3});
+  tp.run([&](transport_context& ctx) {
+    big56 mine{};
+    for (int i = 0; i < 7; ++i) mine.words[i] = ctx.rank() + 1;
+    const big56 all = ctx.allreduce(mine, [](big56 a, big56 b) {
+      for (int i = 0; i < 7; ++i) a.words[i] += b.words[i];
+      return a;
+    });
+    for (int i = 0; i < 7; ++i) ASSERT_EQ(all.words[i], 6u);  // 1+2+3
+  });
+}
+
+}  // namespace
+}  // namespace dpg::ampp

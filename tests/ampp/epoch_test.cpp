@@ -1,0 +1,177 @@
+// Epoch semantics (§II, §III-D): an epoch ends only when all actions and
+// their transitive message cascades have finished on all ranks; epoch_flush
+// performs pending local work; try_finish detects global quiescence without
+// ever declaring it early.
+#include "ampp/epoch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "ampp/transport.hpp"
+
+namespace dpg::ampp {
+namespace {
+
+struct token {
+  std::uint64_t depth;
+  std::uint64_t payload;
+};
+
+TEST(Epoch, EndWaitsForHandlerCascades) {
+  // Each token of depth d spawns two tokens of depth d-1 on other ranks.
+  // Epoch end must wait for the entire binary tree: 2^(d+1)-1 handlers.
+  constexpr rank_t kRanks = 4;
+  constexpr std::uint64_t kDepth = 9;
+  transport tp(transport_config{.n_ranks = kRanks, .coalescing_size = 8});
+  std::atomic<std::uint64_t> handled{0};
+  message_type<token>* mtp = nullptr;
+  auto& mt = tp.make_message_type<token>("tree", [&](transport_context& ctx, const token& t) {
+    ++handled;
+    if (t.depth > 0) {
+      mtp->send(ctx, (ctx.rank() + 1) % kRanks, token{t.depth - 1, 0});
+      mtp->send(ctx, (ctx.rank() + 2) % kRanks, token{t.depth - 1, 0});
+    }
+  });
+  mtp = &mt;
+  std::atomic<std::uint64_t> observed_at_exit{0};
+  tp.run([&](transport_context& ctx) {
+    {
+      epoch ep(ctx);
+      if (ctx.rank() == 0) mt.send(ctx, 1, token{kDepth, 0});
+    }
+    if (ctx.rank() == 0) observed_at_exit = handled.load();
+  });
+  const std::uint64_t expect = (1ULL << (kDepth + 1)) - 1;
+  EXPECT_EQ(handled.load(), expect);
+  // The count must already be complete the moment rank 0 leaves the epoch.
+  EXPECT_EQ(observed_at_exit.load(), expect);
+}
+
+TEST(Epoch, EmptyEpochTerminates) {
+  transport tp(transport_config{.n_ranks = 3});
+  tp.run([&](transport_context& ctx) {
+    epoch ep(ctx);  // nobody sends anything
+  });
+  EXPECT_GE(tp.stats().epochs.load(), 1u);
+}
+
+TEST(Epoch, SequentialEpochsAreIsolated) {
+  // Messages from epoch k must all be handled before epoch k+1's handlers
+  // see anything: we tag each epoch's messages and check the tag.
+  constexpr rank_t kRanks = 3;
+  transport tp(transport_config{.n_ranks = kRanks});
+  std::atomic<std::uint64_t> current_tag{0};
+  std::atomic<int> mismatches{0};
+  auto& mt = tp.make_message_type<token>("tag", [&](transport_context&, const token& t) {
+    if (t.payload != current_tag.load()) ++mismatches;
+  });
+  tp.run([&](transport_context& ctx) {
+    for (std::uint64_t tag = 0; tag < 5; ++tag) {
+      if (ctx.rank() == 0) current_tag = tag;
+      epoch ep(ctx);
+      for (rank_t d = 0; d < kRanks; ++d) mt.send(ctx, d, token{0, tag});
+      ep.end();
+      // The epoch-entry barrier of the next iteration orders the tag bump
+      // (rank 0, pre-epoch) before any send of that next epoch.
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Epoch, FlushPerformsLocalWork) {
+  // After epoch_flush on a single rank, every self-addressed message
+  // (including handler-generated ones) must have been handled.
+  transport tp(transport_config{.n_ranks = 1, .coalescing_size = 16});
+  std::atomic<std::uint64_t> handled{0};
+  message_type<token>* mtp = nullptr;
+  auto& mt = tp.make_message_type<token>("f", [&](transport_context& ctx, const token& t) {
+    ++handled;
+    if (t.depth > 0) mtp->send(ctx, 0, token{t.depth - 1, 0});
+  });
+  mtp = &mt;
+  tp.run([&](transport_context& ctx) {
+    epoch ep(ctx);
+    mt.send(ctx, 0, token{41, 0});
+    ep.flush();
+    EXPECT_EQ(handled.load(), 42u);  // whole chain done before flush returns
+  });
+}
+
+TEST(Epoch, TryFinishSucceedsOnlyWhenGloballyQuiet) {
+  // Rank 0 keeps injecting work in bounded portions; try_finish must return
+  // false while work remains and true once everything is drained.
+  constexpr rank_t kRanks = 2;
+  transport tp(transport_config{.n_ranks = kRanks});
+  std::atomic<std::uint64_t> handled{0};
+  auto& mt = tp.make_message_type<token>(
+      "w", [&](transport_context&, const token&) { ++handled; });
+  std::atomic<int> false_results{0};
+  tp.run([&](transport_context& ctx) {
+    epoch ep(ctx);
+    if (ctx.rank() == 0) {
+      for (int burst = 0; burst < 3; ++burst) {
+        for (int i = 0; i < 10; ++i) mt.send(ctx, 1, token{0, 0});
+        if (!ep.try_finish()) {
+          ++false_results;
+        } else {
+          // try_finish can only succeed after everything was delivered;
+          // but with more bursts to send this would be a bug in the test,
+          // so re-enter: not allowed — instead just stop sending.
+          break;
+        }
+      }
+    }
+    // Everyone converges on end() (idempotent if already ended).
+    ep.end();
+  });
+  EXPECT_EQ(handled.load(), 30u);
+}
+
+TEST(Epoch, TryFinishLoopTerminatesForAllRanks) {
+  // All ranks seed work, then loop on try_finish like the uncoordinated
+  // Δ-stepping described in §III-D.
+  constexpr rank_t kRanks = 4;
+  transport tp(transport_config{.n_ranks = kRanks, .coalescing_size = 4});
+  std::atomic<std::uint64_t> handled{0};
+  message_type<token>* mtp = nullptr;
+  auto& mt = tp.make_message_type<token>("t", [&](transport_context& ctx, const token& t) {
+    ++handled;
+    if (t.depth > 0) mtp->send(ctx, (ctx.rank() + 1) % kRanks, token{t.depth - 1, 0});
+  });
+  mtp = &mt;
+  tp.run([&](transport_context& ctx) {
+    epoch ep(ctx);
+    mt.send(ctx, (ctx.rank() + 1) % kRanks, token{20, 0});
+    while (!ep.try_finish()) {
+    }
+  });
+  EXPECT_EQ(handled.load(), kRanks * 21u);
+}
+
+TEST(Epoch, TerminationIsNeverEarly) {
+  // Long dependency chain through all ranks with tiny coalescing buffers:
+  // the classic stress for termination detectors. If detection fired early,
+  // the handled count at epoch exit would be short.
+  constexpr rank_t kRanks = 5;
+  transport tp(transport_config{.n_ranks = kRanks, .coalescing_size = 1});
+  std::atomic<std::uint64_t> handled{0};
+  message_type<token>* mtp = nullptr;
+  auto& mt = tp.make_message_type<token>("c", [&](transport_context& ctx, const token& t) {
+    ++handled;
+    if (t.depth > 0) mtp->send(ctx, (ctx.rank() + 1) % kRanks, token{t.depth - 1, 0});
+  });
+  mtp = &mt;
+  for (int trial = 0; trial < 5; ++trial) {
+    handled = 0;
+    tp.run([&](transport_context& ctx) {
+      epoch ep(ctx);
+      if (ctx.rank() == 0) mt.send(ctx, 1, token{1000, 0});
+    });
+    ASSERT_EQ(handled.load(), 1001u) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace dpg::ampp

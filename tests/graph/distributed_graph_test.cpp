@@ -1,0 +1,156 @@
+// Structural tests for the distributed CSR: the distributed view must be a
+// faithful re-partitioning of the input edge list for every distribution,
+// and in-edge mirrors must reference the same global edge ids as their
+// out-edge originals.
+#include "graph/distributed_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "graph/generators.hpp"
+
+namespace dpg::graph {
+namespace {
+
+distribution make_dist(int kind, vertex_id n, rank_t ranks) {
+  switch (kind) {
+    case 0: return distribution::block(n, ranks);
+    case 1: return distribution::cyclic(n, ranks);
+    default: return distribution::hashed(n, ranks, 7);
+  }
+}
+
+using params = std::tuple<int, rank_t>;
+
+class GraphRoundTrip : public ::testing::TestWithParam<params> {};
+
+TEST_P(GraphRoundTrip, OutEdgesReproduceInput) {
+  auto [kind, ranks] = GetParam();
+  const vertex_id n = 200;
+  const auto edges = erdos_renyi(n, 1500, /*seed=*/11);
+  distributed_graph g(n, edges, make_dist(kind, n, ranks));
+
+  // Multiset equality between input edges and the union of all out_edges.
+  std::multiset<std::pair<vertex_id, vertex_id>> want, got;
+  for (const edge& e : edges) want.emplace(e.src, e.dst);
+  std::set<std::uint64_t> eids;
+  for (vertex_id v = 0; v < n; ++v) {
+    for (const edge_handle e : g.out_edges(v)) {
+      ASSERT_EQ(e.src, v);
+      got.emplace(e.src, e.dst);
+      ASSERT_TRUE(eids.insert(e.eid).second) << "duplicate edge id " << e.eid;
+      ASSERT_LT(e.eid, g.num_edges());
+    }
+  }
+  EXPECT_EQ(want, got);
+  EXPECT_EQ(eids.size(), edges.size());
+}
+
+TEST_P(GraphRoundTrip, InEdgesMirrorOutEdges) {
+  auto [kind, ranks] = GetParam();
+  const vertex_id n = 150;
+  const auto edges = erdos_renyi(n, 900, /*seed=*/23);
+  distributed_graph g(n, edges, make_dist(kind, n, ranks), /*bidirectional=*/true);
+
+  // Map global eid -> (src, dst) from the out view; every in-edge must
+  // agree on endpoints and id.
+  std::map<std::uint64_t, std::pair<vertex_id, vertex_id>> by_id;
+  for (vertex_id v = 0; v < n; ++v)
+    for (const edge_handle e : g.out_edges(v)) by_id[e.eid] = {e.src, e.dst};
+
+  std::uint64_t in_total = 0;
+  for (vertex_id v = 0; v < n; ++v) {
+    for (const edge_handle e : g.in_edges(v)) {
+      ASSERT_EQ(e.dst, v);
+      auto it = by_id.find(e.eid);
+      ASSERT_NE(it, by_id.end());
+      EXPECT_EQ(it->second.first, e.src);
+      EXPECT_EQ(it->second.second, e.dst);
+      ASSERT_NE(e.mirror_slot, static_cast<std::uint64_t>(-1));
+      ++in_total;
+    }
+  }
+  EXPECT_EQ(in_total, edges.size());
+}
+
+TEST_P(GraphRoundTrip, DegreesAreConsistent) {
+  auto [kind, ranks] = GetParam();
+  const vertex_id n = 100;
+  const auto edges = erdos_renyi(n, 700, /*seed=*/5);
+  distributed_graph g(n, edges, make_dist(kind, n, ranks), true);
+
+  std::vector<std::uint64_t> outdeg(n, 0), indeg(n, 0);
+  for (const edge& e : edges) {
+    ++outdeg[e.src];
+    ++indeg[e.dst];
+  }
+  for (vertex_id v = 0; v < n; ++v) {
+    ASSERT_EQ(g.out_degree(v), outdeg[v]) << "v=" << v;
+    ASSERT_EQ(g.in_degree(v), indeg[v]) << "v=" << v;
+    ASSERT_EQ(g.out_edges(v).size(), outdeg[v]);
+    ASSERT_EQ(g.adjacent(v).size(), outdeg[v]);
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<params>& info) {
+  std::string scheme = std::get<0>(info.param) == 0   ? "block"
+                       : std::get<0>(info.param) == 1 ? "cyclic"
+                                                      : "hashed";
+  return scheme + "_r" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, GraphRoundTrip,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values<rank_t>(1, 2, 4, 7)),
+                         param_name);
+
+TEST(DistributedGraph, EdgeBasesPartitionIdSpace) {
+  const vertex_id n = 64;
+  const auto edges = erdos_renyi(n, 500, 3);
+  distributed_graph g(n, edges, distribution::cyclic(n, 4));
+  std::uint64_t expect_base = 0;
+  for (rank_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(g.edge_base(r), expect_base);
+    expect_base += g.edge_count(r);
+  }
+  EXPECT_EQ(expect_base, g.num_edges());
+}
+
+TEST(DistributedGraph, SymmetrizeDoublesNonLoops) {
+  std::vector<edge> edges{{0, 1}, {1, 2}, {2, 2}};
+  const auto sym = symmetrize(edges);
+  EXPECT_EQ(sym.size(), 5u);  // 2*2 + 1 self-loop
+  EXPECT_TRUE(std::count(sym.begin(), sym.end(), edge{1, 0}) == 1);
+  EXPECT_TRUE(std::count(sym.begin(), sym.end(), edge{2, 1}) == 1);
+}
+
+TEST(DistributedGraph, SimplifyRemovesLoopsAndDuplicates) {
+  std::vector<edge> edges{{0, 1}, {0, 1}, {1, 1}, {2, 0}, {0, 1}};
+  const auto simple = simplify(edges);
+  EXPECT_EQ(simple.size(), 2u);
+  EXPECT_EQ(simple[0], (edge{0, 1}));
+  EXPECT_EQ(simple[1], (edge{2, 0}));
+}
+
+TEST(DistributedGraph, ParallelEdgesKeepDistinctIds) {
+  std::vector<edge> edges{{0, 1}, {0, 1}, {0, 1}};
+  distributed_graph g(2, edges, distribution::block(2, 1));
+  std::set<std::uint64_t> ids;
+  for (const edge_handle e : g.out_edges(0)) ids.insert(e.eid);
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(DistributedGraph, EmptyVertexHasNoEdges) {
+  std::vector<edge> edges{{0, 1}};
+  distributed_graph g(3, edges, distribution::block(3, 2), true);
+  EXPECT_TRUE(g.out_edges(2).empty());
+  EXPECT_TRUE(g.in_edges(0).empty());
+  EXPECT_EQ(g.out_degree(2), 0u);
+}
+
+}  // namespace
+}  // namespace dpg::graph

@@ -1,0 +1,122 @@
+// Property tests for vertex distributions: owner/local_index/global must
+// form a consistent bijection for every scheme, vertex count, and rank
+// count.
+#include "graph/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace dpg::graph {
+namespace {
+
+using params = std::tuple<int /*kind*/, vertex_id /*n*/, rank_t /*ranks*/>;
+
+class DistributionProperty : public ::testing::TestWithParam<params> {
+ protected:
+  distribution make() const {
+    auto [kind, n, ranks] = GetParam();
+    switch (kind) {
+      case 0: return distribution::block(n, ranks);
+      case 1: return distribution::cyclic(n, ranks);
+      default: return distribution::hashed(n, ranks, 0xfeed);
+    }
+  }
+};
+
+TEST_P(DistributionProperty, OwnerInRange) {
+  const auto d = make();
+  for (vertex_id v = 0; v < d.num_vertices(); ++v)
+    ASSERT_LT(d.owner(v), d.num_ranks()) << "v=" << v;
+}
+
+TEST_P(DistributionProperty, CountsSumToN) {
+  const auto d = make();
+  std::uint64_t total = 0;
+  for (rank_t r = 0; r < d.num_ranks(); ++r) total += d.count(r);
+  EXPECT_EQ(total, d.num_vertices());
+}
+
+TEST_P(DistributionProperty, LocalIndexIsDenseAndInvertible) {
+  const auto d = make();
+  std::vector<std::vector<bool>> seen(d.num_ranks());
+  for (rank_t r = 0; r < d.num_ranks(); ++r) seen[r].assign(d.count(r), false);
+  for (vertex_id v = 0; v < d.num_vertices(); ++v) {
+    const rank_t r = d.owner(v);
+    const std::uint64_t li = d.local_index(v);
+    ASSERT_LT(li, d.count(r)) << "v=" << v;
+    ASSERT_FALSE(seen[r][li]) << "local index collision at v=" << v;
+    seen[r][li] = true;
+    ASSERT_EQ(d.global(r, li), v) << "global() must invert local_index()";
+  }
+}
+
+std::string scheme_name(int kind) {
+  switch (kind) {
+    case 0: return "block";
+    case 1: return "cyclic";
+    default: return "hashed";
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<params>& info) {
+  return scheme_name(std::get<0>(info.param)) + "_n" +
+         std::to_string(std::get<1>(info.param)) + "_r" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, DistributionProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values<vertex_id>(1, 2, 7, 64, 100, 1000),
+                       ::testing::Values<rank_t>(1, 2, 3, 8, 16)),
+    param_name);
+
+TEST(Distribution, BlockIsContiguous) {
+  const auto d = distribution::block(100, 4);
+  // ceil(100/4) = 25 per rank.
+  EXPECT_EQ(d.owner(0), 0u);
+  EXPECT_EQ(d.owner(24), 0u);
+  EXPECT_EQ(d.owner(25), 1u);
+  EXPECT_EQ(d.owner(99), 3u);
+  EXPECT_EQ(d.count(0), 25u);
+}
+
+TEST(Distribution, CyclicRoundRobins) {
+  const auto d = distribution::cyclic(10, 3);
+  EXPECT_EQ(d.owner(0), 0u);
+  EXPECT_EQ(d.owner(1), 1u);
+  EXPECT_EQ(d.owner(2), 2u);
+  EXPECT_EQ(d.owner(3), 0u);
+  EXPECT_EQ(d.count(0), 4u);  // 0,3,6,9
+  EXPECT_EQ(d.count(1), 3u);
+  EXPECT_EQ(d.count(2), 3u);
+}
+
+TEST(Distribution, HashedSpreadsLoad) {
+  const auto d = distribution::hashed(10000, 8);
+  for (rank_t r = 0; r < 8; ++r) {
+    EXPECT_GT(d.count(r), 1000u);  // within ~±20% of 1250
+    EXPECT_LT(d.count(r), 1500u);
+  }
+}
+
+TEST(Distribution, HashedDependsOnSeed) {
+  const auto a = distribution::hashed(1000, 4, 1);
+  const auto b = distribution::hashed(1000, 4, 2);
+  int differ = 0;
+  for (vertex_id v = 0; v < 1000; ++v)
+    if (a.owner(v) != b.owner(v)) ++differ;
+  EXPECT_GT(differ, 500);
+}
+
+TEST(Distribution, MoreRanksThanVerticesLeavesEmptyRanks) {
+  const auto d = distribution::block(3, 8);
+  std::uint64_t total = 0;
+  for (rank_t r = 0; r < 8; ++r) total += d.count(r);
+  EXPECT_EQ(total, 3u);
+}
+
+}  // namespace
+}  // namespace dpg::graph

@@ -1,0 +1,104 @@
+// Generator sanity: determinism, size contracts, shape properties.
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dpg::graph {
+namespace {
+
+TEST(ErdosRenyi, ProducesRequestedEdgeCount) {
+  const auto edges = erdos_renyi(100, 1234, 1);
+  EXPECT_EQ(edges.size(), 1234u);
+  for (const edge& e : edges) {
+    ASSERT_LT(e.src, 100u);
+    ASSERT_LT(e.dst, 100u);
+  }
+}
+
+TEST(ErdosRenyi, DeterministicInSeed) {
+  EXPECT_EQ(erdos_renyi(50, 300, 9), erdos_renyi(50, 300, 9));
+  EXPECT_NE(erdos_renyi(50, 300, 9), erdos_renyi(50, 300, 10));
+}
+
+TEST(Rmat, SizeContract) {
+  rmat_params p;
+  p.scale = 8;
+  p.edge_factor = 8;
+  const auto edges = rmat(p, 42);
+  EXPECT_EQ(edges.size(), (1u << 8) * 8u);
+  for (const edge& e : edges) {
+    ASSERT_LT(e.src, 1u << 8);
+    ASSERT_LT(e.dst, 1u << 8);
+  }
+}
+
+TEST(Rmat, DeterministicInSeed) {
+  rmat_params p;
+  p.scale = 7;
+  EXPECT_EQ(rmat(p, 1), rmat(p, 1));
+  EXPECT_NE(rmat(p, 1), rmat(p, 2));
+}
+
+TEST(Rmat, IsSkewed) {
+  // A power-law-ish generator must concentrate edges: the max out-degree
+  // should far exceed the mean.
+  rmat_params p;
+  p.scale = 10;
+  p.edge_factor = 16;
+  const auto edges = rmat(p, 3);
+  std::vector<std::uint64_t> deg(1u << p.scale, 0);
+  for (const edge& e : edges) ++deg[e.src];
+  const std::uint64_t maxd = *std::max_element(deg.begin(), deg.end());
+  const double mean = static_cast<double>(edges.size()) / static_cast<double>(deg.size());
+  EXPECT_GT(static_cast<double>(maxd), 8.0 * mean);
+}
+
+TEST(Rmat, ScrambleChangesLayoutNotSize) {
+  rmat_params a, b;
+  a.scale = b.scale = 7;
+  a.scramble_ids = true;
+  b.scramble_ids = false;
+  EXPECT_EQ(rmat(a, 5).size(), rmat(b, 5).size());
+  EXPECT_NE(rmat(a, 5), rmat(b, 5));
+}
+
+TEST(FixedTopologies, PathCycleStarCompleteGrid) {
+  EXPECT_EQ(path_graph(5).size(), 4u);
+  EXPECT_EQ(cycle_graph(5).size(), 5u);
+  EXPECT_EQ(star_graph(5).size(), 4u);
+  EXPECT_EQ(complete_graph(5).size(), 20u);
+  EXPECT_EQ(grid_graph(3, 4).size(), 2u * (3 * 3 + 2 * 4));
+  EXPECT_TRUE(path_graph(1).empty());
+  EXPECT_TRUE(path_graph(0).empty());
+  EXPECT_TRUE(cycle_graph(1).empty());
+}
+
+TEST(EdgeWeights, SymmetricInEndpoints) {
+  for (vertex_id u = 0; u < 20; ++u)
+    for (vertex_id v = 0; v < 20; ++v) {
+      ASSERT_DOUBLE_EQ(edge_weight(u, v, 9, 100.0), edge_weight(v, u, 9, 100.0));
+      ASSERT_EQ(edge_weight_int(u, v, 9, 255), edge_weight_int(v, u, 9, 255));
+    }
+}
+
+TEST(EdgeWeights, InRange) {
+  for (vertex_id u = 0; u < 50; ++u) {
+    const double w = edge_weight(u, u + 1, 4, 10.0);
+    ASSERT_GE(w, 1.0);
+    ASSERT_LE(w, 10.0);
+    const auto wi = edge_weight_int(u, u + 1, 4, 8);
+    ASSERT_GE(wi, 1u);
+    ASSERT_LE(wi, 8u);
+  }
+}
+
+TEST(EdgeWeights, SeedSensitive) {
+  EXPECT_NE(edge_weight(3, 4, 1, 100.0), edge_weight(3, 4, 2, 100.0));
+}
+
+}  // namespace
+}  // namespace dpg::graph

@@ -1,0 +1,74 @@
+// Edge-list I/O round trips and error handling.
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/generators.hpp"
+
+namespace dpg::graph {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "dpg_io_test.txt";
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void write_raw(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+};
+
+TEST_F(IoTest, RoundTripUnweighted) {
+  const auto edges = erdos_renyi(40, 200, 77);
+  write_edge_list(path_, 40, edges);
+  const auto back = read_edge_list(path_);
+  EXPECT_EQ(back.num_vertices, 40u);
+  EXPECT_EQ(back.edges, edges);
+  EXPECT_TRUE(back.weights.empty());
+}
+
+TEST_F(IoTest, RoundTripWeighted) {
+  const std::vector<edge> edges{{0, 1}, {1, 2}, {2, 0}};
+  const std::vector<double> weights{1.5, 2.25, 0.125};
+  write_edge_list(path_, 3, edges, weights);
+  const auto back = read_edge_list(path_);
+  EXPECT_EQ(back.edges, edges);
+  EXPECT_EQ(back.weights, weights);
+}
+
+TEST_F(IoTest, HeaderPinsVertexCount) {
+  write_raw("# vertices 10\n0 1\n");
+  EXPECT_EQ(read_edge_list(path_).num_vertices, 10u);
+}
+
+TEST_F(IoTest, VertexCountInferredWithoutHeader) {
+  write_raw("0 1\n5 2\n");
+  EXPECT_EQ(read_edge_list(path_).num_vertices, 6u);
+}
+
+TEST_F(IoTest, CommentsAndBlankLinesIgnored) {
+  write_raw("# a comment\n\n0 1\n# another\n1 2\n");
+  EXPECT_EQ(read_edge_list(path_).edges.size(), 2u);
+}
+
+TEST_F(IoTest, MalformedLineThrows) {
+  write_raw("0 1\nnonsense\n");
+  EXPECT_THROW(read_edge_list(path_), std::runtime_error);
+}
+
+TEST_F(IoTest, MixedWeightednessThrows) {
+  write_raw("0 1 2.0\n1 2\n");
+  EXPECT_THROW(read_edge_list(path_), std::runtime_error);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list(path_ + ".does_not_exist"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dpg::graph

@@ -1,0 +1,122 @@
+// Larger-scale stress (R-MAT scale 12: 4096 vertices, ~65k directed
+// edges): the solvers at a size where coalescing, bucket structures, and
+// termination detection all do real work. Oracles still adjudicate
+// everything; these tests trade a little runtime for coverage of the
+// regimes small unit tests never reach.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algo/baselines.hpp"
+#include "algo/bfs_dir_opt.hpp"
+#include "algo/cc.hpp"
+#include "algo/kcore.hpp"
+#include "algo/sssp.hpp"
+#include "graph/generators.hpp"
+
+namespace dpg {
+namespace {
+
+using graph::distributed_graph;
+using graph::distribution;
+using graph::edge_handle;
+using graph::vertex_id;
+
+constexpr unsigned kScale = 12;
+
+const std::vector<graph::edge>& raw_edges() {
+  static const std::vector<graph::edge> edges = [] {
+    graph::rmat_params p;
+    p.scale = kScale;
+    p.edge_factor = 16;
+    return graph::rmat(p, 0xbead);
+  }();
+  return edges;
+}
+
+TEST(Stress, SsspAllModesAtScale12) {
+  const vertex_id n = vertex_id{1} << kScale;
+  distributed_graph g(n, raw_edges(), distribution::cyclic(n, 4));
+  pmap::edge_property_map<double> w(g, [](const edge_handle& e) {
+    return graph::edge_weight(e.src, e.dst, 6, 255.0);
+  });
+  const auto oracle = algo::dijkstra(g, w, 0);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 4, .coalescing_size = 512});
+  algo::sssp_solver solver(tp, g, w);
+  for (int mode = 0; mode < 3; ++mode) {
+    tp.run([&](ampp::transport_context& ctx) {
+      if (mode == 0)
+        solver.run_fixed_point(ctx, 0);
+      else if (mode == 1)
+        solver.run_delta(ctx, 0, 128.0);
+      else
+        solver.run_delta_uncoordinated(ctx, 0, 128.0);
+    });
+    for (vertex_id v = 0; v < n; ++v)
+      ASSERT_DOUBLE_EQ(solver.dist()[v], oracle[v]) << "mode=" << mode;
+  }
+}
+
+TEST(Stress, CcAtScale12) {
+  const vertex_id n = vertex_id{1} << kScale;
+  graph::rmat_params p;
+  p.scale = kScale;
+  p.edge_factor = 1;  // sparse => hundreds of components
+  const auto edges = graph::symmetrize(graph::rmat(p, 3));
+  distributed_graph g(n, edges, distribution::cyclic(n, 4));
+  const auto oracle = algo::cc_union_find(g);
+  algo::cc_solver cc(g, ampp::transport_config{.n_ranks = 4});
+  cc.solve();
+  std::map<vertex_id, vertex_id> fwd, bwd;
+  for (vertex_id v = 0; v < n; ++v) {
+    auto [fit, f] = fwd.emplace(oracle[v], cc.components()[v]);
+    ASSERT_EQ(fit->second, cc.components()[v]);
+    auto [bit, b] = bwd.emplace(cc.components()[v], oracle[v]);
+    ASSERT_EQ(bit->second, oracle[v]);
+  }
+}
+
+TEST(Stress, DirOptBfsAtScale12) {
+  const vertex_id n = vertex_id{1} << kScale;
+  const auto edges = graph::symmetrize(raw_edges());
+  distributed_graph g(n, edges, distribution::cyclic(n, 4), /*bidirectional=*/true);
+  const auto oracle = algo::bfs_levels(g, 1);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 4});
+  algo::bfs_dir_opt_solver bfs(tp, g);
+  tp.run([&](ampp::transport_context& ctx) { bfs.run(ctx, 1); });
+  for (vertex_id v = 0; v < n; ++v) {
+    const auto want = oracle[v] < 0 ? bfs.unreachable_depth()
+                                    : static_cast<std::uint64_t>(oracle[v]);
+    ASSERT_EQ(bfs.depth()[v], want);
+  }
+  // On a scale-12 symmetric R-MAT the dense middle frontier must flip the
+  // heuristic into pull mode at least once.
+  bool pulled = false;
+  for (const char m : bfs.modes()) pulled = pulled || m == 'P';
+  EXPECT_TRUE(pulled);
+}
+
+TEST(Stress, KCoreAtScale11) {
+  const vertex_id n = 1u << 11;
+  graph::rmat_params p;
+  p.scale = 11;
+  p.edge_factor = 8;
+  const auto edges = graph::symmetrize(graph::simplify(graph::rmat(p, 5)));
+  distributed_graph g(n, edges, distribution::cyclic(n, 4));
+  ampp::transport tp(ampp::transport_config{.n_ranks = 4});
+  algo::kcore_solver solver(tp, g);
+  tp.run([&](ampp::transport_context& ctx) { solver.run(ctx); });
+  // Spot-check the k-core property itself: within the subgraph induced by
+  // {v : coreness(v) >= k}, every vertex has degree >= k (for k = 3).
+  constexpr std::uint64_t k = 3;
+  for (vertex_id v = 0; v < n; ++v) {
+    if (solver.coreness()[v] < k) continue;
+    std::uint64_t deg_in_core = 0;
+    for (const vertex_id u : g.adjacent(v))
+      if (u != v && solver.coreness()[u] >= k) ++deg_in_core;
+    ASSERT_GE(deg_in_core, k) << "v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace dpg

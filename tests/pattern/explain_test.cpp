@@ -1,0 +1,101 @@
+// Tests of the plan introspection ("explain") facility — the textual
+// reproduction of the paper's Figs. 5/6 communication diagrams.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pattern/action.hpp"
+
+namespace dpg::pattern {
+namespace {
+
+using graph::distributed_graph;
+using graph::distribution;
+using graph::vertex_id;
+
+struct world {
+  distributed_graph g;
+  pmap::vertex_property_map<double> dist;
+  pmap::edge_property_map<double> weight;
+  pmap::vertex_property_map<vertex_id> pnt, chg;
+  pmap::lock_map locks;
+  ampp::transport tp;
+
+  world()
+      : g(8, graph::path_graph(8), distribution::cyclic(8, 2)),
+        dist(g, 1e100),
+        weight(g, 1.0),
+        pnt(g, 0),
+        chg(g, 0),
+        locks(g.dist(), pmap::lock_scheme::per_vertex),
+        tp(ampp::transport_config{.n_ranks = 2}) {}
+};
+
+TEST(Explain, SsspPlanReadsLikeFigureSix) {
+  world w;
+  property d(w.dist);
+  property wt(w.weight);
+  auto relax = instantiate(w.tp, w.g, w.locks,
+                           make_action("relax", out_edges_gen{},
+                                       when(d(trg(e_)) > d(v_) + wt(e_),
+                                            assign(d(trg(e_)), d(v_) + wt(e_)))));
+  const std::string text = explain(relax->name(), relax->plan());
+  EXPECT_NE(text.find("action relax"), std::string::npos);
+  EXPECT_NE(text.find("hop 0 at v (invocation site): 2 read(s)"), std::string::npos);
+  EXPECT_NE(text.find("final at trg(e)"), std::string::npos);
+  EXPECT_NE(text.find("atomic compare-and-update"), std::string::npos);
+  EXPECT_NE(text.find("dependencies: yes"), std::string::npos);
+  EXPECT_NE(text.find("messages per application: 1"), std::string::npos);
+}
+
+TEST(Explain, PointerChasePlanShowsTheChain) {
+  world w;
+  property P(w.pnt);
+  property C(w.chg);
+  auto jump = instantiate(w.tp, w.g, w.locks,
+                          make_action("jump", no_generator{},
+                                      when(C(P(v_)) < C(v_), assign(C(v_), C(P(v_))))));
+  const std::string text = explain(jump->name(), jump->plan());
+  EXPECT_NE(text.find("hop 0 at v"), std::string::npos);
+  EXPECT_NE(text.find("hop 1 at chase (gather message)"), std::string::npos);
+  EXPECT_NE(text.find("final at v (evaluate+modify message)"), std::string::npos);
+  EXPECT_NE(text.find("messages per application: 2"), std::string::npos);
+}
+
+TEST(Explain, LocalPlanShowsMergeAndNoMessages) {
+  world w;
+  property d(w.dist);
+  auto local = instantiate(w.tp, w.g, w.locks,
+                           make_action("bump", no_generator{},
+                                       when(d(v_) < lit(1.0), assign(d(v_), lit(1.0)))));
+  const std::string text = explain(local->name(), local->plan());
+  EXPECT_NE(text.find("merged into the last gather hop"), std::string::npos);
+  EXPECT_NE(text.find("messages per application: 0"), std::string::npos);
+  EXPECT_NE(text.find("dependencies: yes"), std::string::npos);  // reads+writes d
+}
+
+TEST(Explain, NoDependencyWhenWrittenMapNeverRead) {
+  world w;
+  property d(w.dist);
+  property c(w.chg);
+  auto act = instantiate(w.tp, w.g, w.locks,
+                         make_action("mark", no_generator{},
+                                     when(d(v_) < lit(1.0),
+                                          assign(c(v_), lit<vertex_id>(7)))));
+  EXPECT_FALSE(act->plan().has_dependencies);
+  const std::string text = explain(act->name(), act->plan());
+  EXPECT_NE(text.find("dependencies: none"), std::string::npos);
+}
+
+TEST(Explain, PlanInfoCountsConditions) {
+  world w;
+  property d(w.dist);
+  auto act = instantiate(
+      w.tp, w.g, w.locks,
+      make_action("two_arm", out_edges_gen{},
+                  when(d(trg(e_)) > d(v_), assign(d(trg(e_)), d(v_))),
+                  when(d(trg(e_)) < lit(0.0), assign(d(trg(e_)), lit(0.0)))));
+  EXPECT_EQ(act->plan().conditions, 2);
+}
+
+}  // namespace
+}  // namespace dpg::pattern

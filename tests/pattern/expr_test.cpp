@@ -1,0 +1,135 @@
+// Unit tests of the expression layer: AST construction, value typing,
+// operator evaluation, and compile-time locality classification.
+#include "pattern/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "pattern/planner.hpp"
+
+namespace dpg::pattern {
+namespace {
+
+using graph::distributed_graph;
+using graph::distribution;
+using graph::vertex_id;
+
+TEST(Expr, ValueTypesArePropagated) {
+  static_assert(std::is_same_v<value_t<v_expr>, vertex_id>);
+  static_assert(std::is_same_v<value_t<e_expr>, graph::edge_handle>);
+  static_assert(std::is_same_v<value_t<decltype(trg(e_))>, vertex_id>);
+  static_assert(std::is_same_v<value_t<decltype(src(e_))>, vertex_id>);
+  static_assert(std::is_same_v<value_t<decltype(lit(1.5))>, double>);
+  static_assert(std::is_same_v<value_t<decltype(lit(1.5) + lit(2))>, double>);
+  static_assert(std::is_same_v<value_t<decltype(lit(1) < lit(2))>, bool>);
+  static_assert(std::is_same_v<value_t<decltype(!(lit(1) < lit(2)))>, bool>);
+  SUCCEED();
+}
+
+TEST(Expr, ApplyOpSemantics) {
+  EXPECT_EQ((apply_op<op_add>(2, 3)), 5);
+  EXPECT_EQ((apply_op<op_sub>(2, 3)), -1);
+  EXPECT_EQ((apply_op<op_mul>(2.5, 4.0)), 10.0);
+  EXPECT_EQ((apply_op<op_div>(9, 2)), 4);
+  EXPECT_TRUE((apply_op<op_lt>(1, 2)));
+  EXPECT_FALSE((apply_op<op_gt>(1, 2)));
+  EXPECT_TRUE((apply_op<op_le>(2, 2)));
+  EXPECT_TRUE((apply_op<op_ge>(2, 2)));
+  EXPECT_TRUE((apply_op<op_eq>(7, 7)));
+  EXPECT_TRUE((apply_op<op_ne>(7, 8)));
+  EXPECT_TRUE((apply_op<op_and>(true, true)));
+  EXPECT_TRUE((apply_op<op_or>(false, true)));
+  EXPECT_EQ((apply_op<op_min>(3, 5)), 3);
+  EXPECT_EQ((apply_op<op_max>(3, 5)), 5);
+  EXPECT_EQ((apply_op<op_min>(2.0, 1)), 1.0);
+}
+
+TEST(Expr, GatherStateArenaRoundTrips) {
+  gather_state s;
+  s.arena_put<double>(0, 3.25);
+  s.arena_put<std::uint64_t>(8, 42);
+  EXPECT_DOUBLE_EQ(s.arena_get<double>(0), 3.25);
+  EXPECT_EQ(s.arena_get<std::uint64_t>(8), 42u);
+}
+
+TEST(Expr, CompiledExpressionsEvaluateAgainstState) {
+  const vertex_id n = 4;
+  distributed_graph g(n, graph::path_graph(n), distribution::block(n, 1));
+  pmap::vertex_property_map<double> dmap(g, 0.0);
+  dmap[2] = 7.5;
+  property dist(dmap);
+
+  plan_builder<out_edges_gen> pb;
+  auto f = pb.compile(dist(v_) + lit(1.0));
+  ASSERT_EQ(pb.steps().size(), 1u);
+
+  gather_state s;
+  s.v = 2;
+  // Perform the (single) registered read, then evaluate.
+  pb.steps()[0].perform(s);
+  EXPECT_DOUBLE_EQ(f(s), 8.5);
+}
+
+TEST(Expr, DuplicateReadsShareOneArenaSlot) {
+  const vertex_id n = 4;
+  distributed_graph g(n, graph::path_graph(n), distribution::block(n, 1));
+  pmap::vertex_property_map<double> dmap(g, 2.0);
+  property dist(dmap);
+  plan_builder<out_edges_gen> pb;
+  auto f = pb.compile(dist(v_) + dist(v_) * dist(v_));
+  EXPECT_EQ(pb.steps().size(), 1u);  // deduplicated
+  EXPECT_EQ(pb.arena_used(), sizeof(double));
+  gather_state s;
+  s.v = 1;
+  pb.steps()[0].perform(s);
+  EXPECT_DOUBLE_EQ(f(s), 6.0);
+}
+
+TEST(Expr, DistinctMapsGetDistinctSlots) {
+  const vertex_id n = 4;
+  distributed_graph g(n, graph::path_graph(n), distribution::block(n, 1));
+  pmap::vertex_property_map<double> a(g, 1.0), b(g, 2.0);
+  property A(a), B(b);
+  plan_builder<no_generator> pb;
+  auto f = pb.compile(A(v_) + B(v_));
+  EXPECT_EQ(pb.steps().size(), 2u);
+  gather_state s;
+  s.v = 0;
+  for (auto& st : pb.steps()) st.perform(s);
+  EXPECT_DOUBLE_EQ(f(s), 3.0);
+}
+
+TEST(Expr, HomeClassificationFollowsDefinitionOne) {
+  static_assert(home_of<v_expr, out_edges_gen>::kind == home_kind::at_v);
+  static_assert(home_of<e_expr, out_edges_gen>::kind == home_kind::at_v);
+  static_assert(home_of<src_expr<e_expr>, out_edges_gen>::kind == home_kind::at_v);
+  static_assert(home_of<trg_expr<e_expr>, out_edges_gen>::kind == home_kind::at_gen);
+  static_assert(home_of<src_expr<e_expr>, in_edges_gen>::kind == home_kind::at_gen);
+  static_assert(home_of<trg_expr<e_expr>, in_edges_gen>::kind == home_kind::at_v);
+  static_assert(home_of<u_expr, adj_gen>::kind == home_kind::at_gen);
+  using chase_idx =
+      read_expr<pmap::vertex_property_map<vertex_id>, v_expr>;
+  static_assert(home_of<chase_idx, no_generator>::kind == home_kind::chase);
+  SUCCEED();
+}
+
+TEST(Expr, ReadsPmapTracksIdentity) {
+  const vertex_id n = 4;
+  distributed_graph g(n, graph::path_graph(n), distribution::block(n, 1));
+  pmap::vertex_property_map<double> a(g), b(g);
+  property A(a);
+  plan_builder<no_generator> pb;
+  (void)pb.compile(A(v_) > lit(0.0));
+  EXPECT_TRUE(pb.reads_pmap(&a));
+  EXPECT_FALSE(pb.reads_pmap(&b));
+}
+
+TEST(Expr, MinMaxExpressions) {
+  plan_builder<no_generator> pb;
+  auto f = pb.compile(min_(lit(4), lit(9)) + max_(lit(4), lit(9)));
+  gather_state s;
+  EXPECT_EQ(f(s), 13);
+}
+
+}  // namespace
+}  // namespace dpg::pattern

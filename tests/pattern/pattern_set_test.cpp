@@ -1,0 +1,108 @@
+// The pattern_set container (§III's top-level "pattern" construct).
+#include "pattern/pattern.hpp"
+
+#include "ampp/epoch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace dpg::pattern {
+namespace {
+
+using graph::distributed_graph;
+using graph::distribution;
+using graph::vertex_id;
+
+struct world {
+  distributed_graph g;
+  pmap::vertex_property_map<vertex_id> pnt, chg;
+  pmap::lock_map locks;
+  ampp::transport tp;
+
+  world()
+      : g(8, graph::symmetrize(graph::path_graph(8)), distribution::cyclic(8, 2)),
+        pnt(g, graph::invalid_vertex),
+        chg(g, 0),
+        locks(g.dist(), pmap::lock_scheme::per_vertex),
+        tp(ampp::transport_config{.n_ranks = 2}) {}
+};
+
+pattern_set make_cc_pattern(world& w) {
+  property P(w.pnt);
+  property C(w.chg);
+  pattern_set cc("CC");
+  cc.add(instantiate(w.tp, w.g, w.locks,
+                     make_action("cc_search", out_edges_gen{},
+                                 when(P(trg(e_)) == lit(graph::invalid_vertex),
+                                      assign(P(trg(e_)), P(v_))))));
+  cc.add(instantiate(w.tp, w.g, w.locks,
+                     make_action("cc_jump", no_generator{},
+                                 when(C(P(v_)) < C(v_), assign(C(v_), C(P(v_)))))));
+  return cc;
+}
+
+TEST(PatternSet, NamesAndLookup) {
+  world w;
+  auto cc = make_cc_pattern(w);
+  EXPECT_EQ(cc.name(), "CC");
+  EXPECT_EQ(cc.size(), 2u);
+  EXPECT_TRUE(cc.contains("cc_search"));
+  EXPECT_TRUE(cc.contains("cc_jump"));
+  EXPECT_FALSE(cc.contains("relax"));
+  EXPECT_EQ(cc["cc_search"].name(), "cc_search");
+  EXPECT_EQ(cc["cc_jump"].plan().gather_hops, 2);
+}
+
+TEST(PatternSet, ActionsRemainUsable) {
+  world w;
+  auto cc = make_cc_pattern(w);
+  w.pnt[0] = 0;
+  w.tp.run([&](ampp::transport_context& ctx) {
+    ampp::epoch ep(ctx);
+    if (w.g.owner(0) == ctx.rank()) cc["cc_search"](ctx, 0);
+  });
+  EXPECT_EQ(w.pnt[1], 0u);  // neighbour claimed by search from 0
+}
+
+TEST(PatternSet, ExplainAllListsEveryAction) {
+  world w;
+  auto cc = make_cc_pattern(w);
+  const std::string text = cc.explain_all();
+  EXPECT_NE(text.find("pattern CC (2 action(s))"), std::string::npos);
+  EXPECT_NE(text.find("action cc_search"), std::string::npos);
+  EXPECT_NE(text.find("action cc_jump"), std::string::npos);
+}
+
+TEST(PatternSetDeathTest, DuplicateNamesRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        world w;
+        property P(w.pnt);
+        pattern_set ps("dup");
+        ps.add(instantiate(w.tp, w.g, w.locks,
+                           make_action("a", no_generator{},
+                                       when(P(v_) == lit<vertex_id>(0),
+                                            assign(P(v_), lit<vertex_id>(1))))));
+        ps.add(instantiate(w.tp, w.g, w.locks,
+                           make_action("a", no_generator{},
+                                       when(P(v_) == lit<vertex_id>(1),
+                                            assign(P(v_), lit<vertex_id>(2))))));
+      },
+      "duplicate");
+}
+
+TEST(PatternSetDeathTest, UnknownLookupRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        world w;
+        auto cc = make_cc_pattern(w);
+        (void)cc["nope"];
+      },
+      "unknown action");
+}
+
+}  // namespace
+}  // namespace dpg::pattern

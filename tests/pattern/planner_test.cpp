@@ -1,0 +1,237 @@
+// Tests of the locality planner on multi-hop patterns: pointer chases
+// (Fig. 5's general gather chains), pull-style actions, local-only actions,
+// and the modify() general modification statement.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "ampp/epoch.hpp"
+#include "ampp/transport.hpp"
+#include "graph/generators.hpp"
+#include "pattern/action.hpp"
+
+namespace dpg::pattern {
+namespace {
+
+using graph::distributed_graph;
+using graph::distribution;
+using graph::vertex_id;
+
+TEST(Planner, PointerChaseBuildsThreeLocalityChain) {
+  // cc_jump-style: modify chg(v) after reading chg(pnt(v)) at a remote
+  // vertex. Chain: v (gather pnt(v)) -> pnt(v) (gather chg(pnt(v))) ->
+  // back to v (evaluate + modify). Two messages per application.
+  const vertex_id n = 12;
+  const auto edges = graph::path_graph(n);
+  distributed_graph g(n, edges, distribution::cyclic(n, 3));
+  pmap::vertex_property_map<vertex_id> pnt(g, graph::invalid_vertex);
+  pmap::vertex_property_map<vertex_id> chg(g, graph::invalid_vertex);
+  pmap::lock_map locks(g.dist(), pmap::lock_scheme::per_vertex);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 3});
+
+  property P(pnt), C(chg);
+  auto jump = instantiate(tp, g, locks,
+                          make_action("jump", no_generator{},
+                                      when(C(P(v_)) < C(v_),
+                                           assign(C(v_), C(P(v_))))));
+  const plan_info& p = jump->plan();
+  EXPECT_EQ(p.gather_hops, 2);   // v, then the chased vertex
+  EXPECT_FALSE(p.final_merged);  // eval+modify returns to v
+  // The chase value is gathered; the final step is still a single-value
+  // min-update of chg(v), so the atomic fast path applies.
+  EXPECT_TRUE(p.atomic_path);
+  EXPECT_EQ(p.messages_per_application(), 2);
+
+  // Semantics: one pointer-jump round. pnt(v) = v-1 (a chain), chg holds
+  // "labels"; after applying jump at every vertex once, each chg(v) takes
+  // its predecessor's (smaller) label when smaller.
+  for (vertex_id v = 0; v < n; ++v) {
+    pnt[v] = v == 0 ? 0 : v - 1;
+    chg[v] = v;
+  }
+  tp.run([&](ampp::transport_context& ctx) {
+    ampp::epoch ep(ctx);
+    for (vertex_id v = 0; v < n; ++v)
+      if (g.owner(v) == ctx.rank()) (*jump)(ctx, v);
+  });
+  // Every vertex v>0 saw chg(pnt(v)) at some state; at minimum it became
+  // strictly smaller than v, and chg(0) stayed 0.
+  EXPECT_EQ(chg[0], 0u);
+  for (vertex_id v = 1; v < n; ++v) EXPECT_LT(chg[v], v);
+}
+
+TEST(Planner, RepeatedJumpRoundsConvergeToRoot) {
+  // Applying the jump action until quiescence implements full pointer
+  // jumping: all labels collapse to 0 in O(log n)-ish rounds.
+  const vertex_id n = 33;
+  const auto edges = graph::path_graph(n);
+  distributed_graph g(n, edges, distribution::block(n, 4));
+  pmap::vertex_property_map<vertex_id> pnt(g, 0);
+  pmap::vertex_property_map<vertex_id> chg(g, 0);
+  pmap::lock_map locks(g.dist(), pmap::lock_scheme::per_vertex);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 4});
+  property P(pnt), C(chg);
+  auto jump = instantiate(tp, g, locks,
+                          make_action("jump", no_generator{},
+                                      when(C(P(v_)) < C(v_), assign(C(v_), C(P(v_))))));
+  for (vertex_id v = 0; v < n; ++v) {
+    pnt[v] = v == 0 ? 0 : v - 1;
+    chg[v] = v;
+  }
+  tp.run([&](ampp::transport_context& ctx) {
+    for (int round = 0; round < 64; ++round) {
+      const std::uint64_t before = jump->modifications();
+      {
+        ampp::epoch ep(ctx);
+        for (vertex_id v = 0; v < n; ++v)
+          if (g.owner(v) == ctx.rank()) (*jump)(ctx, v);
+      }
+      // modifications() is globally consistent after the epoch ended.
+      if (jump->modifications() == before) break;
+    }
+  });
+  for (vertex_id v = 0; v < n; ++v) EXPECT_EQ(chg[v], 0u) << "v=" << v;
+}
+
+TEST(Planner, PullPatternGathersAtGeneratorTarget) {
+  // Pull-style SSSP: read dist at the neighbour, modify at v. The
+  // generator end is a gather hop; the final hop returns to v.
+  const vertex_id n = 10;
+  const auto edges = graph::symmetrize(graph::path_graph(n));
+  distributed_graph g(n, edges, distribution::cyclic(n, 2));
+  pmap::vertex_property_map<double> dmap(g, 1e18);
+  pmap::edge_property_map<double> wmap(g, 1.0);
+  pmap::lock_map locks(g.dist(), pmap::lock_scheme::per_vertex);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  property dist(dmap);
+  property weight(wmap);
+  auto pull = instantiate(
+      tp, g, locks,
+      make_action("pull", out_edges_gen{},
+                  when(dist(v_) > dist(trg(e_)) + weight(e_),
+                       assign(dist(v_), dist(trg(e_)) + weight(e_)))));
+  EXPECT_EQ(pull->plan().gather_hops, 2);  // v (weight), then trg (dist)
+  EXPECT_EQ(pull->plan().messages_per_application(), 2);
+
+  dmap[0] = 0.0;
+  tp.run([&](ampp::transport_context& ctx) {
+    // Two pull sweeps propagate distance 2 hops down the path.
+    for (int sweep = 0; sweep < 2; ++sweep) {
+      ampp::epoch ep(ctx);
+      for (vertex_id v = 0; v < n; ++v)
+        if (g.owner(v) == ctx.rank()) (*pull)(ctx, v);
+    }
+  });
+  EXPECT_DOUBLE_EQ(dmap[1], 1.0);
+  EXPECT_DOUBLE_EQ(dmap[2], 2.0);
+}
+
+TEST(Planner, FullyLocalActionSendsNoMessages) {
+  // Modify at v from values at v: everything runs inline (merged final).
+  const vertex_id n = 16;
+  distributed_graph g(n, graph::path_graph(n), distribution::block(n, 2));
+  pmap::vertex_property_map<std::uint64_t> a(g, 3), b(g, 0);
+  pmap::lock_map locks(g.dist(), pmap::lock_scheme::per_vertex);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  property A(a), B(b);
+  auto local = instantiate(tp, g, locks,
+                           make_action("double_it", no_generator{},
+                                       when(B(v_) < A(v_) * lit<std::uint64_t>(2),
+                                            assign(B(v_), A(v_) * lit<std::uint64_t>(2)))));
+  EXPECT_EQ(local->plan().gather_hops, 1);
+  EXPECT_TRUE(local->plan().final_merged);
+  EXPECT_EQ(local->plan().messages_per_application(), 0);
+
+  const auto before = tp.stats().snap();
+  tp.run([&](ampp::transport_context& ctx) {
+    ampp::epoch ep(ctx);
+    for (vertex_id v = 0; v < n; ++v)
+      if (g.owner(v) == ctx.rank()) (*local)(ctx, v);
+  });
+  const auto delta = tp.stats().snap() - before;
+  EXPECT_EQ(delta.messages_sent, 0u);
+  for (vertex_id v = 0; v < n; ++v) EXPECT_EQ(b[v], 6u);
+}
+
+TEST(Planner, ModifyStatementAccumulatesSets) {
+  // preds[trg(e)].insert(src) — the grammar's general modification. The
+  // set-valued map is modified at the owner; only vertex ids travel.
+  const vertex_id n = 6;
+  distributed_graph g(n, graph::star_graph(n), distribution::cyclic(n, 3));
+  pmap::vertex_property_map<std::vector<vertex_id>> preds(g);
+  pmap::vertex_property_map<int> mark(g, 0);
+  pmap::lock_map locks(g.dist(), pmap::lock_scheme::per_vertex);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 3});
+  property M(mark);
+  property P(preds);
+  auto record = instantiate(
+      tp, g, locks,
+      make_action("record", out_edges_gen{},
+                  when(M(trg(e_)) == lit(0),
+                       modify(P(trg(e_)),
+                              [](std::vector<vertex_id>& set, vertex_id u) {
+                                set.push_back(u);
+                              },
+                              src(e_)))));
+  tp.run([&](ampp::transport_context& ctx) {
+    ampp::epoch ep(ctx);
+    if (g.owner(0) == ctx.rank()) (*record)(ctx, 0);
+  });
+  for (vertex_id v = 1; v < n; ++v) {
+    ASSERT_EQ(preds[v].size(), 1u) << "v=" << v;
+    EXPECT_EQ(preds[v][0], 0u);
+  }
+  EXPECT_TRUE(preds[0].empty());
+}
+
+TEST(Planner, InEdgesGeneratorReadsMirrorWeights) {
+  // Pull over in_edges: weight(e) for an in-edge is read at v through the
+  // mirror copy; dist at the remote source is a final... no — modify at v,
+  // read dist(src(e)) at the generator end.
+  const vertex_id n = 8;
+  const auto edges = graph::path_graph(n);  // v-1 -> v
+  distributed_graph g(n, edges, distribution::cyclic(n, 2), /*bidirectional=*/true);
+  pmap::vertex_property_map<double> dmap(g, 1e18);
+  pmap::edge_property_map<double> wmap(g, 2.0);
+  pmap::lock_map locks(g.dist(), pmap::lock_scheme::per_vertex);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  property dist(dmap);
+  property weight(wmap);
+  auto pull = instantiate(
+      tp, g, locks,
+      make_action("pull_in", in_edges_gen{},
+                  when(dist(v_) > dist(src(e_)) + weight(e_),
+                       assign(dist(v_), dist(src(e_)) + weight(e_)))));
+  dmap[0] = 0.0;
+  tp.run([&](ampp::transport_context& ctx) {
+    ampp::epoch ep(ctx);
+    for (vertex_id v = 0; v < n; ++v)
+      if (g.owner(v) == ctx.rank()) (*pull)(ctx, v);
+  });
+  EXPECT_DOUBLE_EQ(dmap[1], 2.0);  // one sweep pulls one hop
+}
+
+TEST(Planner, ArenaOverflowIsDetected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const vertex_id n = 4;
+  distributed_graph g(n, graph::path_graph(n), distribution::block(n, 1));
+  struct fat {
+    double x[5];
+    bool operator<(const fat& o) const { return x[0] < o.x[0]; }
+  };
+  pmap::vertex_property_map<fat> a(g), b(g), c(g);
+  pmap::lock_map locks(g.dist(), pmap::lock_scheme::per_vertex);
+  auto build = [&] {
+    ampp::transport tp(ampp::transport_config{.n_ranks = 1});
+    property A(a), B(b), C(c);
+    // 3 * 40 bytes of gathered state exceeds the 48-byte arena.
+    auto act = instantiate(tp, g, locks,
+                           make_action("fat", no_generator{},
+                                       when(A(v_) < B(v_), assign(C(v_), B(v_)))));
+  };
+  EXPECT_DEATH(build(), "arena");
+}
+
+}  // namespace
+}  // namespace dpg::pattern

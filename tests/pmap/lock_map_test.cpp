@@ -1,0 +1,98 @@
+// Lock map (§IV-B): scheme layout, mutual exclusion under contention, and
+// the atomic single-value fast path.
+#include "pmap/lock_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dpg::pmap {
+namespace {
+
+using graph::distribution;
+
+TEST(LockMap, PerVertexGivesDistinctLocksWithinRank) {
+  auto d = distribution::block(64, 2);
+  lock_map lm(d, lock_scheme::per_vertex);
+  // Vertices 0 and 1 are both on rank 0 but must use different locks.
+  EXPECT_NE(&lm.lock_for(0), &lm.lock_for(1));
+}
+
+TEST(LockMap, BlockSchemeSharesLocksWithinBlock) {
+  auto d = distribution::block(256, 1);
+  lock_map lm(d, lock_scheme::per_block, /*block_bits=*/4);  // 16 vertices/lock
+  EXPECT_EQ(&lm.lock_for(0), &lm.lock_for(15));
+  EXPECT_NE(&lm.lock_for(0), &lm.lock_for(16));
+}
+
+TEST(LockMap, GuardProvidesMutualExclusion) {
+  auto d = distribution::block(8, 1);
+  lock_map lm(d, lock_scheme::per_vertex);
+  std::uint64_t counter = 0;  // deliberately non-atomic
+  constexpr int kThreads = 4, kIters = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        auto g = lm.guard(3);
+        ++counter;
+      }
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(AtomicUpdateIf, RelaxesLikeSssp) {
+  double dist = 100.0;
+  auto less = [](double cur, double prop) { return prop < cur; };
+  EXPECT_TRUE(atomic_update_if(dist, 50.0, less));
+  EXPECT_DOUBLE_EQ(dist, 50.0);
+  EXPECT_FALSE(atomic_update_if(dist, 70.0, less));
+  EXPECT_DOUBLE_EQ(dist, 50.0);
+  EXPECT_TRUE(atomic_update_if(dist, 49.0, less));
+}
+
+TEST(AtomicUpdateIf, ConcurrentMinConverges) {
+  std::uint64_t value = ~0ULL;
+  auto less = [](std::uint64_t cur, std::uint64_t prop) { return prop < cur; };
+  constexpr int kThreads = 8;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < 10000; ++i)
+        atomic_update_if(value, (i * 7919 + t * 104729) % 1000000, less);
+    });
+  for (auto& t : ts) t.join();
+  // The global minimum of all proposed values must have won. Compute it.
+  std::uint64_t expect = ~0ULL;
+  for (int t = 0; t < kThreads; ++t)
+    for (std::uint64_t i = 0; i < 10000; ++i)
+      expect = std::min(expect, (i * 7919 + t * 104729) % 1000000);
+  EXPECT_EQ(value, expect);
+}
+
+TEST(LockedUpdateIf, SameSemanticsAsAtomic) {
+  dpg::spinlock lk;
+  std::string s = "zebra";
+  auto lex_less = [](const std::string& cur, const std::string& prop) { return prop < cur; };
+  EXPECT_TRUE(locked_update_if(lk, s, std::string("apple"), lex_less));
+  EXPECT_EQ(s, "apple");
+  EXPECT_FALSE(locked_update_if(lk, s, std::string("mango"), lex_less));
+  EXPECT_EQ(s, "apple");
+}
+
+TEST(AtomicCapableConcept, ClassifiesTypes) {
+  static_assert(atomic_capable<int>);
+  static_assert(atomic_capable<double>);
+  static_assert(atomic_capable<std::uint64_t>);
+  static_assert(!atomic_capable<std::string>);
+  struct big {
+    double a, b, c;
+  };
+  static_assert(!atomic_capable<big>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dpg::pmap

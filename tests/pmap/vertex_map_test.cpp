@@ -1,0 +1,96 @@
+// Vertex property maps: shard layout, owner discipline, local views.
+#include "pmap/vertex_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ampp/epoch.hpp"
+#include "ampp/transport.hpp"
+#include "graph/generators.hpp"
+
+namespace dpg::pmap {
+namespace {
+
+using graph::distributed_graph;
+using graph::distribution;
+
+TEST(VertexMap, InitializesEverywhere) {
+  const auto edges = graph::path_graph(10);
+  distributed_graph g(10, edges, distribution::cyclic(10, 3));
+  vertex_property_map<int> m(g, 7);
+  for (graph::vertex_id v = 0; v < 10; ++v) EXPECT_EQ(m[v], 7);
+}
+
+TEST(VertexMap, WritesAreVisiblePerVertex) {
+  const auto edges = graph::path_graph(20);
+  distributed_graph g(20, edges, distribution::block(20, 4));
+  vertex_property_map<std::uint64_t> m(g, 0);
+  for (graph::vertex_id v = 0; v < 20; ++v) m[v] = v * v;
+  for (graph::vertex_id v = 0; v < 20; ++v) EXPECT_EQ(m[v], v * v);
+}
+
+TEST(VertexMap, LocalShardMatchesDistribution) {
+  const auto edges = graph::path_graph(13);
+  distributed_graph g(13, edges, distribution::cyclic(13, 4));
+  vertex_property_map<graph::vertex_id> m(g, 0);
+  for (ampp::rank_t r = 0; r < 4; ++r) {
+    auto span = m.local(r);
+    ASSERT_EQ(span.size(), g.dist().count(r));
+    for (std::size_t li = 0; li < span.size(); ++li) span[li] = m.global_id(r, li);
+  }
+  for (graph::vertex_id v = 0; v < 13; ++v) EXPECT_EQ(m[v], v);
+}
+
+TEST(VertexMap, NonTrivialValueTypes) {
+  const auto edges = graph::path_graph(5);
+  distributed_graph g(5, edges, distribution::block(5, 2));
+  vertex_property_map<std::string> m(g, "x");
+  m[3] = "hello";
+  EXPECT_EQ(m[3], "hello");
+  EXPECT_EQ(m[2], "x");
+}
+
+TEST(VertexMap, FillResetsAllShards) {
+  const auto edges = graph::path_graph(9);
+  distributed_graph g(9, edges, distribution::hashed(9, 3));
+  vertex_property_map<int> m(g, 1);
+  m[4] = 99;
+  m.fill(5);
+  for (graph::vertex_id v = 0; v < 9; ++v) EXPECT_EQ(m[v], 5);
+}
+
+TEST(VertexMap, OwnerLocalAccessInsideRun) {
+  // Each rank writes only its own vertices inside a run; afterwards all
+  // values must be visible globally.
+  const graph::vertex_id n = 32;
+  const auto edges = graph::path_graph(n);
+  distributed_graph g(n, edges, distribution::cyclic(n, 4));
+  vertex_property_map<std::uint64_t> m(g, 0);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 4});
+  tp.run([&](ampp::transport_context& ctx) {
+    auto mine = m.local(ctx.rank());
+    for (std::size_t li = 0; li < mine.size(); ++li)
+      mine[li] = m.global_id(ctx.rank(), li) + 100;
+  });
+  for (graph::vertex_id v = 0; v < n; ++v) EXPECT_EQ(m[v], v + 100);
+}
+
+TEST(VertexMapDeathTest, ForeignAccessAbortsInsideRun) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const graph::vertex_id n = 8;
+  const auto edges = graph::path_graph(n);
+  distributed_graph g(n, edges, distribution::block(n, 2));
+  vertex_property_map<int> m(g, 0);
+  auto touch_foreign = [&] {
+    ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+    tp.run([&](ampp::transport_context& ctx) {
+      if (ctx.rank() == 0) m[7] = 1;  // vertex 7 is owned by rank 1
+      ctx.barrier();
+    });
+  };
+  EXPECT_DEATH(touch_foreign(), "does not own");
+}
+
+}  // namespace
+}  // namespace dpg::pmap

@@ -1,0 +1,76 @@
+// Δ-stepping with multithreaded ranks: the scenario the paper describes in
+// §II-A ("the Δ-stepping strategy has to provide a thread-safe buckets
+// data structure") and §III-D. Work hooks now run on handler threads and
+// insert into the owner's buckets concurrently with the SPMD thread
+// popping them.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "algo/baselines.hpp"
+#include "algo/sssp.hpp"
+#include "graph/generators.hpp"
+
+namespace dpg::strategy {
+namespace {
+
+using graph::distributed_graph;
+using graph::distribution;
+using graph::edge_handle;
+using graph::vertex_id;
+
+class ConcurrentDelta : public ::testing::TestWithParam<int /*mode*/> {};
+
+TEST_P(ConcurrentDelta, MatchesDijkstraWithHandlerThreads) {
+  const int mode = GetParam();
+  const vertex_id n = 200;
+  const auto edges = graph::erdos_renyi(n, 1600, 77);
+  distributed_graph g(n, edges, distribution::cyclic(n, 2));
+  pmap::edge_property_map<double> weight(g, [](const edge_handle& e) {
+    return graph::edge_weight(e.src, e.dst, 13, 12.0);
+  });
+  const auto oracle = algo::dijkstra(g, weight, 0);
+
+  ampp::transport tp(ampp::transport_config{
+      .n_ranks = 2, .coalescing_size = 16, .handler_threads = 2});
+  algo::sssp_solver solver(tp, g, weight);
+  for (int trial = 0; trial < 3; ++trial) {
+    tp.run([&](ampp::transport_context& ctx) {
+      if (mode == 0)
+        solver.run_delta(ctx, 0, 6.0);
+      else
+        solver.run_delta_uncoordinated(ctx, 0, 6.0);
+    });
+    for (vertex_id v = 0; v < n; ++v)
+      ASSERT_DOUBLE_EQ(solver.dist()[v], oracle[v])
+          << "mode=" << mode << " trial=" << trial << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ConcurrentDelta, ::testing::Values(0, 1),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return info.param == 0 ? std::string("coordinated")
+                                                  : std::string("uncoordinated");
+                         });
+
+TEST(ConcurrentDelta, ScrambledAndThreadedTogether) {
+  // Maximum hostility: adversarial delivery order AND concurrent handlers.
+  const vertex_id n = 120;
+  const auto edges = graph::erdos_renyi(n, 900, 5);
+  distributed_graph g(n, edges, distribution::cyclic(n, 3));
+  pmap::edge_property_map<double> weight(g, [](const edge_handle& e) {
+    return graph::edge_weight(e.src, e.dst, 3, 9.0);
+  });
+  const auto oracle = algo::dijkstra(g, weight, 0);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 3,
+                                            .coalescing_size = 8,
+                                            .seed = 31,
+                                            .scramble_delivery = true,
+                                            .handler_threads = 1});
+  algo::sssp_solver solver(tp, g, weight);
+  tp.run([&](ampp::transport_context& ctx) { solver.run_delta(ctx, 0, 4.0); });
+  for (vertex_id v = 0; v < n; ++v) ASSERT_DOUBLE_EQ(solver.dist()[v], oracle[v]);
+}
+
+}  // namespace
+}  // namespace dpg::strategy

@@ -1,0 +1,190 @@
+// Tests for the fixed_point / once strategies and their interaction with
+// work hooks and epochs.
+#include "strategy/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace dpg::strategy {
+namespace {
+
+using graph::distributed_graph;
+using graph::distribution;
+using graph::edge_handle;
+using graph::vertex_id;
+using pattern::assign;
+using pattern::e_;
+using pattern::instantiate;
+using pattern::lit;
+using pattern::make_action;
+using pattern::out_edges_gen;
+using pattern::property;
+using pattern::trg;
+using pattern::v_;
+using pattern::when;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct sssp_world {
+  distributed_graph g;
+  pmap::vertex_property_map<double> dist;
+  pmap::edge_property_map<double> weight;
+  pmap::lock_map locks;
+  ampp::transport tp;
+  std::unique_ptr<pattern::action_instance> relax;
+
+  sssp_world(vertex_id n, std::vector<graph::edge> edges, ampp::rank_t ranks,
+             std::uint64_t wseed = 5, double maxw = 7.0)
+      : g(n, edges, distribution::cyclic(n, ranks)),
+        dist(g, kInf),
+        weight(g,
+               [wseed, maxw](const edge_handle& e) {
+                 return graph::edge_weight(e.src, e.dst, wseed, maxw);
+               }),
+        locks(g.dist(), pmap::lock_scheme::per_vertex),
+        tp(ampp::transport_config{.n_ranks = ranks}) {
+    property d(dist);
+    property w(weight);
+    relax = instantiate(tp, g, locks,
+                        make_action("relax", out_edges_gen{},
+                                    when(d(trg(e_)) > d(v_) + w(e_),
+                                         assign(d(trg(e_)), d(v_) + w(e_)))));
+  }
+
+  // Sequential Dijkstra oracle over the same graph + weights.
+  std::vector<double> dijkstra(vertex_id s) {
+    const vertex_id n = g.num_vertices();
+    std::vector<double> d(n, kInf);
+    d[s] = 0;
+    std::vector<bool> done(n, false);
+    for (;;) {
+      vertex_id best = graph::invalid_vertex;
+      for (vertex_id v = 0; v < n; ++v)
+        if (!done[v] && d[v] < kInf && (best == graph::invalid_vertex || d[v] < d[best]))
+          best = v;
+      if (best == graph::invalid_vertex) break;
+      done[best] = true;
+      for (const edge_handle e : g.out_edges(best))
+        d[e.dst] = std::min(d[e.dst], d[best] + weight[e]);
+    }
+    return d;
+  }
+};
+
+TEST(FixedPoint, SolvesSsspOnRandomGraph) {
+  const vertex_id n = 120;
+  sssp_world w(n, graph::erdos_renyi(n, 900, 3), 4);
+  const auto oracle = w.dijkstra(0);
+  w.dist[0] = 0.0;
+  w.tp.run([&](ampp::transport_context& ctx) {
+    std::vector<vertex_id> seeds;
+    if (w.g.owner(0) == ctx.rank()) seeds.push_back(0);
+    fixed_point(ctx, *w.relax, seeds);
+  });
+  for (vertex_id v = 0; v < n; ++v) EXPECT_DOUBLE_EQ(w.dist[v], oracle[v]) << "v=" << v;
+}
+
+TEST(FixedPoint, UnreachableVerticesStayInfinite) {
+  // Two disjoint paths: the second component must stay at infinity.
+  std::vector<graph::edge> edges{{0, 1}, {1, 2}, {3, 4}};
+  sssp_world w(5, edges, 2);
+  w.dist[0] = 0.0;
+  w.tp.run([&](ampp::transport_context& ctx) {
+    std::vector<vertex_id> seeds;
+    if (w.g.owner(0) == ctx.rank()) seeds.push_back(0);
+    fixed_point(ctx, *w.relax, seeds);
+  });
+  EXPECT_EQ(w.dist[3], kInf);
+  EXPECT_EQ(w.dist[4], kInf);
+  EXPECT_LT(w.dist[2], kInf);
+}
+
+TEST(FixedPoint, IsIdempotent) {
+  const vertex_id n = 40;
+  sssp_world w(n, graph::erdos_renyi(n, 300, 9), 3);
+  w.dist[0] = 0.0;
+  w.tp.run([&](ampp::transport_context& ctx) {
+    std::vector<vertex_id> seeds;
+    if (w.g.owner(0) == ctx.rank()) seeds.push_back(0);
+    fixed_point(ctx, *w.relax, seeds);
+  });
+  const std::uint64_t mods_first = w.relax->modifications();
+  w.tp.run([&](ampp::transport_context& ctx) {
+    std::vector<vertex_id> seeds;
+    if (w.g.owner(0) == ctx.rank()) seeds.push_back(0);
+    fixed_point(ctx, *w.relax, seeds);
+  });
+  // Second run finds everything settled: no further modifications.
+  EXPECT_EQ(w.relax->modifications(), mods_first);
+}
+
+TEST(Once, ReportsWhetherAnythingChanged) {
+  const vertex_id n = 10;
+  sssp_world w(n, graph::path_graph(n), 2, 5, 1.0);
+  w.dist[0] = 0.0;
+  w.tp.run([&](ampp::transport_context& ctx) {
+    std::vector<vertex_id> mine;
+    for_each_local_vertex(ctx, w.g, [&](vertex_id v) { mine.push_back(v); });
+    // First sweep improves the frontier: must report true.
+    EXPECT_TRUE(once(ctx, *w.relax, mine));
+  });
+}
+
+TEST(Once, DoesNotFollowDependencies) {
+  // One `once` sweep from the source relaxes only direct neighbours on a
+  // path (no recursive work), unlike fixed_point.
+  const vertex_id n = 6;
+  sssp_world w(n, graph::path_graph(n), 2, 5, 1.0);
+  w.dist[0] = 0.0;
+  w.tp.run([&](ampp::transport_context& ctx) {
+    std::vector<vertex_id> seeds;
+    if (w.g.owner(0) == ctx.rank()) seeds.push_back(0);
+    once(ctx, *w.relax, seeds);
+  });
+  EXPECT_LT(w.dist[1], kInf);
+  EXPECT_EQ(w.dist[2], kInf);  // dependency not followed
+}
+
+TEST(Once, FalseWhenNothingImproves) {
+  const vertex_id n = 6;
+  sssp_world w(n, graph::path_graph(n), 2);
+  w.dist.fill(0.0);
+  w.tp.run([&](ampp::transport_context& ctx) {
+    std::vector<vertex_id> mine;
+    for_each_local_vertex(ctx, w.g, [&](vertex_id v) { mine.push_back(v); });
+    EXPECT_FALSE(once(ctx, *w.relax, mine));
+  });
+}
+
+TEST(OnceUntilQuiet, ConvergesInBoundedRounds) {
+  // Sweeping all vertices with `once` until quiet is Bellman-Ford: at most
+  // n-1 productive rounds on a path.
+  const vertex_id n = 9;
+  sssp_world w(n, graph::path_graph(n), 3, 5, 1.0);
+  w.dist[0] = 0.0;
+  w.tp.run([&](ampp::transport_context& ctx) {
+    std::vector<vertex_id> mine;
+    for_each_local_vertex(ctx, w.g, [&](vertex_id v) { mine.push_back(v); });
+    const int rounds = once_until_quiet(ctx, *w.relax, mine);
+    EXPECT_LE(rounds, static_cast<int>(n) - 1);
+    EXPECT_GE(rounds, 1);
+  });
+  for (vertex_id v = 0; v < n; ++v) EXPECT_DOUBLE_EQ(w.dist[v], static_cast<double>(v));
+}
+
+TEST(ForEachLocalVertex, CoversAllVerticesExactlyOnce) {
+  const vertex_id n = 23;
+  sssp_world w(n, graph::path_graph(n), 4);
+  std::vector<std::atomic<int>> seen(n);
+  w.tp.run([&](ampp::transport_context& ctx) {
+    for_each_local_vertex(ctx, w.g, [&](vertex_id v) { ++seen[v]; });
+  });
+  for (vertex_id v = 0; v < n; ++v) EXPECT_EQ(seen[v].load(), 1) << "v=" << v;
+}
+
+}  // namespace
+}  // namespace dpg::strategy

@@ -1,0 +1,21 @@
+// Compile-and-smoke test of the umbrella header and version macros.
+#include "dpg.hpp"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, VersionMacros) {
+  EXPECT_EQ(DPG_VERSION_MAJOR, 1);
+  EXPECT_STREQ(DPG_VERSION_STRING, "1.0.0");
+}
+
+TEST(Umbrella, EndToEndThroughUmbrellaOnly) {
+  using namespace dpg;
+  const graph::vertex_id n = 16;
+  graph::distributed_graph g(n, graph::path_graph(n), graph::distribution::cyclic(n, 2));
+  pmap::edge_property_map<double> w(g, 1.0);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  algo::sssp_solver solver(tp, g, w);
+  tp.run([&](ampp::transport_context& ctx) { solver.run_fixed_point(ctx, 0); });
+  for (graph::vertex_id v = 0; v < n; ++v)
+    EXPECT_DOUBLE_EQ(solver.dist()[v], static_cast<double>(v));
+}

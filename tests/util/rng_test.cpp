@@ -1,0 +1,89 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dpg {
+namespace {
+
+TEST(SplitMix64, DeterministicForFixedSeed) {
+  splitmix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  splitmix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, DeterministicForFixedSeed) {
+  xoshiro256ss a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  xoshiro256ss g(99);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      const auto v = g.below(bound);
+      ASSERT_LT(v, bound) << "bound=" << bound;
+    }
+  }
+}
+
+TEST(Xoshiro256, BelowOneIsAlwaysZero) {
+  xoshiro256ss g(5);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(g.below(1), 0u);
+}
+
+TEST(Xoshiro256, Uniform01InHalfOpenInterval) {
+  xoshiro256ss g(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = g.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  // Mean of U(0,1) is 0.5; loose tolerance suited to 10k samples.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, UniformRespectsBounds) {
+  xoshiro256ss g(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = g.uniform(3.0, 9.0);
+    ASSERT_GE(v, 3.0);
+    ASSERT_LT(v, 9.0);
+  }
+}
+
+TEST(Xoshiro256, BelowIsRoughlyUniform) {
+  xoshiro256ss g(23);
+  constexpr std::uint64_t kBuckets = 10;
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[g.below(kBuckets)];
+  for (auto c : counts) {
+    EXPECT_GT(c, kSamples / kBuckets * 0.9);
+    EXPECT_LT(c, kSamples / kBuckets * 1.1);
+  }
+}
+
+TEST(SubstreamSeed, AdjacentIndicesDecorrelated) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(substream_seed(42, i));
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions among 1000 substreams
+}
+
+TEST(SubstreamSeed, DependsOnRootSeed) {
+  EXPECT_NE(substream_seed(1, 0), substream_seed(2, 0));
+}
+
+}  // namespace
+}  // namespace dpg
