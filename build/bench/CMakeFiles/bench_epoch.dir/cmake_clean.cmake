@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_epoch.dir/bench_epoch.cpp.o"
+  "CMakeFiles/bench_epoch.dir/bench_epoch.cpp.o.d"
+  "bench_epoch"
+  "bench_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

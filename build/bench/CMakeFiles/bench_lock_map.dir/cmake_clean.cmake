@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lock_map.dir/bench_lock_map.cpp.o"
+  "CMakeFiles/bench_lock_map.dir/bench_lock_map.cpp.o.d"
+  "bench_lock_map"
+  "bench_lock_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lock_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_message_plan.dir/bench_message_plan.cpp.o"
+  "CMakeFiles/bench_message_plan.dir/bench_message_plan.cpp.o.d"
+  "bench_message_plan"
+  "bench_message_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_message_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mutation.dir/bench_mutation.cpp.o"
+  "CMakeFiles/bench_mutation.dir/bench_mutation.cpp.o.d"
+  "bench_mutation"
+  "bench_mutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pagerank.dir/bench_pagerank.cpp.o"
+  "CMakeFiles/bench_pagerank.dir/bench_pagerank.cpp.o.d"
+  "bench_pagerank"
+  "bench_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sssp.dir/bench_sssp.cpp.o"
+  "CMakeFiles/bench_sssp.dir/bench_sssp.cpp.o.d"
+  "bench_sssp"
+  "bench_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_frontier.dir/bfs_frontier.cpp.o"
+  "CMakeFiles/bfs_frontier.dir/bfs_frontier.cpp.o.d"
+  "bfs_frontier"
+  "bfs_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

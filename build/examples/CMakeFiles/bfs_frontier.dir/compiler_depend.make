@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bfs_frontier.
+# This may be replaced when dependencies are built.

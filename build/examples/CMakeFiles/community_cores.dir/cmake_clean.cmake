@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_cores.dir/community_cores.cpp.o"
+  "CMakeFiles/community_cores.dir/community_cores.cpp.o.d"
+  "community_cores"
+  "community_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

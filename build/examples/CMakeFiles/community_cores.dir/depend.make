@@ -1,0 +1,2 @@
+# Empty dependencies file for community_cores.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/connected_components.cpp" "examples/CMakeFiles/connected_components.dir/connected_components.cpp.o" "gcc" "examples/CMakeFiles/connected_components.dir/connected_components.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algo/CMakeFiles/dpg_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/dpg_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dpg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ampp/CMakeFiles/dpg_ampp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connected_components.dir/connected_components.cpp.o"
+  "CMakeFiles/connected_components.dir/connected_components.cpp.o.d"
+  "connected_components"
+  "connected_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connected_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for connected_components.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph500_kernels.dir/graph500_kernels.cpp.o"
+  "CMakeFiles/graph500_kernels.dir/graph500_kernels.cpp.o.d"
+  "graph500_kernels"
+  "graph500_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph500_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

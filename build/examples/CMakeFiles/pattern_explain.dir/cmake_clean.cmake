@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_explain.dir/pattern_explain.cpp.o"
+  "CMakeFiles/pattern_explain.dir/pattern_explain.cpp.o.d"
+  "pattern_explain"
+  "pattern_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_delta.dir/sssp_delta.cpp.o"
+  "CMakeFiles/sssp_delta.dir/sssp_delta.cpp.o.d"
+  "sssp_delta"
+  "sssp_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

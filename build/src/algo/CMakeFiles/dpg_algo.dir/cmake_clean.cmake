@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_algo.dir/baselines.cpp.o"
+  "CMakeFiles/dpg_algo.dir/baselines.cpp.o.d"
+  "libdpg_algo.a"
+  "libdpg_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

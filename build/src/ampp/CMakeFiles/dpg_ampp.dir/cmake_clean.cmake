@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_ampp.dir/transport.cpp.o"
+  "CMakeFiles/dpg_ampp.dir/transport.cpp.o.d"
+  "libdpg_ampp.a"
+  "libdpg_ampp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_ampp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

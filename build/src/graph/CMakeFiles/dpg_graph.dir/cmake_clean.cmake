@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_graph.dir/distributed_graph.cpp.o"
+  "CMakeFiles/dpg_graph.dir/distributed_graph.cpp.o.d"
+  "CMakeFiles/dpg_graph.dir/generators.cpp.o"
+  "CMakeFiles/dpg_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/dpg_graph.dir/io.cpp.o"
+  "CMakeFiles/dpg_graph.dir/io.cpp.o.d"
+  "libdpg_graph.a"
+  "libdpg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_pattern.dir/parse.cpp.o"
+  "CMakeFiles/dpg_pattern.dir/parse.cpp.o.d"
+  "libdpg_pattern.a"
+  "libdpg_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpg_pattern.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for dpg_pattern.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpg_util.dir/log.cpp.o"
+  "CMakeFiles/dpg_util.dir/log.cpp.o.d"
+  "libdpg_util.a"
+  "libdpg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

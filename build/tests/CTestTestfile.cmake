@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(umbrella_test "/root/repo/build/tests/umbrella_test")
+set_tests_properties(umbrella_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;dpg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+subdirs("util")
+subdirs("ampp")
+subdirs("graph")
+subdirs("pmap")
+subdirs("pattern")
+subdirs("strategy")
+subdirs("algo")
+subdirs("integration")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/betweenness_test.dir/betweenness_test.cpp.o"
+  "CMakeFiles/betweenness_test.dir/betweenness_test.cpp.o.d"
+  "betweenness_test"
+  "betweenness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/betweenness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

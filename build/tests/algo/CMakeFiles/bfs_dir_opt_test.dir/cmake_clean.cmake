@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_dir_opt_test.dir/bfs_dir_opt_test.cpp.o"
+  "CMakeFiles/bfs_dir_opt_test.dir/bfs_dir_opt_test.cpp.o.d"
+  "bfs_dir_opt_test"
+  "bfs_dir_opt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_dir_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_pagerank_test.dir/bfs_pagerank_test.cpp.o"
+  "CMakeFiles/bfs_pagerank_test.dir/bfs_pagerank_test.cpp.o.d"
+  "bfs_pagerank_test"
+  "bfs_pagerank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_pagerank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coloring_test.dir/coloring_test.cpp.o"
+  "CMakeFiles/coloring_test.dir/coloring_test.cpp.o.d"
+  "coloring_test"
+  "coloring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coloring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extras_test.dir/extras_test.cpp.o"
+  "CMakeFiles/extras_test.dir/extras_test.cpp.o.d"
+  "extras_test"
+  "extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

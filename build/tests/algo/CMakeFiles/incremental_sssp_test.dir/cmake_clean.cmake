@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_sssp_test.dir/incremental_sssp_test.cpp.o"
+  "CMakeFiles/incremental_sssp_test.dir/incremental_sssp_test.cpp.o.d"
+  "incremental_sssp_test"
+  "incremental_sssp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_sssp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

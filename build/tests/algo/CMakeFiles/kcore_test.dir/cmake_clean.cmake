@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcore_test.dir/kcore_test.cpp.o"
+  "CMakeFiles/kcore_test.dir/kcore_test.cpp.o.d"
+  "kcore_test"
+  "kcore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/algo
+# Build directory: /root/repo/build/tests/algo
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(sssp_test "/root/repo/build/tests/algo/sssp_test")
+set_tests_properties(sssp_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/algo/CMakeLists.txt;1;dpg_add_test;/root/repo/tests/algo/CMakeLists.txt;0;")
+add_test(cc_test "/root/repo/build/tests/algo/cc_test")
+set_tests_properties(cc_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/algo/CMakeLists.txt;2;dpg_add_test;/root/repo/tests/algo/CMakeLists.txt;0;")
+add_test(bfs_pagerank_test "/root/repo/build/tests/algo/bfs_pagerank_test")
+set_tests_properties(bfs_pagerank_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/algo/CMakeLists.txt;3;dpg_add_test;/root/repo/tests/algo/CMakeLists.txt;0;")
+add_test(baselines_test "/root/repo/build/tests/algo/baselines_test")
+set_tests_properties(baselines_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/algo/CMakeLists.txt;4;dpg_add_test;/root/repo/tests/algo/CMakeLists.txt;0;")
+add_test(extras_test "/root/repo/build/tests/algo/extras_test")
+set_tests_properties(extras_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/algo/CMakeLists.txt;5;dpg_add_test;/root/repo/tests/algo/CMakeLists.txt;0;")
+add_test(bfs_dir_opt_test "/root/repo/build/tests/algo/bfs_dir_opt_test")
+set_tests_properties(bfs_dir_opt_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/algo/CMakeLists.txt;6;dpg_add_test;/root/repo/tests/algo/CMakeLists.txt;0;")
+add_test(kcore_test "/root/repo/build/tests/algo/kcore_test")
+set_tests_properties(kcore_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/algo/CMakeLists.txt;7;dpg_add_test;/root/repo/tests/algo/CMakeLists.txt;0;")
+add_test(betweenness_test "/root/repo/build/tests/algo/betweenness_test")
+set_tests_properties(betweenness_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/algo/CMakeLists.txt;8;dpg_add_test;/root/repo/tests/algo/CMakeLists.txt;0;")
+add_test(incremental_sssp_test "/root/repo/build/tests/algo/incremental_sssp_test")
+set_tests_properties(incremental_sssp_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/algo/CMakeLists.txt;9;dpg_add_test;/root/repo/tests/algo/CMakeLists.txt;0;")
+add_test(coloring_test "/root/repo/build/tests/algo/coloring_test")
+set_tests_properties(coloring_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/algo/CMakeLists.txt;10;dpg_add_test;/root/repo/tests/algo/CMakeLists.txt;0;")

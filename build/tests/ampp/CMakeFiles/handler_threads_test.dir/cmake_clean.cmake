@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handler_threads_test.dir/handler_threads_test.cpp.o"
+  "CMakeFiles/handler_threads_test.dir/handler_threads_test.cpp.o.d"
+  "handler_threads_test"
+  "handler_threads_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handler_threads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

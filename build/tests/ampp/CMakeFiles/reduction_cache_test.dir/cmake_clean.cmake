@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_cache_test.dir/reduction_cache_test.cpp.o"
+  "CMakeFiles/reduction_cache_test.dir/reduction_cache_test.cpp.o.d"
+  "reduction_cache_test"
+  "reduction_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scramble_test.dir/scramble_test.cpp.o"
+  "CMakeFiles/scramble_test.dir/scramble_test.cpp.o.d"
+  "scramble_test"
+  "scramble_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scramble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ampp
+# Build directory: /root/repo/build/tests/ampp
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(transport_test "/root/repo/build/tests/ampp/transport_test")
+set_tests_properties(transport_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/ampp/CMakeLists.txt;1;dpg_add_test;/root/repo/tests/ampp/CMakeLists.txt;0;")
+add_test(epoch_test "/root/repo/build/tests/ampp/epoch_test")
+set_tests_properties(epoch_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/ampp/CMakeLists.txt;2;dpg_add_test;/root/repo/tests/ampp/CMakeLists.txt;0;")
+add_test(collectives_test "/root/repo/build/tests/ampp/collectives_test")
+set_tests_properties(collectives_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/ampp/CMakeLists.txt;3;dpg_add_test;/root/repo/tests/ampp/CMakeLists.txt;0;")
+add_test(reduction_cache_test "/root/repo/build/tests/ampp/reduction_cache_test")
+set_tests_properties(reduction_cache_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/ampp/CMakeLists.txt;4;dpg_add_test;/root/repo/tests/ampp/CMakeLists.txt;0;")
+add_test(scramble_test "/root/repo/build/tests/ampp/scramble_test")
+set_tests_properties(scramble_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/ampp/CMakeLists.txt;5;dpg_add_test;/root/repo/tests/ampp/CMakeLists.txt;0;")
+add_test(handler_threads_test "/root/repo/build/tests/ampp/handler_threads_test")
+set_tests_properties(handler_threads_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/ampp/CMakeLists.txt;6;dpg_add_test;/root/repo/tests/ampp/CMakeLists.txt;0;")
+add_test(contract_test "/root/repo/build/tests/ampp/contract_test")
+set_tests_properties(contract_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/ampp/CMakeLists.txt;7;dpg_add_test;/root/repo/tests/ampp/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_graph_test.dir/distributed_graph_test.cpp.o"
+  "CMakeFiles/distributed_graph_test.dir/distributed_graph_test.cpp.o.d"
+  "distributed_graph_test"
+  "distributed_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

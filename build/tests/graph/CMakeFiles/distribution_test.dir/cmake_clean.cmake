@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distribution_test.dir/distribution_test.cpp.o"
+  "CMakeFiles/distribution_test.dir/distribution_test.cpp.o.d"
+  "distribution_test"
+  "distribution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/graph
+# Build directory: /root/repo/build/tests/graph
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(distribution_test "/root/repo/build/tests/graph/distribution_test")
+set_tests_properties(distribution_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/graph/CMakeLists.txt;1;dpg_add_test;/root/repo/tests/graph/CMakeLists.txt;0;")
+add_test(distributed_graph_test "/root/repo/build/tests/graph/distributed_graph_test")
+set_tests_properties(distributed_graph_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/graph/CMakeLists.txt;2;dpg_add_test;/root/repo/tests/graph/CMakeLists.txt;0;")
+add_test(generators_test "/root/repo/build/tests/graph/generators_test")
+set_tests_properties(generators_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/graph/CMakeLists.txt;3;dpg_add_test;/root/repo/tests/graph/CMakeLists.txt;0;")
+add_test(io_test "/root/repo/build/tests/graph/io_test")
+set_tests_properties(io_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/graph/CMakeLists.txt;4;dpg_add_test;/root/repo/tests/graph/CMakeLists.txt;0;")

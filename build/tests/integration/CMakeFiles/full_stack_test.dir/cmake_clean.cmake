@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_stack_test.dir/full_stack_test.cpp.o"
+  "CMakeFiles/full_stack_test.dir/full_stack_test.cpp.o.d"
+  "full_stack_test"
+  "full_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(full_stack_test "/root/repo/build/tests/integration/full_stack_test")
+set_tests_properties(full_stack_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/integration/CMakeLists.txt;1;dpg_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(stress_test "/root/repo/build/tests/integration/stress_test")
+set_tests_properties(stress_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/integration/CMakeLists.txt;2;dpg_add_test;/root/repo/tests/integration/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parse_test.dir/parse_test.cpp.o"
+  "CMakeFiles/parse_test.dir/parse_test.cpp.o.d"
+  "parse_test"
+  "parse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

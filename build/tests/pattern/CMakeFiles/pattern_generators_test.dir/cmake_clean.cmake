@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_generators_test.dir/generators_test.cpp.o"
+  "CMakeFiles/pattern_generators_test.dir/generators_test.cpp.o.d"
+  "pattern_generators_test"
+  "pattern_generators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

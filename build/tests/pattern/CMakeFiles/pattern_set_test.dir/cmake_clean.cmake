@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_set_test.dir/pattern_set_test.cpp.o"
+  "CMakeFiles/pattern_set_test.dir/pattern_set_test.cpp.o.d"
+  "pattern_set_test"
+  "pattern_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_pattern_test.dir/sssp_pattern_test.cpp.o"
+  "CMakeFiles/sssp_pattern_test.dir/sssp_pattern_test.cpp.o.d"
+  "sssp_pattern_test"
+  "sssp_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/pattern
+# Build directory: /root/repo/build/tests/pattern
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(sssp_pattern_test "/root/repo/build/tests/pattern/sssp_pattern_test")
+set_tests_properties(sssp_pattern_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/pattern/CMakeLists.txt;1;dpg_add_test;/root/repo/tests/pattern/CMakeLists.txt;0;")
+add_test(planner_test "/root/repo/build/tests/pattern/planner_test")
+set_tests_properties(planner_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/pattern/CMakeLists.txt;2;dpg_add_test;/root/repo/tests/pattern/CMakeLists.txt;0;")
+add_test(expr_test "/root/repo/build/tests/pattern/expr_test")
+set_tests_properties(expr_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/pattern/CMakeLists.txt;3;dpg_add_test;/root/repo/tests/pattern/CMakeLists.txt;0;")
+add_test(explain_test "/root/repo/build/tests/pattern/explain_test")
+set_tests_properties(explain_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/pattern/CMakeLists.txt;4;dpg_add_test;/root/repo/tests/pattern/CMakeLists.txt;0;")
+add_test(pattern_set_test "/root/repo/build/tests/pattern/pattern_set_test")
+set_tests_properties(pattern_set_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/pattern/CMakeLists.txt;5;dpg_add_test;/root/repo/tests/pattern/CMakeLists.txt;0;")
+add_test(parse_test "/root/repo/build/tests/pattern/parse_test")
+set_tests_properties(parse_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/pattern/CMakeLists.txt;6;dpg_add_test;/root/repo/tests/pattern/CMakeLists.txt;0;")
+add_test(parse_fuzz_test "/root/repo/build/tests/pattern/parse_fuzz_test")
+set_tests_properties(parse_fuzz_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/pattern/CMakeLists.txt;7;dpg_add_test;/root/repo/tests/pattern/CMakeLists.txt;0;")
+add_test(pattern_generators_test "/root/repo/build/tests/pattern/pattern_generators_test")
+set_tests_properties(pattern_generators_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/pattern/CMakeLists.txt;8;dpg_add_test;/root/repo/tests/pattern/CMakeLists.txt;0;")

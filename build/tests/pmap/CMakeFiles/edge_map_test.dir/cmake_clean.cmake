@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_map_test.dir/edge_map_test.cpp.o"
+  "CMakeFiles/edge_map_test.dir/edge_map_test.cpp.o.d"
+  "edge_map_test"
+  "edge_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_map_test.dir/lock_map_test.cpp.o"
+  "CMakeFiles/lock_map_test.dir/lock_map_test.cpp.o.d"
+  "lock_map_test"
+  "lock_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_map_test.dir/vertex_map_test.cpp.o"
+  "CMakeFiles/vertex_map_test.dir/vertex_map_test.cpp.o.d"
+  "vertex_map_test"
+  "vertex_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/pmap
+# Build directory: /root/repo/build/tests/pmap
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(vertex_map_test "/root/repo/build/tests/pmap/vertex_map_test")
+set_tests_properties(vertex_map_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/pmap/CMakeLists.txt;1;dpg_add_test;/root/repo/tests/pmap/CMakeLists.txt;0;")
+add_test(edge_map_test "/root/repo/build/tests/pmap/edge_map_test")
+set_tests_properties(edge_map_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/pmap/CMakeLists.txt;2;dpg_add_test;/root/repo/tests/pmap/CMakeLists.txt;0;")
+add_test(lock_map_test "/root/repo/build/tests/pmap/lock_map_test")
+set_tests_properties(lock_map_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/pmap/CMakeLists.txt;3;dpg_add_test;/root/repo/tests/pmap/CMakeLists.txt;0;")

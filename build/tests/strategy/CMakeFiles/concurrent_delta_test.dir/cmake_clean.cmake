@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_delta_test.dir/concurrent_delta_test.cpp.o"
+  "CMakeFiles/concurrent_delta_test.dir/concurrent_delta_test.cpp.o.d"
+  "concurrent_delta_test"
+  "concurrent_delta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

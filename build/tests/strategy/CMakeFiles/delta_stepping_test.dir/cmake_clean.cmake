@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_stepping_test.dir/delta_stepping_test.cpp.o"
+  "CMakeFiles/delta_stepping_test.dir/delta_stepping_test.cpp.o.d"
+  "delta_stepping_test"
+  "delta_stepping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_stepping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategies_test.dir/strategies_test.cpp.o"
+  "CMakeFiles/strategies_test.dir/strategies_test.cpp.o.d"
+  "strategies_test"
+  "strategies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

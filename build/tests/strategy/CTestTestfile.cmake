@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/strategy
+# Build directory: /root/repo/build/tests/strategy
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(strategies_test "/root/repo/build/tests/strategy/strategies_test")
+set_tests_properties(strategies_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/strategy/CMakeLists.txt;1;dpg_add_test;/root/repo/tests/strategy/CMakeLists.txt;0;")
+add_test(delta_stepping_test "/root/repo/build/tests/strategy/delta_stepping_test")
+set_tests_properties(delta_stepping_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/strategy/CMakeLists.txt;2;dpg_add_test;/root/repo/tests/strategy/CMakeLists.txt;0;")
+add_test(concurrent_delta_test "/root/repo/build/tests/strategy/concurrent_delta_test")
+set_tests_properties(concurrent_delta_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/strategy/CMakeLists.txt;3;dpg_add_test;/root/repo/tests/strategy/CMakeLists.txt;0;")
