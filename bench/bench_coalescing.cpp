@@ -43,7 +43,7 @@ void BM_CoalescingSweep(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(kMessages) * state.iterations());
   state.counters["buffer"] = static_cast<double>(buffer);
-  state.counters["envelopes"] = static_cast<double>(tp.stats().envelopes_sent.load());
+  state.counters["envelopes"] = static_cast<double>(tp.obs().snapshot().core.envelopes_sent);
 }
 BENCHMARK(BM_CoalescingSweep)
     ->Arg(1)

@@ -44,11 +44,11 @@ void run_case(benchmark::State& state, bool grid) {
   algo::sssp_solver solver(tp, g, weight);
   std::uint64_t msgs = 0, self = 0;
   for (auto _ : state) {
-    const auto before = tp.stats().snap();
+    obs::stats_scope sc(tp.obs());
     tp.run([&](ampp::transport_context& ctx) { solver.run_delta(ctx, 0, 20.0); });
-    const auto d = tp.stats().snap() - before;
-    msgs = d.messages_sent;
-    self = d.self_deliveries;
+    const obs::stats_snapshot& d = sc.finish();
+    msgs = d.core.messages_sent;
+    self = d.core.self_deliveries;
   }
   state.counters["messages"] = static_cast<double>(msgs);
   state.counters["local_frac"] =

@@ -33,7 +33,7 @@ void BM_EmptyEpoch(benchmark::State& state) {
     });
   }
   state.SetItemsProcessed(100 * state.iterations());
-  state.counters["td_rounds_total"] = static_cast<double>(tp.stats().td_rounds.load());
+  state.counters["td_rounds_total"] = static_cast<double>(tp.obs().snapshot().core.td_rounds);
 }
 BENCHMARK(BM_EmptyEpoch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond)->UseRealTime();
 
@@ -57,7 +57,7 @@ void BM_EpochWithWork(benchmark::State& state) {
     ++epochs;
   }
   state.counters["td_rounds_per_epoch"] =
-      static_cast<double>(tp.stats().td_rounds.load()) / static_cast<double>(epochs);
+      static_cast<double>(tp.obs().snapshot().core.td_rounds) / static_cast<double>(epochs);
   state.counters["msgs_per_epoch"] = static_cast<double>(volume);
 }
 BENCHMARK(BM_EpochWithWork)->Arg(0)->Arg(100)->Arg(10000)->Arg(100000)
@@ -85,7 +85,7 @@ void BM_EpochSerialChain(benchmark::State& state) {
     ++epochs;
   }
   state.counters["td_rounds_per_epoch"] =
-      static_cast<double>(tp.stats().td_rounds.load()) / static_cast<double>(epochs);
+      static_cast<double>(tp.obs().snapshot().core.td_rounds) / static_cast<double>(epochs);
 }
 BENCHMARK(BM_EpochSerialChain)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond)->UseRealTime();
 

@@ -45,13 +45,13 @@ void run_sweep_bench(benchmark::State& state, ampp::rank_t ranks, Setup setup) {
     for (ampp::rank_t r = 0; r < ranks; ++r)
       for (auto& x : dist.local(r)) x = 1e100;
     dist[0] = 0.0;
-    const auto before = tp.stats().snap();
+    obs::stats_scope sc(tp.obs());
     const std::uint64_t inv_before = act->invocations();
     tp.run([&](ampp::transport_context& ctx) {
       ampp::epoch ep(ctx);
       strategy::for_each_local_vertex(ctx, g, [&](vertex_id v) { (*act)(ctx, v); });
     });
-    msgs = (tp.stats().snap() - before).messages_sent;
+    msgs = sc.finish().core.messages_sent;
     applications = act->invocations() - inv_before;
   }
   state.counters["messages"] = static_cast<double>(msgs);
@@ -124,12 +124,12 @@ void BM_PlanPointerChase(benchmark::State& state) {
       auto span = chg.local(r);
       for (std::size_t li = 0; li < span.size(); ++li) span[li] = chg.global_id(r, li);
     }
-    const auto before = tp.stats().snap();
+    obs::stats_scope sc(tp.obs());
     tp.run([&](ampp::transport_context& ctx) {
       ampp::epoch ep(ctx);
       strategy::for_each_local_vertex(ctx, g, [&](vertex_id v) { (*jump)(ctx, v); });
     });
-    msgs = (tp.stats().snap() - before).messages_sent;
+    msgs = sc.finish().core.messages_sent;
   }
   state.counters["messages"] = static_cast<double>(msgs);
   state.counters["plan_msgs_per_app"] =

@@ -65,14 +65,13 @@ void run_case(benchmark::State& state, bool cache_on, unsigned cache_bits) {
     });
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(targets.size()) * state.iterations());
-  const auto& s = tp.stats();
-  state.counters["handler_calls"] = static_cast<double>(s.handler_invocations.load());
-  state.counters["cache_hits"] = static_cast<double>(s.cache_hits.load());
+  const obs::counters s = tp.obs().snapshot().core;
+  state.counters["handler_calls"] = static_cast<double>(s.handler_invocations);
+  state.counters["cache_hits"] = static_cast<double>(s.cache_hits);
   state.counters["hit_rate"] =
-      s.cache_hits.load()
-          ? static_cast<double>(s.cache_hits.load()) /
-                static_cast<double>(targets.size() * state.iterations())
-          : 0.0;
+      s.cache_hits ? static_cast<double>(s.cache_hits) /
+                         static_cast<double>(targets.size() * state.iterations())
+                   : 0.0;
 }
 
 void BM_ReductionOff(benchmark::State& state) { run_case(state, false, 0); }

@@ -31,14 +31,18 @@ void BM_SsspFixedPoint(benchmark::State& state) {
   auto weight = wl().weights(g);
   ampp::transport tp(ampp::transport_config{.n_ranks = ranks});
   algo::sssp_solver solver(tp, g, weight);
-  std::uint64_t relaxations = 0;
+  strategy::result last;
+  obs::stats_snapshot delta;
   for (auto _ : state) {
-    const std::uint64_t before = solver.relaxations();
-    tp.run([&](ampp::transport_context& ctx) { solver.run_fixed_point(ctx, 0); });
-    relaxations = solver.relaxations() - before;
+    obs::stats_scope sc(tp.obs(), &delta);
+    tp.run([&](ampp::transport_context& ctx) {
+      const strategy::result r = solver.run_fixed_point(ctx, 0);
+      if (ctx.rank() == 0) last = r;
+    });
   }
-  state.counters["relaxations"] = static_cast<double>(relaxations);
+  state.counters["relaxations"] = static_cast<double>(last.modifications);
   state.counters["edges"] = static_cast<double>(g.num_edges());
+  report_stats(state, delta);
 }
 BENCHMARK(BM_SsspFixedPoint)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
 
@@ -49,14 +53,18 @@ void BM_SsspDelta(benchmark::State& state) {
   auto weight = wl().weights(g);
   ampp::transport tp(ampp::transport_config{.n_ranks = ranks});
   algo::sssp_solver solver(tp, g, weight);
-  std::uint64_t relaxations = 0;
+  strategy::result last;
+  obs::stats_snapshot sdelta;
   for (auto _ : state) {
-    const std::uint64_t before = solver.relaxations();
-    tp.run([&](ampp::transport_context& ctx) { solver.run_delta(ctx, 0, delta); });
-    relaxations = solver.relaxations() - before;
+    obs::stats_scope sc(tp.obs(), &sdelta);
+    tp.run([&](ampp::transport_context& ctx) {
+      const strategy::result r = solver.run_delta(ctx, 0, delta);
+      if (ctx.rank() == 0) last = r;
+    });
   }
-  state.counters["relaxations"] = static_cast<double>(relaxations);
-  state.counters["epochs"] = static_cast<double>(solver.delta_epochs());
+  state.counters["relaxations"] = static_cast<double>(last.modifications);
+  state.counters["epochs"] = static_cast<double>(last.rounds);
+  report_stats(state, sdelta);
 }
 // Q5 Δ sweep at 2 ranks, plus rank scaling at the sweet spot.
 BENCHMARK(BM_SsspDelta)
@@ -75,11 +83,14 @@ void BM_SsspDeltaUncoordinated(benchmark::State& state) {
   auto weight = wl().weights(g);
   ampp::transport tp(ampp::transport_config{.n_ranks = ranks});
   algo::sssp_solver solver(tp, g, weight);
+  obs::stats_snapshot delta;
   for (auto _ : state) {
+    obs::stats_scope sc(tp.obs(), &delta);
     tp.run([&](ampp::transport_context& ctx) {
       solver.run_delta_uncoordinated(ctx, 0, 50.0);
     });
   }
+  report_stats(state, delta);
 }
 BENCHMARK(BM_SsspDeltaUncoordinated)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
 

@@ -7,10 +7,12 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "graph/distributed_graph.hpp"
 #include "graph/generators.hpp"
+#include "obs/obs.hpp"
 #include "pmap/edge_map.hpp"
 
 namespace dpg::bench {
@@ -56,5 +58,17 @@ struct workload {
         g, [s, mw](const edge_handle& e) { return graph::edge_weight(e.src, e.dst, s, mw); });
   }
 };
+
+/// Publishes an obs::stats_scope delta as benchmark counters (optionally
+/// namespaced by `prefix` for multi-phase benchmarks). The standard way for
+/// bench binaries to report message economy per measured region.
+inline void report_stats(benchmark::State& state, const obs::stats_snapshot& d,
+                         const std::string& prefix = "") {
+  state.counters[prefix + "messages"] = static_cast<double>(d.core.messages_sent);
+  state.counters[prefix + "envelopes"] = static_cast<double>(d.core.envelopes_sent);
+  state.counters[prefix + "bytes"] = static_cast<double>(d.core.bytes_sent);
+  state.counters[prefix + "td_rounds"] = static_cast<double>(d.core.td_rounds);
+  state.counters[prefix + "cache_hits"] = static_cast<double>(d.core.cache_hits);
+}
 
 }  // namespace dpg::bench

@@ -51,11 +51,15 @@ int main(int argc, char** argv) {
                                             assign(dist(trg(e_)), dist(v_) + weight(e_)))));
 
   // --- 4. imperative part: the fixed_point strategy (§II-A) --------------
+  // Every strategy returns a strategy::result: rounds run, modifications
+  // made, and (by default) the message-level stats delta of the run.
   dist_map[0] = 0.0;
+  strategy::result res;
   tp.run([&](ampp::transport_context& ctx) {
     std::vector<graph::vertex_id> seeds;
     if (g.owner(0) == ctx.rank()) seeds.push_back(0);
-    strategy::fixed_point(ctx, *relax, seeds);
+    const strategy::result r = strategy::fixed_point(ctx, *relax, seeds);
+    if (ctx.rank() == 0) res = r;
   });
 
   // --- 5. results ----------------------------------------------------------
@@ -65,7 +69,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(v), dist_map[v], g.owner(v));
   std::printf("relax applications: %llu, successful relaxations: %llu\n",
               static_cast<unsigned long long>(relax->invocations()),
-              static_cast<unsigned long long>(relax->modifications()));
+              static_cast<unsigned long long>(res.modifications));
+  std::printf("messages sent during the run: %llu (%llu bytes)\n",
+              static_cast<unsigned long long>(res.stats_delta.core.messages_sent),
+              static_cast<unsigned long long>(res.stats_delta.core.bytes_sent));
   std::printf("plan: %d gather hop(s), %d message(s) per edge, atomic=%s\n",
               relax->plan().gather_hops, relax->plan().messages_per_application(),
               relax->plan().atomic_path ? "yes" : "no");

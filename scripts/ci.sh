@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI entry point: a -Werror build + full test suite, then a ThreadSanitizer
+# build running the tier-1 suite. Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "=== werror build ==="
+cmake --preset werror >/dev/null
+cmake --build --preset werror -j "$JOBS"
+ctest --test-dir build-werror --output-on-failure -j "$JOBS"
+
+echo "=== tsan build ==="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$JOBS"
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+
+echo "CI OK"

@@ -33,16 +33,18 @@ class bfs_solver {
   }
 
   /// Collective: chaotic fixed-point BFS.
-  void run_fixed_point(ampp::transport_context& ctx, vertex_id source) {
+  strategy::result run_fixed_point(ampp::transport_context& ctx, vertex_id source,
+                                   const strategy::options& opt = {}) {
     reset(ctx, source);
     std::vector<vertex_id> seeds;
     if (g_->owner(source) == ctx.rank()) seeds.push_back(source);
-    strategy::fixed_point(ctx, *explore_, seeds);
+    return strategy::fixed_point(ctx, *explore_, seeds, opt);
   }
 
   /// Collective: bucket-per-level schedule (Δ-stepping with Δ = 1), i.e.
   /// a label-setting frontier expansion.
-  void run_level_sync(ampp::transport_context& ctx, vertex_id source) {
+  strategy::result run_level_sync(ampp::transport_context& ctx, vertex_id source,
+                                  const strategy::options& opt = {}) {
     reset(ctx, source);
     if (ctx.rank() == 0)
       delta_ = std::make_unique<strategy::delta_stepping<std::uint64_t>>(
@@ -50,8 +52,9 @@ class bfs_solver {
     ctx.barrier();
     std::vector<vertex_id> seeds;
     if (g_->owner(source) == ctx.rank()) seeds.push_back(source);
-    delta_->run(ctx, seeds);
+    const strategy::result res = delta_->run(ctx, seeds, opt);
     ctx.barrier();
+    return res;
   }
 
   pmap::vertex_property_map<std::uint64_t>& depth() { return depth_; }

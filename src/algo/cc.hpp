@@ -91,7 +91,7 @@ class cc_solver {
       for (auto& s : conf_.local(r)) s.clear();
     }
     seeds_ = 0;
-    const auto before = tp_.stats().snap();
+    obs::stats_scope sc(tp_.obs());
     std::atomic<std::uint64_t> seeded{0};
     tp_.run([&](ampp::transport_context& ctx) {
       strategy::install_hook_collective(
@@ -110,7 +110,7 @@ class cc_solver {
       });
     });
     seeds_ = seeded.load();
-    search_messages_ = (tp_.stats().snap() - before).messages_sent;
+    search_messages_ = sc.finish().core.messages_sent;
   }
 
   std::vector<graph::edge> collect_conflict_pairs() const {
@@ -158,8 +158,8 @@ class cc_solver {
       // Fig. 3 lines 14-17: apply cc_jump with `once` until nothing changes.
       std::vector<vertex_id> mine;
       strategy::for_each_local_vertex(ctx, *g_, [&](vertex_id v) { mine.push_back(v); });
-      const int r = strategy::once_until_quiet(ctx, *jump, mine);
-      if (ctx.rank() == 0) rounds = r;
+      const strategy::result jr = strategy::once_until_quiet(ctx, *jump, mine);
+      if (ctx.rank() == 0) rounds = static_cast<int>(jr.rounds);
     });
     jump_rounds_ = rounds.load();
   }

@@ -42,15 +42,17 @@ class sssp_solver {
 
   /// Collective: resets distances and solves from `source` with the
   /// fixed_point strategy.
-  void run_fixed_point(ampp::transport_context& ctx, vertex_id source) {
+  strategy::result run_fixed_point(ampp::transport_context& ctx, vertex_id source,
+                                   const strategy::options& opt = {}) {
     reset(ctx, source);
     std::vector<vertex_id> seeds;
     if (g_->owner(source) == ctx.rank()) seeds.push_back(source);
-    strategy::fixed_point(ctx, *relax_, seeds);
+    return strategy::fixed_point(ctx, *relax_, seeds, opt);
   }
 
   /// Collective: Δ-stepping with one epoch per bucket level.
-  void run_delta(ampp::transport_context& ctx, vertex_id source, double delta) {
+  strategy::result run_delta(ampp::transport_context& ctx, vertex_id source, double delta,
+                             const strategy::options& opt = {}) {
     reset(ctx, source);
     // The Δ-stepping driver is per-call state shared across ranks; build it
     // collectively on rank 0 and publish through a barrier.
@@ -60,14 +62,16 @@ class sssp_solver {
     ctx.barrier();
     std::vector<vertex_id> seeds;
     if (g_->owner(source) == ctx.rank()) seeds.push_back(source);
-    delta_->run(ctx, seeds);
+    const strategy::result res = delta_->run(ctx, seeds, opt);
     ctx.barrier();
+    return res;
   }
 
   /// Collective: the §III-D uncoordinated variant (local buckets, a single
   /// epoch terminated via try_finish).
-  void run_delta_uncoordinated(ampp::transport_context& ctx, vertex_id source,
-                               double delta) {
+  strategy::result run_delta_uncoordinated(ampp::transport_context& ctx, vertex_id source,
+                                           double delta,
+                                           const strategy::options& opt = {}) {
     reset(ctx, source);
     if (ctx.rank() == 0)
       delta_ = std::make_unique<strategy::delta_stepping<double>>(ctx.tp(), *g_, *relax_,
@@ -75,8 +79,9 @@ class sssp_solver {
     ctx.barrier();
     std::vector<vertex_id> seeds;
     if (g_->owner(source) == ctx.rank()) seeds.push_back(source);
-    delta_->run_uncoordinated(ctx, seeds);
+    const strategy::result res = delta_->run_uncoordinated(ctx, seeds, opt);
     ctx.barrier();
+    return res;
   }
 
   pmap::vertex_property_map<double>& dist() { return dist_; }

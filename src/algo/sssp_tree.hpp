@@ -42,7 +42,8 @@ class sssp_tree_solver {
   }
 
   /// Collective: fixed-point solve from `source`.
-  void run(ampp::transport_context& ctx, vertex_id source) {
+  strategy::result run(ampp::transport_context& ctx, vertex_id source,
+                       const strategy::options& opt = {}) {
     const ampp::rank_t r = ctx.rank();
     for (auto& x : dist_.local(r)) x = infinity;
     for (auto& x : parent_.local(r)) x = graph::invalid_vertex;
@@ -50,7 +51,7 @@ class sssp_tree_solver {
     ctx.barrier();
     std::vector<vertex_id> seeds;
     if (g_->owner(source) == ctx.rank()) seeds.push_back(source);
-    strategy::fixed_point(ctx, *relax_, seeds);
+    return strategy::fixed_point(ctx, *relax_, seeds, opt);
   }
 
   /// Reconstructs the shortest path source→v (empty if unreachable).

@@ -36,13 +36,14 @@ class widest_path_solver {
   }
 
   /// Collective: solve from `source` by fixed point.
-  void run(ampp::transport_context& ctx, vertex_id source) {
+  strategy::result run(ampp::transport_context& ctx, vertex_id source,
+                       const strategy::options& opt = {}) {
     for (auto& x : width_.local(ctx.rank())) x = 0.0;
     if (g_->owner(source) == ctx.rank()) width_[source] = infinity;
     ctx.barrier();
     std::vector<vertex_id> seeds;
     if (g_->owner(source) == ctx.rank()) seeds.push_back(source);
-    strategy::fixed_point(ctx, *relax_, seeds);
+    return strategy::fixed_point(ctx, *relax_, seeds, opt);
   }
 
   pmap::vertex_property_map<double>& width() { return width_; }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include "ampp/transport.hpp"
+#include "obs/trace.hpp"
 
 namespace dpg::ampp {
 
@@ -58,6 +59,7 @@ class epoch {
 
   transport_context& ctx_;
   bool ended_ = false;
+  obs::trace_span span_;  ///< covers the epoch on this rank's trace lane
 };
 
 }  // namespace dpg::ampp

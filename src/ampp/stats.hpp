@@ -1,7 +1,13 @@
-// Runtime statistics. These counters are the measurement surface for the
-// benchmark harness (message counts for the Fig. 5/6 plan ablation, cache
-// hit rates for the AM++ caching claim, termination-detection rounds for
-// the epoch-overhead experiment).
+// Cumulative core runtime counters — the *internal backing store* of the
+// observability layer (message counts for the Fig. 5/6 plan ablation,
+// cache hit rates for the AM++ caching claim, termination-detection rounds
+// for the epoch-overhead experiment).
+//
+// The public measurement API is obs::registry (reached via
+// transport::obs()): per-message-type and per-epoch attribution, snapshots,
+// and the RAII obs::stats_scope. Manual snapshot-and-subtract through
+// snap() is DEPRECATED in favour of obs::stats_scope; snap() remains for
+// the runtime's own bookkeeping.
 #pragma once
 
 #include <atomic>
@@ -24,7 +30,8 @@ struct transport_stats {
   std::atomic<std::uint64_t> epochs{0};             ///< epochs ended
   std::atomic<std::uint64_t> control_messages{0};   ///< internal control-plane payloads
 
-  /// Plain-value snapshot, convenient for deltas in tests and benches.
+  /// Plain-value snapshot. Manual snapshot-and-subtract in tests/benches is
+  /// deprecated — use obs::stats_scope, which also captures per-type deltas.
   struct snapshot {
     std::uint64_t messages_sent, envelopes_sent, bytes_sent, handler_invocations,
         self_deliveries, cache_hits, cache_evictions, td_rounds, barriers, epochs,
@@ -42,6 +49,20 @@ struct transport_stats {
               barriers - o.barriers,
               epochs - o.epochs,
               control_messages - o.control_messages};
+    }
+
+    snapshot operator+(const snapshot& o) const {
+      return {messages_sent + o.messages_sent,
+              envelopes_sent + o.envelopes_sent,
+              bytes_sent + o.bytes_sent,
+              handler_invocations + o.handler_invocations,
+              self_deliveries + o.self_deliveries,
+              cache_hits + o.cache_hits,
+              cache_evictions + o.cache_evictions,
+              td_rounds + o.td_rounds,
+              barriers + o.barriers,
+              epochs + o.epochs,
+              control_messages + o.control_messages};
     }
   };
 

@@ -77,13 +77,20 @@ void transport::register_control_plane() {
 
 void transport::deliver(rank_t src, rank_t dest, detail::envelope env,
                         std::uint32_t user_payloads) {
-  stats_.envelopes_sent.fetch_add(1, std::memory_order_relaxed);
-  stats_.bytes_sent.fetch_add(env.bytes.size(), std::memory_order_relaxed);
+  transport_stats& st = obs_.core();
+  st.envelopes_sent.fetch_add(1, std::memory_order_relaxed);
+  st.bytes_sent.fetch_add(env.bytes.size(), std::memory_order_relaxed);
   if (user_payloads != 0) {
-    stats_.messages_sent.fetch_add(user_payloads, std::memory_order_relaxed);
+    st.messages_sent.fetch_add(user_payloads, std::memory_order_relaxed);
     if (src == dest)
-      stats_.self_deliveries.fetch_add(user_payloads, std::memory_order_relaxed);
+      st.self_deliveries.fetch_add(user_payloads, std::memory_order_relaxed);
     ranks_[src].sent.fetch_add(user_payloads, std::memory_order_relaxed);
+  }
+  {
+    obs::trace_span sp(&obs_.trace(), "transport", "envelope", src);
+    sp.arg("dest", dest);
+    sp.arg("count", env.count);
+    sp.arg("bytes", env.bytes.size());
   }
   rank_state& rs = ranks_[dest];
   std::lock_guard<std::mutex> g(rs.inbox_mu);
@@ -112,11 +119,17 @@ std::size_t transport::drain_rank(transport_context& ctx, bool at_most_one) {
       // envelope or the active handler, never a gap.
       rs.active_handlers.fetch_add(1, std::memory_order_relaxed);
     }
-    env.vt->dispatch(env.vt->self, ctx, env.bytes.data(), env.count);
+    {
+      obs::trace_span sp(&obs_.trace(), "handler", env.vt->self->name().c_str(),
+                         ctx.rank());
+      sp.arg("count", env.count);
+      env.vt->dispatch(env.vt->self, ctx, env.bytes.data(), env.count);
+    }
     const bool internal = env.vt->self->internal_;
+    obs_.on_handled(env.vt->self->id(), env.count);
     if (!internal) {
       rs.received.fetch_add(env.count, std::memory_order_relaxed);
-      stats_.handler_invocations.fetch_add(env.count, std::memory_order_relaxed);
+      obs_.core().handler_invocations.fetch_add(env.count, std::memory_order_relaxed);
       handled += env.count;
     }
     rs.active_handlers.fetch_sub(1, std::memory_order_release);
@@ -132,6 +145,7 @@ bool transport::locally_quiet(rank_t r) const {
 }
 
 void transport::flush_all_types(rank_t src) {
+  obs::trace_span sp(&obs_.trace(), "transport", "flush", src);
   for (auto& mt : types_) mt->flush_rank(src);
 }
 
@@ -246,7 +260,7 @@ void transport::td_on_report(transport_context& ctx, const td_report_t& r) {
     }
   }
   if (decide) {
-    stats_.td_rounds.fetch_add(1, std::memory_order_relaxed);
+    obs_.core().td_rounds.fetch_add(1, std::memory_order_relaxed);
     const td_result_t result{round, done ? 1u : 0u};
     for (rank_t d = 0; d < cfg_.n_ranks; ++d) mt_td_result_->send(ctx, d, result);
     mt_td_result_->flush_rank(ctx.rank());
@@ -256,6 +270,8 @@ void transport::td_on_report(transport_context& ctx, const td_report_t& r) {
 bool transport::td_round(transport_context& ctx) {
   const rank_t r = ctx.rank();
   const std::uint64_t round = ctx.td_round_;
+  obs::trace_span sp(&obs_.trace(), "epoch", "td_round", r);
+  sp.arg("round", round);
 
   // Locally quiesce: alternate flushing outgoing buffers and handling
   // arrived messages until neither produces work — and, with dedicated
@@ -303,7 +319,7 @@ std::size_t transport_context::poll_once() { return tp_->drain_rank(*this, true)
 void transport_context::barrier() {
   std::uint32_t dummy = 0;
   allreduce(dummy, [](std::uint32_t a, std::uint32_t) { return a; });
-  tp_->stats_.barriers.fetch_add(1, std::memory_order_relaxed);
+  tp_->obs_.core().barriers.fetch_add(1, std::memory_order_relaxed);
 }
 
 void transport_context::allreduce_raw(const void* in, void* out, std::size_t size,
@@ -312,6 +328,8 @@ void transport_context::allreduce_raw(const void* in, void* out, std::size_t siz
   DPG_ASSERT(size <= 56);
   transport& tp = *tp_;
   const std::uint64_t gen = ++coll_gen_;
+  obs::trace_span sp(&tp.obs_.trace(), "collective", "allreduce", rank_);
+  sp.arg("gen", gen);
 
   transport::coll_contrib_t contrib{};
   contrib.gen = gen;
@@ -366,6 +384,10 @@ epoch::epoch(transport_context& ctx) : ctx_(ctx) {
   // already runs handlers, and handlers may legitimately send.
   ctx.in_epoch_ = true;
   ctx.barrier();
+  // Open the span (and the rank-0 per-epoch stats window) only after the
+  // entry barrier so the window excludes stragglers from the previous epoch.
+  span_ = obs::trace_span(&ctx.tp().obs_.trace(), "epoch", "epoch", ctx.rank());
+  if (ctx.rank() == 0) ctx.tp().obs_.epoch_begin();
 }
 
 void epoch::flush() {
@@ -404,7 +426,11 @@ void epoch::end() {
 void epoch::finish() {
   ctx_.in_epoch_ = false;
   ended_ = true;
-  if (ctx_.rank() == 0) ctx_.tp().stats_.epochs.fetch_add(1, std::memory_order_relaxed);
+  if (ctx_.rank() == 0) {
+    ctx_.tp().obs_.core().epochs.fetch_add(1, std::memory_order_relaxed);
+    ctx_.tp().obs_.epoch_end();
+  }
+  span_.finish();
 }
 
 epoch::~epoch() { end(); }

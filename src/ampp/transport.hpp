@@ -45,6 +45,7 @@
 
 #include "ampp/stats.hpp"
 #include "ampp/types.hpp"
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 #include "util/spinlock.hpp"
 
@@ -300,14 +301,20 @@ class transport {
   /// first exception thrown by any rank. May be called repeatedly.
   void run(const std::function<void(transport_context&)>& f);
 
-  transport_stats& stats() noexcept { return stats_; }
-  const transport_stats& stats() const noexcept { return stats_; }
+  /// The observability registry: the public measurement surface (counters
+  /// with per-message-type and per-epoch attribution, obs::stats_scope
+  /// deltas, span tracing, Chrome trace export). See docs/runtime.md.
+  obs::registry& obs() noexcept { return obs_; }
+  const obs::registry& obs() const noexcept { return obs_; }
+
+  /// The raw cumulative counter blob (the registry's internal backing
+  /// store). Prefer obs() — manual snapshot-and-subtract is deprecated.
+  transport_stats& stats() noexcept { return obs_.core(); }
+  const transport_stats& stats() const noexcept { return obs_.core(); }
 
   /// Payloads delivered per message type, indexed by msg_type_id; for
   /// benchmark reporting.
-  std::uint64_t sent_of_type(msg_type_id id) const {
-    return per_type_sent_.at(id)->load(std::memory_order_relaxed);
-  }
+  std::uint64_t sent_of_type(msg_type_id id) const { return obs_.type_sent(id); }
   const std::string& type_name(msg_type_id id) const { return types_.at(id)->name(); }
   std::size_t num_types() const { return types_.size(); }
 
@@ -390,9 +397,8 @@ class transport {
 
   transport_config cfg_;
   std::vector<std::unique_ptr<detail::message_type_base>> types_;
-  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> per_type_sent_;
   std::vector<rank_state> ranks_;
-  transport_stats stats_;
+  obs::registry obs_;
   bool running_ = false;
 
   td_coordinator td_;
@@ -436,12 +442,12 @@ void message_type<Payload>::send(transport_context& ctx, rank_t dest, const Payl
     red_slot& slot = ln.cache[slot_idx];
     if (slot.used && slot.key == key) {
       slot.payload = reduce_->combine(slot.payload, p);
-      tp_->stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      tp_->obs_.core().cache_hits.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     if (slot.used) {
       ln.buf.push_back(slot.payload);
-      tp_->stats_.cache_evictions.fetch_add(1, std::memory_order_relaxed);
+      tp_->obs_.core().cache_evictions.fetch_add(1, std::memory_order_relaxed);
     }
     slot.used = true;
     slot.key = key;
@@ -497,12 +503,11 @@ void message_type<Payload>::flush_lane_locked(rank_t src, rank_t dest, lane& ln,
   env.bytes.resize(ln.buf.size() * sizeof(Payload));
   std::memcpy(env.bytes.data(), ln.buf.data(), env.bytes.size());
   ln.buf.clear();
+  const std::size_t n_bytes = static_cast<std::size_t>(count) * sizeof(Payload);
   tp_->deliver(src, dest, std::move(env), internal_ ? 0 : count);
-  if (!internal_) {
-    tp_->per_type_sent_[id_]->fetch_add(count, std::memory_order_relaxed);
-  } else {
-    tp_->stats_.control_messages.fetch_add(count, std::memory_order_relaxed);
-  }
+  tp_->obs_.on_sent(id_, count, n_bytes);
+  if (internal_)
+    tp_->obs_.core().control_messages.fetch_add(count, std::memory_order_relaxed);
 }
 
 template <class Payload>
@@ -539,7 +544,8 @@ message_type<Payload>& transport::make_message_type(std::string name, H handler)
   mt->vt_ = detail::message_vtable{&message_type<Payload>::dispatch_thunk, sizeof(Payload),
                                    mt.get()};
   auto& ref = *mt;
-  per_type_sent_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  const std::size_t slot = obs_.add_type(mt->name_);
+  DPG_ASSERT(slot == mt->id_);
   types_.push_back(std::move(mt));
   return ref;
 }
@@ -556,6 +562,7 @@ message_type<Payload>& transport::make_internal(
     std::string name, std::function<void(transport_context&, const Payload&)> h) {
   auto& mt = make_message_type<Payload>(std::move(name), std::move(h));
   mt.internal_ = true;
+  obs_.mark_internal(mt.id());
   return mt;
 }
 

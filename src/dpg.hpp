@@ -11,6 +11,9 @@
 #define DPG_VERSION_PATCH 0
 #define DPG_VERSION_STRING "1.0.0"
 
+// Observability: counter registry, stats scopes, span tracing.
+#include "obs/obs.hpp"
+
 // Active-message runtime (simulated distributed machine).
 #include "ampp/epoch.hpp"
 #include "ampp/stats.hpp"

@@ -1,0 +1,7 @@
+// Umbrella header for the observability layer (dpg::obs): counter/timer
+// registry, per-epoch and per-message-type stats, span tracing, and the
+// Chrome trace exporter. See docs/runtime.md ("Observability").
+#pragma once
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"

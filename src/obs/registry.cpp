@@ -1,0 +1,187 @@
+#include "obs/registry.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/log.hpp"
+
+namespace dpg::obs {
+
+// ---------------------------------------------------------------------------
+// snapshots
+// ---------------------------------------------------------------------------
+
+stats_snapshot stats_snapshot::operator-(const stats_snapshot& o) const {
+  stats_snapshot d;
+  d.core = core - o.core;
+  d.per_type.reserve(per_type.size());
+  for (std::size_t i = 0; i < per_type.size(); ++i) {
+    type_counters t = per_type[i];
+    if (i < o.per_type.size()) {
+      t.sent -= o.per_type[i].sent;
+      t.handled -= o.per_type[i].handled;
+      t.bytes -= o.per_type[i].bytes;
+    }
+    d.per_type.push_back(std::move(t));
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// registry
+// ---------------------------------------------------------------------------
+
+registry::registry() {
+  if (const char* path = std::getenv("DPG_TRACE"); path != nullptr && *path != '\0') {
+    trace_path_ = path;
+    tracer_.enable();
+  }
+  if (const char* s = std::getenv("DPG_OBS_SUMMARY"); s != nullptr && *s != '\0' &&
+                                                      std::strcmp(s, "0") != 0) {
+    summary_on_destroy_ = true;
+  }
+}
+
+registry::~registry() {
+  if (!trace_path_.empty() && tracer_.recorded() > 0) {
+    // Each transport in the process gets its own file: the first takes the
+    // configured path verbatim, later ones append .1, .2, …
+    static std::atomic<unsigned> seq{0};
+    const unsigned n = seq.fetch_add(1, std::memory_order_relaxed);
+    std::string path = trace_path_;
+    if (n > 0) path += "." + std::to_string(n);
+    if (export_trace(path))
+      DPG_INFO("wrote Chrome trace to '%s' (%zu events, %llu dropped)", path.c_str(),
+               tracer_.recorded(), static_cast<unsigned long long>(tracer_.dropped()));
+  }
+  if (summary_on_destroy_ && epochs_recorded() > 0)
+    std::fputs(epoch_summary().c_str(), stderr);
+}
+
+std::size_t registry::add_type(std::string name) {
+  types_.emplace_back();
+  types_.back().name = std::move(name);
+  return types_.size() - 1;
+}
+
+void registry::mark_internal(std::size_t id) { types_[id].internal = true; }
+
+stats_snapshot registry::snapshot() const {
+  stats_snapshot s;
+  s.core = core_.snap();
+  s.per_type.reserve(types_.size());
+  for (const type_row& t : types_) {
+    s.per_type.push_back(type_counters{t.name, t.internal,
+                                       t.sent.load(std::memory_order_relaxed),
+                                       t.handled.load(std::memory_order_relaxed),
+                                       t.bytes.load(std::memory_order_relaxed)});
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// per-epoch records
+// ---------------------------------------------------------------------------
+
+void registry::epoch_begin() {
+  std::lock_guard<std::mutex> g(epochs_mu_);
+  epoch_open_ = true;
+  epoch_start_us_ = tracer_.now_us();
+  epoch_at_begin_ = snapshot();
+}
+
+void registry::epoch_end() {
+  std::lock_guard<std::mutex> g(epochs_mu_);
+  if (!epoch_open_) return;  // epoch began before this registry was watching
+  epoch_open_ = false;
+  epoch_record rec;
+  rec.index = epochs_.size();
+  rec.start_us = epoch_start_us_;
+  rec.dur_us = tracer_.now_us() - epoch_start_us_;
+  rec.delta = snapshot() - epoch_at_begin_;
+  epochs_.push_back(std::move(rec));
+}
+
+std::vector<epoch_record> registry::epoch_records() const {
+  std::lock_guard<std::mutex> g(epochs_mu_);
+  return epochs_;
+}
+
+std::size_t registry::epochs_recorded() const {
+  std::lock_guard<std::mutex> g(epochs_mu_);
+  return epochs_.size();
+}
+
+std::string registry::epoch_summary() const {
+  const std::vector<epoch_record> eps = epoch_records();
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%5s %9s %10s %9s %12s %9s %9s %10s\n", "epoch",
+                "wall_ms", "msgs", "envs", "bytes", "handlers", "td_rnds", "cache_hit");
+  out += line;
+  counters tot{};
+  std::uint64_t tot_us = 0;
+  for (const epoch_record& e : eps) {
+    const counters& d = e.delta.core;
+    std::snprintf(line, sizeof line,
+                  "%5llu %9.3f %10llu %9llu %12llu %9llu %9llu %10llu\n",
+                  static_cast<unsigned long long>(e.index), e.dur_us / 1e3,
+                  static_cast<unsigned long long>(d.messages_sent),
+                  static_cast<unsigned long long>(d.envelopes_sent),
+                  static_cast<unsigned long long>(d.bytes_sent),
+                  static_cast<unsigned long long>(d.handler_invocations),
+                  static_cast<unsigned long long>(d.td_rounds),
+                  static_cast<unsigned long long>(d.cache_hits));
+    out += line;
+    tot = tot + d;
+    tot_us += e.dur_us;
+  }
+  std::snprintf(line, sizeof line, "%5s %9.3f %10llu %9llu %12llu %9llu %9llu %10llu\n",
+                "total", tot_us / 1e3, static_cast<unsigned long long>(tot.messages_sent),
+                static_cast<unsigned long long>(tot.envelopes_sent),
+                static_cast<unsigned long long>(tot.bytes_sent),
+                static_cast<unsigned long long>(tot.handler_invocations),
+                static_cast<unsigned long long>(tot.td_rounds),
+                static_cast<unsigned long long>(tot.cache_hits));
+  out += line;
+
+  out += "per-type totals (cumulative):\n";
+  for (std::size_t i = 0; i < num_types(); ++i) {
+    std::snprintf(line, sizeof line, "  %-32s %10llu sent %10llu handled %12llu bytes%s\n",
+                  types_[i].name.c_str(),
+                  static_cast<unsigned long long>(type_sent(i)),
+                  static_cast<unsigned long long>(type_handled(i)),
+                  static_cast<unsigned long long>(type_bytes(i)),
+                  types_[i].internal ? "  [control]" : "");
+    out += line;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// trace export helpers
+// ---------------------------------------------------------------------------
+
+std::vector<trace_event> registry::type_counter_events() const {
+  std::vector<trace_event> out;
+  const std::uint64_t ts = tracer_.now_us();
+  for (std::size_t i = 0; i < num_types(); ++i) {
+    if (type_sent(i) == 0 && type_handled(i) == 0) continue;
+    trace_event ev;
+    ev.set_name(("msg:" + types_[i].name).c_str());
+    ev.cat = "counter";
+    ev.ts_us = ts;
+    ev.dur_us = 0;
+    ev.tid = 0;
+    ev.n_args = 3;
+    ev.args[0] = {"sent", type_sent(i)};
+    ev.args[1] = {"handled", type_handled(i)};
+    ev.args[2] = {"bytes", type_bytes(i)};
+    out.push_back(ev);
+  }
+  return out;
+}
+
+}  // namespace dpg::obs

@@ -1,0 +1,215 @@
+// The observability registry: the public measurement surface of a
+// transport (counters half; the timeline half is obs/trace.hpp).
+//
+// The paper's evaluation (§IV-A, Figs. 5–6) rests on message accounting —
+// "how many messages does the synthesized plan cost over hand-written
+// AM++?" — so the runtime keeps its counters where experiments can reach
+// them with attribution:
+//
+//   * core counters      — the cumulative ampp::transport_stats blob, kept
+//     as the *internal backing store* (its snapshot-and-subtract idiom is
+//     deprecated; use stats_scope);
+//   * per-message-type   — payloads sent/handled and bytes per registered
+//     message type, including the synthesized gather/evaluate types of
+//     every pattern (name.gatherK / name.eval) and the control plane;
+//   * per-epoch          — one record per completed epoch: wall time and
+//     the counter delta the epoch consumed, rendered on demand as a
+//     human-readable summary table;
+//   * stats_scope        — RAII region measurement: captures the counter
+//     delta between construction and finish()/destruction.
+//
+// Environment switches (read at transport construction, zero overhead when
+// unset):
+//   DPG_TRACE=<path>     enable tracing; write a Chrome trace-event JSON to
+//                        <path> when the transport is destroyed (subsequent
+//                        transports in one process write <path>.1, .2, …).
+//   DPG_OBS_SUMMARY=1    print the per-epoch summary table to stderr when
+//                        the transport is destroyed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ampp/stats.hpp"
+#include "obs/trace.hpp"
+
+namespace dpg::obs {
+
+/// Plain-value core counters (one row of a snapshot). Alias of the backing
+/// store's snapshot type so the field set can never drift.
+using counters = ampp::transport_stats::snapshot;
+
+/// Per-message-type plain-value counters.
+struct type_counters {
+  std::string name;
+  bool internal = false;  ///< control-plane type (TD, collectives)
+  std::uint64_t sent = 0;     ///< payloads flushed to the wire
+  std::uint64_t handled = 0;  ///< payloads dispatched to the handler
+  std::uint64_t bytes = 0;    ///< payload bytes delivered
+};
+
+/// Full point-in-time snapshot: core counters plus every message type.
+struct stats_snapshot {
+  counters core{};
+  std::vector<type_counters> per_type;
+
+  /// Pairwise difference. `o` must be an earlier snapshot of the same
+  /// registry (types registered after `o` keep their full counts).
+  stats_snapshot operator-(const stats_snapshot& o) const;
+};
+
+/// One completed epoch: wall time and the counter delta it consumed.
+struct epoch_record {
+  std::uint64_t index = 0;
+  std::uint64_t start_us = 0;  ///< tracer timebase (µs since registry birth)
+  std::uint64_t dur_us = 0;
+  stats_snapshot delta;
+};
+
+/// Per-transport observability registry. Owned by ampp::transport and
+/// reached through transport::obs(); strategies, patterns, benchmarks, and
+/// tests measure through this API rather than raw transport_stats.
+class registry {
+ public:
+  registry();
+  ~registry();
+
+  registry(const registry&) = delete;
+  registry& operator=(const registry&) = delete;
+
+  // ---- core counters (internal backing store) -----------------------------
+
+  /// The cumulative counter blob the transport increments. Prefer
+  /// snapshot() / stats_scope; manual snapshot-and-subtract on this struct
+  /// is the deprecated pre-obs idiom.
+  ampp::transport_stats& core() noexcept { return core_; }
+  const ampp::transport_stats& core() const noexcept { return core_; }
+
+  // ---- message-type registry ----------------------------------------------
+
+  /// Registers one message type; returns its slot (the transport keeps
+  /// slots aligned with msg_type_id). Not thread-safe; registration happens
+  /// before transport::run, as message types do.
+  std::size_t add_type(std::string name);
+  void mark_internal(std::size_t id);
+
+  std::size_t num_types() const { return types_.size(); }
+  const std::string& type_name(std::size_t id) const { return types_[id].name; }
+  bool type_internal(std::size_t id) const { return types_[id].internal; }
+  std::uint64_t type_sent(std::size_t id) const {
+    return types_[id].sent.load(std::memory_order_relaxed);
+  }
+  std::uint64_t type_handled(std::size_t id) const {
+    return types_[id].handled.load(std::memory_order_relaxed);
+  }
+  std::uint64_t type_bytes(std::size_t id) const {
+    return types_[id].bytes.load(std::memory_order_relaxed);
+  }
+
+  /// Hot-path accounting hooks (relaxed atomic adds).
+  void on_sent(std::size_t id, std::uint64_t n, std::uint64_t bytes) {
+    types_[id].sent.fetch_add(n, std::memory_order_relaxed);
+    types_[id].bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void on_handled(std::size_t id, std::uint64_t n) {
+    types_[id].handled.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // ---- snapshots ----------------------------------------------------------
+
+  stats_snapshot snapshot() const;
+
+  // ---- per-epoch records --------------------------------------------------
+
+  /// Epoch scoping hooks, called by ampp::epoch on rank 0 (epochs are
+  /// collective and serialized per transport, so begin/end pairs nest).
+  void epoch_begin();
+  void epoch_end();
+
+  std::vector<epoch_record> epoch_records() const;
+  std::size_t epochs_recorded() const;
+
+  /// Renders the per-epoch records and per-type totals as a fixed-width
+  /// table (one epoch per row, totals last).
+  std::string epoch_summary() const;
+
+  // ---- tracing ------------------------------------------------------------
+
+  tracer& trace() noexcept { return tracer_; }
+  const tracer& trace() const noexcept { return tracer_; }
+
+  /// Per-message-type counter events for trace export (zero-duration spans
+  /// carrying sent/handled/bytes args).
+  std::vector<trace_event> type_counter_events() const;
+
+  /// Writes the Chrome trace (recorded spans + per-type counter events).
+  bool export_trace(const std::string& path) const {
+    return tracer_.write_chrome_trace_file(path, type_counter_events());
+  }
+
+ private:
+  struct type_row {
+    std::string name;
+    bool internal = false;
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> handled{0};
+    std::atomic<std::uint64_t> bytes{0};
+  };
+
+  ampp::transport_stats core_;
+  std::deque<type_row> types_;  // deque: rows hold atomics and cannot move
+  tracer tracer_;
+
+  mutable std::mutex epochs_mu_;
+  std::vector<epoch_record> epochs_;
+  bool epoch_open_ = false;
+  std::uint64_t epoch_start_us_ = 0;
+  stats_snapshot epoch_at_begin_;
+
+  std::string trace_path_;  ///< from DPG_TRACE; empty = no export
+  bool summary_on_destroy_ = false;
+};
+
+/// RAII counter-delta capture: the replacement for the deprecated
+/// snapshot-and-subtract idiom on transport_stats.
+///
+///   obs::stats_scope sc(tp.obs());
+///   tp.run(...);
+///   const obs::stats_snapshot d = sc.finish();   // or let ~stats_scope
+///   use(d.core.messages_sent);                   // write through `out`
+class stats_scope {
+ public:
+  /// Starts measuring. If `out` is given, the delta is stored there on
+  /// destruction (for scopes that end before the measurement is read).
+  explicit stats_scope(const registry& reg, stats_snapshot* out = nullptr)
+      : reg_(&reg), begin_(reg.snapshot()), out_(out) {}
+
+  stats_scope(const stats_scope&) = delete;
+  stats_scope& operator=(const stats_scope&) = delete;
+
+  /// The delta accumulated so far (does not end the scope).
+  stats_snapshot delta() const { return reg_->snapshot() - begin_; }
+
+  /// Ends the scope and returns the captured delta (idempotent).
+  const stats_snapshot& finish() {
+    if (!end_) end_ = delta();
+    return *end_;
+  }
+
+  ~stats_scope() {
+    if (out_ != nullptr) *out_ = finish();
+  }
+
+ private:
+  const registry* reg_;
+  stats_snapshot begin_;
+  std::optional<stats_snapshot> end_;
+  stats_snapshot* out_;
+};
+
+}  // namespace dpg::obs

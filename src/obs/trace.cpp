@@ -1,0 +1,132 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+
+#include "util/log.hpp"
+
+namespace dpg::obs {
+
+namespace {
+
+/// JSON string escaping for event names (categories and arg keys are
+/// compile-time literals and are trusted).
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void write_event(std::ostream& os, const trace_event& ev) {
+  os << "{\"name\":\"";
+  write_escaped(os, ev.name);
+  os << "\",\"cat\":\"";
+  write_escaped(os, ev.cat);
+  os << "\",\"ph\":\"X\",\"ts\":" << ev.ts_us << ",\"dur\":" << ev.dur_us
+     << ",\"pid\":0,\"tid\":" << ev.tid;
+  if (ev.n_args > 0) {
+    os << ",\"args\":{";
+    for (int i = 0; i < ev.n_args; ++i) {
+      if (i) os << ',';
+      os << '"';
+      write_escaped(os, ev.args[i].key);
+      os << "\":" << ev.args[i].value;
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+tracer::tracer()
+    : shard_capacity_((std::size_t{1} << 20) / kShards),
+      start_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t tracer::now_us() const {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - start_)
+                                        .count());
+}
+
+void tracer::record(const trace_event& ev) {
+  shard& sh = shards_[ev.tid % kShards];
+  std::lock_guard<dpg::spinlock> g(sh.mu);
+  if (sh.events.size() >= shard_capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  sh.events.push_back(ev);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<trace_event> tracer::events() const {
+  std::vector<trace_event> out;
+  for (const shard& sh : shards_) {
+    std::lock_guard<dpg::spinlock> g(sh.mu);
+    out.insert(out.end(), sh.events.begin(), sh.events.end());
+  }
+  return out;
+}
+
+void tracer::set_capacity(std::size_t events) {
+  shard_capacity_ = events < kShards ? 1 : events / kShards;
+}
+
+void tracer::clear() {
+  for (shard& sh : shards_) {
+    std::lock_guard<dpg::spinlock> g(sh.mu);
+    sh.events.clear();
+  }
+  recorded_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void tracer::write_chrome_trace(std::ostream& os,
+                                const std::vector<trace_event>& extra) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const trace_event& ev : events()) {
+    if (!first) os << ",\n";
+    first = false;
+    write_event(os, ev);
+  }
+  for (const trace_event& ev : extra) {
+    if (!first) os << ",\n";
+    first = false;
+    write_event(os, ev);
+  }
+  os << "],\"displayTimeUnit\":\"ms\"";
+  if (const std::uint64_t d = dropped())
+    os << ",\"otherData\":{\"dropped_events\":\"" << d << "\"}";
+  os << "}\n";
+}
+
+bool tracer::write_chrome_trace_file(const std::string& path,
+                                     const std::vector<trace_event>& extra) const {
+  std::ofstream out(path);
+  if (!out) {
+    DPG_WARN("cannot open trace output file '%s'", path.c_str());
+    return false;
+  }
+  write_chrome_trace(out, extra);
+  return static_cast<bool>(out);
+}
+
+}  // namespace dpg::obs

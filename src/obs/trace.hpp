@@ -1,0 +1,189 @@
+// Span-based runtime tracing (the observability layer's timeline half; the
+// counter half lives in obs/registry.hpp).
+//
+// A `tracer` is a bounded, sharded event buffer with a runtime on/off
+// switch. Emitters open a `trace_span` (RAII) around a region — an epoch, a
+// termination-detection round, a buffer flush, a handler dispatch, a gather
+// hop of a synthesized plan — and the span records a Chrome trace-event
+// "complete" event (`ph:"X"`) when it closes. Events carry the simulated
+// rank as the thread id, so a trace viewer shows one lane per rank.
+//
+// Overhead discipline:
+//  * disabled (the default): constructing a span is one relaxed atomic load
+//    and a branch — no clock read, no string copy, no allocation;
+//  * enabled: a steady-clock read at open/close and one short spinlock
+//    acquisition on a per-rank shard at close;
+//  * compile-time kill switch: building with -DDPG_OBS_DISABLE turns
+//    `trace_span` into an empty shell (for overhead A/B measurements).
+//
+// The buffer is bounded (default 1M events); once full, further events are
+// dropped and counted — a trace is a window, never a crash or a stall.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/spinlock.hpp"
+
+namespace dpg::obs {
+
+/// One recorded event. Names are copied into a fixed inline buffer at
+/// record time so emitters never need to keep strings alive until export.
+struct trace_event {
+  static constexpr std::size_t name_capacity = 47;
+  static constexpr int max_args = 4;
+
+  char name[name_capacity + 1] = {0};
+  const char* cat = "";  ///< static-lifetime category literal
+  std::uint64_t ts_us = 0;   ///< microseconds since tracer construction
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;     ///< simulated rank (trace-viewer lane)
+  int n_args = 0;
+  struct arg_t {
+    const char* key;  ///< static-lifetime literal
+    std::uint64_t value;
+  } args[max_args] = {};
+
+  void set_name(const char* n) {
+    std::strncpy(name, n, name_capacity);
+    name[name_capacity] = '\0';
+  }
+};
+
+/// Bounded sharded event sink with a runtime enable switch and a Chrome
+/// trace-event JSON exporter. One tracer per transport (owned by its
+/// obs::registry); all ranks and handler threads record into it.
+class tracer {
+ public:
+  tracer();
+
+  tracer(const tracer&) = delete;
+  tracer& operator=(const tracer&) = delete;
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since construction (the trace timebase).
+  std::uint64_t now_us() const;
+
+  /// Appends one event (thread-safe). Silently drops once the buffer is
+  /// full; drops are counted.
+  void record(const trace_event& ev);
+
+  /// All recorded events, merged across shards (unsorted).
+  std::vector<trace_event> events() const;
+
+  std::size_t recorded() const { return recorded_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Total event capacity. Must be set while no emitter is running.
+  void set_capacity(std::size_t events);
+
+  void clear();
+
+  /// Writes the Chrome trace-event JSON object ({"traceEvents": [...]}).
+  /// Load the file in chrome://tracing or https://ui.perfetto.dev. The
+  /// optional `extra` events (e.g. per-message-type counter samples) are
+  /// appended verbatim after the recorded spans.
+  void write_chrome_trace(std::ostream& os,
+                          const std::vector<trace_event>& extra = {}) const;
+
+  /// write_chrome_trace to a file; returns false (and logs) on I/O error.
+  bool write_chrome_trace_file(const std::string& path,
+                               const std::vector<trace_event>& extra = {}) const;
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  struct alignas(64) shard {
+    mutable dpg::spinlock mu;
+    std::vector<trace_event> events;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> recorded_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::size_t shard_capacity_;
+  shard shards_[kShards];
+  std::chrono::steady_clock::time_point start_;
+};
+
+#ifndef DPG_OBS_DISABLE
+
+/// RAII span: opens on construction (when the tracer is enabled), records a
+/// complete event on finish()/destruction. Inactive spans (null or disabled
+/// tracer) cost one relaxed load and a branch: the event payload lives in
+/// an optional that is only constructed (and its ~100 bytes only touched)
+/// on the enabled path — span sites sit on per-message hot paths.
+class trace_span {
+ public:
+  trace_span() = default;
+
+  trace_span(tracer* t, const char* cat, const char* name, std::uint32_t tid) {
+    if (t == nullptr || !t->enabled()) return;
+    t_ = t;
+    trace_event& ev = ev_.emplace();
+    ev.set_name(name);
+    ev.cat = cat;
+    ev.tid = tid;
+    ev.ts_us = t->now_us();
+  }
+
+  trace_span(const trace_span&) = delete;
+  trace_span& operator=(const trace_span&) = delete;
+
+  trace_span(trace_span&& o) noexcept : t_(o.t_), ev_(o.ev_) { o.t_ = nullptr; }
+  trace_span& operator=(trace_span&& o) noexcept {
+    if (this != &o) {
+      finish();
+      t_ = o.t_;
+      ev_ = o.ev_;
+      o.t_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// Attaches a key/value pair (up to trace_event::max_args; extras are
+  /// dropped). `key` must be a static-lifetime literal.
+  void arg(const char* key, std::uint64_t value) {
+    if (t_ == nullptr || ev_->n_args >= trace_event::max_args) return;
+    ev_->args[ev_->n_args++] = {key, value};
+  }
+
+  bool active() const { return t_ != nullptr; }
+
+  /// Closes and records the span now (idempotent).
+  void finish() {
+    if (t_ == nullptr) return;
+    ev_->dur_us = t_->now_us() - ev_->ts_us;
+    t_->record(*ev_);
+    t_ = nullptr;
+  }
+
+  ~trace_span() { finish(); }
+
+ private:
+  tracer* t_ = nullptr;
+  std::optional<trace_event> ev_;
+};
+
+#else  // DPG_OBS_DISABLE: spans compile to nothing.
+
+class trace_span {
+ public:
+  trace_span() = default;
+  trace_span(tracer*, const char*, const char*, std::uint32_t) {}
+  void arg(const char*, std::uint64_t) {}
+  bool active() const { return false; }
+  void finish() {}
+};
+
+#endif  // DPG_OBS_DISABLE
+
+}  // namespace dpg::obs

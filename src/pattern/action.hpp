@@ -517,6 +517,12 @@ class instantiated_action final : public action_instance {
   // ---- message registration (§IV-A, §IV-D) --------------------------------
 
   void register_messages() {
+    // Stable span labels for the plan-stage traces: one per gather hop plus
+    // the final evaluate (spans copy the name, but the c_str must live
+    // until the span constructor returns).
+    for (std::size_t k = 0; k < hops_.size(); ++k)
+      hop_labels_.push_back(name_ + ".hop" + std::to_string(k));
+    final_label_ = name_ + ".eval";
     const auto* g = g_;
     for (std::size_t k = 1; k < hops_.size(); ++k) {
       auto loc = hops_[k].locality;
@@ -545,6 +551,7 @@ class instantiated_action final : public action_instance {
   // ---- execution -----------------------------------------------------------
 
   void run_gather(ampp::transport_context& ctx, std::size_t k, gather_state& s) {
+    obs::trace_span sp(&tp_->obs().trace(), "plan", hop_labels_[k].c_str(), ctx.rank());
     for (const auto& read : hops_[k].reads) read(s);
     if (k + 1 < hops_.size()) {
       hop_msgs_[k]->send(ctx, s);  // hop_msgs_[k] targets hop k+1
@@ -557,6 +564,7 @@ class instantiated_action final : public action_instance {
   }
 
   void run_final(ampp::transport_context& ctx, gather_state& s) {
+    obs::trace_span sp(&tp_->obs().trace(), "plan", final_label_.c_str(), ctx.rank());
     const graph::vertex_id mlv = ml_locality_(s);
     DPG_DEBUG_ASSERT(g_->owner(mlv) == ctx.rank());
 
@@ -605,6 +613,8 @@ class instantiated_action final : public action_instance {
 
   std::vector<ampp::message_type<gather_state>*> hop_msgs_;
   ampp::message_type<gather_state>* final_msg_ = nullptr;
+  std::vector<std::string> hop_labels_;  ///< plan-span names, one per hop
+  std::string final_label_;              ///< plan-span name of the final stage
 };
 
 inline std::string explain(const std::string& action_name, const plan_info& p) {

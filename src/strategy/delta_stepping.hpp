@@ -50,11 +50,20 @@ class delta_stepping {
   }
 
   /// Coordinated Δ-stepping: one epoch per bucket level. Collective.
-  void run(ampp::transport_context& ctx, std::span<const vertex_id> seeds) {
+  /// result::rounds counts the epochs driven (a proxy for global
+  /// synchronization cost — the Δ sweep benchmark reports it).
+  result run(ampp::transport_context& ctx, std::span<const vertex_id> seeds,
+             const options& opt = {}) {
     buckets& B = my_buckets(ctx);
     B.clear();
     install_hook_collective(ctx, *a_, hook_);
     for (const vertex_id v : seeds) B.insert(v, priority(v));
+
+    obs::registry& reg = ctx.tp().obs();
+    std::optional<obs::stats_scope> sc;
+    if (opt.collect_stats) sc.emplace(reg);
+    const std::uint64_t before = a_->modifications();
+    obs::trace_span sp(&reg.trace(), "strategy", "delta", ctx.rank());
 
     std::uint64_t epochs = 0;
     for (;;) {
@@ -62,6 +71,8 @@ class delta_stepping {
       const std::uint64_t mine = B.first_nonempty();
       const std::uint64_t level = ctx.allreduce_min(mine);
       if (level == buckets::none) break;
+      obs::trace_span lsp(&reg.trace(), "strategy", "bucket", ctx.rank());
+      lsp.arg("level", level);
 
       // Drain this level to a global fixed point. try_finish may succeed
       // while a conflicting hook insertion has just refilled the bucket
@@ -78,27 +89,51 @@ class delta_stepping {
         if (!ctx.allreduce_or(!B.empty(level))) break;
       }
     }
-    if (ctx.rank() == 0) epochs_used_ = epochs;
+    if (ctx.rank() == 0) epochs_used_ = epochs;  // one writer; TSan-clean
+    sp.arg("epochs", epochs);
+    sp.finish();
     ctx.barrier();
+
+    result res;
+    res.rounds = epochs;
+    res.modifications = a_->modifications() - before;
+    if (sc) res.stats_delta = sc->finish();
+    return res;
   }
 
   /// Uncoordinated Δ-stepping (§III-D): single epoch, local priority order,
   /// termination purely via try_finish. Collective.
-  void run_uncoordinated(ampp::transport_context& ctx, std::span<const vertex_id> seeds) {
+  result run_uncoordinated(ampp::transport_context& ctx, std::span<const vertex_id> seeds,
+                           const options& opt = {}) {
     buckets& B = my_buckets(ctx);
     B.clear();
     install_hook_collective(ctx, *a_, hook_);
     for (const vertex_id v : seeds) B.insert(v, priority(v));
 
-    ampp::epoch ep(ctx);
-    for (;;) {
-      while (auto v = B.pop_any()) (*a_)(ctx, *v);
-      if (B.empty() && ep.try_finish()) break;
-      // Either local work arrived while trying to finish, or some other
-      // rank still works: go back to the buckets.
+    obs::registry& reg = ctx.tp().obs();
+    std::optional<obs::stats_scope> sc;
+    if (opt.collect_stats) sc.emplace(reg);
+    const std::uint64_t before = a_->modifications();
+    obs::trace_span sp(&reg.trace(), "strategy", "delta_uncoordinated", ctx.rank());
+
+    {
+      ampp::epoch ep(ctx);
+      for (;;) {
+        while (auto v = B.pop_any()) (*a_)(ctx, *v);
+        if (B.empty() && ep.try_finish()) break;
+        // Either local work arrived while trying to finish, or some other
+        // rank still works: go back to the buckets.
+      }
     }
     if (ctx.rank() == 0) epochs_used_ = 1;
+    sp.finish();
     ctx.barrier();
+
+    result res;
+    res.rounds = 1;
+    res.modifications = a_->modifications() - before;
+    if (sc) res.stats_delta = sc->finish();
+    return res;
   }
 
   /// Epochs consumed by the last run (a proxy for global synchronization

@@ -3,18 +3,48 @@
 // actions through the framework's primitives — epochs, work hooks, and
 // collectives. Users write their own the same way (Δ-stepping lives in
 // delta_stepping.hpp).
+//
+// Every strategy entry point takes a `strategy::options` and returns a
+// `strategy::result` {rounds, modifications, stats_delta} so callers can
+// treat strategies uniformly and measure them without touching raw
+// transport counters.
 #pragma once
 
+#include <optional>
 #include <span>
 
 #include "ampp/epoch.hpp"
 #include "ampp/transport.hpp"
 #include "graph/distributed_graph.hpp"
+#include "obs/obs.hpp"
 #include "pattern/action.hpp"
 
 namespace dpg::strategy {
 
 using graph::vertex_id;
+
+/// Common knobs accepted by every strategy entry point.
+struct options {
+  /// Round cap for iterating strategies (once_until_quiet); single-epoch
+  /// strategies ignore it.
+  int max_rounds = 1 << 20;
+  /// Capture the transport-counter delta the strategy consumed into
+  /// result::stats_delta. Cheap (two registry snapshots); disable only in
+  /// tight strategy-composition loops.
+  bool collect_stats = true;
+};
+
+/// Common return value of every strategy entry point. Counters are global
+/// (summed across ranks): after the collective returns, every rank holds
+/// the same values.
+struct result {
+  std::uint64_t rounds = 0;         ///< epochs/rounds the strategy drove
+  std::uint64_t modifications = 0;  ///< successful condition firings it caused
+  obs::stats_snapshot stats_delta;  ///< transport counters consumed (if collected)
+
+  /// Did any property-map modification happen anywhere in the system?
+  bool changed() const { return modifications != 0; }
+};
 
 /// Collectively installs a work hook on a shared action instance: assigned
 /// on one rank, published to all by the barrier. (All strategies call this
@@ -45,37 +75,73 @@ void for_each_local_vertex(ampp::transport_context& ctx,
 /// `seeds` holds the seed vertices owned by the calling rank (SPMD callers
 /// pass their local portion). Collective; returns when the fixed point is
 /// reached everywhere.
-inline void fixed_point(ampp::transport_context& ctx, pattern::action_instance& a,
-                        std::span<const vertex_id> seeds) {
+inline result fixed_point(ampp::transport_context& ctx, pattern::action_instance& a,
+                          std::span<const vertex_id> seeds, const options& opt = {}) {
   install_hook_collective(
       ctx, a, [&a](ampp::transport_context& c, vertex_id dep) { a(c, dep); });
-  ampp::epoch ep(ctx);
-  for (const vertex_id v : seeds) a(ctx, v);
-}
-
-/// The once strategy (§II-B): applies the action at every seed exactly once
-/// (dependencies are ignored) and reports whether any property-map
-/// modification happened anywhere in the system. Collective.
-inline bool once(ampp::transport_context& ctx, pattern::action_instance& a,
-                 std::span<const vertex_id> seeds) {
-  install_hook_collective(ctx, a, {});
-  ctx.barrier();  // all ranks snapshot the counter before anyone applies
+  obs::registry& reg = ctx.tp().obs();
+  std::optional<obs::stats_scope> sc;
+  if (opt.collect_stats) sc.emplace(reg);
   const std::uint64_t before = a.modifications();
   {
+    obs::trace_span sp(&reg.trace(), "strategy", "fixed_point", ctx.rank());
     ampp::epoch ep(ctx);
     for (const vertex_id v : seeds) a(ctx, v);
   }
-  return a.modifications() != before;
+  result res;
+  res.rounds = 1;
+  res.modifications = a.modifications() - before;
+  if (sc) res.stats_delta = sc->finish();
+  return res;
 }
 
-/// Repeats `once` until no modification happens (a synchronous-round
-/// fixed point; used for the CC pointer-jump loop of Fig. 3, lines 14-17).
-/// Returns the number of rounds that performed work.
-inline int once_until_quiet(ampp::transport_context& ctx, pattern::action_instance& a,
-                            std::span<const vertex_id> seeds, int max_rounds = 1 << 20) {
-  int rounds = 0;
-  while (rounds < max_rounds && once(ctx, a, seeds)) ++rounds;
-  return rounds;
+/// The once strategy (§II-B): applies the action at every seed exactly once
+/// (dependencies are ignored); result::changed() reports whether any
+/// property-map modification happened anywhere in the system. Collective.
+inline result once(ampp::transport_context& ctx, pattern::action_instance& a,
+                   std::span<const vertex_id> seeds, const options& opt = {}) {
+  install_hook_collective(ctx, a, {});
+  ctx.barrier();  // all ranks snapshot the counter before anyone applies
+  obs::registry& reg = ctx.tp().obs();
+  std::optional<obs::stats_scope> sc;
+  if (opt.collect_stats) sc.emplace(reg);
+  const std::uint64_t before = a.modifications();
+  {
+    obs::trace_span sp(&reg.trace(), "strategy", "once", ctx.rank());
+    ampp::epoch ep(ctx);
+    for (const vertex_id v : seeds) a(ctx, v);
+  }
+  result res;
+  res.rounds = 1;
+  res.modifications = a.modifications() - before;
+  if (sc) res.stats_delta = sc->finish();
+  return res;
+}
+
+/// Repeats `once` until no modification happens or opt.max_rounds is
+/// reached (a synchronous-round fixed point; used for the CC pointer-jump
+/// loop of Fig. 3, lines 14-17). result::rounds counts the rounds that
+/// performed work.
+inline result once_until_quiet(ampp::transport_context& ctx, pattern::action_instance& a,
+                               std::span<const vertex_id> seeds,
+                               const options& opt = {}) {
+  obs::registry& reg = ctx.tp().obs();
+  std::optional<obs::stats_scope> sc;
+  if (opt.collect_stats) sc.emplace(reg);
+  obs::trace_span sp(&reg.trace(), "strategy", "once_until_quiet", ctx.rank());
+  options inner = opt;
+  inner.collect_stats = false;  // one delta for the whole loop, not per round
+  result res;
+  while (static_cast<int>(res.rounds) < opt.max_rounds) {
+    const result r = once(ctx, a, seeds, inner);
+    if (!r.changed()) break;
+    ++res.rounds;
+    res.modifications += r.modifications;
+  }
+  sp.arg("rounds", res.rounds);
+  sp.finish();
+  if (sc) res.stats_delta = sc->finish();
+  return res;
 }
 
 }  // namespace dpg::strategy

@@ -6,6 +6,7 @@
 
 #include "ampp/epoch.hpp"
 #include "ampp/transport.hpp"
+#include "obs/obs.hpp"
 
 namespace dpg::ampp {
 namespace {
@@ -78,11 +79,17 @@ TEST(Contract, AccountingInvariants) {
       if (ctx.rank() == 0) b.send(ctx, 2, ping{2});
     }
   });
-  const auto s = tp.stats().snap();
-  EXPECT_EQ(s.messages_sent, s.handler_invocations);
-  EXPECT_EQ(tp.sent_of_type(a.id()) + tp.sent_of_type(b.id()), s.messages_sent);
+  const obs::stats_snapshot s = tp.obs().snapshot();
+  EXPECT_EQ(s.core.messages_sent, s.core.handler_invocations);
+  EXPECT_EQ(tp.sent_of_type(a.id()) + tp.sent_of_type(b.id()), s.core.messages_sent);
   EXPECT_EQ(tp.sent_of_type(a.id()), 50u * kRanks);
   EXPECT_EQ(tp.sent_of_type(b.id()), 50u);
+  // The registry's per-type rows agree with the legacy accessors and carry
+  // handled/byte attribution too.
+  EXPECT_EQ(s.per_type[a.id()].sent, 50u * kRanks);
+  EXPECT_EQ(s.per_type[a.id()].handled, 50u * kRanks);
+  EXPECT_EQ(s.per_type[a.id()].bytes, 50u * kRanks * sizeof(ping));
+  EXPECT_EQ(s.per_type[b.id()].name, "b");
 }
 
 TEST(Contract, EnvelopeCountRespectsCoalescingBound) {
@@ -90,16 +97,16 @@ TEST(Contract, EnvelopeCountRespectsCoalescingBound) {
   // the buffer holds).
   transport tp(transport_config{.n_ranks = 2, .coalescing_size = 32});
   auto& mt = tp.make_message_type<ping>("p", [](transport_context&, const ping&) {});
-  const auto before = tp.stats().snap();
+  obs::stats_scope sc(tp.obs());
   tp.run([&](transport_context& ctx) {
     epoch ep(ctx);
     if (ctx.rank() == 0)
       for (int i = 0; i < 1000; ++i) mt.send(ctx, 1, ping{1});
   });
-  const auto d = tp.stats().snap() - before;
-  EXPECT_GE(d.envelopes_sent, 1000u / 32u);
-  EXPECT_EQ(d.messages_sent, 1000u);
-  EXPECT_EQ(d.bytes_sent >= 1000u * sizeof(ping), true);
+  const obs::stats_snapshot& d = sc.finish();
+  EXPECT_GE(d.core.envelopes_sent, 1000u / 32u);
+  EXPECT_EQ(d.core.messages_sent, 1000u);
+  EXPECT_EQ(d.core.bytes_sent >= 1000u * sizeof(ping), true);
 }
 
 TEST(Contract, AllreduceAtPayloadSizeLimit) {

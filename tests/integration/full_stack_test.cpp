@@ -14,6 +14,7 @@
 #include "algo/pagerank.hpp"
 #include "algo/sssp.hpp"
 #include "graph/generators.hpp"
+#include "obs/obs.hpp"
 
 namespace dpg {
 namespace {
@@ -131,13 +132,13 @@ TEST(FullStack, MessageEconomyScalesWithEdges) {
   });
   ampp::transport tp(ampp::transport_config{.n_ranks = 2});
   sssp_solver solver(tp, g, weight);
-  const auto before = tp.stats().snap();
+  obs::stats_scope sc(tp.obs());
   tp.run([&](ampp::transport_context& ctx) { solver.run_delta(ctx, 0, 8.0); });
-  const auto delta = tp.stats().snap() - before;
+  const obs::stats_snapshot& delta = sc.finish();
   // Every message of the relax plan corresponds to one generated edge of
   // one application; applications = invocations.
-  EXPECT_GT(delta.messages_sent, 0u);
-  EXPECT_LT(delta.messages_sent, 6 * g.num_edges());
+  EXPECT_GT(delta.core.messages_sent, 0u);
+  EXPECT_LT(delta.core.messages_sent, 6 * g.num_edges());
 }
 
 }  // namespace

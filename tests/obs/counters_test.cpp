@@ -1,0 +1,158 @@
+// The counter half of the observability layer: registry snapshots,
+// per-message-type attribution, stats_scope deltas, and per-epoch records —
+// including consistency under adversarial delivery order and with the
+// optional handler-thread pool running.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "ampp/epoch.hpp"
+#include "ampp/transport.hpp"
+#include "obs/obs.hpp"
+
+namespace dpg::obs {
+namespace {
+
+struct ping {
+  std::uint64_t x;
+};
+
+/// Sends `per_rank` messages of two types from every rank.
+void pump(ampp::transport& tp, ampp::message_type<ping>& a, ampp::message_type<ping>& b,
+          int per_rank) {
+  const ampp::rank_t ranks = tp.size();
+  tp.run([&](ampp::transport_context& ctx) {
+    ampp::epoch ep(ctx);
+    for (int i = 0; i < per_rank; ++i) {
+      a.send(ctx, static_cast<ampp::rank_t>((ctx.rank() + 1) % ranks), ping{1});
+      if (i % 3 == 0)
+        b.send(ctx, static_cast<ampp::rank_t>((ctx.rank() + 2) % ranks), ping{2});
+    }
+  });
+}
+
+/// Core invariant: everything sent was handled, and the non-internal
+/// per-type rows sum exactly to the core totals.
+void check_consistency(const stats_snapshot& s) {
+  EXPECT_EQ(s.core.messages_sent, s.core.handler_invocations);
+  std::uint64_t sent = 0, handled = 0;
+  for (const type_counters& t : s.per_type) {
+    if (t.internal) continue;
+    sent += t.sent;
+    handled += t.handled;
+    EXPECT_EQ(t.sent, t.handled) << "type " << t.name;
+  }
+  EXPECT_EQ(sent, s.core.messages_sent);
+  EXPECT_EQ(handled, s.core.handler_invocations);
+}
+
+TEST(Counters, ConsistentUnderScrambledDelivery) {
+  ampp::transport tp(ampp::transport_config{
+      .n_ranks = 4, .coalescing_size = 8, .seed = 11, .scramble_delivery = true});
+  auto& a = tp.make_message_type<ping>("a", [](ampp::transport_context&, const ping&) {});
+  auto& b = tp.make_message_type<ping>("b", [](ampp::transport_context&, const ping&) {});
+  pump(tp, a, b, 300);
+  const stats_snapshot s = tp.obs().snapshot();
+  check_consistency(s);
+  EXPECT_EQ(s.per_type[a.id()].sent, 300u * 4u);
+  EXPECT_EQ(s.per_type[b.id()].sent, 100u * 4u);
+  EXPECT_EQ(s.per_type[a.id()].bytes, 300u * 4u * sizeof(ping));
+}
+
+TEST(Counters, ConsistentWithHandlerThreads) {
+  ampp::transport tp(ampp::transport_config{
+      .n_ranks = 3, .coalescing_size = 16, .handler_threads = 2});
+  auto& a = tp.make_message_type<ping>("a", [](ampp::transport_context&, const ping&) {});
+  auto& b = tp.make_message_type<ping>("b", [](ampp::transport_context&, const ping&) {});
+  pump(tp, a, b, 500);
+  check_consistency(tp.obs().snapshot());
+}
+
+TEST(Counters, InternalTypesAreTaggedAndExcluded) {
+  // The control plane (TD, collectives) is registered as internal message
+  // types; its traffic must not leak into the user-facing totals.
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  auto& a = tp.make_message_type<ping>("a", [](ampp::transport_context&, const ping&) {});
+  pump(tp, a, a, 10);
+  const stats_snapshot s = tp.obs().snapshot();
+  bool saw_internal = false;
+  std::uint64_t internal_sent = 0;
+  for (const type_counters& t : s.per_type) {
+    saw_internal |= t.internal;
+    if (t.internal) internal_sent += t.sent;
+  }
+  EXPECT_TRUE(saw_internal);       // TD lives on message types too
+  EXPECT_GT(internal_sent, 0u);    // ... and actually ran
+  EXPECT_EQ(s.core.control_messages, internal_sent);
+  check_consistency(s);            // user totals unaffected
+}
+
+TEST(Counters, StatsScopeMeasuresOnlyItsRegion) {
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  auto& a = tp.make_message_type<ping>("a", [](ampp::transport_context&, const ping&) {});
+  auto& b = tp.make_message_type<ping>("b", [](ampp::transport_context&, const ping&) {});
+  pump(tp, a, b, 50);  // pre-scope traffic must not be counted
+
+  stats_scope sc(tp.obs());
+  pump(tp, a, b, 20);
+  const stats_snapshot& d = sc.finish();
+  EXPECT_EQ(d.per_type[a.id()].sent, 20u * 2u);
+  EXPECT_EQ(d.per_type[b.id()].sent, 7u * 2u);  // i%3==0 for 20 iterations
+  EXPECT_EQ(d.core.messages_sent, d.core.handler_invocations);
+
+  // finish() is idempotent: later traffic doesn't change the captured delta.
+  pump(tp, a, b, 30);
+  EXPECT_EQ(sc.finish().per_type[a.id()].sent, 20u * 2u);
+}
+
+TEST(Counters, StatsScopeWritesOutParamOnDestruction) {
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  auto& a = tp.make_message_type<ping>("a", [](ampp::transport_context&, const ping&) {});
+  auto& b = tp.make_message_type<ping>("b", [](ampp::transport_context&, const ping&) {});
+  stats_snapshot out;
+  {
+    stats_scope sc(tp.obs(), &out);
+    pump(tp, a, b, 5);
+  }
+  EXPECT_EQ(out.per_type[a.id()].sent, 5u * 2u);
+}
+
+TEST(Counters, EpochRecordsOnePerEpochWithDeltas) {
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  auto& a = tp.make_message_type<ping>("a", [](ampp::transport_context&, const ping&) {});
+  constexpr int kEpochs = 4;
+  tp.run([&](ampp::transport_context& ctx) {
+    for (int e = 0; e < kEpochs; ++e) {
+      ampp::epoch ep(ctx);
+      for (int i = 0; i <= e; ++i) a.send(ctx, static_cast<ampp::rank_t>(1 - ctx.rank()), ping{0});
+    }
+  });
+  const auto recs = tp.obs().epoch_records();
+  ASSERT_EQ(recs.size(), static_cast<std::size_t>(kEpochs));
+  for (int e = 0; e < kEpochs; ++e) {
+    EXPECT_EQ(recs[e].index, static_cast<std::uint64_t>(e));
+    // Both ranks send e+1 messages in epoch e.
+    EXPECT_EQ(recs[e].delta.core.messages_sent, 2u * (static_cast<std::uint64_t>(e) + 1u));
+  }
+  // The records partition the run: their deltas sum to the totals.
+  std::uint64_t sum = 0;
+  for (const auto& r : recs) sum += r.delta.core.messages_sent;
+  EXPECT_EQ(sum, tp.obs().snapshot().core.messages_sent);
+  EXPECT_FALSE(tp.obs().epoch_summary().empty());
+}
+
+TEST(Counters, SnapshotSubtractHandlesLateRegisteredTypes) {
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  auto& a = tp.make_message_type<ping>("a", [](ampp::transport_context&, const ping&) {});
+  const stats_snapshot before = tp.obs().snapshot();
+  auto& b = tp.make_message_type<ping>("b", [](ampp::transport_context&, const ping&) {});
+  pump(tp, a, b, 6);
+  const stats_snapshot d = tp.obs().snapshot() - before;
+  // `b` registered after `before`: it keeps its full counts in the delta.
+  EXPECT_EQ(d.per_type[b.id()].sent, 2u * 2u);  // 6/3 per rank, 2 ranks
+  EXPECT_EQ(d.per_type[a.id()].sent, 6u * 2u);
+}
+
+}  // namespace
+}  // namespace dpg::obs

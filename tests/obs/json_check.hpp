@@ -1,0 +1,179 @@
+// Strict, dependency-free JSON parser for test assertions about exported
+// traces. Small DOM, recursive descent; rejects trailing garbage, bad
+// escapes, unterminated strings and malformed numbers — exactly the bugs a
+// hand-rolled exporter can produce.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dpg::testjson {
+
+struct value {
+  enum class kind { null_v, bool_v, number, string, array, object };
+  kind k = kind::null_v;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<value> arr;
+  std::vector<std::pair<std::string, value>> members;
+
+  bool is_object() const { return k == kind::object; }
+  bool is_array() const { return k == kind::array; }
+
+  const value* find(std::string_view key) const {
+    for (const auto& [name, v] : members)
+      if (name == key) return &v;
+    return nullptr;
+  }
+};
+
+class parser {
+ public:
+  explicit parser(std::string_view text) : s_(text) {}
+
+  bool parse(value& out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool eof() const { return pos_ >= s_.size(); }
+  char peek() const { return s_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(value& out, int depth) {
+    if (depth > kMaxDepth || eof()) return false;
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': out.k = value::kind::string; return parse_string(out.str);
+      case 't': out.k = value::kind::bool_v; out.b = true; return literal("true");
+      case 'f': out.k = value::kind::bool_v; out.b = false; return literal("false");
+      case 'n': out.k = value::kind::null_v; return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(value& out, int depth) {
+    out.k = value::kind::object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (eof() || peek() != '"' || !parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      value v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_array(value& out, int depth) {
+    out.k = value::kind::array;
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      skip_ws();
+      value v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    while (!eof()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) return false;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
+            code = code * 16 + static_cast<unsigned>(
+                                   h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          }
+          out += code < 0x80 ? static_cast<char>(code) : '?';  // ASCII is enough here
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(value& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '.' ||
+                      peek() == 'e' || peek() == 'E' || peek() == '+' || peek() == '-'))
+      ++pos_;
+    const std::string text(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.num = std::strtod(text.c_str(), &end);
+    out.k = value::kind::number;
+    return end == text.c_str() + text.size();
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+inline bool parse(std::string_view text, value& out) { return parser(text).parse(out); }
+
+}  // namespace dpg::testjson

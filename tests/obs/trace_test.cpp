@@ -1,0 +1,174 @@
+// The timeline half of the observability layer: span recording, the
+// runtime on/off switch, bounded buffering, and the Chrome trace-event
+// exporter (validated with a strict JSON parser — the output must load in
+// a real trace viewer).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "ampp/epoch.hpp"
+#include "ampp/transport.hpp"
+#include "json_check.hpp"
+#include "obs/obs.hpp"
+
+namespace dpg::obs {
+namespace {
+
+struct ping {
+  std::uint64_t x;
+};
+
+void run_epochs(ampp::transport& tp, ampp::message_type<ping>& mt, int epochs) {
+  tp.run([&](ampp::transport_context& ctx) {
+    for (int e = 0; e < epochs; ++e) {
+      ampp::epoch ep(ctx);
+      mt.send(ctx, static_cast<ampp::rank_t>((ctx.rank() + 1) % tp.size()), ping{1});
+    }
+  });
+}
+
+std::string export_json(const registry& reg) {
+  std::ostringstream os;
+  reg.trace().write_chrome_trace(os, reg.type_counter_events());
+  return os.str();
+}
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+  auto& mt = tp.make_message_type<ping>("p", [](ampp::transport_context&, const ping&) {});
+  ASSERT_FALSE(tp.obs().trace().enabled());  // off unless DPG_TRACE is set
+  run_epochs(tp, mt, 8);
+  EXPECT_EQ(tp.obs().trace().recorded(), 0u);
+  EXPECT_TRUE(tp.obs().trace().events().empty());
+}
+
+TEST(Trace, ExportIsWellFormedJsonWithOneSpanPerEpoch) {
+  constexpr int kEpochs = 5;
+  ampp::transport tp(ampp::transport_config{.n_ranks = 3});
+  auto& mt = tp.make_message_type<ping>("p", [](ampp::transport_context&, const ping&) {});
+  tp.obs().trace().enable();
+  run_epochs(tp, mt, kEpochs);
+  tp.obs().trace().disable();
+
+  testjson::value doc;
+  ASSERT_TRUE(testjson::parse(export_json(tp.obs()), doc));
+  ASSERT_TRUE(doc.is_object());
+  const testjson::value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_FALSE(events->arr.empty());
+
+  int rank0_epochs = 0;
+  int counter_rows = 0;
+  bool saw_handler = false, saw_flush = false;
+  for (const testjson::value& ev : events->arr) {
+    ASSERT_TRUE(ev.is_object());
+    const testjson::value* name = ev.find("name");
+    const testjson::value* cat = ev.find("cat");
+    const testjson::value* ph = ev.find("ph");
+    const testjson::value* tid = ev.find("tid");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(cat, nullptr);
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(tid, nullptr);
+    EXPECT_EQ(ph->str, "X");
+    if (cat->str == "epoch" && name->str == "epoch" && tid->num == 0) ++rank0_epochs;
+    if (cat->str == "counter") {
+      ++counter_rows;
+      EXPECT_EQ(name->str.rfind("msg:", 0), 0u);  // "msg:<type>" rows
+      const testjson::value* args = ev.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_NE(args->find("sent"), nullptr);
+      EXPECT_NE(args->find("handled"), nullptr);
+      EXPECT_NE(args->find("bytes"), nullptr);
+    }
+    saw_handler |= cat->str == "handler";
+    saw_flush |= cat->str == "transport" && name->str == "flush";
+  }
+  EXPECT_EQ(rank0_epochs, kEpochs);  // one "epoch" span per epoch per rank
+  EXPECT_GT(counter_rows, 0);        // per-message-type counters exported
+  EXPECT_TRUE(saw_handler);
+  EXPECT_TRUE(saw_flush);
+}
+
+TEST(Trace, SpansCoverAllRanks) {
+  ampp::transport tp(ampp::transport_config{.n_ranks = 4});
+  auto& mt = tp.make_message_type<ping>("p", [](ampp::transport_context&, const ping&) {});
+  tp.obs().trace().enable();
+  run_epochs(tp, mt, 2);
+  bool rank_seen[4] = {};
+  for (const trace_event& ev : tp.obs().trace().events())
+    if (ev.tid < 4) rank_seen[ev.tid] = true;
+  for (int r = 0; r < 4; ++r) EXPECT_TRUE(rank_seen[r]) << "rank " << r;
+}
+
+TEST(Trace, BufferIsBoundedAndCountsDrops) {
+  tracer t;
+  t.set_capacity(16);
+  t.enable();
+  for (int i = 0; i < 100; ++i) {
+    trace_event ev;
+    ev.set_name("e");
+    ev.cat = "test";
+    ev.tid = 0;  // one shard: capacity/kShards events fit
+    t.record(ev);
+  }
+  EXPECT_LE(t.recorded(), 16u);
+  EXPECT_GT(t.dropped(), 0u);
+  // A truncated trace still exports valid JSON (with an otherData note).
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  testjson::value doc;
+  ASSERT_TRUE(testjson::parse(os.str(), doc));
+  EXPECT_NE(doc.find("otherData"), nullptr);
+}
+
+TEST(Trace, NamesAreEscapedInExport) {
+  tracer t;
+  t.enable();
+  trace_event ev;
+  ev.set_name("we\"ird\\name\n");
+  ev.cat = "test";
+  t.record(ev);
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  testjson::value doc;
+  ASSERT_TRUE(testjson::parse(os.str(), doc));
+  const testjson::value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->arr.size(), 1u);
+  EXPECT_EQ(events->arr[0].find("name")->str, "we\"ird\\name\n");
+}
+
+TEST(Trace, SpanArgsSurviveRoundTrip) {
+  tracer t;
+  t.enable();
+  {
+    trace_span sp(&t, "test", "with_args", 3);
+    sp.arg("alpha", 7);
+    sp.arg("beta", 9);
+  }
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  testjson::value doc;
+  ASSERT_TRUE(testjson::parse(os.str(), doc));
+  const testjson::value& ev = doc.find("traceEvents")->arr.at(0);
+  const testjson::value* args = ev.find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->find("alpha")->num, 7.0);
+  EXPECT_EQ(args->find("beta")->num, 9.0);
+  EXPECT_EQ(ev.find("tid")->num, 3.0);
+}
+
+TEST(Trace, DisabledSpanIsInactiveAndSafe) {
+  tracer t;  // never enabled
+  trace_span sp(&t, "test", "noop", 0);
+  EXPECT_FALSE(sp.active());
+  sp.arg("k", 1);  // must be a no-op, not a crash
+  sp.finish();
+  EXPECT_EQ(t.recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace dpg::obs

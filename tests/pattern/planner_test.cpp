@@ -9,6 +9,7 @@
 #include "ampp/epoch.hpp"
 #include "ampp/transport.hpp"
 #include "graph/generators.hpp"
+#include "obs/obs.hpp"
 #include "pattern/action.hpp"
 
 namespace dpg::pattern {
@@ -143,14 +144,14 @@ TEST(Planner, FullyLocalActionSendsNoMessages) {
   EXPECT_TRUE(local->plan().final_merged);
   EXPECT_EQ(local->plan().messages_per_application(), 0);
 
-  const auto before = tp.stats().snap();
+  obs::stats_scope sc(tp.obs());
   tp.run([&](ampp::transport_context& ctx) {
     ampp::epoch ep(ctx);
     for (vertex_id v = 0; v < n; ++v)
       if (g.owner(v) == ctx.rank()) (*local)(ctx, v);
   });
-  const auto delta = tp.stats().snap() - before;
-  EXPECT_EQ(delta.messages_sent, 0u);
+  const obs::stats_snapshot& delta = sc.finish();
+  EXPECT_EQ(delta.core.messages_sent, 0u);
   for (vertex_id v = 0; v < n; ++v) EXPECT_EQ(b[v], 6u);
 }
 

@@ -9,6 +9,7 @@
 #include "ampp/epoch.hpp"
 #include "ampp/transport.hpp"
 #include "graph/generators.hpp"
+#include "obs/obs.hpp"
 #include "pattern/action.hpp"
 
 namespace dpg::pattern {
@@ -132,13 +133,13 @@ TEST(SsspPattern, MessageCountMatchesPlan) {
   ampp::transport tp(ampp::transport_config{.n_ranks = 2, .coalescing_size = 4});
   auto relax = make_relax(tp, fx);
   fx.dist_map[0] = 0.0;
-  const auto before = tp.stats().snap();
+  obs::stats_scope sc(tp.obs());
   tp.run([&](ampp::transport_context& ctx) {
     ampp::epoch ep(ctx);
     if (fx.g.owner(0) == ctx.rank()) (*relax)(ctx, 0);
   });
-  const auto delta = tp.stats().snap() - before;
-  EXPECT_EQ(delta.messages_sent, n - 1);  // one message per out-edge
+  const obs::stats_snapshot& delta = sc.finish();
+  EXPECT_EQ(delta.core.messages_sent, n - 1);  // one message per out-edge
 }
 
 TEST(SsspPattern, AtomicAndLockedPathsAgree) {

@@ -83,7 +83,11 @@ TEST(FixedPoint, SolvesSsspOnRandomGraph) {
   w.tp.run([&](ampp::transport_context& ctx) {
     std::vector<vertex_id> seeds;
     if (w.g.owner(0) == ctx.rank()) seeds.push_back(0);
-    fixed_point(ctx, *w.relax, seeds);
+    const result r = fixed_point(ctx, *w.relax, seeds);
+    EXPECT_EQ(r.rounds, 1u);
+    EXPECT_TRUE(r.changed());
+    // The strategy drove the transport: its stats window saw the traffic.
+    EXPECT_GT(r.stats_delta.core.messages_sent, 0u);
   });
   for (vertex_id v = 0; v < n; ++v) EXPECT_DOUBLE_EQ(w.dist[v], oracle[v]) << "v=" << v;
 }
@@ -116,7 +120,8 @@ TEST(FixedPoint, IsIdempotent) {
   w.tp.run([&](ampp::transport_context& ctx) {
     std::vector<vertex_id> seeds;
     if (w.g.owner(0) == ctx.rank()) seeds.push_back(0);
-    fixed_point(ctx, *w.relax, seeds);
+    // Second run finds everything settled: result reports no change.
+    EXPECT_FALSE(fixed_point(ctx, *w.relax, seeds).changed());
   });
   // Second run finds everything settled: no further modifications.
   EXPECT_EQ(w.relax->modifications(), mods_first);
@@ -129,8 +134,11 @@ TEST(Once, ReportsWhetherAnythingChanged) {
   w.tp.run([&](ampp::transport_context& ctx) {
     std::vector<vertex_id> mine;
     for_each_local_vertex(ctx, w.g, [&](vertex_id v) { mine.push_back(v); });
-    // First sweep improves the frontier: must report true.
-    EXPECT_TRUE(once(ctx, *w.relax, mine));
+    // First sweep improves the frontier: must report a change.
+    const result r = once(ctx, *w.relax, mine);
+    EXPECT_TRUE(r.changed());
+    EXPECT_GT(r.modifications, 0u);
+    EXPECT_EQ(r.rounds, 1u);
   });
 }
 
@@ -156,7 +164,7 @@ TEST(Once, FalseWhenNothingImproves) {
   w.tp.run([&](ampp::transport_context& ctx) {
     std::vector<vertex_id> mine;
     for_each_local_vertex(ctx, w.g, [&](vertex_id v) { mine.push_back(v); });
-    EXPECT_FALSE(once(ctx, *w.relax, mine));
+    EXPECT_FALSE(once(ctx, *w.relax, mine).changed());
   });
 }
 
@@ -169,11 +177,44 @@ TEST(OnceUntilQuiet, ConvergesInBoundedRounds) {
   w.tp.run([&](ampp::transport_context& ctx) {
     std::vector<vertex_id> mine;
     for_each_local_vertex(ctx, w.g, [&](vertex_id v) { mine.push_back(v); });
-    const int rounds = once_until_quiet(ctx, *w.relax, mine);
-    EXPECT_LE(rounds, static_cast<int>(n) - 1);
-    EXPECT_GE(rounds, 1);
+    const result r = once_until_quiet(ctx, *w.relax, mine);
+    EXPECT_LE(r.rounds, static_cast<std::uint64_t>(n) - 1);
+    EXPECT_GE(r.rounds, 1u);
+    EXPECT_TRUE(r.changed());
   });
   for (vertex_id v = 0; v < n; ++v) EXPECT_DOUBLE_EQ(w.dist[v], static_cast<double>(v));
+}
+
+TEST(OnceUntilQuiet, RespectsMaxRounds) {
+  const vertex_id n = 9;
+  sssp_world w(n, graph::path_graph(n), 3, 5, 1.0);
+  w.dist[0] = 0.0;
+  w.tp.run([&](ampp::transport_context& ctx) {
+    std::vector<vertex_id> mine;
+    for_each_local_vertex(ctx, w.g, [&](vertex_id v) { mine.push_back(v); });
+    options opt;
+    opt.max_rounds = 2;
+    EXPECT_EQ(once_until_quiet(ctx, *w.relax, mine, opt).rounds, 2u);
+  });
+  // Capped early: the far end of the path is not settled yet.
+  EXPECT_EQ(w.dist[n - 1], kInf);
+}
+
+TEST(Options, CollectStatsCanBeDisabled) {
+  const vertex_id n = 10;
+  sssp_world w(n, graph::path_graph(n), 2, 5, 1.0);
+  w.dist[0] = 0.0;
+  w.tp.run([&](ampp::transport_context& ctx) {
+    std::vector<vertex_id> seeds;
+    if (w.g.owner(0) == ctx.rank()) seeds.push_back(0);
+    options opt;
+    opt.collect_stats = false;
+    const result r = fixed_point(ctx, *w.relax, seeds, opt);
+    EXPECT_TRUE(r.changed());
+    // No stats window was captured: the delta stays default-constructed.
+    EXPECT_EQ(r.stats_delta.core.messages_sent, 0u);
+    EXPECT_TRUE(r.stats_delta.per_type.empty());
+  });
 }
 
 TEST(ForEachLocalVertex, CoversAllVerticesExactlyOnce) {
