@@ -11,9 +11,19 @@ cmake --preset werror >/dev/null
 cmake --build --preset werror -j "$JOBS"
 ctest --test-dir build-werror --output-on-failure -j "$JOBS"
 
+echo "=== sim seed sweep (8 seeds) ==="
+# The deterministic fault-injection simulator: every algorithm under every
+# fault plan, eight seeds. A failure prints the reproducing seed; replay a
+# single grid point with DPG_SIM_SEEDS=<seed>.
+DPG_SIM_SEEDS=1,2,3,4,5,6,7,8 \
+  ctest --test-dir build-werror -L sim --output-on-failure --timeout 240 -j "$JOBS"
+
 echo "=== tsan build ==="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+
+echo "=== tsan sim sweep ==="
+ctest --test-dir build-tsan -L sim --output-on-failure --timeout 240 -j "$JOBS"
 
 echo "CI OK"

@@ -166,6 +166,36 @@ std::vector<double> pagerank(const distributed_graph& g, double damping,
   return rank;
 }
 
+std::vector<std::uint64_t> kcore_peel(const distributed_graph& g) {
+  const vertex_id n = g.num_vertices();
+  enum : std::uint8_t { alive, fresh, dead };
+  std::vector<std::uint8_t> state(n, alive);
+  std::vector<std::uint64_t> deg(n), core(n, 0);
+  vertex_id remaining = n;
+  for (vertex_id v = 0; v < n; ++v) deg[v] = g.out_degree(v);
+  for (std::uint64_t k = 1; remaining > 0; ++k) {
+    // Peel threshold k in waves: each wave removes every alive vertex whose
+    // residual degree dropped below k, then decrements the still-alive
+    // neighbours — same wave granularity as the distributed solver.
+    for (;;) {
+      std::vector<vertex_id> wave;
+      for (vertex_id v = 0; v < n; ++v)
+        if (state[v] == alive && deg[v] < k) {
+          state[v] = fresh;
+          core[v] = k - 1;
+          wave.push_back(v);
+        }
+      if (wave.empty()) break;
+      for (const vertex_id v : wave)
+        for (const vertex_id u : g.adjacent(v))
+          if (state[u] == alive && deg[u] > 0) --deg[u];
+      for (const vertex_id v : wave) state[v] = dead;
+      remaining -= static_cast<vertex_id>(wave.size());
+    }
+  }
+  return core;
+}
+
 std::size_t count_components(const std::vector<vertex_id>& labels) {
   std::unordered_set<vertex_id> roots(labels.begin(), labels.end());
   return roots.size();

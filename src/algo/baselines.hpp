@@ -50,6 +50,14 @@ std::vector<vertex_id> cc_label_propagation(const distributed_graph& g);
 std::vector<double> pagerank(const distributed_graph& g, double damping,
                              int iterations);
 
+/// k-core decomposition by sequential peeling, mirroring the distributed
+/// kcore_solver's wave semantics exactly (a wave of threshold-k removals
+/// decrements only still-alive neighbours, residual degrees floor at 0, a
+/// vertex removed at threshold k has coreness k-1). Interprets the graph's
+/// out-edges as the (symmetric) adjacency, like the solver. Returns the
+/// coreness of every vertex.
+std::vector<std::uint64_t> kcore_peel(const distributed_graph& g);
+
 /// Counts how many distinct labels a component labelling uses.
 std::size_t count_components(const std::vector<vertex_id>& labels);
 

@@ -29,13 +29,23 @@ struct transport_stats {
   std::atomic<std::uint64_t> barriers{0};           ///< barrier operations completed
   std::atomic<std::uint64_t> epochs{0};             ///< epochs ended
   std::atomic<std::uint64_t> control_messages{0};   ///< internal control-plane payloads
+  // Fault-injection counters (zero unless a fault_plan is active). At
+  // quiescence: envelopes_dropped == envelopes_retried and
+  // envelopes_duplicated == duplicates_suppressed — the reliability layer's
+  // conservation laws, asserted by the sim harness.
+  std::atomic<std::uint64_t> envelopes_dropped{0};    ///< transmissions lost by the fault plan
+  std::atomic<std::uint64_t> envelopes_retried{0};    ///< retransmissions after an ack timeout
+  std::atomic<std::uint64_t> envelopes_duplicated{0}; ///< extra copies injected on the wire
+  std::atomic<std::uint64_t> envelopes_delayed{0};    ///< envelopes held back N progress ticks
+  std::atomic<std::uint64_t> duplicates_suppressed{0};///< copies absorbed by the dedup window
 
   /// Plain-value snapshot. Manual snapshot-and-subtract in tests/benches is
   /// deprecated — use obs::stats_scope, which also captures per-type deltas.
   struct snapshot {
     std::uint64_t messages_sent, envelopes_sent, bytes_sent, handler_invocations,
         self_deliveries, cache_hits, cache_evictions, td_rounds, barriers, epochs,
-        control_messages;
+        control_messages, envelopes_dropped, envelopes_retried, envelopes_duplicated,
+        envelopes_delayed, duplicates_suppressed;
 
     snapshot operator-(const snapshot& o) const {
       return {messages_sent - o.messages_sent,
@@ -48,7 +58,12 @@ struct transport_stats {
               td_rounds - o.td_rounds,
               barriers - o.barriers,
               epochs - o.epochs,
-              control_messages - o.control_messages};
+              control_messages - o.control_messages,
+              envelopes_dropped - o.envelopes_dropped,
+              envelopes_retried - o.envelopes_retried,
+              envelopes_duplicated - o.envelopes_duplicated,
+              envelopes_delayed - o.envelopes_delayed,
+              duplicates_suppressed - o.duplicates_suppressed};
     }
 
     snapshot operator+(const snapshot& o) const {
@@ -62,7 +77,12 @@ struct transport_stats {
               td_rounds + o.td_rounds,
               barriers + o.barriers,
               epochs + o.epochs,
-              control_messages + o.control_messages};
+              control_messages + o.control_messages,
+              envelopes_dropped + o.envelopes_dropped,
+              envelopes_retried + o.envelopes_retried,
+              envelopes_duplicated + o.envelopes_duplicated,
+              envelopes_delayed + o.envelopes_delayed,
+              duplicates_suppressed + o.duplicates_suppressed};
     }
   };
 
@@ -70,7 +90,9 @@ struct transport_stats {
     return {messages_sent.load(), envelopes_sent.load(), bytes_sent.load(),
             handler_invocations.load(), self_deliveries.load(), cache_hits.load(),
             cache_evictions.load(), td_rounds.load(), barriers.load(), epochs.load(),
-            control_messages.load()};
+            control_messages.load(), envelopes_dropped.load(), envelopes_retried.load(),
+            envelopes_duplicated.load(), envelopes_delayed.load(),
+            duplicates_suppressed.load()};
   }
 };
 

@@ -35,11 +35,17 @@ current_rank_scope::~current_rank_scope() { tl_current_rank = invalid_rank; }
 // transport: construction / control plane registration
 // ---------------------------------------------------------------------------
 
-transport::transport(transport_config cfg) : cfg_(cfg), ranks_(cfg.n_ranks) {
+transport::transport(transport_config cfg) : cfg_(std::move(cfg)), ranks_(cfg_.n_ranks) {
   DPG_ASSERT_MSG(cfg_.n_ranks >= 1, "transport needs at least one rank");
   DPG_ASSERT_MSG(cfg_.coalescing_size >= 1, "coalescing size must be positive");
-  for (rank_t r = 0; r < cfg_.n_ranks; ++r)
-    ranks_[r].scramble_rng_state = substream_seed(cfg_.seed, r);
+  faults_active_ = cfg_.faults.active();
+  if (faults_active_) {
+    fault_seed_ = substream_seed(cfg_.seed, 0xfa) ^ cfg_.faults.seed;
+    for (rank_state& rs : ranks_) {
+      rs.wire_seq = std::vector<std::atomic<std::uint64_t>>(cfg_.n_ranks);
+      rs.dedup.resize(cfg_.n_ranks);
+    }
+  }
   register_control_plane();
 }
 
@@ -80,6 +86,9 @@ void transport::deliver(rank_t src, rank_t dest, detail::envelope env,
   transport_stats& st = obs_.core();
   st.envelopes_sent.fetch_add(1, std::memory_order_relaxed);
   st.bytes_sent.fetch_add(env.bytes.size(), std::memory_order_relaxed);
+  // `sent` counts at the first transmission only: a held (delayed or
+  // dropped) payload keeps ΣS > ΣR until its eventual dispatch, so
+  // termination detection can never declare done over an in-flight retry.
   if (user_payloads != 0) {
     st.messages_sent.fetch_add(user_payloads, std::memory_order_relaxed);
     if (src == dest)
@@ -92,29 +101,164 @@ void transport::deliver(rank_t src, rank_t dest, detail::envelope env,
     sp.arg("count", env.count);
     sp.arg("bytes", env.bytes.size());
   }
+  if (faults_active_) {
+    env.src = src;
+    env.seq = ranks_[src].wire_seq[dest].fetch_add(1, std::memory_order_relaxed);
+    transmit(src, dest, std::move(env), /*drops=*/0, /*fresh=*/true);
+    return;
+  }
   rank_state& rs = ranks_[dest];
   std::lock_guard<std::mutex> g(rs.inbox_mu);
   rs.inbox.push_back(std::move(env));
 }
 
+void transport::transmit(rank_t src, rank_t dest, detail::envelope env, unsigned drops,
+                         bool fresh) {
+  const detail::message_type_base* mt = env.vt->self;
+  const fault_rule* rule = cfg_.faults.match(src, dest, mt->name());
+  if (rule == nullptr) {
+    enqueue_wire(src, dest, nullptr, std::move(env), 0);
+    return;
+  }
+  const msg_type_id tid = mt->id();
+  const std::uint64_t seq = env.seq;
+  transport_stats& st = obs_.core();
+
+  if (fresh && fault_plan::decide(rule->delay, fault_seed_, fault_stage::delay, src, dest,
+                                  tid, seq, 0)) {
+    st.envelopes_delayed.fetch_add(1, std::memory_order_relaxed);
+    hold_envelope(src, dest, std::move(env),
+                  ranks_[src].fault_tick.load(std::memory_order_relaxed) + rule->delay_flushes,
+                  drops, /*is_retry=*/false);
+    return;
+  }
+
+  if (drops < rule->max_drops &&
+      fault_plan::decide(rule->drop, fault_seed_, fault_stage::drop, src, dest, tid, seq,
+                         drops)) {
+    // Lost on the wire; the sender's ack timeout fires after
+    // retry_timeout_flushes << drops progress ticks (exponential backoff)
+    // and the envelope is retransmitted. max_drops bounds the adversary.
+    st.envelopes_dropped.fetch_add(1, std::memory_order_relaxed);
+    hold_envelope(src, dest, std::move(env),
+                  ranks_[src].fault_tick.load(std::memory_order_relaxed) +
+                      (static_cast<std::uint64_t>(rule->retry_timeout_flushes) << drops),
+                  drops + 1, /*is_retry=*/true);
+    return;
+  }
+
+  if (fault_plan::decide(rule->duplicate, fault_seed_, fault_stage::duplicate, src, dest,
+                         tid, seq, drops)) {
+    st.envelopes_duplicated.fetch_add(1, std::memory_order_relaxed);
+    detail::envelope copy;
+    copy.vt = env.vt;
+    copy.count = env.count;
+    copy.bytes = env.bytes;
+    copy.src = env.src;
+    copy.seq = env.seq;
+    enqueue_wire(src, dest, rule, std::move(copy), drops + (1ULL << 32));
+  }
+  enqueue_wire(src, dest, rule, std::move(env), drops);
+}
+
+void transport::enqueue_wire(rank_t src, rank_t dest, const fault_rule* rule,
+                             detail::envelope env, std::uint64_t attempt) {
+  rank_state& rs = ranks_[dest];
+  std::lock_guard<std::mutex> g(rs.inbox_mu);
+  if (rule != nullptr && !rs.inbox.empty() &&
+      fault_plan::decide(rule->reorder, fault_seed_, fault_stage::reorder, src, dest,
+                         env.vt->self->id(), env.seq, attempt)) {
+    const std::size_t pos = static_cast<std::size_t>(
+        fault_plan::draw(fault_seed_, fault_stage::placement, src, dest, env.vt->self->id(),
+                         env.seq, attempt) %
+        (rs.inbox.size() + 1));
+    rs.inbox.insert(rs.inbox.begin() + static_cast<std::ptrdiff_t>(pos), std::move(env));
+    return;
+  }
+  rs.inbox.push_back(std::move(env));
+}
+
+void transport::hold_envelope(rank_t src, rank_t dest, detail::envelope env,
+                              std::uint64_t due_tick, unsigned drops, bool is_retry) {
+  rank_state& rs = ranks_[src];
+  std::lock_guard<std::mutex> g(rs.held_mu);
+  rs.held.push_back(held_tx{std::move(env), dest, due_tick, drops, is_retry});
+  rs.held_count.store(rs.held.size(), std::memory_order_release);
+}
+
+void transport::pump_faults(rank_t r) {
+  rank_state& rs = ranks_[r];
+  const std::uint64_t tick = rs.fault_tick.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (rs.held_count.load(std::memory_order_acquire) == 0) return;
+  std::vector<held_tx> due;
+  {
+    std::lock_guard<std::mutex> g(rs.held_mu);
+    for (auto it = rs.held.begin(); it != rs.held.end();) {
+      if (it->due_tick <= tick) {
+        due.push_back(std::move(*it));
+        it = rs.held.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    rs.held_count.store(rs.held.size(), std::memory_order_release);
+  }
+  if (due.empty()) return;
+  std::uint64_t retries = 0;
+  for (const held_tx& h : due)
+    if (h.is_retry) ++retries;
+  if (retries != 0)
+    obs_.core().envelopes_retried.fetch_add(retries, std::memory_order_relaxed);
+  {
+    obs::trace_span sp(&obs_.trace(), "fault", retries != 0 ? "retry_round" : "delay_release",
+                       r);
+    sp.arg("released", due.size());
+    sp.arg("retries", retries);
+    sp.arg("tick", tick);
+  }
+  // Retransmit outside held_mu: transmit may re-hold (another drop) or take
+  // a destination inbox lock.
+  for (held_tx& h : due) transmit(r, h.dest, std::move(h.env), h.drops, /*fresh=*/false);
+}
+
+bool transport::dedup_accept(rank_state& rs, const detail::envelope& env) {
+  rank_state::dedup_window& w = rs.dedup[env.src];
+  if (env.seq < w.next_expected) return false;
+  if (env.seq == w.next_expected) {
+    ++w.next_expected;
+    // Absorb the contiguous run the out-of-order set already holds.
+    auto it = w.ahead.begin();
+    while (it != w.ahead.end() && *it == w.next_expected) {
+      it = w.ahead.erase(it);
+      ++w.next_expected;
+    }
+    return true;
+  }
+  return w.ahead.insert(env.seq).second;
+}
+
+bool transport::fault_held_empty(rank_t r) const {
+  return ranks_[r].held_count.load(std::memory_order_acquire) == 0;
+}
+
 std::size_t transport::drain_rank(transport_context& ctx, bool at_most_one) {
   rank_state& rs = ranks_[ctx.rank()];
+  if (faults_active_) pump_faults(ctx.rank());
   std::size_t handled = 0;
   for (;;) {
     detail::envelope env;
     {
       std::lock_guard<std::mutex> g(rs.inbox_mu);
       if (rs.inbox.empty()) break;
-      std::size_t pick = 0;
-      if (cfg_.scramble_delivery && rs.inbox.size() > 1) {
-        // Seeded adversarial reordering: active messages promise no
-        // delivery order, so correctness may not depend on the pick.
-        splitmix64 sm(rs.scramble_rng_state);
-        pick = static_cast<std::size_t>(sm.next() % rs.inbox.size());
-        rs.scramble_rng_state = sm.next();
+      env = std::move(rs.inbox.front());
+      rs.inbox.pop_front();
+      if (faults_active_ && !dedup_accept(rs, env)) {
+        // Injected duplicate: absorbed by the dedup window before dispatch;
+        // neither `received` nor any per-type counter moves, so exactly-once
+        // accounting (and the TD sums) are unaffected.
+        obs_.core().duplicates_suppressed.fetch_add(1, std::memory_order_relaxed);
+        continue;
       }
-      env = std::move(rs.inbox[pick]);
-      rs.inbox.erase(rs.inbox.begin() + static_cast<std::ptrdiff_t>(pick));
       // Claimed under the lock: quiescence tests see either the queued
       // envelope or the active handler, never a gap.
       rs.active_handlers.fetch_add(1, std::memory_order_relaxed);
@@ -146,12 +290,14 @@ bool transport::locally_quiet(rank_t r) const {
 
 void transport::flush_all_types(rank_t src) {
   obs::trace_span sp(&obs_.trace(), "transport", "flush", src);
+  if (faults_active_) pump_faults(src);
   for (auto& mt : types_) mt->flush_rank(src);
 }
 
 bool transport::all_buffers_empty(rank_t src) const {
   for (const auto& mt : types_)
     if (!mt->rank_buffers_empty(src)) return false;
+  if (!fault_held_empty(src)) return false;
   const rank_state& rs = ranks_[src];
   std::lock_guard<std::mutex> g(rs.inbox_mu);
   return rs.inbox.empty();
@@ -181,6 +327,7 @@ void transport::run(const std::function<void(transport_context&)>& f) {
     detail::current_rank_scope scope(0);
     transport_context ctx(this, 0);
     f(ctx);
+    quiesce_residual(ctx);
     DPG_ASSERT_MSG(all_buffers_empty(0), "messages left undelivered at end of run");
     running_ = false;
     return;
@@ -220,6 +367,10 @@ void transport::run(const std::function<void(transport_context&)>& f) {
       transport_context ctx(this, r);
       try {
         f(ctx);
+        // Empty this rank's held queue before the thread exits: a parked
+        // retry of a control-plane envelope (TD verdict, collective result)
+        // would otherwise leave its destination rank spinning forever.
+        quiesce_residual(ctx);
       } catch (...) {
         std::lock_guard<std::mutex> g(err_mu);
         if (!first_error) first_error = std::current_exception();
@@ -229,8 +380,38 @@ void transport::run(const std::function<void(transport_context&)>& f) {
   for (auto& t : threads) t.join();
   stop_helpers.store(true, std::memory_order_release);
   for (auto& t : helpers) t.join();
+  if (faults_active_ && !first_error) {
+    // Mop-up pass: residual quiesce above emptied every held queue, but a
+    // release from rank A may have landed in rank B's inbox after B's final
+    // drain (late verdict duplicates and the like). Drain every inbox to
+    // empty — only internal control-plane envelopes can remain here (TD
+    // proves user traffic quiescent at each epoch's end), and their
+    // handlers send nothing — so the duplicate/suppression and drop/retry
+    // conservation laws hold exactly at destruction.
+    bool dirty = true;
+    while (dirty) {
+      dirty = false;
+      for (rank_t r = 0; r < cfg_.n_ranks; ++r) {
+        detail::current_rank_scope scope(r);
+        transport_context cctx(this, r);
+        drain_rank(cctx, /*at_most_one=*/false);
+        if (!fault_held_empty(r) || !locally_quiet(r)) dirty = true;
+      }
+    }
+  }
   running_ = false;
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void transport::quiesce_residual(transport_context& ctx) {
+  if (!faults_active_) return;
+  const rank_t r = ctx.rank();
+  while (!fault_held_empty(r)) {
+    pump_faults(r);
+    drain_rank(ctx, /*at_most_one=*/false);
+    std::this_thread::yield();
+  }
+  drain_rank(ctx, /*at_most_one=*/false);
 }
 
 // ---------------------------------------------------------------------------
@@ -276,7 +457,11 @@ bool transport::td_round(transport_context& ctx) {
   // Locally quiesce: alternate flushing outgoing buffers and handling
   // arrived messages until neither produces work — and, with dedicated
   // handler threads, until no handler is mid-flight (an in-flight handler
-  // may still send). Handlers may refill buffers, hence the loop.
+  // may still send). Handlers may refill buffers, hence the loop. With
+  // fault injection the held queue (delayed/dropped envelopes awaiting
+  // release) must also be empty before reporting: a parked user payload is
+  // counted sent but not yet received, and each flush advances the
+  // progress tick, so the loop pumps every hold to delivery.
   for (;;) {
     flush_all_types(r);
     const std::size_t handled = drain_rank(ctx, /*at_most_one=*/false);
@@ -286,7 +471,7 @@ bool transport::td_round(transport_context& ctx) {
         buffers_empty = false;
         break;
       }
-    if (handled == 0 && buffers_empty && locally_quiet(r)) break;
+    if (handled == 0 && buffers_empty && fault_held_empty(r) && locally_quiet(r)) break;
     if (handled == 0) std::this_thread::yield();
   }
 
@@ -402,7 +587,9 @@ void epoch::flush() {
         buffers_empty = false;
         break;
       }
-    if (handled == 0 && buffers_empty && tp.locally_quiet(ctx_.rank())) break;
+    if (handled == 0 && buffers_empty && tp.fault_held_empty(ctx_.rank()) &&
+        tp.locally_quiet(ctx_.rank()))
+      break;
     if (handled == 0) std::this_thread::yield();
   }
 }

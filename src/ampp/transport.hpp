@@ -38,11 +38,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "ampp/fault.hpp"
 #include "ampp/stats.hpp"
 #include "ampp/types.hpp"
 #include "obs/registry.hpp"
@@ -61,14 +63,17 @@ struct transport_config {
   /// Payloads buffered per (source, destination) lane before an envelope is
   /// delivered. 1 disables coalescing.
   std::size_t coalescing_size = 256;
-  /// Root seed for runtime-internal randomization (delivery scrambling).
+  /// Root seed for runtime-internal randomization (mixed into every
+  /// fault-injection decision).
   std::uint64_t seed = 42;
-  /// Fault-injection mode: deliver queued envelopes in a seeded random
-  /// order instead of FIFO. Active-message semantics promise nothing about
-  /// ordering, so every algorithm must survive this; tests use it to
-  /// falsify accidental ordering assumptions (in the library and in
-  /// patterns alike).
-  bool scramble_delivery = false;
+  /// Fault-injection plan: seeded, per-(src, dest, message-type) injection
+  /// of envelope reorder, duplicate, delay, and drop-with-retry (see
+  /// fault.hpp). Active-message semantics promise nothing about delivery
+  /// order or timing, so every algorithm must survive any plan; tests use
+  /// plans to falsify accidental ordering/exactly-once assumptions (in the
+  /// library and in patterns alike). `fault_plan::scramble(seed)` is the
+  /// old `scramble_delivery = true`. Default: no faults, zero overhead.
+  fault_plan faults{};
   /// Dedicated message-handler threads per rank (§II-A: ranks "each
   /// running multiple threads"). 0 = polling-only progress (handlers run
   /// when the rank's SPMD thread calls into the runtime). With helpers,
@@ -95,6 +100,11 @@ struct envelope {
   const message_vtable* vt = nullptr;
   std::uint32_t count = 0;
   std::vector<std::byte> bytes;
+  // Wire header used by the reliability layer (stamped only when a
+  // fault_plan is active): source rank and the per-(src, dest) sequence
+  // number that the receiver's dedup window keys on.
+  rank_t src = invalid_rank;
+  std::uint64_t seq = 0;
 };
 
 /// Base class for registered message types; the transport needs uniform
@@ -325,10 +335,21 @@ class transport {
   friend class message_type;
 
   // ---- wire -------------------------------------------------------------
+
+  /// An envelope parked at its sender by the fault layer: either delayed
+  /// (released after its due tick) or dropped (the ack timeout fires at the
+  /// due tick and the envelope is retransmitted).
+  struct held_tx {
+    detail::envelope env;
+    rank_t dest = 0;
+    std::uint64_t due_tick = 0;
+    unsigned drops = 0;     ///< drop events so far (bounds the adversary)
+    bool is_retry = false;  ///< release is a retransmission, not a delay expiry
+  };
+
   struct rank_state {
     mutable std::mutex inbox_mu;
     std::deque<detail::envelope> inbox;
-    std::uint64_t scramble_rng_state = 0;  ///< splitmix64 state (scramble mode)
     /// Handlers currently executing on this rank (incremented under
     /// inbox_mu before the envelope is popped, so "inbox empty and no
     /// handler active" is an exact local-quiescence predicate).
@@ -340,6 +361,26 @@ class transport {
     std::atomic<bool> td_result_done{false};
     std::atomic<std::uint64_t> coll_result_gen{0};
     std::array<std::byte, 56> coll_result_bytes{};
+
+    // ---- reliability layer (populated only when a fault_plan is active) --
+    /// Next wire sequence number per destination rank (sender side).
+    std::vector<std::atomic<std::uint64_t>> wire_seq;
+    /// Receive-side dedup window, one per source rank; guarded by inbox_mu.
+    /// Out-of-order arrivals are legal (reorder faults), so acceptance
+    /// tracks a contiguous frontier plus the set of accepted seqs ahead of
+    /// it; an arrival at or behind the frontier, or already in the set, is
+    /// a duplicate and is suppressed before dispatch.
+    struct dedup_window {
+      std::uint64_t next_expected = 0;
+      std::set<std::uint64_t> ahead;
+    };
+    std::vector<dedup_window> dedup;
+    /// Progress tick (advanced by every fault pump); delay releases and ack
+    /// timeouts are measured in these ticks.
+    std::atomic<std::uint64_t> fault_tick{0};
+    std::atomic<std::size_t> held_count{0};  ///< lock-free emptiness probe
+    std::mutex held_mu;
+    std::vector<held_tx> held;
   };
 
   void deliver(rank_t src, rank_t dest, detail::envelope env, std::uint32_t user_payloads);
@@ -348,6 +389,29 @@ class transport {
   bool all_buffers_empty(rank_t src) const;
   /// Inbox empty and no handler mid-flight (exact snapshot under inbox_mu).
   bool locally_quiet(rank_t r) const;
+
+  // ---- fault injection / reliability --------------------------------------
+  /// Run one envelope through the fault pipeline (delay → drop → duplicate
+  /// → reorder placement) and enqueue whatever survives. `fresh` is false
+  /// for releases from the held queue (a released envelope is never delayed
+  /// again, so a delay probability of 1.0 cannot livelock).
+  void transmit(rank_t src, rank_t dest, detail::envelope env, unsigned drops, bool fresh);
+  /// Insert into the destination inbox: back (FIFO) or, on a reorder
+  /// decision, at a deterministic pseudo-random position.
+  void enqueue_wire(rank_t src, rank_t dest, const fault_rule* rule, detail::envelope env,
+                    std::uint64_t attempt);
+  void hold_envelope(rank_t src, rank_t dest, detail::envelope env, std::uint64_t due_tick,
+                     unsigned drops, bool is_retry);
+  /// Advance rank `r`'s progress tick and retransmit/release every held
+  /// envelope whose due tick has passed. Called from every flush and drain.
+  void pump_faults(rank_t r);
+  /// True iff the envelope is not a duplicate (caller holds rs.inbox_mu).
+  bool dedup_accept(rank_state& rs, const detail::envelope& env);
+  bool fault_held_empty(rank_t r) const;
+  /// Post-run residual quiesce for one rank: pump the held queue to empty
+  /// (retransmitting as needed) so no other rank waits forever on a parked
+  /// control-plane envelope, then drain what arrived meanwhile.
+  void quiesce_residual(transport_context& ctx);
 
   // ---- control plane ------------------------------------------------------
   struct td_report_t {
@@ -400,6 +464,8 @@ class transport {
   std::vector<rank_state> ranks_;
   obs::registry obs_;
   bool running_ = false;
+  bool faults_active_ = false;  ///< cfg_.faults.active(), hoisted off hot paths
+  std::uint64_t fault_seed_ = 0;  ///< transport seed mixed with the plan seed
 
   td_coordinator td_;
   coll_coordinator coll_;

@@ -44,6 +44,15 @@ struct result {
 
   /// Did any property-map modification happen anywhere in the system?
   bool changed() const { return modifications != 0; }
+
+  /// Wire faults this run absorbed (always 0 without a `fault_plan` on the
+  /// transport): dropped envelopes recovered by retry, duplicates
+  /// suppressed by the dedup window, and delayed releases. Lets chaos
+  /// tests assert that the sweep actually exercised the fault layer.
+  std::uint64_t faults_survived() const {
+    const obs::counters& c = stats_delta.core;
+    return c.envelopes_dropped + c.envelopes_duplicated + c.envelopes_delayed;
+  }
 };
 
 /// Collectively installs a work hook on a shared action instance: assigned

@@ -173,5 +173,78 @@ TEST(Epoch, TerminationIsNeverEarly) {
   }
 }
 
+TEST(Epoch, FlushRankIdempotent) {
+  // epoch_flush is a progress primitive, not a delivery event: flushing
+  // again with nothing pending must deliver nothing new. Single rank so
+  // the global counters can be compared race-free between the two calls.
+  transport tp(transport_config{.n_ranks = 1, .coalescing_size = 64});
+  std::atomic<std::uint64_t> handled{0};
+  auto& mt = tp.make_message_type<token>(
+      "idem", [&](transport_context&, const token&) { ++handled; });
+  tp.run([&](transport_context& ctx) {
+    epoch ep(ctx);
+    for (int i = 0; i < 10; ++i) mt.send(ctx, 0, token{0, 0});
+    ep.flush();
+    const std::uint64_t sent_1 = tp.stats().messages_sent.load();
+    const std::uint64_t handled_1 = handled.load();
+    EXPECT_EQ(handled_1, 10u);
+    ep.flush();  // double flush: no pending work, nothing may move
+    EXPECT_EQ(tp.stats().messages_sent.load(), sent_1);
+    EXPECT_EQ(handled.load(), handled_1);
+    mt.flush_rank(0);  // ditto for the raw per-type flush
+    EXPECT_EQ(tp.stats().messages_sent.load(), sent_1);
+  });
+  EXPECT_EQ(handled.load(), 10u);
+}
+
+TEST(Epoch, DoubleFlushNeverDuplicatesDelivery) {
+  // Multi-rank variant: redundant flushes anywhere in the epoch must not
+  // change the total payload count.
+  constexpr rank_t kRanks = 3;
+  transport tp(transport_config{.n_ranks = kRanks, .coalescing_size = 64});
+  std::atomic<std::uint64_t> handled{0};
+  auto& mt = tp.make_message_type<token>(
+      "dd", [&](transport_context&, const token&) { ++handled; });
+  tp.run([&](transport_context& ctx) {
+    epoch ep(ctx);
+    for (int i = 0; i < 10; ++i) mt.send(ctx, (ctx.rank() + 1) % kRanks, token{0, 0});
+    ep.flush();
+    ep.flush();
+    mt.flush_rank(ctx.rank());
+  });
+  EXPECT_EQ(handled.load(), 10u * kRanks);
+  EXPECT_EQ(tp.stats().messages_sent.load(), 10u * kRanks);
+}
+
+TEST(Epoch, ReentryAfterEmptyRound) {
+  // An epoch in which nothing was sent must leave the transport in a state
+  // where the next epoch still runs full cascades — and an empty flush
+  // round inside an epoch must not wedge later sends of the same epoch.
+  constexpr rank_t kRanks = 3;
+  transport tp(transport_config{.n_ranks = kRanks, .coalescing_size = 4});
+  std::atomic<std::uint64_t> handled{0};
+  message_type<token>* mtp = nullptr;
+  auto& mt = tp.make_message_type<token>("re", [&](transport_context& ctx, const token& t) {
+    ++handled;
+    if (t.depth > 0) mtp->send(ctx, (ctx.rank() + 1) % kRanks, token{t.depth - 1, 0});
+  });
+  mtp = &mt;
+  tp.run([&](transport_context& ctx) {
+    {
+      epoch ep(ctx);  // completely empty round
+    }
+    {
+      epoch ep(ctx);
+      ep.flush();  // empty flush first...
+      if (ctx.rank() == 0) mt.send(ctx, 1, token{4, 0});  // ...then real work
+    }
+    {
+      epoch ep(ctx);  // empty again after the cascade
+    }
+  });
+  EXPECT_EQ(handled.load(), 5u);
+  EXPECT_GE(tp.stats().epochs.load(), 3u);
+}
+
 }  // namespace
 }  // namespace dpg::ampp

@@ -1,7 +1,8 @@
-// Fault injection: adversarial (seeded random) delivery order. Active
-// messages promise nothing about ordering, so the runtime's own protocols
-// (termination detection, collectives) and the algorithms built on top
-// must all be order-insensitive. These tests falsify hidden FIFO
+// Fault injection: adversarial (seeded random) delivery order, via
+// fault_plan::scramble — the successor of the old scramble_delivery flag.
+// Active messages promise nothing about ordering, so the runtime's own
+// protocols (termination detection, collectives) and the algorithms built
+// on top must all be order-insensitive. These tests falsify hidden FIFO
 // assumptions.
 #include <gtest/gtest.h>
 
@@ -23,8 +24,10 @@ struct token {
 TEST(ScrambledDelivery, EpochStillWaitsForAllCascades) {
   constexpr rank_t kRanks = 4;
   constexpr std::uint64_t kDepth = 9;
-  transport tp(transport_config{
-      .n_ranks = kRanks, .coalescing_size = 4, .seed = 99, .scramble_delivery = true});
+  transport tp(transport_config{.n_ranks = kRanks,
+                                .coalescing_size = 4,
+                                .seed = 99,
+                                .faults = fault_plan::scramble(99)});
   std::atomic<std::uint64_t> handled{0};
   message_type<token>* mtp = nullptr;
   auto& mt = tp.make_message_type<token>("tree", [&](transport_context& ctx, const token& t) {
@@ -47,7 +50,8 @@ TEST(ScrambledDelivery, EpochStillWaitsForAllCascades) {
 
 TEST(ScrambledDelivery, CollectivesSurviveReordering) {
   constexpr rank_t kRanks = 5;
-  transport tp(transport_config{.n_ranks = kRanks, .seed = 7, .scramble_delivery = true});
+  transport tp(
+      transport_config{.n_ranks = kRanks, .seed = 7, .faults = fault_plan::scramble(7)});
   tp.run([&](transport_context& ctx) {
     for (std::uint64_t i = 0; i < 50; ++i)
       ASSERT_EQ(ctx.allreduce_sum<std::uint64_t>(i + ctx.rank()),
@@ -65,8 +69,10 @@ TEST(ScrambledDelivery, SsspStillMatchesDijkstra) {
   });
   const auto oracle = algo::dijkstra(g, weight, 0);
   for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
-    transport tp(transport_config{
-        .n_ranks = 3, .coalescing_size = 8, .seed = seed, .scramble_delivery = true});
+    transport tp(transport_config{.n_ranks = 3,
+                                  .coalescing_size = 8,
+                                  .seed = seed,
+                                  .faults = fault_plan::scramble(seed)});
     algo::sssp_solver solver(tp, g, weight);
     tp.run([&](transport_context& ctx) { solver.run_delta(ctx, 0, 3.0); });
     for (graph::vertex_id v = 0; v < n; ++v)
@@ -75,11 +81,13 @@ TEST(ScrambledDelivery, SsspStillMatchesDijkstra) {
 }
 
 TEST(ScrambledDelivery, DeterministicForFixedSeed) {
-  // Same seed => same scrambling decisions => identical handler order on a
-  // single rank (where no thread interleaving can differ).
+  // Same seed => same reorder-placement decisions => identical handler
+  // order on a single rank (where no thread interleaving can differ).
   auto run_once = [](std::uint64_t seed) {
-    transport tp(transport_config{
-        .n_ranks = 1, .coalescing_size = 1, .seed = seed, .scramble_delivery = true});
+    transport tp(transport_config{.n_ranks = 1,
+                                  .coalescing_size = 1,
+                                  .seed = seed,
+                                  .faults = fault_plan::scramble(seed)});
     std::vector<std::uint64_t> order;
     auto& mt = tp.make_message_type<token>(
         "t", [&](transport_context&, const token& t) { order.push_back(t.depth); });

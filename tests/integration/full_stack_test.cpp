@@ -1,7 +1,8 @@
 // Full-stack integration: Graph500-class R-MAT inputs, every pattern-based
 // solver, every schedule, oracles everywhere — and the whole matrix again
-// under scrambled (adversarial-order) delivery. This is the "does the
-// system as a whole behave like the paper's" test.
+// under scrambled (adversarial-order) delivery and under the full chaos
+// fault plan (reorder + duplicate + delay + drop-with-retry). This is the
+// "does the system as a whole behave like the paper's" test.
 #include <gtest/gtest.h>
 
 #include <limits>
@@ -38,10 +39,21 @@ struct rmat_world {
   }
 };
 
-class FullStack : public ::testing::TestWithParam<bool /*scramble*/> {};
+enum class delivery { fifo, scrambled, chaos };
+
+/// The fault plan a parameterized test case runs under, seeded from the
+/// transport seed so the whole case reproduces from one number.
+ampp::fault_plan plan_for(delivery d, std::uint64_t seed) {
+  switch (d) {
+    case delivery::scrambled: return ampp::fault_plan::scramble(seed);
+    case delivery::chaos: return ampp::fault_plan::chaos(seed);
+    default: return ampp::fault_plan::none();
+  }
+}
+
+class FullStack : public ::testing::TestWithParam<delivery> {};
 
 TEST_P(FullStack, SsspAllSchedulesOnRmat) {
-  const bool scramble = GetParam();
   rmat_world w(11, 8, 42);
   distributed_graph g(w.n, w.edges, distribution::cyclic(w.n, 4));
   pmap::edge_property_map<double> weight(g, [](const edge_handle& e) {
@@ -49,8 +61,10 @@ TEST_P(FullStack, SsspAllSchedulesOnRmat) {
   });
   const auto oracle = algo::dijkstra(g, weight, 0);
 
-  ampp::transport tp(ampp::transport_config{
-      .n_ranks = 4, .coalescing_size = 64, .seed = 5, .scramble_delivery = scramble});
+  ampp::transport tp(ampp::transport_config{.n_ranks = 4,
+                                            .coalescing_size = 64,
+                                            .seed = 5,
+                                            .faults = plan_for(GetParam(), 5)});
   sssp_solver solver(tp, g, weight);
   for (int mode = 0; mode < 3; ++mode) {
     tp.run([&](ampp::transport_context& ctx) {
@@ -67,13 +81,12 @@ TEST_P(FullStack, SsspAllSchedulesOnRmat) {
 }
 
 TEST_P(FullStack, CcOnSymmetrizedRmat) {
-  const bool scramble = GetParam();
   rmat_world w(11, 2, 7);
   const auto sym = graph::symmetrize(w.edges);
   distributed_graph g(w.n, sym, distribution::hashed(w.n, 4, 3));
   const auto oracle = algo::cc_union_find(g);
   algo::cc_solver cc(g, ampp::transport_config{
-                            .n_ranks = 4, .seed = 9, .scramble_delivery = scramble});
+                            .n_ranks = 4, .seed = 9, .faults = plan_for(GetParam(), 9)});
   cc.solve();
   // Partition equality.
   std::map<vertex_id, vertex_id> fwd, bwd;
@@ -86,13 +99,12 @@ TEST_P(FullStack, CcOnSymmetrizedRmat) {
 }
 
 TEST_P(FullStack, BfsOnRmat) {
-  const bool scramble = GetParam();
   rmat_world w(11, 16, 13);
   const auto sym = graph::symmetrize(w.edges);
   distributed_graph g(w.n, sym, distribution::block(w.n, 4));
   const auto oracle = algo::bfs_levels(g, 1);
   ampp::transport tp(ampp::transport_config{
-      .n_ranks = 4, .seed = 1, .scramble_delivery = scramble});
+      .n_ranks = 4, .seed = 1, .faults = plan_for(GetParam(), 1)});
   algo::bfs_solver bfs(tp, g);
   tp.run([&](ampp::transport_context& ctx) { bfs.run_fixed_point(ctx, 1); });
   for (vertex_id v = 0; v < w.n; ++v) {
@@ -103,22 +115,27 @@ TEST_P(FullStack, BfsOnRmat) {
 }
 
 TEST_P(FullStack, PageRankOnRmat) {
-  const bool scramble = GetParam();
   rmat_world w(10, 8, 21);
   distributed_graph g(w.n, w.edges, distribution::cyclic(w.n, 3));
   const auto oracle = algo::pagerank(g, 0.85, 15);
   ampp::transport tp(ampp::transport_config{
-      .n_ranks = 3, .seed = 2, .scramble_delivery = scramble});
+      .n_ranks = 3, .seed = 2, .faults = plan_for(GetParam(), 2)});
   algo::pagerank_solver pr(tp, g);
   tp.run([&](ampp::transport_context& ctx) { pr.run(ctx, 0.85, 15); });
   for (vertex_id v = 0; v < w.n; ++v)
     ASSERT_NEAR(pr.ranks()[v], oracle[v], 1e-11) << "v=" << v;
 }
 
-INSTANTIATE_TEST_SUITE_P(Delivery, FullStack, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "scrambled" : "fifo";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Delivery, FullStack,
+    ::testing::Values(delivery::fifo, delivery::scrambled, delivery::chaos),
+    [](const ::testing::TestParamInfo<delivery>& info) {
+      switch (info.param) {
+        case delivery::scrambled: return std::string("scrambled");
+        case delivery::chaos: return std::string("chaos");
+        default: return std::string("fifo");
+      }
+    });
 
 TEST(FullStack, MessageEconomyScalesWithEdges) {
   // Sanity bound from the Fig. 6 plan: one fixed-point SSSP run sends at

@@ -48,8 +48,10 @@ void check_consistency(const stats_snapshot& s) {
 }
 
 TEST(Counters, ConsistentUnderScrambledDelivery) {
-  ampp::transport tp(ampp::transport_config{
-      .n_ranks = 4, .coalescing_size = 8, .seed = 11, .scramble_delivery = true});
+  ampp::transport tp(ampp::transport_config{.n_ranks = 4,
+                                            .coalescing_size = 8,
+                                            .seed = 11,
+                                            .faults = ampp::fault_plan::scramble(11)});
   auto& a = tp.make_message_type<ping>("a", [](ampp::transport_context&, const ping&) {});
   auto& b = tp.make_message_type<ping>("b", [](ampp::transport_context&, const ping&) {});
   pump(tp, a, b, 300);
@@ -58,6 +60,25 @@ TEST(Counters, ConsistentUnderScrambledDelivery) {
   EXPECT_EQ(s.per_type[a.id()].sent, 300u * 4u);
   EXPECT_EQ(s.per_type[b.id()].sent, 100u * 4u);
   EXPECT_EQ(s.per_type[a.id()].bytes, 300u * 4u * sizeof(ping));
+}
+
+TEST(Counters, ConsistentUnderChaosFaultPlan) {
+  // Drops, duplicates, delays, and reordering all at once: exactly-once
+  // accounting must still hold, and the fault counters must obey the
+  // reliability layer's conservation laws at quiescence.
+  ampp::transport tp(ampp::transport_config{.n_ranks = 4,
+                                            .coalescing_size = 8,
+                                            .seed = 23,
+                                            .faults = ampp::fault_plan::chaos(23)});
+  auto& a = tp.make_message_type<ping>("a", [](ampp::transport_context&, const ping&) {});
+  auto& b = tp.make_message_type<ping>("b", [](ampp::transport_context&, const ping&) {});
+  pump(tp, a, b, 300);
+  const stats_snapshot s = tp.obs().snapshot();
+  check_consistency(s);
+  EXPECT_EQ(s.per_type[a.id()].sent, 300u * 4u);
+  EXPECT_GT(s.core.envelopes_dropped, 0u);
+  EXPECT_EQ(s.core.envelopes_dropped, s.core.envelopes_retried);
+  EXPECT_EQ(s.core.envelopes_duplicated, s.core.duplicates_suppressed);
 }
 
 TEST(Counters, ConsistentWithHandlerThreads) {

@@ -53,8 +53,9 @@ INSTANTIATE_TEST_SUITE_P(Modes, ConcurrentDelta, ::testing::Values(0, 1),
                                                   : std::string("uncoordinated");
                          });
 
-TEST(ConcurrentDelta, ScrambledAndThreadedTogether) {
-  // Maximum hostility: adversarial delivery order AND concurrent handlers.
+TEST(ConcurrentDelta, ChaosFaultsAndThreadedTogether) {
+  // Maximum hostility: reorder + duplicate + delay + drop-with-retry AND
+  // concurrent handlers.
   const vertex_id n = 120;
   const auto edges = graph::erdos_renyi(n, 900, 5);
   distributed_graph g(n, edges, distribution::cyclic(n, 3));
@@ -65,11 +66,16 @@ TEST(ConcurrentDelta, ScrambledAndThreadedTogether) {
   ampp::transport tp(ampp::transport_config{.n_ranks = 3,
                                             .coalescing_size = 8,
                                             .seed = 31,
-                                            .scramble_delivery = true,
+                                            .faults = ampp::fault_plan::chaos(31),
                                             .handler_threads = 1});
   algo::sssp_solver solver(tp, g, weight);
-  tp.run([&](ampp::transport_context& ctx) { solver.run_delta(ctx, 0, 4.0); });
+  strategy::result res;
+  tp.run([&](ampp::transport_context& ctx) {
+    const strategy::result r = solver.run_delta(ctx, 0, 4.0);
+    if (ctx.rank() == 0) res = r;  // counters are global; rank 0's copy suffices
+  });
   for (vertex_id v = 0; v < n; ++v) ASSERT_DOUBLE_EQ(solver.dist()[v], oracle[v]);
+  EXPECT_GT(res.faults_survived(), 0u);  // the chaos plan must have fired
 }
 
 }  // namespace
