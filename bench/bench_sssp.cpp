@@ -94,6 +94,53 @@ void BM_SsspDeltaUncoordinated(benchmark::State& state) {
 }
 BENCHMARK(BM_SsspDeltaUncoordinated)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+void BM_SsspHandRolledReduction(benchmark::State& state) {
+  // Hand-written AM++-style chaotic SSSP (the paper's comparison target,
+  // §IV-A): one relax message type with a min-combining reduction cache of
+  // 2^range(0) slots per lane. Large caches put the flush/quiescence path
+  // under maximum pressure: every epoch-flush and TD-round spin has to
+  // establish that the cache holds no residual entries.
+  constexpr ampp::rank_t kRanks = 2;
+  const auto cache_bits = static_cast<unsigned>(state.range(0));
+  auto g = wl().build(kRanks);
+  auto weight = wl().weights(g);
+  ampp::transport tp(ampp::transport_config{.n_ranks = kRanks});
+  std::vector<double> dist(g.num_vertices(),
+                           std::numeric_limits<double>::infinity());
+  struct relax {
+    std::uint64_t v;
+    double d;
+  };
+  ampp::message_type<relax>* mtp = nullptr;
+  auto& mt = tp.make_message_type<relax>(
+      "relax", [&](ampp::transport_context& ctx, const relax& m) {
+        if (m.d < dist[m.v]) {
+          dist[m.v] = m.d;
+          for (const auto e : g.out_edges(m.v))
+            mtp->send(ctx, g.owner(e.dst), relax{e.dst, m.d + weight.read(e)});
+        }
+      });
+  mtp = &mt;
+  mt.enable_reduction([](const relax& m) { return m.v; },
+                      [](const relax& a, const relax& b) { return a.d <= b.d ? a : b; },
+                      cache_bits);
+  obs::stats_snapshot delta;
+  for (auto _ : state) {
+    obs::stats_scope sc(tp.obs(), &delta);
+    tp.run([&](ampp::transport_context& ctx) {
+      for (vertex_id v = 0; v < g.num_vertices(); ++v)
+        if (g.owner(v) == ctx.rank())
+          dist[v] = std::numeric_limits<double>::infinity();
+      ctx.barrier();
+      ampp::epoch ep(ctx);
+      if (g.owner(0) == ctx.rank()) mt.send(ctx, g.owner(0), relax{0, 0.0});
+    });
+  }
+  state.counters["cache_bits"] = cache_bits;
+  report_stats(state, delta);
+}
+BENCHMARK(BM_SsspHandRolledReduction)->Arg(10)->Arg(16)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_SsspDijkstraBaseline(benchmark::State& state) {
   auto g = wl().build(1);
   auto weight = wl().weights(g);

@@ -69,6 +69,16 @@ inline void report_stats(benchmark::State& state, const obs::stats_snapshot& d,
   state.counters[prefix + "bytes"] = static_cast<double>(d.core.bytes_sent);
   state.counters[prefix + "td_rounds"] = static_cast<double>(d.core.td_rounds);
   state.counters[prefix + "cache_hits"] = static_cast<double>(d.core.cache_hits);
+  state.counters[prefix + "cache_evictions"] = static_cast<double>(d.core.cache_evictions);
+  state.counters[prefix + "dropped"] = static_cast<double>(d.core.envelopes_dropped);
+  state.counters[prefix + "retried"] = static_cast<double>(d.core.envelopes_retried);
+  state.counters[prefix + "duplicated"] = static_cast<double>(d.core.envelopes_duplicated);
+  state.counters[prefix + "delayed"] = static_cast<double>(d.core.envelopes_delayed);
+  state.counters[prefix + "dup_suppressed"] =
+      static_cast<double>(d.core.duplicates_suppressed);
+  state.counters[prefix + "lane_visits"] = static_cast<double>(d.core.flush_lane_visits);
+  state.counters[prefix + "lane_skips"] = static_cast<double>(d.core.flush_lane_skips);
+  state.counters[prefix + "pool_reuses"] = static_cast<double>(d.core.pool_reuses);
 }
 
 }  // namespace dpg::bench

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Benchmark runner with machine-readable output: runs the named benchmark
+# binaries and writes BENCH_<name>[<suffix>].json at the repo root, so the
+# perf trajectory accumulates in version control.
+#
+# Usage: scripts/bench_json.sh [name ...]
+#   name       benchmark binary without the bench_ prefix (default:
+#              "epoch sssp" — the quiescence-hot-path pair tracked by
+#              ISSUE 3's acceptance criteria)
+# Environment:
+#   BUILD_DIR       build tree holding bench/ binaries   (default: build)
+#   BENCH_SUFFIX    filename suffix, e.g. ".baseline"    (default: empty)
+#   BENCH_FILTER    --benchmark_filter regex             (default: all)
+#   BENCH_ARGS      extra flags passed to every binary   (default: empty)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BENCH_SUFFIX="${BENCH_SUFFIX:-}"
+BENCH_FILTER="${BENCH_FILTER:-}"
+BENCH_ARGS="${BENCH_ARGS:-}"
+
+names=("$@")
+if [ ${#names[@]} -eq 0 ]; then names=(epoch sssp); fi
+
+for name in "${names[@]}"; do
+  bin="$BUILD_DIR/bench/bench_$name"
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+  out="BENCH_${name}${BENCH_SUFFIX}.json"
+  echo "=== bench_$name -> $out ==="
+  # shellcheck disable=SC2086  # BENCH_FILTER/BENCH_ARGS are intentionally word-split
+  "$bin" \
+    --benchmark_out="$out" --benchmark_out_format=json \
+    ${BENCH_FILTER:+--benchmark_filter="$BENCH_FILTER"} \
+    $BENCH_ARGS
+done

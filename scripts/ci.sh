@@ -26,4 +26,12 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
 echo "=== tsan sim sweep ==="
 ctest --test-dir build-tsan -L sim --output-on-failure --timeout 240 -j "$JOBS"
 
+echo "=== bench smoke (1 repetition, JSON out) ==="
+# One repetition of the quiescence-hot-path benchmarks: catches bench-code
+# rot and emits BENCH_epoch.ci.json / BENCH_sssp.ci.json for inspection.
+# The werror tree already built the bench binaries.
+BUILD_DIR=build-werror BENCH_SUFFIX=.ci \
+  BENCH_ARGS="--benchmark_min_time=0.01 --benchmark_repetitions=1" \
+  scripts/bench_json.sh epoch sssp
+
 echo "CI OK"

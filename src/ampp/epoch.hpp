@@ -36,7 +36,10 @@ class epoch {
   epoch& operator=(const epoch&) = delete;
 
   /// `epoch_flush`: flush outgoing buffers and run handlers until this rank
-  /// is locally quiescent. Does not synchronize with other ranks.
+  /// is locally quiescent. Does not synchronize with other ranks. The
+  /// emptiness re-check each iteration reads the per-lane occupancy
+  /// counters (docs/runtime.md "Progress & quiescence fast paths") — it
+  /// never rescans buffers or reduction caches.
   void flush();
 
   /// One termination-detection round. True iff the epoch ended globally;

@@ -38,6 +38,13 @@ struct transport_stats {
   std::atomic<std::uint64_t> envelopes_duplicated{0}; ///< extra copies injected on the wire
   std::atomic<std::uint64_t> envelopes_delayed{0};    ///< envelopes held back N progress ticks
   std::atomic<std::uint64_t> duplicates_suppressed{0};///< copies absorbed by the dedup window
+  // Flush/quiescence hot-path counters. Conservation laws (asserted by the
+  // sim harness): envelopes_sent <= flush_lane_visits (every envelope comes
+  // out of a visited lane) and pool_reuses <= envelopes_sent (every reuse
+  // built one envelope).
+  std::atomic<std::uint64_t> flush_lane_visits{0};    ///< lanes locked by a flush (incl. capacity flushes)
+  std::atomic<std::uint64_t> flush_lane_skips{0};     ///< lanes a flush skipped via occupancy/dirty tracking
+  std::atomic<std::uint64_t> pool_reuses{0};          ///< envelope byte buffers recycled from the pool
 
   /// Plain-value snapshot. Manual snapshot-and-subtract in tests/benches is
   /// deprecated — use obs::stats_scope, which also captures per-type deltas.
@@ -45,7 +52,8 @@ struct transport_stats {
     std::uint64_t messages_sent, envelopes_sent, bytes_sent, handler_invocations,
         self_deliveries, cache_hits, cache_evictions, td_rounds, barriers, epochs,
         control_messages, envelopes_dropped, envelopes_retried, envelopes_duplicated,
-        envelopes_delayed, duplicates_suppressed;
+        envelopes_delayed, duplicates_suppressed, flush_lane_visits, flush_lane_skips,
+        pool_reuses;
 
     snapshot operator-(const snapshot& o) const {
       return {messages_sent - o.messages_sent,
@@ -63,7 +71,10 @@ struct transport_stats {
               envelopes_retried - o.envelopes_retried,
               envelopes_duplicated - o.envelopes_duplicated,
               envelopes_delayed - o.envelopes_delayed,
-              duplicates_suppressed - o.duplicates_suppressed};
+              duplicates_suppressed - o.duplicates_suppressed,
+              flush_lane_visits - o.flush_lane_visits,
+              flush_lane_skips - o.flush_lane_skips,
+              pool_reuses - o.pool_reuses};
     }
 
     snapshot operator+(const snapshot& o) const {
@@ -82,7 +93,10 @@ struct transport_stats {
               envelopes_retried + o.envelopes_retried,
               envelopes_duplicated + o.envelopes_duplicated,
               envelopes_delayed + o.envelopes_delayed,
-              duplicates_suppressed + o.duplicates_suppressed};
+              duplicates_suppressed + o.duplicates_suppressed,
+              flush_lane_visits + o.flush_lane_visits,
+              flush_lane_skips + o.flush_lane_skips,
+              pool_reuses + o.pool_reuses};
     }
   };
 
@@ -92,7 +106,8 @@ struct transport_stats {
             cache_evictions.load(), td_rounds.load(), barriers.load(), epochs.load(),
             control_messages.load(), envelopes_dropped.load(), envelopes_retried.load(),
             envelopes_duplicated.load(), envelopes_delayed.load(),
-            duplicates_suppressed.load()};
+            duplicates_suppressed.load(), flush_lane_visits.load(), flush_lane_skips.load(),
+            pool_reuses.load()};
   }
 };
 

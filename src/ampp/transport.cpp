@@ -241,12 +241,40 @@ bool transport::fault_held_empty(rank_t r) const {
   return ranks_[r].held_count.load(std::memory_order_acquire) == 0;
 }
 
-std::size_t transport::drain_rank(transport_context& ctx, bool at_most_one) {
+std::vector<std::byte> transport::pool_acquire(rank_t src) {
+  rank_state& rs = ranks_[src];
+  {
+    std::lock_guard<dpg::spinlock> g(rs.pool_mu);
+    if (!rs.byte_pool.empty()) {
+      std::vector<std::byte> bytes = std::move(rs.byte_pool.back());
+      rs.byte_pool.pop_back();
+      obs_.core().pool_reuses.fetch_add(1, std::memory_order_relaxed);
+      return bytes;
+    }
+  }
+  return {};
+}
+
+void transport::pool_release(rank_t r, std::vector<std::byte>&& bytes) {
+  // Bound both the list length and the buffer size kept alive: envelopes
+  // are normally coalescing_size payloads, but a reduction-cache spill can
+  // be much bigger and should not be hoarded.
+  constexpr std::size_t kMaxPooled = 64;
+  constexpr std::size_t kMaxPooledCapacity = std::size_t{1} << 20;
+  if (bytes.capacity() == 0 || bytes.capacity() > kMaxPooledCapacity) return;
+  bytes.clear();
+  rank_state& rs = ranks_[r];
+  std::lock_guard<dpg::spinlock> g(rs.pool_mu);
+  if (rs.byte_pool.size() < kMaxPooled) rs.byte_pool.push_back(std::move(bytes));
+}
+
+transport::drain_result transport::drain_rank(transport_context& ctx, bool at_most_one) {
   rank_state& rs = ranks_[ctx.rank()];
   if (faults_active_) pump_faults(ctx.rank());
-  std::size_t handled = 0;
+  drain_result res;
   for (;;) {
     detail::envelope env;
+    bool suppressed = false;
     {
       std::lock_guard<std::mutex> g(rs.inbox_mu);
       if (rs.inbox.empty()) break;
@@ -257,11 +285,16 @@ std::size_t transport::drain_rank(transport_context& ctx, bool at_most_one) {
         // neither `received` nor any per-type counter moves, so exactly-once
         // accounting (and the TD sums) are unaffected.
         obs_.core().duplicates_suppressed.fetch_add(1, std::memory_order_relaxed);
-        continue;
+        suppressed = true;
+      } else {
+        // Claimed under the lock: quiescence tests see either the queued
+        // envelope or the active handler, never a gap.
+        rs.active_handlers.fetch_add(1, std::memory_order_relaxed);
       }
-      // Claimed under the lock: quiescence tests see either the queued
-      // envelope or the active handler, never a gap.
-      rs.active_handlers.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (suppressed) {
+      pool_release(ctx.rank(), std::move(env.bytes));
+      continue;
     }
     {
       obs::trace_span sp(&obs_.trace(), "handler", env.vt->self->name().c_str(),
@@ -274,12 +307,14 @@ std::size_t transport::drain_rank(transport_context& ctx, bool at_most_one) {
     if (!internal) {
       rs.received.fetch_add(env.count, std::memory_order_relaxed);
       obs_.core().handler_invocations.fetch_add(env.count, std::memory_order_relaxed);
-      handled += env.count;
+      res.user_payloads += env.count;
     }
     rs.active_handlers.fetch_sub(1, std::memory_order_release);
+    ++res.envelopes;
+    pool_release(ctx.rank(), std::move(env.bytes));
     if (at_most_one) break;
   }
-  return handled;
+  return res;
 }
 
 bool transport::locally_quiet(rank_t r) const {
@@ -295,12 +330,27 @@ void transport::flush_all_types(rank_t src) {
 }
 
 bool transport::all_buffers_empty(rank_t src) const {
-  for (const auto& mt : types_)
-    if (!mt->rank_buffers_empty(src)) return false;
+  if (!outbound_empty(src)) return false;
   if (!fault_held_empty(src)) return false;
   const rank_state& rs = ranks_[src];
   std::lock_guard<std::mutex> g(rs.inbox_mu);
   return rs.inbox.empty();
+}
+
+bool transport::occupancy_consistent() const {
+  for (rank_t r = 0; r < cfg_.n_ranks; ++r) {
+    for (const auto& mt : types_) {
+      const std::int64_t counter = mt->rank_occupancy(r);
+      const std::int64_t scan = mt->rank_occupancy_scan(r);
+      if (counter != scan) {
+        DPG_WARN("occupancy drift: type '%s' rank %u counter=%lld scan=%lld",
+                 mt->name().c_str(), static_cast<unsigned>(r),
+                 static_cast<long long>(counter), static_cast<long long>(scan));
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -349,7 +399,11 @@ void transport::run(const std::function<void(transport_context&)>& f) {
         hctx.in_epoch_ = true;
         try {
           while (!stop_helpers.load(std::memory_order_acquire)) {
-            if (drain_rank(hctx, /*at_most_one=*/true) == 0) std::this_thread::yield();
+            // Gate on envelopes, not user payloads: a helper that just
+            // dispatched a control-plane envelope (TD verdict, collective
+            // result) did real work and should keep draining, not yield.
+            if (drain_rank(hctx, /*at_most_one=*/true).envelopes == 0)
+              std::this_thread::yield();
           }
         } catch (...) {
           std::lock_guard<std::mutex> g(err_mu);
@@ -464,15 +518,14 @@ bool transport::td_round(transport_context& ctx) {
   // progress tick, so the loop pumps every hold to delivery.
   for (;;) {
     flush_all_types(r);
-    const std::size_t handled = drain_rank(ctx, /*at_most_one=*/false);
-    bool buffers_empty = true;
-    for (const auto& mt : types_)
-      if (!mt->rank_buffers_empty(r)) {
-        buffers_empty = false;
-        break;
-      }
-    if (handled == 0 && buffers_empty && fault_held_empty(r) && locally_quiet(r)) break;
-    if (handled == 0) std::this_thread::yield();
+    const drain_result dr = drain_rank(ctx, /*at_most_one=*/false);
+    // outbound_empty is one relaxed counter read per message type (no lane
+    // locks, no cache scans): this spin is the hottest loop of every
+    // strategy.
+    if (dr.user_payloads == 0 && outbound_empty(r) && fault_held_empty(r) &&
+        locally_quiet(r))
+      break;
+    if (dr.envelopes == 0) std::this_thread::yield();
   }
 
   const td_report_t report{round, ranks_[r].sent.load(std::memory_order_relaxed),
@@ -485,7 +538,7 @@ bool transport::td_round(transport_context& ctx) {
   // is fine, the next round will observe it).
   while (ranks_[r].td_result_round.load(std::memory_order_acquire) <
          static_cast<std::int64_t>(round)) {
-    if (drain_rank(ctx, /*at_most_one=*/false) == 0) std::this_thread::yield();
+    if (drain_rank(ctx, /*at_most_one=*/false).envelopes == 0) std::this_thread::yield();
   }
   ctx.td_round_ = round + 1;
   return ranks_[r].td_result_done.load(std::memory_order_relaxed);
@@ -497,9 +550,11 @@ bool transport::td_round(transport_context& ctx) {
 
 rank_t transport_context::size() const noexcept { return tp_->size(); }
 
-std::size_t transport_context::drain() { return tp_->drain_rank(*this, false); }
+std::size_t transport_context::drain() { return tp_->drain_rank(*this, false).user_payloads; }
 
-std::size_t transport_context::poll_once() { return tp_->drain_rank(*this, true); }
+std::size_t transport_context::poll_once() {
+  return tp_->drain_rank(*this, true).user_payloads;
+}
 
 void transport_context::barrier() {
   std::uint32_t dummy = 0;
@@ -538,7 +593,7 @@ void transport_context::allreduce_raw(const void* in, void* out, std::size_t siz
           break;
         }
       }
-      if (drain() == 0) std::this_thread::yield();
+      if (tp.drain_rank(*this, false).envelopes == 0) std::this_thread::yield();
     }
     std::sort(contribs.begin(), contribs.end(),
               [](const auto& a, const auto& b) { return a.src < b.src; });
@@ -554,7 +609,7 @@ void transport_context::allreduce_raw(const void* in, void* out, std::size_t siz
 
   transport::rank_state& rs = tp.ranks_[rank_];
   while (rs.coll_result_gen.load(std::memory_order_acquire) < gen) {
-    if (drain() == 0) std::this_thread::yield();
+    if (tp.drain_rank(*this, false).envelopes == 0) std::this_thread::yield();
   }
   std::memcpy(out, rs.coll_result_bytes.data(), size);
 }
@@ -578,19 +633,14 @@ epoch::epoch(transport_context& ctx) : ctx_(ctx) {
 void epoch::flush() {
   DPG_ASSERT_MSG(!ended_, "epoch_flush after the epoch ended");
   transport& tp = ctx_.tp();
+  const rank_t r = ctx_.rank();
   for (;;) {
-    tp.flush_all_types(ctx_.rank());
-    const std::size_t handled = ctx_.drain();
-    bool buffers_empty = true;
-    for (const auto& mt : tp.types_)
-      if (!mt->rank_buffers_empty(ctx_.rank())) {
-        buffers_empty = false;
-        break;
-      }
-    if (handled == 0 && buffers_empty && tp.fault_held_empty(ctx_.rank()) &&
-        tp.locally_quiet(ctx_.rank()))
+    tp.flush_all_types(r);
+    const transport::drain_result dr = tp.drain_rank(ctx_, /*at_most_one=*/false);
+    if (dr.user_payloads == 0 && tp.outbound_empty(r) && tp.fault_held_empty(r) &&
+        tp.locally_quiet(r))
       break;
-    if (handled == 0) std::this_thread::yield();
+    if (dr.envelopes == 0) std::this_thread::yield();
   }
 }
 

@@ -114,11 +114,22 @@ class message_type_base {
   virtual ~message_type_base() = default;
 
   /// Spill every buffered payload and cached reduction slot owned by
-  /// `src` onto the wire.
+  /// `src` onto the wire. Visits only dirty lanes (lanes whose occupancy
+  /// tracking says they hold data); clean lanes are skipped without
+  /// locking.
   virtual void flush_rank(rank_t src) = 0;
 
-  /// True when rank `src` has nothing buffered for any destination.
+  /// True when rank `src` has nothing buffered for any destination. O(1):
+  /// a single occupancy-counter read, no lane locks, no cache scans.
   virtual bool rank_buffers_empty(rank_t src) const = 0;
+
+  /// Occupancy counter for rank `src`: buffered payloads + used reduction
+  /// slots across all of its lanes (the value rank_buffers_empty tests).
+  virtual std::int64_t rank_occupancy(rank_t src) const = 0;
+
+  /// Brute-force recount of rank_occupancy under the lane locks — the
+  /// conservation oracle for tests; never on a hot path.
+  virtual std::int64_t rank_occupancy_scan(rank_t src) const = 0;
 
   const std::string& name() const { return name_; }
   msg_type_id id() const { return id_; }
@@ -176,6 +187,8 @@ class message_type final : public detail::message_type_base {
 
   void flush_rank(rank_t src) override;
   bool rank_buffers_empty(rank_t src) const override;
+  std::int64_t rank_occupancy(rank_t src) const override;
+  std::int64_t rank_occupancy_scan(rank_t src) const override;
 
  private:
   friend class transport;
@@ -195,6 +208,20 @@ class message_type final : public detail::message_type_base {
     mutable dpg::spinlock mu;
     std::vector<Payload> buf;
     std::vector<red_slot> cache;  // empty unless reduction enabled
+    /// Buffered payloads + used reduction slots in this lane. Written only
+    /// under mu — and with plain load+store rather than fetch_add, so the
+    /// send hot path carries no lock-prefixed RMW. Read lock-free
+    /// (relaxed) by flush_rank's clean-lane skip and the quiescence
+    /// probes; a stale zero is safe because any payload it misses is
+    /// flushed by the next TD round, perturbing the sent-sums and failing
+    /// the double-round stability test.
+    std::atomic<std::int64_t> occupancy{0};
+    /// Used reduction-cache slots, with their indices, so a flush spills
+    /// O(used) slots instead of scanning all 2^cache_bits. Guarded by mu;
+    /// used_list holds each used slot exactly once (entries are appended
+    /// only on the unused->used transition and cleared by the spill).
+    std::uint32_t used_slots = 0;
+    std::vector<std::uint32_t> used_list;
   };
 
   struct per_source {
@@ -212,6 +239,10 @@ class message_type final : public detail::message_type_base {
 
   void flush_lane(rank_t src, rank_t dest);
   void flush_lane_locked(rank_t src, rank_t dest, lane& ln, bool spill_cache);
+  /// Occupancy bookkeeping (call with the lane lock held): plain
+  /// load+store, not fetch_add — writers are serialized by the lane lock,
+  /// only the lock-free readers need atomicity.
+  static void note_occupancy(lane& ln, std::int64_t delta);
 
   handler_fn handler_;
   address_fn addr_;
@@ -328,6 +359,13 @@ class transport {
   const std::string& type_name(msg_type_id id) const { return types_.at(id)->name(); }
   std::size_t num_types() const { return types_.size(); }
 
+  /// Conservation oracle for tests: true iff, for every message type and
+  /// every rank, the O(1) occupancy counter equals a brute-force recount of
+  /// buffered payloads + used reduction slots under the lane locks. Only
+  /// meaningful while the transport is quiescent (between runs, or
+  /// single-rank).
+  bool occupancy_consistent() const;
+
  private:
   friend class transport_context;
   friend class epoch;
@@ -381,12 +419,42 @@ class transport {
     std::atomic<std::size_t> held_count{0};  ///< lock-free emptiness probe
     std::mutex held_mu;
     std::vector<held_tx> held;
+
+    /// Envelope byte-buffer free list: buffers are recycled from the
+    /// draining rank back to flushes (capacity preserved), eliminating the
+    /// per-envelope allocation on the wire path.
+    dpg::spinlock pool_mu;
+    std::vector<std::vector<std::byte>> byte_pool;
+  };
+
+  /// What one drain accomplished. `envelopes` counts every envelope
+  /// dispatched (control plane included) and gates yield decisions — a
+  /// helper that just processed a TD verdict made real progress even
+  /// though no user payload moved. `user_payloads` feeds the quiescence
+  /// predicates and the public drain()/poll_once() return values.
+  struct drain_result {
+    std::size_t user_payloads = 0;
+    std::size_t envelopes = 0;
   };
 
   void deliver(rank_t src, rank_t dest, detail::envelope env, std::uint32_t user_payloads);
-  std::size_t drain_rank(transport_context& ctx, bool at_most_one);
+  drain_result drain_rank(transport_context& ctx, bool at_most_one);
   void flush_all_types(rank_t src);
   bool all_buffers_empty(rank_t src) const;
+  /// Nothing buffered in any outgoing lane or reduction cache of `r`: one
+  /// relaxed counter read per message type, no lane locks, no cache scans.
+  /// (Deliberately not a single transport-wide aggregate: that would put a
+  /// second atomic RMW on every send, and this probe only runs on the
+  /// TD/epoch idle spins where O(#types) loads are already noise.)
+  bool outbound_empty(rank_t r) const {
+    for (const auto& mt : types_)
+      if (mt->rank_occupancy(r) != 0) return false;
+    return true;
+  }
+  /// Envelope pool: recycled buffer (capacity intact) or a fresh one.
+  std::vector<std::byte> pool_acquire(rank_t src);
+  /// Returns `bytes` to rank `r`'s pool (bounded; oversized buffers freed).
+  void pool_release(rank_t r, std::vector<std::byte>&& bytes);
   /// Inbox empty and no handler mid-flight (exact snapshot under inbox_mu).
   bool locally_quiet(rank_t r) const;
 
@@ -512,18 +580,25 @@ void message_type<Payload>::send(transport_context& ctx, rank_t dest, const Payl
       return;
     }
     if (slot.used) {
+      // Evict: the old payload moves slot -> buf (still buffered) and the
+      // new one takes the slot, so the net occupancy change is +1.
       ln.buf.push_back(slot.payload);
       tp_->obs_.core().cache_evictions.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++ln.used_slots;
+      ln.used_list.push_back(static_cast<std::uint32_t>(slot_idx));
     }
     slot.used = true;
     slot.key = key;
     slot.payload = p;
+    note_occupancy(ln, +1);
     if (ln.buf.size() >= tp_->cfg_.coalescing_size)
       flush_lane_locked(ctx.rank(), dest, ln, /*spill_cache=*/false);
     return;
   }
 
   ln.buf.push_back(p);
+  note_occupancy(ln, +1);
   if (ln.buf.size() >= tp_->cfg_.coalescing_size)
     flush_lane_locked(ctx.rank(), dest, ln, /*spill_cache=*/false);
 }
@@ -551,24 +626,37 @@ void message_type<Payload>::flush_lane(rank_t src, rank_t dest) {
 }
 
 template <class Payload>
+void message_type<Payload>::note_occupancy(lane& ln, std::int64_t delta) {
+  ln.occupancy.store(ln.occupancy.load(std::memory_order_relaxed) + delta,
+                     std::memory_order_relaxed);
+}
+
+template <class Payload>
 void message_type<Payload>::flush_lane_locked(rank_t src, rank_t dest, lane& ln,
                                               bool spill_cache) {
-  if (reduce_ && spill_cache) {
-    for (auto& slot : ln.cache) {
-      if (slot.used) {
-        ln.buf.push_back(slot.payload);
-        slot.used = false;
-      }
+  tp_->obs_.core().flush_lane_visits.fetch_add(1, std::memory_order_relaxed);
+  if (reduce_ && spill_cache && ln.used_slots != 0) {
+    // Spill O(used) slots via the used-slot index list, not O(2^bits) over
+    // the whole cache. slot -> buf is occupancy-neutral; the flush below
+    // settles the account.
+    for (const std::uint32_t idx : ln.used_list) {
+      red_slot& slot = ln.cache[idx];
+      ln.buf.push_back(slot.payload);
+      slot.used = false;
     }
+    ln.used_list.clear();
+    ln.used_slots = 0;
   }
   if (ln.buf.empty()) return;
   const auto count = static_cast<std::uint32_t>(ln.buf.size());
   detail::envelope env;
   env.vt = &vt_;
   env.count = count;
+  env.bytes = tp_->pool_acquire(src);
   env.bytes.resize(ln.buf.size() * sizeof(Payload));
   std::memcpy(env.bytes.data(), ln.buf.data(), env.bytes.size());
   ln.buf.clear();
+  note_occupancy(ln, -static_cast<std::int64_t>(count));
   const std::size_t n_bytes = static_cast<std::size_t>(count) * sizeof(Payload);
   tp_->deliver(src, dest, std::move(env), internal_ ? 0 : count);
   tp_->obs_.on_sent(id_, count, n_bytes);
@@ -578,19 +666,45 @@ void message_type<Payload>::flush_lane_locked(rank_t src, rank_t dest, lane& ln,
 
 template <class Payload>
 void message_type<Payload>::flush_rank(rank_t src) {
-  for (rank_t d = 0; d < static_cast<rank_t>(rows_[src].lanes.size()); ++d)
+  per_source& row = rows_[src];
+  const auto n_lanes = static_cast<rank_t>(row.lanes.size());
+  std::uint64_t skipped = 0;
+  for (rank_t d = 0; d < n_lanes; ++d) {
+    // A clean lane (zero occupancy) is skipped without taking its lock —
+    // the common case on TD idle spins, where no lane holds anything.
+    if (row.lanes[d].occupancy.load(std::memory_order_relaxed) == 0) {
+      ++skipped;
+      continue;
+    }
     flush_lane(src, d);
+  }
+  if (skipped != 0)
+    tp_->obs_.core().flush_lane_skips.fetch_add(skipped, std::memory_order_relaxed);
 }
 
 template <class Payload>
 bool message_type<Payload>::rank_buffers_empty(rank_t src) const {
+  return rank_occupancy(src) == 0;
+}
+
+template <class Payload>
+std::int64_t message_type<Payload>::rank_occupancy(rank_t src) const {
+  std::int64_t n = 0;
+  for (const lane& ln : rows_[src].lanes)
+    n += ln.occupancy.load(std::memory_order_relaxed);
+  return n;
+}
+
+template <class Payload>
+std::int64_t message_type<Payload>::rank_occupancy_scan(rank_t src) const {
+  std::int64_t n = 0;
   for (const lane& ln : rows_[src].lanes) {
     std::lock_guard<dpg::spinlock> lane_guard(ln.mu);
-    if (!ln.buf.empty()) return false;
+    n += static_cast<std::int64_t>(ln.buf.size());
     for (const red_slot& s : ln.cache)
-      if (s.used) return false;
+      if (s.used) ++n;
   }
-  return true;
+  return n;
 }
 
 // ===========================================================================

@@ -118,16 +118,16 @@ std::string registry::epoch_summary() const {
   const std::vector<epoch_record> eps = epoch_records();
   std::string out;
   char line[256];
-  std::snprintf(line, sizeof line, "%5s %9s %10s %9s %12s %9s %9s %10s %8s %8s\n",
+  std::snprintf(line, sizeof line, "%5s %9s %10s %9s %12s %9s %9s %10s %8s %8s %9s %9s\n",
                 "epoch", "wall_ms", "msgs", "envs", "bytes", "handlers", "td_rnds",
-                "cache_hit", "drops", "retries");
+                "cache_hit", "drops", "retries", "ln_visit", "ln_skip");
   out += line;
   counters tot{};
   std::uint64_t tot_us = 0;
   for (const epoch_record& e : eps) {
     const counters& d = e.delta.core;
     std::snprintf(line, sizeof line,
-                  "%5llu %9.3f %10llu %9llu %12llu %9llu %9llu %10llu %8llu %8llu\n",
+                  "%5llu %9.3f %10llu %9llu %12llu %9llu %9llu %10llu %8llu %8llu %9llu %9llu\n",
                   static_cast<unsigned long long>(e.index), e.dur_us / 1e3,
                   static_cast<unsigned long long>(d.messages_sent),
                   static_cast<unsigned long long>(d.envelopes_sent),
@@ -136,21 +136,25 @@ std::string registry::epoch_summary() const {
                   static_cast<unsigned long long>(d.td_rounds),
                   static_cast<unsigned long long>(d.cache_hits),
                   static_cast<unsigned long long>(d.envelopes_dropped),
-                  static_cast<unsigned long long>(d.envelopes_retried));
+                  static_cast<unsigned long long>(d.envelopes_retried),
+                  static_cast<unsigned long long>(d.flush_lane_visits),
+                  static_cast<unsigned long long>(d.flush_lane_skips));
     out += line;
     tot = tot + d;
     tot_us += e.dur_us;
   }
   std::snprintf(line, sizeof line,
-                "%5s %9.3f %10llu %9llu %12llu %9llu %9llu %10llu %8llu %8llu\n", "total",
-                tot_us / 1e3, static_cast<unsigned long long>(tot.messages_sent),
+                "%5s %9.3f %10llu %9llu %12llu %9llu %9llu %10llu %8llu %8llu %9llu %9llu\n",
+                "total", tot_us / 1e3, static_cast<unsigned long long>(tot.messages_sent),
                 static_cast<unsigned long long>(tot.envelopes_sent),
                 static_cast<unsigned long long>(tot.bytes_sent),
                 static_cast<unsigned long long>(tot.handler_invocations),
                 static_cast<unsigned long long>(tot.td_rounds),
                 static_cast<unsigned long long>(tot.cache_hits),
                 static_cast<unsigned long long>(tot.envelopes_dropped),
-                static_cast<unsigned long long>(tot.envelopes_retried));
+                static_cast<unsigned long long>(tot.envelopes_retried),
+                static_cast<unsigned long long>(tot.flush_lane_visits),
+                static_cast<unsigned long long>(tot.flush_lane_skips));
   out += line;
 
   out += "per-type totals (cumulative):\n";

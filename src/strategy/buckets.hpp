@@ -26,14 +26,26 @@ using graph::vertex_id;
 class buckets {
  public:
   static constexpr std::uint64_t none = std::numeric_limits<std::uint64_t>::max();
+  /// Bucket indices are capped: priorities at or beyond max_buckets·Δ
+  /// (including +∞, the "unreached" distance, and NaN) are filed together
+  /// in the last bucket. Lazy deletion makes this safe — popping a far
+  /// vertex early merely re-applies its action — while bounding the row
+  /// array that `insert` would otherwise resize without limit (and the
+  /// float→integer cast that is undefined for non-finite values).
+  static constexpr std::uint64_t max_buckets = std::uint64_t{1} << 16;
 
   explicit buckets(double delta) : delta_(delta) {
     DPG_ASSERT_MSG(delta > 0.0, "Δ must be positive");
   }
 
   std::uint64_t bucket_of(double priority) const {
-    DPG_ASSERT_MSG(priority >= 0.0, "Δ-stepping priorities must be non-negative");
-    return static_cast<std::uint64_t>(priority / delta_);
+    DPG_ASSERT_MSG(!(priority < 0.0), "Δ-stepping priorities must be non-negative");
+    const double q = priority / delta_;
+    // Ordered comparison is false for NaN, so ∞, NaN, and any quotient
+    // that would overflow the cap all take this branch; the cast below is
+    // then always in-range and well-defined.
+    if (!(q < static_cast<double>(max_buckets))) return max_buckets - 1;
+    return static_cast<std::uint64_t>(q);
   }
 
   void insert(vertex_id v, double priority) {
@@ -42,6 +54,7 @@ class buckets {
     if (b >= rows_.size()) rows_.resize(b + 1);
     rows_[b].push_back(v);
     ++size_;
+    if (b < cursor_) cursor_ = b;
   }
 
   /// Pops from bucket i; nullopt when it is empty.
@@ -55,18 +68,17 @@ class buckets {
   }
 
   /// Pops from the lowest non-empty bucket (the uncoordinated variant's
-  /// local priority order).
+  /// local priority order). Amortized O(1): resumes from the cursor
+  /// instead of rescanning from row 0 (this sits in the per-vertex inner
+  /// loop of uncoordinated Δ-stepping).
   std::optional<vertex_id> pop_any() {
     std::lock_guard<dpg::spinlock> g(mu_);
-    for (auto& row : rows_) {
-      if (!row.empty()) {
-        const vertex_id v = row.front();
-        row.pop_front();
-        --size_;
-        return v;
-      }
-    }
-    return std::nullopt;
+    const std::uint64_t i = first_nonempty_locked();
+    if (i == none) return std::nullopt;
+    const vertex_id v = rows_[i].front();
+    rows_[i].pop_front();
+    --size_;
+    return v;
   }
 
   bool empty(std::uint64_t i) const {
@@ -87,24 +99,34 @@ class buckets {
   /// Index of the first non-empty bucket, or `none`.
   std::uint64_t first_nonempty() const {
     std::lock_guard<dpg::spinlock> g(mu_);
-    for (std::uint64_t i = 0; i < rows_.size(); ++i)
-      if (!rows_[i].empty()) return i;
-    return none;
+    return first_nonempty_locked();
   }
 
   void clear() {
     std::lock_guard<dpg::spinlock> g(mu_);
     rows_.clear();
     size_ = 0;
+    cursor_ = 0;
   }
 
   double delta() const { return delta_; }
 
  private:
+  /// Scan for the lowest non-empty row, resuming from cursor_. The cursor
+  /// is a lower bound: rows below it are empty (insert lowers it, and the
+  /// scan only advances it past rows observed empty under mu_), so each row
+  /// is passed over at most once per insertion that lands in it.
+  std::uint64_t first_nonempty_locked() const {
+    for (; cursor_ < rows_.size(); ++cursor_)
+      if (!rows_[cursor_].empty()) return cursor_;
+    return none;
+  }
+
   double delta_;
   mutable dpg::spinlock mu_;
   std::vector<std::deque<vertex_id>> rows_;
   std::uint64_t size_ = 0;
+  mutable std::uint64_t cursor_ = 0;
 };
 
 }  // namespace dpg::strategy

@@ -72,6 +72,7 @@ TEST(SeedSweep, SsspFixedPoint) {
       ASSERT_DOUBLE_EQ(solver.dist()[v], oracle[v]) << "v=" << v;
     const auto s = tp.obs().snapshot();
     assert_fault_consistency(s);
+    assert_occupancy_conserved(tp);
     events += fault_events(s);
   });
 }
@@ -89,6 +90,7 @@ TEST(SeedSweep, SsspDeltaStepping) {
       ASSERT_DOUBLE_EQ(solver.dist()[v], oracle[v]) << "v=" << v;
     const auto s = tp.obs().snapshot();
     assert_fault_consistency(s);
+    assert_occupancy_conserved(tp);
     events += fault_events(s);
   });
 }
@@ -109,6 +111,7 @@ TEST(SeedSweep, Bfs) {
     }
     const auto s = tp.obs().snapshot();
     assert_fault_consistency(s);
+    assert_occupancy_conserved(tp);
     events += fault_events(s);
   });
 }
@@ -132,6 +135,7 @@ TEST(SeedSweep, ConnectedComponents) {
     }
     const auto s = cc.transport().obs().snapshot();
     assert_fault_consistency(s);
+    assert_occupancy_conserved(cc.transport());
     events += fault_events(s);
   });
 }
@@ -150,6 +154,7 @@ TEST(SeedSweep, PageRank) {
       ASSERT_NEAR(pr.ranks()[v], oracle[v], 1e-9) << "v=" << v;
     const auto s = tp.obs().snapshot();
     assert_fault_consistency(s);
+    assert_occupancy_conserved(tp);
     events += fault_events(s);
   });
 }
@@ -173,6 +178,7 @@ TEST(SeedSweep, KCore) {
       ASSERT_EQ(solver.coreness()[v], oracle[v]) << "v=" << v;
     const auto s = tp.obs().snapshot();
     assert_fault_consistency(s);
+    assert_occupancy_conserved(tp);
     events += fault_events(s);
   });
 }
@@ -204,6 +210,7 @@ TEST(SeedSweep, Coloring) {
         }
     const auto s = tp.obs().snapshot();
     assert_fault_consistency(s);
+    assert_occupancy_conserved(tp);
     events += fault_events(s);
   });
 }
@@ -239,6 +246,7 @@ TEST(SeedSweep, Mis) {
     }
     const auto s = tp.obs().snapshot();
     assert_fault_consistency(s);
+    assert_occupancy_conserved(tp);
     events += fault_events(s);
   });
 }

@@ -83,11 +83,16 @@ inline ampp::transport_config sim_config(ampp::rank_t ranks, std::uint64_t seed,
 /// The conservation laws every quiescent faulty run must satisfy: all
 /// payloads sent were dispatched exactly once, every drop was recovered by
 /// a retry, every injected duplicate was suppressed by the dedup window,
-/// and the per-type rows still sum to the core totals.
+/// and the per-type rows still sum to the core totals. The flush hot-path
+/// counters obey their own laws: every envelope is built out of a lane the
+/// flush actually visited, and every pooled-buffer reuse built exactly one
+/// envelope.
 inline void assert_fault_consistency(const obs::stats_snapshot& s) {
   EXPECT_EQ(s.core.messages_sent, s.core.handler_invocations);
   EXPECT_EQ(s.core.envelopes_dropped, s.core.envelopes_retried);
   EXPECT_EQ(s.core.envelopes_duplicated, s.core.duplicates_suppressed);
+  EXPECT_LE(s.core.envelopes_sent, s.core.flush_lane_visits);
+  EXPECT_LE(s.core.pool_reuses, s.core.envelopes_sent);
   std::uint64_t sent = 0, handled = 0;
   for (const obs::type_counters& t : s.per_type) {
     if (t.internal) continue;
@@ -97,6 +102,16 @@ inline void assert_fault_consistency(const obs::stats_snapshot& s) {
   }
   EXPECT_EQ(sent, s.core.messages_sent);
   EXPECT_EQ(handled, s.core.handler_invocations);
+}
+
+/// Occupancy-counter conservation: after a quiescent run, every O(1)
+/// per-(type,rank) occupancy counter must equal a brute-force recount of
+/// buffered payloads + used reduction slots under the lane locks, so
+/// `rank_buffers_empty` (a counter read) agrees with scanning — under every
+/// fault plan, not just clean runs.
+inline void assert_occupancy_conserved(const ampp::transport& tp) {
+  EXPECT_TRUE(tp.occupancy_consistent())
+      << "occupancy counters drifted from lane contents";
 }
 
 /// How many countable fault events a run injected (reorders are invisible

@@ -1,0 +1,103 @@
+// Regression tests for the Δ-stepping bucket structure: the bucket_of
+// clamp (non-finite / huge priorities previously hit a float→uint64_t
+// cast with undefined behaviour and an unbounded rows_ resize) and the
+// first-nonempty cursor (pop_any previously rescanned from row 0 on
+// every call).
+#include "strategy/buckets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace dpg::strategy {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(BucketsTest, BucketOfFiniteValues) {
+  buckets b(1.0);
+  EXPECT_EQ(b.bucket_of(0.0), 0u);
+  EXPECT_EQ(b.bucket_of(0.9), 0u);
+  EXPECT_EQ(b.bucket_of(1.0), 1u);
+  EXPECT_EQ(b.bucket_of(41.5), 41u);
+}
+
+TEST(BucketsTest, BucketOfClampsNonFiniteAndHuge) {
+  buckets b(1.0);
+  const std::uint64_t last = buckets::max_buckets - 1;
+  EXPECT_EQ(b.bucket_of(kInf), last);
+  EXPECT_EQ(b.bucket_of(std::numeric_limits<double>::quiet_NaN()), last);
+  EXPECT_EQ(b.bucket_of(std::numeric_limits<double>::max()), last);
+  EXPECT_EQ(b.bucket_of(1e30), last);
+  // Exactly at the cap boundary clamps too (cast would be out of range).
+  EXPECT_EQ(b.bucket_of(static_cast<double>(buckets::max_buckets)), last);
+  // Just below the cap does not.
+  EXPECT_EQ(b.bucket_of(static_cast<double>(buckets::max_buckets) - 1.0),
+            buckets::max_buckets - 1);
+}
+
+TEST(BucketsTest, InsertHugePriorityIsBoundedAndPoppable) {
+  // Before the clamp this resized rows_ to ~priority/Δ entries (or worse,
+  // UB on the cast); now it files under the last bucket and stays poppable.
+  buckets b(0.5);
+  b.insert(graph::vertex_id{7}, kInf);
+  b.insert(graph::vertex_id{8}, 1e300);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.first_nonempty(), buckets::max_buckets - 1);
+  EXPECT_TRUE(b.pop_any().has_value());
+  EXPECT_TRUE(b.pop_any().has_value());
+  EXPECT_FALSE(b.pop_any().has_value());
+}
+
+TEST(BucketsTest, PopAnyReturnsLowestBucketFirst) {
+  buckets b(1.0);
+  b.insert(graph::vertex_id{3}, 5.0);
+  b.insert(graph::vertex_id{1}, 1.0);
+  b.insert(graph::vertex_id{2}, 3.0);
+  EXPECT_EQ(b.pop_any(), graph::vertex_id{1});
+  EXPECT_EQ(b.pop_any(), graph::vertex_id{2});
+  EXPECT_EQ(b.pop_any(), graph::vertex_id{3});
+  EXPECT_FALSE(b.pop_any().has_value());
+}
+
+TEST(BucketsTest, CursorRewindsOnLowerInsert) {
+  // After draining low buckets the cursor sits high; inserting a lower
+  // priority must rewind it so ordering stays correct.
+  buckets b(1.0);
+  b.insert(graph::vertex_id{10}, 100.0);
+  b.insert(graph::vertex_id{11}, 100.0);
+  EXPECT_EQ(b.first_nonempty(), 100u);
+  EXPECT_EQ(b.pop_any(), graph::vertex_id{10});
+  b.insert(graph::vertex_id{1}, 2.0);
+  EXPECT_EQ(b.first_nonempty(), 2u);
+  EXPECT_EQ(b.pop_any(), graph::vertex_id{1});
+  EXPECT_EQ(b.pop_any(), graph::vertex_id{11});
+}
+
+TEST(BucketsTest, ClearResetsCursor) {
+  buckets b(1.0);
+  b.insert(graph::vertex_id{5}, 50.0);
+  ASSERT_TRUE(b.pop_any().has_value());
+  b.clear();
+  EXPECT_TRUE(b.empty());
+  b.insert(graph::vertex_id{6}, 0.0);
+  EXPECT_EQ(b.first_nonempty(), 0u);
+  EXPECT_EQ(b.pop_any(), graph::vertex_id{6});
+}
+
+TEST(BucketsTest, InterleavedPopAndIndexedAccess) {
+  buckets b(2.0);
+  b.insert(graph::vertex_id{1}, 0.0);   // bucket 0
+  b.insert(graph::vertex_id{2}, 4.0);   // bucket 2
+  b.insert(graph::vertex_id{3}, 4.5);   // bucket 2
+  EXPECT_EQ(b.pop(2), graph::vertex_id{2});
+  EXPECT_EQ(b.first_nonempty(), 0u);
+  EXPECT_EQ(b.pop_any(), graph::vertex_id{1});
+  EXPECT_EQ(b.first_nonempty(), 2u);
+  EXPECT_EQ(b.pop_any(), graph::vertex_id{3});
+  EXPECT_EQ(b.first_nonempty(), buckets::none);
+}
+
+}  // namespace
+}  // namespace dpg::strategy
