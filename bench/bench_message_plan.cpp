@@ -40,23 +40,25 @@ void run_sweep_bench(benchmark::State& state, ampp::rank_t ranks, Setup setup) {
   ampp::transport tp(ampp::transport_config{.n_ranks = ranks});
   auto act = setup(tp, g, dist, weight, locks);
 
-  std::uint64_t msgs = 0, applications = 0;
+  std::uint64_t applications = 0;
+  obs::stats_snapshot delta;
   for (auto _ : state) {
     for (ampp::rank_t r = 0; r < ranks; ++r)
       for (auto& x : dist.local(r)) x = 1e100;
     dist[0] = 0.0;
-    obs::stats_scope sc(tp.obs());
+    obs::stats_scope sc(tp.obs(), &delta);
     const std::uint64_t inv_before = act->invocations();
     tp.run([&](ampp::transport_context& ctx) {
       ampp::epoch ep(ctx);
       strategy::for_each_local_vertex(ctx, g, [&](vertex_id v) { (*act)(ctx, v); });
     });
-    msgs = sc.finish().core.messages_sent;
     applications = act->invocations() - inv_before;
   }
-  state.counters["messages"] = static_cast<double>(msgs);
+  report_stats(state, delta);
   state.counters["plan_msgs_per_app"] =
       static_cast<double>(act->plan().messages_per_application());
+  state.counters["plan_wire_bytes"] = static_cast<double>(
+      act->plan().wire_bytes.empty() ? 0 : act->plan().wire_bytes.back());
   state.counters["gather_hops"] = static_cast<double>(act->plan().gather_hops);
   state.counters["atomic"] = act->plan().atomic_path ? 1 : 0;
   state.counters["applications"] = static_cast<double>(applications);
@@ -118,20 +120,19 @@ void BM_PlanPointerChase(benchmark::State& state) {
   auto jump = instantiate(tp, g, locks,
                           make_action("jump", no_generator{},
                                       when(C(P(v_)) < C(v_), assign(C(v_), C(P(v_))))));
-  std::uint64_t msgs = 0;
+  obs::stats_snapshot delta;
   for (auto _ : state) {
     for (ampp::rank_t r = 0; r < ranks; ++r) {
       auto span = chg.local(r);
       for (std::size_t li = 0; li < span.size(); ++li) span[li] = chg.global_id(r, li);
     }
-    obs::stats_scope sc(tp.obs());
+    obs::stats_scope sc(tp.obs(), &delta);
     tp.run([&](ampp::transport_context& ctx) {
       ampp::epoch ep(ctx);
       strategy::for_each_local_vertex(ctx, g, [&](vertex_id v) { (*jump)(ctx, v); });
     });
-    msgs = sc.finish().core.messages_sent;
   }
-  state.counters["messages"] = static_cast<double>(msgs);
+  report_stats(state, delta);
   state.counters["plan_msgs_per_app"] =
       static_cast<double>(jump->plan().messages_per_application());
   state.counters["gather_hops"] = static_cast<double>(jump->plan().gather_hops);

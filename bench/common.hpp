@@ -67,6 +67,7 @@ inline void report_stats(benchmark::State& state, const obs::stats_snapshot& d,
   state.counters[prefix + "messages"] = static_cast<double>(d.core.messages_sent);
   state.counters[prefix + "envelopes"] = static_cast<double>(d.core.envelopes_sent);
   state.counters[prefix + "bytes"] = static_cast<double>(d.core.bytes_sent);
+  state.counters[prefix + "wire_bytes"] = static_cast<double>(d.core.wire_bytes_sent);
   state.counters[prefix + "td_rounds"] = static_cast<double>(d.core.td_rounds);
   state.counters[prefix + "cache_hits"] = static_cast<double>(d.core.cache_hits);
   state.counters[prefix + "cache_evictions"] = static_cast<double>(d.core.cache_evictions);

@@ -106,14 +106,16 @@ int run_measure() {
   std::fputs(explain("relax", relax->plan()).c_str(), stdout);
   std::fputs(explain("cc_jump", jump->plan()).c_str(), stdout);
   std::printf("\nmeasured message chain (per synthesized message type):\n");
-  std::printf("  %-20s %10s %10s %12s\n", "type", "sent", "handled", "bytes");
+  std::printf("  %-20s %10s %10s %12s %12s\n", "type", "sent", "handled", "bytes",
+              "wire_bytes");
   const obs::registry& reg = tp.obs();
   for (std::size_t i = 0; i < reg.num_types(); ++i) {
     if (reg.type_internal(i)) continue;  // control plane (TD, collectives)
-    std::printf("  %-20s %10llu %10llu %12llu\n", reg.type_name(i).c_str(),
+    std::printf("  %-20s %10llu %10llu %12llu %12llu\n", reg.type_name(i).c_str(),
                 static_cast<unsigned long long>(reg.type_sent(i)),
                 static_cast<unsigned long long>(reg.type_handled(i)),
-                static_cast<unsigned long long>(reg.type_bytes(i)));
+                static_cast<unsigned long long>(reg.type_bytes(i)),
+                static_cast<unsigned long long>(reg.type_wire_bytes(i)));
   }
   return 0;
 }

@@ -27,11 +27,35 @@ echo "=== tsan sim sweep ==="
 ctest --test-dir build-tsan -L sim --output-on-failure --timeout 240 -j "$JOBS"
 
 echo "=== bench smoke (1 repetition, JSON out) ==="
-# One repetition of the quiescence-hot-path benchmarks: catches bench-code
-# rot and emits BENCH_epoch.ci.json / BENCH_sssp.ci.json for inspection.
-# The werror tree already built the bench binaries.
+# One repetition of the quiescence-hot-path and plan-compilation
+# benchmarks: catches bench-code rot and emits BENCH_*.ci.json for
+# inspection. The werror tree already built the bench binaries.
 BUILD_DIR=build-werror BENCH_SUFFIX=.ci \
   BENCH_ARGS="--benchmark_min_time=0.01 --benchmark_repetitions=1" \
-  scripts/bench_json.sh epoch sssp
+  scripts/bench_json.sh epoch sssp message_plan
+
+echo "=== bench ratio guard (pattern vs hand-rolled SSSP) ==="
+# The declarative relax pattern must stay within a generous constant
+# factor of the hand-written AM++-style SSSP at the same rank count. A
+# smoke run is noisy, so the bound is deliberately loose — it catches
+# order-of-magnitude regressions in the compiled kernels, not jitter.
+python3 - <<'EOF'
+import json
+with open("BENCH_sssp.ci.json") as f:
+    rows = json.load(f)["benchmarks"]
+
+def real_time(name):
+    for r in rows:
+        if r["name"] == name and r.get("run_type", "iteration") == "iteration":
+            return r["real_time"]
+    raise SystemExit(f"ratio guard: benchmark '{name}' missing from BENCH_sssp.ci.json")
+
+pattern = real_time("BM_SsspFixedPoint/2/real_time")
+hand = real_time("BM_SsspHandRolledReduction/10/real_time")
+ratio = pattern / hand
+print(f"pattern fixed-point / hand-rolled @2 ranks: {ratio:.2f}x (limit 6.0x)")
+if ratio >= 6.0:
+    raise SystemExit("ratio guard FAILED: compiled pattern SSSP regressed vs hand-rolled")
+EOF
 
 echo "CI OK"

@@ -23,10 +23,14 @@ class sssp_solver {
   static constexpr double infinity = std::numeric_limits<double>::infinity();
 
   /// Registers the relax action's message types with `tp`. Construct before
-  /// transport::run; `g` and `weight` must outlive the solver.
+  /// transport::run; `g` and `weight` must outlive the solver. `copts`
+  /// controls plan compilation (fast-path / compact-wire toggles) — the
+  /// default resolves from the environment; tests and sweeps pass explicit
+  /// toggles to force both code paths.
   sssp_solver(ampp::transport& tp, const graph::distributed_graph& g,
               pmap::edge_property_map<double>& weight,
-              pmap::lock_scheme locking = pmap::lock_scheme::per_vertex)
+              pmap::lock_scheme locking = pmap::lock_scheme::per_vertex,
+              pattern::compile_options copts = {})
       : g_(&g),
         dist_(g, infinity),
         locks_(g.dist(), locking),
@@ -37,7 +41,8 @@ class sssp_solver {
     relax_ = instantiate(tp, g, locks_,
                          make_action("sssp.relax", out_edges_gen{},
                                      when(d(trg(e_)) > d(v_) + w(e_),
-                                          assign(d(trg(e_)), d(v_) + w(e_)))));
+                                          assign(d(trg(e_)), d(v_) + w(e_)))),
+                         copts);
   }
 
   /// Collective: resets distances and solves from `source` with the

@@ -20,7 +20,8 @@ namespace dpg::ampp {
 struct transport_stats {
   std::atomic<std::uint64_t> messages_sent{0};      ///< user payloads enqueued to a remote inbox
   std::atomic<std::uint64_t> envelopes_sent{0};     ///< coalesced buffers delivered
-  std::atomic<std::uint64_t> bytes_sent{0};         ///< payload bytes delivered
+  std::atomic<std::uint64_t> bytes_sent{0};         ///< logical payload bytes delivered
+  std::atomic<std::uint64_t> wire_bytes_sent{0};    ///< envelope bytes on the wire (<= bytes_sent; compact layouts truncate)
   std::atomic<std::uint64_t> handler_invocations{0};///< user handler calls
   std::atomic<std::uint64_t> self_deliveries{0};    ///< payloads whose destination was the sender
   std::atomic<std::uint64_t> cache_hits{0};         ///< sends absorbed by a reduction cache
@@ -49,7 +50,8 @@ struct transport_stats {
   /// Plain-value snapshot. Manual snapshot-and-subtract in tests/benches is
   /// deprecated — use obs::stats_scope, which also captures per-type deltas.
   struct snapshot {
-    std::uint64_t messages_sent, envelopes_sent, bytes_sent, handler_invocations,
+    std::uint64_t messages_sent, envelopes_sent, bytes_sent, wire_bytes_sent,
+        handler_invocations,
         self_deliveries, cache_hits, cache_evictions, td_rounds, barriers, epochs,
         control_messages, envelopes_dropped, envelopes_retried, envelopes_duplicated,
         envelopes_delayed, duplicates_suppressed, flush_lane_visits, flush_lane_skips,
@@ -59,6 +61,7 @@ struct transport_stats {
       return {messages_sent - o.messages_sent,
               envelopes_sent - o.envelopes_sent,
               bytes_sent - o.bytes_sent,
+              wire_bytes_sent - o.wire_bytes_sent,
               handler_invocations - o.handler_invocations,
               self_deliveries - o.self_deliveries,
               cache_hits - o.cache_hits,
@@ -81,6 +84,7 @@ struct transport_stats {
       return {messages_sent + o.messages_sent,
               envelopes_sent + o.envelopes_sent,
               bytes_sent + o.bytes_sent,
+              wire_bytes_sent + o.wire_bytes_sent,
               handler_invocations + o.handler_invocations,
               self_deliveries + o.self_deliveries,
               cache_hits + o.cache_hits,
@@ -102,7 +106,7 @@ struct transport_stats {
 
   snapshot snap() const {
     return {messages_sent.load(), envelopes_sent.load(), bytes_sent.load(),
-            handler_invocations.load(), self_deliveries.load(), cache_hits.load(),
+            wire_bytes_sent.load(), handler_invocations.load(), self_deliveries.load(), cache_hits.load(),
             cache_evictions.load(), td_rounds.load(), barriers.load(), epochs.load(),
             control_messages.load(), envelopes_dropped.load(), envelopes_retried.load(),
             envelopes_duplicated.load(), envelopes_delayed.load(),

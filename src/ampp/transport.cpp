@@ -85,7 +85,11 @@ void transport::deliver(rank_t src, rank_t dest, detail::envelope env,
                         std::uint32_t user_payloads) {
   transport_stats& st = obs_.core();
   st.envelopes_sent.fetch_add(1, std::memory_order_relaxed);
-  st.bytes_sent.fetch_add(env.bytes.size(), std::memory_order_relaxed);
+  // bytes_sent counts *logical* payload bytes; wire_bytes_sent counts what
+  // actually travels, which is smaller when a compact wire layout is
+  // installed (see message_type::set_wire_layout).
+  st.bytes_sent.fetch_add(env.count * env.vt->payload_size, std::memory_order_relaxed);
+  st.wire_bytes_sent.fetch_add(env.bytes.size(), std::memory_order_relaxed);
   // `sent` counts at the first transmission only: a held (delayed or
   // dropped) payload keeps ΣS > ΣR until its eventual dispatch, so
   // termination detection can never declare done over an in-flight retry.

@@ -153,6 +153,13 @@ template <class A, class Payload>
 concept address_map = std::invocable<const A&, const Payload&> &&
     std::convertible_to<std::invoke_result_t<const A&, const Payload&>, rank_t>;
 
+/// One contiguous byte range of a payload that travels on the wire when a
+/// compact wire layout is installed (see message_type::set_wire_layout).
+struct wire_range {
+  std::uint32_t offset = 0;
+  std::uint32_t len = 0;
+};
+
 /// A registered, statically typed active-message type.
 ///
 /// Payloads must be trivially copyable: they travel through byte buffers
@@ -184,6 +191,19 @@ class message_type final : public detail::message_type_base {
   void enable_reduction(key_fn key, combine_fn combine, unsigned cache_bits = 10);
 
   bool reduction_enabled() const { return reduce_.has_value(); }
+
+  /// Installs a compact wire layout: only the given byte ranges of each
+  /// payload travel inside envelopes; the receiver reassembles payloads
+  /// with the dead bytes value-initialized (`Payload{}`). Ranges must be
+  /// sorted, non-overlapping, and in-bounds. Must be called before
+  /// transport::run, like registration itself. Senders still buffer and
+  /// reduce *full* payloads — truncation happens at envelope flush, so
+  /// reduction caches and address maps are unaffected. A layout covering
+  /// the whole payload reverts to the plain memcpy path.
+  void set_wire_layout(std::vector<wire_range> ranges);
+
+  /// Bytes one payload occupies on the wire under the current layout.
+  std::size_t wire_stride() const { return layout_.empty() ? sizeof(Payload) : wire_stride_; }
 
   void flush_rank(rank_t src) override;
   bool rank_buffers_empty(rank_t src) const override;
@@ -249,6 +269,8 @@ class message_type final : public detail::message_type_base {
   std::optional<reduction> reduce_;
   std::deque<per_source> rows_;  // indexed by source rank (deque: lanes hold locks)
   detail::message_vtable vt_{};
+  std::vector<wire_range> layout_;  ///< empty: full payloads travel
+  std::size_t wire_stride_ = sizeof(Payload);
 };
 
 /// Per-rank view of the transport handed to the SPMD function and to
@@ -552,11 +574,50 @@ void message_type<Payload>::dispatch_thunk(detail::message_type_base* self,
                                            transport_context& ctx, const std::byte* data,
                                            std::uint32_t count) {
   auto* mt = static_cast<message_type<Payload>*>(self);
+  if (mt->layout_.empty()) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Payload p;
+      std::memcpy(&p, data + i * sizeof(Payload), sizeof(Payload));
+      mt->handler_(ctx, p);
+    }
+    return;
+  }
+  const std::size_t stride = mt->wire_stride_;
   for (std::uint32_t i = 0; i < count; ++i) {
-    Payload p;
-    std::memcpy(&p, data + i * sizeof(Payload), sizeof(Payload));
+    const std::byte* in = data + i * stride;
+    // Value-init so bytes outside the live ranges hold the payload type's
+    // defaults (sentinels stay sentinels), then scatter the wire bytes back
+    // to their home offsets.
+    Payload p{};
+    std::byte* out = reinterpret_cast<std::byte*>(&p);
+    for (const wire_range& r : mt->layout_) {
+      std::memcpy(out + r.offset, in, r.len);
+      in += r.len;
+    }
     mt->handler_(ctx, p);
   }
+}
+
+template <class Payload>
+void message_type<Payload>::set_wire_layout(std::vector<wire_range> ranges) {
+  DPG_ASSERT_MSG(tp_ == nullptr || !tp_->running_,
+                 "wire layouts must be installed before transport::run");
+  std::size_t stride = 0, prev_end = 0;
+  for (const wire_range& r : ranges) {
+    DPG_ASSERT_MSG(r.len > 0 && r.offset >= prev_end &&
+                       r.offset + r.len <= sizeof(Payload),
+                   "wire layout ranges must be sorted, disjoint, and in-bounds");
+    prev_end = r.offset + r.len;
+    stride += r.len;
+  }
+  if (stride == sizeof(Payload)) {  // full coverage: plain memcpy is faster
+    layout_.clear();
+    wire_stride_ = sizeof(Payload);
+    return;
+  }
+  DPG_ASSERT_MSG(stride > 0, "a wire layout must carry at least one byte");
+  layout_ = std::move(ranges);
+  wire_stride_ = stride;
 }
 
 template <class Payload>
@@ -653,13 +714,29 @@ void message_type<Payload>::flush_lane_locked(rank_t src, rank_t dest, lane& ln,
   env.vt = &vt_;
   env.count = count;
   env.bytes = tp_->pool_acquire(src);
-  env.bytes.resize(ln.buf.size() * sizeof(Payload));
-  std::memcpy(env.bytes.data(), ln.buf.data(), env.bytes.size());
+  if (layout_.empty()) {
+    env.bytes.resize(ln.buf.size() * sizeof(Payload));
+    std::memcpy(env.bytes.data(), ln.buf.data(), env.bytes.size());
+  } else {
+    // Compact wire layout: gather only the live ranges of each payload,
+    // packed back to back. The receiver's dispatch_thunk reverses this.
+    env.bytes.resize(ln.buf.size() * wire_stride_);
+    std::byte* out = env.bytes.data();
+    for (const Payload& p : ln.buf) {
+      const std::byte* in = reinterpret_cast<const std::byte*>(&p);
+      for (const wire_range& r : layout_) {
+        std::memcpy(out, in + r.offset, r.len);
+        out += r.len;
+      }
+    }
+  }
+  const std::size_t wire_bytes = env.bytes.size();
   ln.buf.clear();
   note_occupancy(ln, -static_cast<std::int64_t>(count));
   const std::size_t n_bytes = static_cast<std::size_t>(count) * sizeof(Payload);
   tp_->deliver(src, dest, std::move(env), internal_ ? 0 : count);
   tp_->obs_.on_sent(id_, count, n_bytes);
+  tp_->obs_.on_envelope(id_, wire_bytes);
   if (internal_)
     tp_->obs_.core().control_messages.fetch_add(count, std::memory_order_relaxed);
 }

@@ -23,6 +23,9 @@ stats_snapshot stats_snapshot::operator-(const stats_snapshot& o) const {
       t.sent -= o.per_type[i].sent;
       t.handled -= o.per_type[i].handled;
       t.bytes -= o.per_type[i].bytes;
+      t.envelopes -= o.per_type[i].envelopes;
+      t.wire_bytes -= o.per_type[i].wire_bytes;
+      // max_env_bytes is a gauge: the later snapshot's value stands.
     }
     d.per_type.push_back(std::move(t));
   }
@@ -51,7 +54,10 @@ registry::~registry() {
     static std::atomic<unsigned> seq{0};
     const unsigned n = seq.fetch_add(1, std::memory_order_relaxed);
     std::string path = trace_path_;
-    if (n > 0) path += "." + std::to_string(n);
+    if (n > 0) {
+      path += '.';
+      path += std::to_string(n);
+    }
     if (export_trace(path))
       DPG_INFO("wrote Chrome trace to '%s' (%zu events, %llu dropped)", path.c_str(),
                tracer_.recorded(), static_cast<unsigned long long>(tracer_.dropped()));
@@ -76,7 +82,10 @@ stats_snapshot registry::snapshot() const {
     s.per_type.push_back(type_counters{t.name, t.internal,
                                        t.sent.load(std::memory_order_relaxed),
                                        t.handled.load(std::memory_order_relaxed),
-                                       t.bytes.load(std::memory_order_relaxed)});
+                                       t.bytes.load(std::memory_order_relaxed),
+                                       t.envelopes.load(std::memory_order_relaxed),
+                                       t.wire_bytes.load(std::memory_order_relaxed),
+                                       t.max_env_bytes.load(std::memory_order_relaxed)});
   }
   return s;
 }
@@ -118,20 +127,23 @@ std::string registry::epoch_summary() const {
   const std::vector<epoch_record> eps = epoch_records();
   std::string out;
   char line[256];
-  std::snprintf(line, sizeof line, "%5s %9s %10s %9s %12s %9s %9s %10s %8s %8s %9s %9s\n",
-                "epoch", "wall_ms", "msgs", "envs", "bytes", "handlers", "td_rnds",
-                "cache_hit", "drops", "retries", "ln_visit", "ln_skip");
+  std::snprintf(line, sizeof line,
+                "%5s %9s %10s %9s %12s %12s %9s %9s %10s %8s %8s %9s %9s\n",
+                "epoch", "wall_ms", "msgs", "envs", "bytes", "wire_b", "handlers",
+                "td_rnds", "cache_hit", "drops", "retries", "ln_visit", "ln_skip");
   out += line;
   counters tot{};
   std::uint64_t tot_us = 0;
   for (const epoch_record& e : eps) {
     const counters& d = e.delta.core;
     std::snprintf(line, sizeof line,
-                  "%5llu %9.3f %10llu %9llu %12llu %9llu %9llu %10llu %8llu %8llu %9llu %9llu\n",
+                  "%5llu %9.3f %10llu %9llu %12llu %12llu %9llu %9llu %10llu %8llu %8llu "
+                  "%9llu %9llu\n",
                   static_cast<unsigned long long>(e.index), e.dur_us / 1e3,
                   static_cast<unsigned long long>(d.messages_sent),
                   static_cast<unsigned long long>(d.envelopes_sent),
                   static_cast<unsigned long long>(d.bytes_sent),
+                  static_cast<unsigned long long>(d.wire_bytes_sent),
                   static_cast<unsigned long long>(d.handler_invocations),
                   static_cast<unsigned long long>(d.td_rounds),
                   static_cast<unsigned long long>(d.cache_hits),
@@ -144,10 +156,12 @@ std::string registry::epoch_summary() const {
     tot_us += e.dur_us;
   }
   std::snprintf(line, sizeof line,
-                "%5s %9.3f %10llu %9llu %12llu %9llu %9llu %10llu %8llu %8llu %9llu %9llu\n",
+                "%5s %9.3f %10llu %9llu %12llu %12llu %9llu %9llu %10llu %8llu %8llu "
+                "%9llu %9llu\n",
                 "total", tot_us / 1e3, static_cast<unsigned long long>(tot.messages_sent),
                 static_cast<unsigned long long>(tot.envelopes_sent),
                 static_cast<unsigned long long>(tot.bytes_sent),
+                static_cast<unsigned long long>(tot.wire_bytes_sent),
                 static_cast<unsigned long long>(tot.handler_invocations),
                 static_cast<unsigned long long>(tot.td_rounds),
                 static_cast<unsigned long long>(tot.cache_hits),
@@ -159,11 +173,15 @@ std::string registry::epoch_summary() const {
 
   out += "per-type totals (cumulative):\n";
   for (std::size_t i = 0; i < num_types(); ++i) {
-    std::snprintf(line, sizeof line, "  %-32s %10llu sent %10llu handled %12llu bytes%s\n",
+    std::snprintf(line, sizeof line,
+                  "  %-32s %10llu sent %10llu handled %12llu bytes %8llu envs "
+                  "%12llu wire%s\n",
                   types_[i].name.c_str(),
                   static_cast<unsigned long long>(type_sent(i)),
                   static_cast<unsigned long long>(type_handled(i)),
                   static_cast<unsigned long long>(type_bytes(i)),
+                  static_cast<unsigned long long>(type_envelopes(i)),
+                  static_cast<unsigned long long>(type_wire_bytes(i)),
                   types_[i].internal ? "  [control]" : "");
     out += line;
   }
@@ -185,10 +203,11 @@ std::vector<trace_event> registry::type_counter_events() const {
     ev.ts_us = ts;
     ev.dur_us = 0;
     ev.tid = 0;
-    ev.n_args = 3;
+    ev.n_args = 4;
     ev.args[0] = {"sent", type_sent(i)};
     ev.args[1] = {"handled", type_handled(i)};
     ev.args[2] = {"bytes", type_bytes(i)};
+    ev.args[3] = {"wire_bytes", type_wire_bytes(i)};
     out.push_back(ev);
   }
   return out;

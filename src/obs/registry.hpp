@@ -50,7 +50,10 @@ struct type_counters {
   bool internal = false;  ///< control-plane type (TD, collectives)
   std::uint64_t sent = 0;     ///< payloads flushed to the wire
   std::uint64_t handled = 0;  ///< payloads dispatched to the handler
-  std::uint64_t bytes = 0;    ///< payload bytes delivered
+  std::uint64_t bytes = 0;    ///< logical payload bytes delivered
+  std::uint64_t envelopes = 0;       ///< coalesced envelopes flushed
+  std::uint64_t wire_bytes = 0;      ///< envelope bytes on the wire (compact layouts truncate)
+  std::uint64_t max_env_bytes = 0;   ///< largest single envelope (gauge, not differenced)
 };
 
 /// Full point-in-time snapshot: core counters plus every message type.
@@ -110,11 +113,33 @@ class registry {
   std::uint64_t type_bytes(std::size_t id) const {
     return types_[id].bytes.load(std::memory_order_relaxed);
   }
+  std::uint64_t type_envelopes(std::size_t id) const {
+    return types_[id].envelopes.load(std::memory_order_relaxed);
+  }
+  std::uint64_t type_wire_bytes(std::size_t id) const {
+    return types_[id].wire_bytes.load(std::memory_order_relaxed);
+  }
+  std::uint64_t type_max_env_bytes(std::size_t id) const {
+    return types_[id].max_env_bytes.load(std::memory_order_relaxed);
+  }
 
   /// Hot-path accounting hooks (relaxed atomic adds).
   void on_sent(std::size_t id, std::uint64_t n, std::uint64_t bytes) {
     types_[id].sent.fetch_add(n, std::memory_order_relaxed);
     types_[id].bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  /// One envelope of this type hit the wire carrying `wire_bytes` bytes.
+  /// Maintains the conservation law the sim harness asserts per type:
+  /// wire_bytes <= envelopes * max_env_bytes.
+  void on_envelope(std::size_t id, std::uint64_t wire_bytes) {
+    type_row& t = types_[id];
+    t.envelopes.fetch_add(1, std::memory_order_relaxed);
+    t.wire_bytes.fetch_add(wire_bytes, std::memory_order_relaxed);
+    std::uint64_t cur = t.max_env_bytes.load(std::memory_order_relaxed);
+    while (cur < wire_bytes &&
+           !t.max_env_bytes.compare_exchange_weak(cur, wire_bytes,
+                                                  std::memory_order_relaxed)) {
+    }
   }
   void on_handled(std::size_t id, std::uint64_t n) {
     types_[id].handled.fetch_add(n, std::memory_order_relaxed);
@@ -159,6 +184,9 @@ class registry {
     std::atomic<std::uint64_t> sent{0};
     std::atomic<std::uint64_t> handled{0};
     std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> envelopes{0};
+    std::atomic<std::uint64_t> wire_bytes{0};
+    std::atomic<std::uint64_t> max_env_bytes{0};
   };
 
   ampp::transport_stats core_;

@@ -22,8 +22,13 @@
 // compare-and-update shape, lock map otherwise).
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <cstddef>
+#include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -129,6 +134,13 @@ struct plan_info {
   std::vector<std::string> hop_localities;
   std::vector<int> hop_reads;  ///< gather reads performed per hop
   std::string final_locality;
+  bool fast_path = false;    ///< single-locality relax kernel engaged
+  std::size_t cse_hits = 0;  ///< duplicate reads sharing one arena slot
+  /// Bytes each synthesized message carries on the wire, in send order:
+  /// gather wires first (into hop 1, hop 2, …), then the evaluate message
+  /// when the final stage is not merged. Empty for fully local actions.
+  /// Reflects the compact layout when it is enabled, else full payloads.
+  std::vector<std::size_t> wire_bytes;
 
   int messages_per_application() const {
     // Messages one application generates per generated item: one per hop
@@ -239,7 +251,269 @@ struct atomic_shape<when_clause<bin_expr<op_gt, L, read_expr<PM, Idx>>,
   }
 };
 
+// ---------------------------------------------------------------------------
+// Single-locality fast shape (compiled relax kernel)
+// ---------------------------------------------------------------------------
+
+/// Strengthens atomic_shape into the shape that needs no travelling arena at
+/// all: a one-when compare-and-update whose proposed value is computable
+/// entirely at the invocation site. Such an action compiles to a minimal
+/// relax record {destination vertex, proposed value} — the hand-written
+/// AM++ SSSP/CC message of the paper's §IV-A comparison — instead of the
+/// general gather_state payload.
+///
+/// Requirements beyond atomic_shape (all checked at compile time):
+///   * the target index is not a pointer chase (its owner is computable
+///     from the generator state alone);
+///   * the proposed-value expression reads only at the invocation vertex;
+///   * for a v-homed target the proposed value contains no reads at all —
+///     otherwise those reads would be synchronized final reads and the
+///     general plan would take the lock path, which the fast kernel must
+///     mirror bit-for-bit.
+template <class When, class Gen>
+struct fast_shape : std::false_type {
+  // Dummy aliases so dependent member declarations instantiate when the
+  // shape does not match; every use is guarded by `if constexpr`.
+  using pm_type = void;
+  using idx_expr = v_expr;
+  using val_expr = lit_expr<int>;
+  using value_type = int;
+};
+
+template <class PM, class Idx, class Gen>
+inline constexpr bool fast_idx_ok =
+    home_of<Idx, Gen>::kind != home_kind::chase;
+
+template <class PM, class Idx, class Val, class Gen>
+inline constexpr bool fast_val_ok =
+    reads_all_at_v<Val, Gen>() &&
+    (home_of<Idx, Gen>::kind == home_kind::at_gen || read_count<Val>() == 0);
+
+// dist(trg(e)) > candidate  →  min-update
+template <class PM, class Idx, class R, class Gen>
+  requires (atomic_eligible_map<PM> && fast_idx_ok<PM, Idx, Gen> &&
+            fast_val_ok<PM, Idx, R, Gen>)
+struct fast_shape<when_clause<bin_expr<op_gt, read_expr<PM, Idx>, R>,
+                              assign_stmt<PM, Idx, R>>, Gen> : std::true_type {
+  using pm_type = PM;
+  using idx_expr = Idx;
+  using val_expr = R;
+  using value_type = typename PM::value_type;
+  static bool cmp(const value_type& cur, const value_type& prop) { return prop < cur; }
+};
+
+// candidate < dist(trg(e))  →  min-update
+template <class PM, class Idx, class L, class Gen>
+  requires (atomic_eligible_map<PM> && fast_idx_ok<PM, Idx, Gen> &&
+            fast_val_ok<PM, Idx, L, Gen>)
+struct fast_shape<when_clause<bin_expr<op_lt, L, read_expr<PM, Idx>>,
+                              assign_stmt<PM, Idx, L>>, Gen> : std::true_type {
+  using pm_type = PM;
+  using idx_expr = Idx;
+  using val_expr = L;
+  using value_type = typename PM::value_type;
+  static bool cmp(const value_type& cur, const value_type& prop) { return prop < cur; }
+};
+
+// dist(x) < candidate  →  max-update
+template <class PM, class Idx, class R, class Gen>
+  requires (atomic_eligible_map<PM> && fast_idx_ok<PM, Idx, Gen> &&
+            fast_val_ok<PM, Idx, R, Gen>)
+struct fast_shape<when_clause<bin_expr<op_lt, read_expr<PM, Idx>, R>,
+                              assign_stmt<PM, Idx, R>>, Gen> : std::true_type {
+  using pm_type = PM;
+  using idx_expr = Idx;
+  using val_expr = R;
+  using value_type = typename PM::value_type;
+  static bool cmp(const value_type& cur, const value_type& prop) { return cur < prop; }
+};
+
+// candidate > dist(x)  →  max-update
+template <class PM, class Idx, class L, class Gen>
+  requires (atomic_eligible_map<PM> && fast_idx_ok<PM, Idx, Gen> &&
+            fast_val_ok<PM, Idx, L, Gen>)
+struct fast_shape<when_clause<bin_expr<op_gt, L, read_expr<PM, Idx>>,
+                              assign_stmt<PM, Idx, L>>, Gen> : std::true_type {
+  using pm_type = PM;
+  using idx_expr = Idx;
+  using val_expr = L;
+  using value_type = typename PM::value_type;
+  static bool cmp(const value_type& cur, const value_type& prop) { return cur < prop; }
+};
+
+// ---------------------------------------------------------------------------
+// Fused when compilation (statically dispatched condition/modify chains)
+// ---------------------------------------------------------------------------
+
+/// Shared state threaded through when-compilation: the (single) modification
+/// locality and, per when, the property maps its modifications write.
+struct compile_ctx {
+  home_id ml{};
+  bool have_ml = false;
+  std::vector<std::vector<const void*>> written;  ///< one entry per when
+};
+
+template <class Gen, class PM, class Idx>
+void note_ml(compile_ctx& cx, plan_builder<Gen>& pb, const read_expr<PM, Idx>& target) {
+  const home_id h = make_home<Idx, Gen>(target.idx);
+  if (!cx.have_ml) {
+    cx.ml = h;
+    cx.have_ml = true;
+    // A chased modification locality needs the chase value gathered.
+    if constexpr (home_of<Idx, Gen>::kind == home_kind::chase)
+      (void)pb.register_read(target.idx);
+  } else {
+    DPG_ASSERT_MSG(h == cx.ml,
+                   "all modifications of an action must share one locality "
+                   "(the paper groups modification statements by locality; "
+                   "split the action instead)");
+  }
+}
+
+template <class Gen, class PM, class Idx, class Val>
+auto compile_mod(plan_builder<Gen>& pb, compile_ctx& cx, assign_stmt<PM, Idx, Val>& m) {
+  note_ml(cx, pb, m.target);
+  cx.written.back().push_back(m.target.pm);
+  auto idx_fn = pb.compile(m.target.idx);
+  auto val_fn = pb.compile(m.value);
+  PM* pm = m.target.pm;
+  using T = typename PM::value_type;
+  return [pm, idx_fn, val_fn](gather_state& s) {
+    if constexpr (pmap::atomic_capable<T>) {
+      // Paired with the atomic gather reads in planner.hpp so concurrent
+      // handler threads never mix plain and atomic access to one slot.
+      std::atomic_ref<T>((*pm)[idx_fn(s)])
+          .store(static_cast<T>(val_fn(s)), std::memory_order_relaxed);
+    } else {
+      (*pm)[idx_fn(s)] = val_fn(s);
+    }
+  };
+}
+
+template <class Gen, class PM, class Idx, class F, class... Args>
+auto compile_mod(plan_builder<Gen>& pb, compile_ctx& cx,
+                 modify_stmt<PM, Idx, F, Args...>& m) {
+  note_ml(cx, pb, m.target);
+  cx.written.back().push_back(m.target.pm);
+  auto idx_fn = pb.compile(m.target.idx);
+  // Braced tuple init: argument compilation (and so arena layout) is
+  // guaranteed left-to-right, unlike make_tuple's unsequenced arguments.
+  auto arg_fns = std::apply(
+      [&](auto&... as) {
+        return std::tuple<decltype(pb.compile(as))...>{pb.compile(as)...};
+      },
+      m.args);
+  PM* pm = m.target.pm;
+  F fn = m.fn;
+  return [pm, idx_fn, arg_fns, fn](gather_state& s) {
+    std::apply([&](const auto&... afs) { fn((*pm)[idx_fn(s)], afs(s)...); }, arg_fns);
+  };
+}
+
+/// One compiled when arm: a statically typed condition closure plus the
+/// tuple of its modification closures — no std::function erasure, so the
+/// final evaluation fuses into one inlinable chain.
+template <class CondFn, class ModsTuple>
+struct fused_when {
+  CondFn cond;
+  ModsTuple mods;
+};
+
+template <class Gen, class Cond, class... Mods>
+auto compile_one_when(plan_builder<Gen>& pb, compile_ctx& cx,
+                      when_clause<Cond, Mods...>& w) {
+  cx.written.emplace_back();
+  auto cond_fn = pb.compile(w.cond);
+  auto mods = std::apply(
+      [&](auto&... ms) {
+        return std::tuple<decltype(compile_mod(pb, cx, ms))...>{
+            compile_mod(pb, cx, ms)...};
+      },
+      w.mods);
+  return fused_when<decltype(cond_fn), decltype(mods)>{std::move(cond_fn),
+                                                       std::move(mods)};
+}
+
+template <class Gen, class... Whens>
+auto compile_whens(plan_builder<Gen>& pb, compile_ctx& cx, std::tuple<Whens...>& whens) {
+  return std::apply(
+      [&](auto&... ws) {
+        return std::tuple<decltype(compile_one_when(pb, cx, ws))...>{
+            compile_one_when(pb, cx, ws)...};
+      },
+      whens);
+}
+
+template <class CondFn, class ModsTuple>
+bool run_when(const fused_when<CondFn, ModsTuple>& w, gather_state& s) {
+  if (!static_cast<bool>(w.cond(s))) return false;
+  std::apply([&](const auto&... ms) { (ms(s), ...); }, w.mods);
+  return true;
+}
+
+template <class Tuple, std::size_t... I>
+int eval_whens_impl(const Tuple& t, gather_state& s, std::index_sequence<I...>) {
+  int fired = -1;
+  // if / else-if chain: the first true condition fires and ends the action.
+  ((fired < 0 && run_when(std::get<I>(t), s) ? (fired = static_cast<int>(I)) : 0), ...);
+  return fired;
+}
+
+/// Runs the fused if/else-if chain; returns the index of the arm that
+/// fired, or -1 when no condition held.
+template <class... FW>
+int eval_whens(const std::tuple<FW...>& t, gather_state& s) {
+  return eval_whens_impl(t, s, std::index_sequence_for<FW...>{});
+}
+
+// ---- static header needs of the final evaluation ---------------------------
+
+template <class PM, class Idx, class Val>
+constexpr unsigned mod_needs(const assign_stmt<PM, Idx, Val>*) {
+  return header_needs<Idx>() | header_needs<Val>();
+}
+template <class PM, class Idx, class F, class... Args>
+constexpr unsigned mod_needs(const modify_stmt<PM, Idx, F, Args...>*) {
+  return header_needs<Idx>() | (header_needs<Args>() | ... | 0u);
+}
+template <class Cond, class... Mods>
+constexpr unsigned when_needs(const when_clause<Cond, Mods...>*) {
+  return header_needs<Cond>() |
+         (mod_needs(static_cast<Mods*>(nullptr)) | ... | 0u);
+}
+/// Header fields (v / e / u) the conditions and modifications touch when
+/// they run at the final locality. Property reads contribute nothing here —
+/// their values arrive through the arena, and their index expressions are
+/// charged to whichever hop performs the read.
+template <class... Whens>
+constexpr unsigned whens_needs() {
+  return (when_needs(static_cast<Whens*>(nullptr)) | ... | 0u);
+}
+
+/// Resolves a compile_options toggle against its environment override
+/// (set "0" to disable); auto_ means on unless the environment disables.
+inline bool resolve_toggle(int t, const char* env) {
+  if (t == 1) return false;  // toggle::off
+  if (t == 2) return true;   // toggle::on
+  const char* e = std::getenv(env);
+  return !(e != nullptr && e[0] == '0' && e[1] == '\0');
+}
+
 }  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Compilation options
+// ---------------------------------------------------------------------------
+
+/// Per-instantiation switches over the plan compiler. The defaults engage
+/// every optimization whose shape matches; tests force paths off to compare
+/// results bit-for-bit. Environment overrides (checked when a toggle is
+/// auto_): DPG_PATTERN_FASTPATH=0 and DPG_PATTERN_COMPACT=0 disable.
+struct compile_options {
+  enum class toggle : std::uint8_t { auto_, off, on };
+  toggle fast_path = toggle::auto_;     ///< single-locality relax kernel
+  toggle compact_wire = toggle::auto_;  ///< truncated per-hop wire payloads
+};
 
 // ---------------------------------------------------------------------------
 // Instantiated action implementation
@@ -249,19 +523,26 @@ template <class Gen, class... Whens>
 class instantiated_action final : public action_instance {
  public:
   instantiated_action(ampp::transport& tp, const graph::distributed_graph& g,
-                      pmap::lock_map& locks, action_def<Gen, Whens...> def)
+                      pmap::lock_map& locks, action_def<Gen, Whens...> def,
+                      compile_options opts = {})
       : tp_(&tp), g_(&g), locks_(&locks), gen_(def.gen) {
     name_ = std::move(def.name);
     // vector(n) constructs counters in place (atomics are not movable).
     invocations_ = std::vector<padded_counter>(tp.size());
     mods_ = std::vector<padded_counter>(tp.size());
-    build(def);
+    build(def, opts);
     register_messages();
   }
 
   void operator()(ampp::transport_context& ctx, graph::vertex_id v) override {
     DPG_ASSERT_MSG(g_->owner(v) == ctx.rank(), "action invoked off the owner of v");
     invocations_[ctx.rank()].n.fetch_add(1, std::memory_order_relaxed);
+    if constexpr (kFastShape) {
+      if (use_fast_) {
+        fast_generate(ctx, v);
+        return;
+      }
+    }
     gather_state s;
     s.v = v;
     if constexpr (std::is_same_v<Gen, out_edges_gen>) {
@@ -290,42 +571,73 @@ class instantiated_action final : public action_instance {
   }
 
  private:
-  struct compiled_mod {
-    std::function<void(gather_state&)> exec;  // runs at the final locality
-    const void* written_pmap = nullptr;
-    bool creates_dependency = false;
+  using FirstWhen = std::tuple_element_t<0, std::tuple<Whens...>>;
+  using fshape = detail::fast_shape<FirstWhen, Gen>;
+  /// Statically: a one-when compare-and-update whose proposed value and
+  /// target owner are computable at the invocation site — compilable into
+  /// the minimal relax record instead of the general gather chain.
+  static constexpr bool kFastShape = sizeof...(Whens) == 1 && fshape::value;
+
+  /// The compact fast-path payload: destination vertex + proposed value
+  /// (16 bytes for SSSP/CC — the hand-written AM++ relax message).
+  struct fast_rec {
+    graph::vertex_id loc = graph::invalid_vertex;
+    typename fshape::value_type val{};
   };
-  struct compiled_when {
-    std::function<bool(const gather_state&)> cond;
-    std::vector<compiled_mod> mods;
-    bool any_dependency = false;
-  };
+
+  using fused_whens_t = decltype(detail::compile_whens(
+      std::declval<plan_builder<Gen>&>(), std::declval<detail::compile_ctx&>(),
+      std::declval<std::tuple<Whens...>&>()));
+  using fast_idx_fn_t = decltype(plan_builder<Gen>::compile_direct(
+      std::declval<const typename fshape::idx_expr&>()));
+  using fast_val_fn_t = decltype(plan_builder<Gen>::compile_direct(
+      std::declval<const typename fshape::val_expr&>()));
 
   // ---- plan construction --------------------------------------------------
 
-  void build(action_def<Gen, Whens...>& def) {
+  void build(action_def<Gen, Whens...>& def, const compile_options& opts) {
     plan_builder<Gen> pb;
+    detail::compile_ctx cx;
 
     // Compile conditions and modifications in declaration order (the
-    // paper's left-to-right, condition-by-condition analysis).
-    std::apply(
-        [&](auto&... ws) {
-          (compile_when(pb, ws), ...);
-        },
-        def.whens);
+    // paper's left-to-right, condition-by-condition analysis) into fused,
+    // statically dispatched closures.
+    whens_c_.emplace(detail::compile_whens(pb, cx, def.whens));
 
-    DPG_ASSERT_MSG(have_ml_, "an action must contain at least one modification");
+    DPG_ASSERT_MSG(cx.have_ml, "an action must contain at least one modification");
+    ml_ = cx.ml;
+
+    // CSE as the user wrote it: dedup hits so far are duplicate reads in
+    // the declared conditions/modifications. (The atomic exec below
+    // recompiles the first when's expressions, whose dedup hits are an
+    // implementation artifact, not user-visible sharing.)
+    plan_.cse_hits = pb.cse_hits();
+
+    // A plan whose gathered reads outgrow the travelling arena is a
+    // compile error of the pattern language: fail here, loudly, before any
+    // message type is registered or closure run (satellite: the overflow
+    // diagnostic names the action and the requirement).
+    if (pb.overflow()) {
+      const std::string msg =
+          "pattern arena overflow compiling action '" + name_ + "': gathered reads need " +
+          std::to_string(pb.arena_required()) + " bytes but gather_state::arena_bytes is " +
+          std::to_string(gather_state::arena_bytes) +
+          " - split the action or shrink the gathered property values";
+      dpg::assert_fail("arena_required() <= gather_state::arena_bytes", __FILE__,
+                       __LINE__, msg.c_str());
+    }
 
     // Dependency detection (§IV-C): a modification of a property map the
     // action reads anywhere creates work items.
-    for (auto& w : whens_) {
-      for (auto& m : w.mods) {
-        m.creates_dependency = pb.reads_pmap(m.written_pmap);
-        w.any_dependency = w.any_dependency || m.creates_dependency;
-      }
-    }
+    for (std::size_t i = 0; i < cx.written.size(); ++i)
+      for (const void* pm : cx.written[i])
+        when_dep_[i] = when_dep_[i] || pb.reads_pmap(pm);
+    for (const bool d : when_dep_) plan_.has_dependencies = plan_.has_dependencies || d;
 
-    // Partition reads into gather hops and final (synchronized) reads.
+    // Partition reads into gather hops and final (synchronized) reads,
+    // recording each step's position for the wire-liveness pass below.
+    constexpr std::size_t kFinal = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> step_pos;  // aligned with pb.steps()
     hops_.push_back(gather_hop{home_id{home_kind::at_v, nullptr,
                                        std::type_index(typeid(void))},
                                [](const gather_state& s) { return s.v; },
@@ -333,20 +645,19 @@ class instantiated_action final : public action_instance {
     for (auto& step : pb.steps()) {
       if (step.home == ml_ && !step.pinned) {
         final_reads_.push_back(step.perform);
+        step_pos.push_back(kFinal);
         continue;
       }
-      gather_hop* hop = nullptr;
-      for (auto& h : hops_)
-        if (h.home == step.home) {
-          hop = &h;
+      std::size_t hop_idx = hops_.size();
+      for (std::size_t h = 0; h < hops_.size(); ++h)
+        if (hops_[h].home == step.home) {
+          hop_idx = h;
           break;
         }
-      if (!hop) {
-        hops_.push_back(
-            gather_hop{step.home, locality_closure(step.home, pb), {}});
-        hop = &hops_.back();
-      }
-      hop->reads.push_back(step.perform);
+      if (hop_idx == hops_.size())
+        hops_.push_back(gather_hop{step.home, locality_closure(step.home, pb), {}});
+      hops_[hop_idx].reads.push_back(step.perform);
+      step_pos.push_back(hop_idx);
     }
     ml_locality_ = locality_closure(ml_, pb);
     merged_ = hops_.back().home == ml_;
@@ -354,8 +665,8 @@ class instantiated_action final : public action_instance {
     // §IV-B: single-value compare-and-update fast path. The shape is
     // checked statically; at runtime it additionally requires that the
     // *only* synchronized read is the updated value itself.
-    using FirstWhen = std::tuple_element_t<0, std::tuple<Whens...>>;
     if constexpr (sizeof...(Whens) == 1 && detail::atomic_shape<FirstWhen>::value) {
+      build_atomic_exec(pb, std::get<0>(std::get<0>(def.whens).mods));
       // Runtime refinements: the updated value must be the *only*
       // synchronized read, and the proposed value must not read the target
       // itself (read-modify-write shapes like x[u] = x[u] + 1 need the
@@ -363,19 +674,155 @@ class instantiated_action final : public action_instance {
       if (final_reads_.size() == 1 && !value_reads_target_) atomic_ok_ = true;
     }
 
+    // Compile the single-locality relax kernel when the shape admits it.
+    if constexpr (kFastShape) {
+      auto& a0 = std::get<0>(std::get<0>(def.whens).mods);
+      fast_pm_ = a0.target.pm;
+      fast_idx_.emplace(plan_builder<Gen>::compile_direct(a0.target.idx));
+      fast_val_.emplace(plan_builder<Gen>::compile_direct(a0.value));
+      use_fast_ = detail::resolve_toggle(static_cast<int>(opts.fast_path),
+                                         "DPG_PATTERN_FASTPATH");
+      fast_local_ = merged_;  // v-homed target: apply in place, no message
+      fast_dep_ = when_dep_[0];
+    }
+    use_compact_ = detail::resolve_toggle(static_cast<int>(opts.compact_wire),
+                                          "DPG_PATTERN_COMPACT");
+
     plan_.gather_hops = static_cast<int>(hops_.size());
     plan_.final_merged = merged_;
     plan_.atomic_path = atomic_ok_;
     plan_.final_reads = static_cast<int>(final_reads_.size());
     plan_.arena_bytes = pb.arena_used();
-    plan_.conditions = static_cast<int>(whens_.size());
-    for (const auto& w : whens_)
-      plan_.has_dependencies = plan_.has_dependencies || w.any_dependency;
+    plan_.conditions = static_cast<int>(sizeof...(Whens));
     for (const auto& h : hops_) {
       plan_.hop_localities.push_back(home_name(h.home));
       plan_.hop_reads.push_back(static_cast<int>(h.reads.size()));
     }
     plan_.final_locality = home_name(ml_);
+    plan_.fast_path = use_fast_;
+
+    compute_wire_layouts(pb, step_pos, kFinal);
+  }
+
+  // ---- wire liveness (compact payload layouts) ----------------------------
+
+  /// Header fields the destination of hop `h` needs for its address map.
+  static unsigned addr_mask(const home_id& h) {
+    switch (h.kind) {
+      case home_kind::at_v:
+        return hdr_v;
+      case home_kind::at_gen:
+        if constexpr (std::is_same_v<Gen, out_edges_gen>) return hdr_e_dst;
+        else if constexpr (std::is_same_v<Gen, in_edges_gen>) return hdr_e_src;
+        else return hdr_u;
+      case home_kind::chase:
+        return 0;  // destination comes from an arena slot, charged as a use
+    }
+    return 0;
+  }
+
+  /// Byte ranges of gather_state covering the header fields in `mask`.
+  static std::vector<ampp::wire_range> mask_ranges(unsigned mask) {
+    std::vector<ampp::wire_range> r;
+    const auto add = [&r](std::size_t ofs, std::size_t len) {
+      r.push_back(ampp::wire_range{static_cast<std::uint32_t>(ofs),
+                                   static_cast<std::uint32_t>(len)});
+    };
+    if (mask & hdr_v) add(offsetof(gather_state, v), sizeof(graph::vertex_id));
+    if (mask & hdr_e_src)
+      add(offsetof(gather_state, e) + offsetof(graph::edge_handle, src),
+          sizeof(graph::vertex_id));
+    if (mask & hdr_e_dst)
+      add(offsetof(gather_state, e) + offsetof(graph::edge_handle, dst),
+          sizeof(graph::vertex_id));
+    if (mask & hdr_e_id)
+      add(offsetof(gather_state, e) + offsetof(graph::edge_handle, eid),
+          sizeof(graph::edge_handle) - offsetof(graph::edge_handle, eid));
+    if (mask & hdr_u) add(offsetof(gather_state, u), sizeof(graph::vertex_id));
+    return r;
+  }
+
+  /// Computes, per synthesized message, which bytes of gather_state any
+  /// later stage can still observe, and records the resulting truncated
+  /// layouts (applied to the message types in register_messages). A field
+  /// is live on wire w exactly when it is written at or before the sending
+  /// hop and some strictly later hop (or the final evaluation) consumes it.
+  void compute_wire_layouts(plan_builder<Gen>& pb,
+                            const std::vector<std::size_t>& step_pos,
+                            std::size_t kFinal) {
+    const std::size_t H = hops_.size();
+    const std::size_t final_pos = merged_ ? H - 1 : H;
+
+    // Header-field needs per position (hops 0..H-1, then the final stage).
+    std::vector<unsigned> pos_needs(H + 1, 0u);
+    pos_needs[final_pos] |= detail::whens_needs<Whens...>();
+    const auto& steps = pb.steps();
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      const std::size_t p = step_pos[i] == kFinal ? final_pos : step_pos[i];
+      pos_needs[p] |= steps[i].idx_needs;
+    }
+    // Address maps evaluate at the sending side: hop k's destination is
+    // computed at hop k-1, the final message's at the last hop. run_final
+    // itself re-derives the modification locality (lock guard, work hook).
+    for (std::size_t k = 1; k < H; ++k) pos_needs[k - 1] |= addr_mask(hops_[k].home);
+    if (!merged_) pos_needs[H - 1] |= addr_mask(ml_);
+    pos_needs[final_pos] |= addr_mask(ml_);
+
+    // Arena-slot liveness: write position from the performing step, last
+    // consumption from the recorded slot uses.
+    struct slot_live {
+      std::size_t offset, size, write_pos, last_use;
+    };
+    std::vector<slot_live> slots;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      const std::size_t p = step_pos[i] == kFinal ? final_pos : step_pos[i];
+      slots.push_back(slot_live{steps[i].arena_offset, steps[i].size, p, p});
+    }
+    for (const slot_use& u : pb.uses()) {
+      std::size_t p = final_pos;
+      if (u.token >= 0) {
+        const std::size_t si = pb.token_to_step(u.token);
+        p = step_pos[si] == kFinal ? final_pos : step_pos[si];
+      }
+      for (auto& sl : slots)
+        if (sl.offset == u.offset) sl.last_use = std::max(sl.last_use, p);
+    }
+
+    const std::size_t wires = (H - 1) + (merged_ ? 0 : 1);
+    for (std::size_t w = 0; w < wires; ++w) {
+      unsigned hdr = 0;
+      for (std::size_t p = w + 1; p < pos_needs.size(); ++p) hdr |= pos_needs[p];
+      std::vector<ampp::wire_range> ranges = mask_ranges(hdr);
+      for (const auto& sl : slots)
+        if (sl.write_pos <= w && sl.last_use > w)
+          ranges.push_back(ampp::wire_range{
+              static_cast<std::uint32_t>(offsetof(gather_state, arena) + sl.offset),
+              static_cast<std::uint32_t>(sl.size)});
+      std::sort(ranges.begin(), ranges.end(),
+                [](const ampp::wire_range& a, const ampp::wire_range& b) {
+                  return a.offset < b.offset;
+                });
+      // Coalesce contiguous ranges: fewer memcpys per payload at flush.
+      std::vector<ampp::wire_range> merged;
+      for (const auto& r : ranges) {
+        if (!merged.empty() && merged.back().offset + merged.back().len == r.offset)
+          merged.back().len += r.len;
+        else
+          merged.push_back(r);
+      }
+      wire_layouts_.push_back(std::move(merged));
+    }
+
+    // Report the bytes each message actually carries.
+    if (use_fast_) {
+      if (!fast_local_) plan_.wire_bytes.push_back(sizeof(fast_rec));
+    } else {
+      for (const auto& layout : wire_layouts_) {
+        std::size_t b = 0;
+        for (const auto& r : layout) b += r.len;
+        plan_.wire_bytes.push_back(use_compact_ ? b : sizeof(gather_state));
+      }
+    }
   }
 
   static std::string home_name(const home_id& h) {
@@ -388,75 +835,6 @@ class instantiated_action final : public action_instance {
       case home_kind::chase: return "chase";  // the value of a gathered vertex read
     }
     return "?";
-  }
-
-  template <class Cond, class... Mods>
-  void compile_when(plan_builder<Gen>& pb, when_clause<Cond, Mods...>& w) {
-    compiled_when cw;
-    auto cond_fn = pb.compile(w.cond);
-    cw.cond = [cond_fn](const gather_state& s) { return static_cast<bool>(cond_fn(s)); };
-    std::apply([&](auto&... ms) { (cw.mods.push_back(compile_mod(pb, ms)), ...); },
-               w.mods);
-    // The atomic fast path needs the proposed value and slot accessors of
-    // the (single) assign; capture them from the first when.
-    if constexpr (sizeof...(Whens) == 1 && detail::atomic_shape<when_clause<Cond, Mods...>>::value) {
-      build_atomic_exec(pb, std::get<0>(w.mods));
-    }
-    whens_.push_back(std::move(cw));
-  }
-
-  template <class PM, class Idx, class Val>
-  compiled_mod compile_mod(plan_builder<Gen>& pb, assign_stmt<PM, Idx, Val>& m) {
-    note_ml(make_home<Idx, Gen>(m.target.idx), pb, m.target.idx);
-    auto idx_fn = pb.compile(m.target.idx);
-    auto val_fn = pb.compile(m.value);
-    PM* pm = m.target.pm;
-    compiled_mod out;
-    out.written_pmap = pm;
-    using T = typename PM::value_type;
-    out.exec = [pm, idx_fn, val_fn](gather_state& s) {
-      if constexpr (pmap::atomic_capable<T>) {
-        // Paired with the atomic gather reads in planner.hpp so concurrent
-        // handler threads never mix plain and atomic access to one slot.
-        std::atomic_ref<T>((*pm)[idx_fn(s)])
-            .store(static_cast<T>(val_fn(s)), std::memory_order_relaxed);
-      } else {
-        (*pm)[idx_fn(s)] = val_fn(s);
-      }
-    };
-    return out;
-  }
-
-  template <class PM, class Idx, class F, class... Args>
-  compiled_mod compile_mod(plan_builder<Gen>& pb, modify_stmt<PM, Idx, F, Args...>& m) {
-    note_ml(make_home<Idx, Gen>(m.target.idx), pb, m.target.idx);
-    auto idx_fn = pb.compile(m.target.idx);
-    auto arg_fns = std::apply(
-        [&](auto&... as) { return std::tuple{pb.compile(as)...}; }, m.args);
-    PM* pm = m.target.pm;
-    F fn = m.fn;
-    compiled_mod out;
-    out.written_pmap = pm;
-    out.exec = [pm, idx_fn, arg_fns, fn](gather_state& s) {
-      std::apply([&](const auto&... afs) { fn((*pm)[idx_fn(s)], afs(s)...); }, arg_fns);
-    };
-    return out;
-  }
-
-  template <class Idx>
-  void note_ml(const home_id& h, plan_builder<Gen>& pb, const Idx& idx) {
-    if (!have_ml_) {
-      ml_ = h;
-      have_ml_ = true;
-      // A chased modification locality needs the chase value gathered.
-      if constexpr (home_of<Idx, Gen>::kind == home_kind::chase)
-        (void)pb.register_read(idx);
-    } else {
-      DPG_ASSERT_MSG(h == ml_,
-                     "all modifications of an action must share one locality "
-                     "(the paper groups modification statements by locality; "
-                     "split the action instead)");
-    }
   }
 
   std::function<graph::vertex_id(const gather_state&)> locality_closure(
@@ -491,7 +869,6 @@ class instantiated_action final : public action_instance {
 
   template <class PM, class Idx, class Val>
   void build_atomic_exec(plan_builder<Gen>& pb, assign_stmt<PM, Idx, Val>& m) {
-    using FirstWhen = std::tuple_element_t<0, std::tuple<Whens...>>;
     // Probe: does the value expression read the target access? Compile it
     // into a scratch builder and look for the (map instance, index type)
     // pair — type-level inspection cannot tell two same-typed maps apart.
@@ -517,13 +894,28 @@ class instantiated_action final : public action_instance {
   // ---- message registration (§IV-A, §IV-D) --------------------------------
 
   void register_messages() {
+    const auto* g = g_;
+    if constexpr (kFastShape) {
+      if (use_fast_) {
+        // Compiled relax kernel: one minimal message type, or none when the
+        // target is the invocation vertex itself (fully local application).
+        fast_label_ = name_ + ".relax";
+        if (!fast_local_)
+          fast_msg_ = &tp_->make_message_type<fast_rec>(
+              name_ + ".relax",
+              [this](ampp::transport_context& ctx, const fast_rec& r) {
+                fast_handle(ctx, r);
+              },
+              [g](const fast_rec& r) { return g->owner(r.loc); });
+        return;
+      }
+    }
     // Stable span labels for the plan-stage traces: one per gather hop plus
     // the final evaluate (spans copy the name, but the c_str must live
     // until the span constructor returns).
     for (std::size_t k = 0; k < hops_.size(); ++k)
       hop_labels_.push_back(name_ + ".hop" + std::to_string(k));
     final_label_ = name_ + ".eval";
-    const auto* g = g_;
     for (std::size_t k = 1; k < hops_.size(); ++k) {
       auto loc = hops_[k].locality;
       hop_msgs_.push_back(&tp_->make_message_type<gather_state>(
@@ -535,6 +927,8 @@ class instantiated_action final : public action_instance {
           // Auto-generated address map: extract the destination vertex from
           // the payload, ask the graph for its owner (§IV-D).
           [g, loc](const gather_state& s) { return g->owner(loc(s)); }));
+      if (use_compact_ && !wire_layouts_[k - 1].empty())
+        hop_msgs_.back()->set_wire_layout(wire_layouts_[k - 1]);
     }
     if (!merged_) {
       auto loc = ml_locality_;
@@ -545,10 +939,70 @@ class instantiated_action final : public action_instance {
             run_final(ctx, copy);
           },
           [g, loc](const gather_state& s) { return g->owner(loc(s)); });
+      if (use_compact_ && !wire_layouts_.back().empty())
+        final_msg_->set_wire_layout(wire_layouts_.back());
     }
   }
 
   // ---- execution -----------------------------------------------------------
+
+  /// Fast-path generator loop: evaluates destination and proposed value
+  /// directly from the generator state — no arena, no gather chain.
+  void fast_generate(ampp::transport_context& ctx, graph::vertex_id v) {
+    if constexpr (kFastShape) {
+      gather_state s;
+      s.v = v;
+      if constexpr (std::is_same_v<Gen, out_edges_gen>) {
+        for (const graph::edge_handle e : g_->out_edges(v)) {
+          s.e = e;
+          fast_apply(ctx, s);
+        }
+      } else if constexpr (std::is_same_v<Gen, in_edges_gen>) {
+        for (const graph::edge_handle e : g_->in_edges(v)) {
+          s.e = e;
+          fast_apply(ctx, s);
+        }
+      } else if constexpr (std::is_same_v<Gen, adj_gen>) {
+        for (const graph::vertex_id u : g_->adjacent(v)) {
+          s.u = u;
+          fast_apply(ctx, s);
+        }
+      } else if constexpr (is_pmap_gen<Gen>) {
+        for (const graph::vertex_id u : std::as_const(*gen_.pm)[v]) {
+          s.u = u;
+          fast_apply(ctx, s);
+        }
+      } else {
+        fast_apply(ctx, s);
+      }
+    }
+  }
+
+  void fast_apply(ampp::transport_context& ctx, const gather_state& s) {
+    if constexpr (kFastShape) {
+      fast_rec r;
+      r.loc = (*fast_idx_)(s);
+      r.val = static_cast<typename fshape::value_type>((*fast_val_)(s));
+      if (fast_local_)
+        fast_handle(ctx, r);  // target is v itself: apply in place
+      else
+        fast_msg_->send(ctx, r);  // self-delivery included, like any plan message
+    }
+  }
+
+  void fast_handle(ampp::transport_context& ctx, const fast_rec& r) {
+    if constexpr (kFastShape) {
+      obs::trace_span sp(&tp_->obs().trace(), "plan", fast_label_.c_str(), ctx.rank());
+      DPG_DEBUG_ASSERT(g_->owner(r.loc) == ctx.rank());
+      const bool applied = pmap::atomic_update_if(
+          (*fast_pm_)[r.loc], r.val,
+          [](const auto& cur, const auto& prop) { return fshape::cmp(cur, prop); });
+      if (applied) {
+        mods_[ctx.rank()].n.fetch_add(1, std::memory_order_relaxed);
+        if (fast_dep_ && hook_) hook_(ctx, r.loc);
+      }
+    }
+  }
 
   void run_gather(ampp::transport_context& ctx, std::size_t k, gather_state& s) {
     obs::trace_span sp(&tp_->obs().trace(), "plan", hop_labels_[k].c_str(), ctx.rank());
@@ -572,23 +1026,19 @@ class instantiated_action final : public action_instance {
     if (atomic_ok_) {
       if (atomic_exec_(s)) {
         mods_[ctx.rank()].n.fetch_add(1, std::memory_order_relaxed);
-        fired_dependency = whens_.front().any_dependency;
+        fired_dependency = when_dep_[0];
       }
     } else {
-      bool fired = false;
+      int fired = -1;
       {
         auto guard = locks_->guard(mlv);
         for (const auto& read : final_reads_) read(s);
-        for (const auto& w : whens_) {
-          if (w.cond(s)) {
-            for (const auto& m : w.mods) m.exec(s);
-            fired = true;
-            fired_dependency = w.any_dependency;
-            break;  // if / else-if chain
-          }
-        }
+        fired = detail::eval_whens(*whens_c_, s);
       }
-      if (fired) mods_[ctx.rank()].n.fetch_add(1, std::memory_order_relaxed);
+      if (fired >= 0) {
+        mods_[ctx.rank()].n.fetch_add(1, std::memory_order_relaxed);
+        fired_dependency = when_dep_[static_cast<std::size_t>(fired)];
+      }
     }
     // The hook runs outside the lock: it typically re-invokes the action
     // (fixed_point) or inserts into a bucket structure (Δ-stepping).
@@ -600,16 +1050,31 @@ class instantiated_action final : public action_instance {
   pmap::lock_map* locks_;
   Gen gen_;
 
-  std::vector<compiled_when> whens_;
+  std::optional<fused_whens_t> whens_c_;  ///< fused, statically typed arms
+  std::array<bool, sizeof...(Whens)> when_dep_{};  ///< per-arm: firing makes work
   std::vector<gather_hop> hops_;
   std::vector<std::function<void(gather_state&)>> final_reads_;
   std::function<graph::vertex_id(const gather_state&)> ml_locality_;
   home_id ml_{};
-  bool have_ml_ = false;
   bool merged_ = false;
   bool atomic_ok_ = false;
   bool value_reads_target_ = false;
   std::function<bool(gather_state&)> atomic_exec_;
+
+  // Single-locality fast path (engaged when kFastShape and not disabled).
+  typename fshape::pm_type* fast_pm_ = nullptr;
+  std::optional<fast_idx_fn_t> fast_idx_;
+  std::optional<fast_val_fn_t> fast_val_;
+  ampp::message_type<fast_rec>* fast_msg_ = nullptr;
+  std::string fast_label_;
+  bool use_fast_ = false;
+  bool fast_local_ = false;
+  bool fast_dep_ = false;
+
+  bool use_compact_ = false;
+  /// Truncated layouts per wire: gather wires in hop order, then the
+  /// evaluate wire when the final stage is not merged.
+  std::vector<std::vector<ampp::wire_range>> wire_layouts_;
 
   std::vector<ampp::message_type<gather_state>*> hop_msgs_;
   ampp::message_type<gather_state>* final_msg_ = nullptr;
@@ -638,6 +1103,25 @@ inline std::string explain(const std::string& action_name, const plan_info& p) {
                                                              : "none") + "\n";
   out += "  messages per application: " + std::to_string(p.messages_per_application()) +
          ", payload arena: " + std::to_string(p.arena_bytes) + " bytes\n";
+  out += "  compiled wire payloads:";
+  if (p.wire_bytes.empty()) {
+    out += " none (fully local)";
+  } else {
+    for (std::size_t i = 0; i < p.wire_bytes.size(); ++i) {
+      std::string label;
+      if (p.fast_path)
+        label = "relax";
+      else if (!p.final_merged && i + 1 == p.wire_bytes.size())
+        label = "eval";
+      else
+        label = "gather" + std::to_string(i + 1);
+      out += " " + label + "=" + std::to_string(p.wire_bytes[i]) + "B";
+    }
+  }
+  out += " (full gather_state = " + std::to_string(sizeof(gather_state)) + "B)\n";
+  out += "  gather read CSE: " + std::to_string(p.cse_hits) + " shared slot(s)\n";
+  out += std::string("  fast path: ") +
+         (p.fast_path ? "compiled single-locality relax kernel" : "off") + "\n";
   return out;
 }
 
@@ -648,9 +1132,9 @@ inline std::string explain(const std::string& action_name, const plan_info& p) {
 template <class Gen, class... Whens>
 std::unique_ptr<instantiated_action<Gen, Whens...>> instantiate(
     ampp::transport& tp, const graph::distributed_graph& g, pmap::lock_map& locks,
-    action_def<Gen, Whens...> def) {
+    action_def<Gen, Whens...> def, compile_options opts = {}) {
   return std::make_unique<instantiated_action<Gen, Whens...>>(tp, g, locks,
-                                                              std::move(def));
+                                                              std::move(def), opts);
 }
 
 }  // namespace dpg::pattern

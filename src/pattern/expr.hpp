@@ -161,6 +161,103 @@ struct value_type_of<un_expr<op_not, X>> {
 template <class E>
 using value_t = typename value_type_of<std::remove_cvref_t<E>>::type;
 
+// ---------------------------------------------------------------------------
+// Node traits (shared by the planner's compilers and the wire-layout pass)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+template <class E> struct is_src_expr : std::false_type {};
+template <class X> struct is_src_expr<src_expr<X>> : std::true_type { using inner = X; };
+template <class E> struct is_trg_expr : std::false_type {};
+template <class X> struct is_trg_expr<trg_expr<X>> : std::true_type { using inner = X; };
+template <class E> struct is_lit_expr : std::false_type {};
+template <class T> struct is_lit_expr<lit_expr<T>> : std::true_type {};
+template <class E> struct is_read_expr : std::false_type {};
+template <class PM, class I> struct is_read_expr<read_expr<PM, I>> : std::true_type {
+  using pm_type = PM;
+  using idx_type = I;
+};
+template <class E> struct is_bin_expr : std::false_type {};
+template <class Op, class L, class R> struct is_bin_expr<bin_expr<Op, L, R>> : std::true_type {
+  using op_type = Op;
+  using lhs_type = L;
+  using rhs_type = R;
+};
+template <class E> struct is_not_expr : std::false_type {};
+template <class X> struct is_not_expr<un_expr<op_not, X>> : std::true_type { using inner = X; };
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Static liveness analysis over the gather_state header
+// ---------------------------------------------------------------------------
+
+/// Bitmask over the fixed (non-arena) fields of gather_state. `src`/`dst`
+/// of the generated edge are tracked separately from the full handle: an
+/// expression that only takes an endpoint does not keep eid/mirror_slot
+/// alive on the wire, but an edge-map read (indexed by the whole handle)
+/// does.
+inline constexpr unsigned hdr_v = 1u << 0;
+inline constexpr unsigned hdr_e_src = 1u << 1;
+inline constexpr unsigned hdr_e_dst = 1u << 2;
+inline constexpr unsigned hdr_e_id = 1u << 3;  ///< eid + mirror_slot
+inline constexpr unsigned hdr_u = 1u << 4;
+inline constexpr unsigned hdr_e_full = hdr_e_src | hdr_e_dst | hdr_e_id;
+
+/// Header fields needed to *evaluate* E once every property read resolves
+/// to its arena slot. Reads contribute nothing here — their index needs are
+/// charged to the hop that performs the read (see plan_builder).
+template <class Expr>
+constexpr unsigned header_needs() {
+  using E = std::remove_cvref_t<Expr>;
+  if constexpr (std::is_same_v<E, v_expr>) {
+    return hdr_v;
+  } else if constexpr (std::is_same_v<E, e_expr>) {
+    return hdr_e_full;
+  } else if constexpr (std::is_same_v<E, u_expr>) {
+    return hdr_u;
+  } else if constexpr (detail::is_src_expr<E>::value) {
+    if constexpr (std::is_same_v<typename detail::is_src_expr<E>::inner, e_expr>)
+      return hdr_e_src;
+    else
+      return header_needs<typename detail::is_src_expr<E>::inner>();
+  } else if constexpr (detail::is_trg_expr<E>::value) {
+    if constexpr (std::is_same_v<typename detail::is_trg_expr<E>::inner, e_expr>)
+      return hdr_e_dst;
+    else
+      return header_needs<typename detail::is_trg_expr<E>::inner>();
+  } else if constexpr (detail::is_lit_expr<E>::value || detail::is_read_expr<E>::value) {
+    return 0u;
+  } else if constexpr (detail::is_bin_expr<E>::value) {
+    return header_needs<typename detail::is_bin_expr<E>::lhs_type>() |
+           header_needs<typename detail::is_bin_expr<E>::rhs_type>();
+  } else if constexpr (detail::is_not_expr<E>::value) {
+    return header_needs<typename detail::is_not_expr<E>::inner>();
+  } else {
+    return 0u;
+  }
+}
+
+/// Number of property reads anywhere in E (nested index expressions
+/// included).
+template <class Expr>
+constexpr int read_count() {
+  using E = std::remove_cvref_t<Expr>;
+  if constexpr (detail::is_read_expr<E>::value) {
+    return 1 + read_count<typename detail::is_read_expr<E>::idx_type>();
+  } else if constexpr (detail::is_src_expr<E>::value) {
+    return read_count<typename detail::is_src_expr<E>::inner>();
+  } else if constexpr (detail::is_trg_expr<E>::value) {
+    return read_count<typename detail::is_trg_expr<E>::inner>();
+  } else if constexpr (detail::is_bin_expr<E>::value) {
+    return read_count<typename detail::is_bin_expr<E>::lhs_type>() +
+           read_count<typename detail::is_bin_expr<E>::rhs_type>();
+  } else if constexpr (detail::is_not_expr<E>::value) {
+    return read_count<typename detail::is_not_expr<E>::inner>();
+  } else {
+    return 0;
+  }
+}
+
 template <class E>
 concept vertex_expr = is_expr<E> && std::same_as<value_t<E>, vertex_id>;
 template <class E>

@@ -515,7 +515,10 @@ class analyzer {
     out.has_dependencies = deps;
     out.hop_localities.push_back("v");
     out.hop_reads.push_back(0);
-    for (const auto& r : reads_) {
+    constexpr std::size_t kFinal = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> rpos(reads_.size(), kFinal);  // hop index or final
+    for (std::size_t i = 0; i < reads_.size(); ++i) {
+      const auto& r = reads_[i];
       if (r.loc == ml_ && !r.pinned) {
         ++out.final_reads;
         continue;
@@ -535,11 +538,13 @@ class analyzer {
         hop = hop_homes_.size() - 1;
       }
       ++out.hop_reads[hop];
+      rpos[i] = hop;
     }
     out.gather_hops = static_cast<int>(out.hop_localities.size());
     out.final_locality = home_label(ml_);
     out.final_merged = hop_homes_.back() == ml_;
     out.arena_bytes = reads_.size() * 8;  // all travelling kinds are 8 bytes
+    out.cse_hits = cse_hits_;
 
     // Atomic fast path: single condition, single assignment, compare shape,
     // and the only synchronized read is the target itself.
@@ -559,8 +564,93 @@ class analyzer {
         const value_kind tk = pmap_of(*m.target)->type;
         if (shape && !rmw && tk != value_kind::opaque) out.atomic_path = true;
       }
+      // Single-locality fast path: the compare-and-update whose proposed
+      // value and target owner are computable at the invocation site
+      // compiles to the minimal relax record (mirrors detail::fast_shape).
+      if (out.atomic_path) {
+        const expr& tidx = *m.target->children[0];
+        const home th = classify_index(tidx);
+        const expr& val = *m.arguments[0];
+        const bool idx_ok = th.k != home::kind::chase;
+        const bool val_ok =
+            reads_all_at_v(val) &&
+            (th.k == home::kind::at_gen || !contains_read(val));
+        if (idx_ok && val_ok && pmap_of(*m.target)->on_vertices)
+          out.fast_path = pattern::detail::resolve_toggle(0, "DPG_PATTERN_FASTPATH");
+      }
     }
+
+    compute_wire_bytes(out, rpos, kFinal);
     return out;
+  }
+
+  /// Mirrors instantiated_action::compute_wire_layouts over the textual
+  /// plan: per wire, the header fields any later stage needs plus the arena
+  /// slots written at or before the sender and consumed strictly after it.
+  void compute_wire_bytes(analyzed_action& out, std::vector<std::size_t>& rpos,
+                          std::size_t kFinal) const {
+    if (out.fast_path) {
+      // relax record: destination vertex + 8-byte proposed value; none at
+      // all when the target is the invocation vertex itself.
+      if (!out.final_merged) out.wire_bytes.push_back(16);
+      return;
+    }
+    const bool compact = pattern::detail::resolve_toggle(0, "DPG_PATTERN_COMPACT");
+    const std::size_t H = hop_homes_.size();
+    const std::size_t final_pos = out.final_merged ? H - 1 : H;
+    for (auto& p : rpos)
+      if (p == kFinal) p = final_pos;
+
+    std::vector<unsigned> pos_needs(H + 1, 0u);
+    for (const condition& c : act_.conditions) {
+      pos_needs[final_pos] |= needs(*c.guard);
+      for (const modification& m : c.mods) {
+        pos_needs[final_pos] |= needs(*m.target->children[0]);
+        for (const auto& a : m.arguments) pos_needs[final_pos] |= needs(*a);
+      }
+    }
+    for (std::size_t i = 0; i < reads_.size(); ++i)
+      pos_needs[rpos[i]] |= reads_[i].idx_needs;
+    for (std::size_t k = 1; k < H; ++k) pos_needs[k - 1] |= addr_mask(hop_homes_[k]);
+    if (!out.final_merged) pos_needs[H - 1] |= addr_mask(ml_);
+    pos_needs[final_pos] |= addr_mask(ml_);
+
+    // Slot liveness: write position = performing hop, last consumption from
+    // the recorded uses (empty context = final evaluation).
+    std::vector<std::size_t> last_use = rpos;
+    const auto pos_of_key = [&](const std::string& key) -> std::size_t {
+      for (std::size_t i = 0; i < reads_.size(); ++i)
+        if (reads_[i].key == key) return rpos[i];
+      return final_pos;
+    };
+    for (const use_rec& u : uses_) {
+      const std::size_t p = u.ctx.empty() ? final_pos : pos_of_key(u.ctx);
+      for (std::size_t i = 0; i < reads_.size(); ++i)
+        if (reads_[i].key == u.key) last_use[i] = std::max(last_use[i], p);
+    }
+
+    const auto hdr_bytes = [](unsigned m) {
+      std::size_t b = 0;
+      if (m & hdr_v) b += 8;
+      if (m & hdr_e_src) b += 8;
+      if (m & hdr_e_dst) b += 8;
+      if (m & hdr_e_id) b += 16;  // edge id + mirror slot
+      if (m & hdr_u) b += 8;
+      return b;
+    };
+    const std::size_t wires = (H - 1) + (out.final_merged ? 0 : 1);
+    for (std::size_t w = 0; w < wires; ++w) {
+      if (!compact) {
+        out.wire_bytes.push_back(sizeof(gather_state));
+        continue;
+      }
+      unsigned hdr = 0;
+      for (std::size_t p = w + 1; p < pos_needs.size(); ++p) hdr |= pos_needs[p];
+      std::size_t b = hdr_bytes(hdr);
+      for (std::size_t i = 0; i < reads_.size(); ++i)
+        if (rpos[i] <= w && last_use[i] > w) b += 8;
+      out.wire_bytes.push_back(b);
+    }
   }
 
  private:
@@ -574,6 +664,15 @@ class analyzer {
     std::string key;
     home loc;
     bool pinned = false;
+    unsigned idx_needs = 0;  ///< header fields the index expression touches
+  };
+
+  /// One recorded consumption of a read's slot: `ctx` is the key of the
+  /// read whose index consumed it, or empty when the consumer is the final
+  /// evaluation. Mirrors the EDSL planner's slot_use tokens.
+  struct use_rec {
+    std::string key;
+    std::string ctx;
   };
 
   std::string home_label(const home& h) const {
@@ -712,18 +811,85 @@ class analyzer {
       throw parse_error(e.line, "values of '" + pm->name +
                                     "' cannot travel in messages (opaque type); only "
                                     "modification targets may be opaque");
-    // Index sub-reads register first (depth-first), like the EDSL.
-    if (idx.kind == expr::node::pmap_read) (void)register_read(idx);
     const std::string key = print(e);
     read_pmaps_.insert(pm->name);
+    // Dedup (CSE): a repeated read shares the already-allocated slot, but
+    // still records a consumption in the current context — the second
+    // consumer extends the slot's wire lifetime (mirrors the EDSL planner).
     for (const auto& r : reads_)
-      if (r.key == key) return pm->type;  // dedup
+      if (r.key == key) {
+        ++cse_hits_;
+        uses_.push_back(use_rec{key, ctx_});
+        return pm->type;
+      }
+    uses_.push_back(use_rec{key, ctx_});
+    // Index sub-reads register first (depth-first), like the EDSL; their
+    // consumption is charged to *this* read, not the final evaluation.
+    {
+      const std::string saved = ctx_;
+      ctx_ = key;
+      if (idx.kind == expr::node::pmap_read) (void)register_read(idx);
+      ctx_ = saved;
+    }
     read_entry re;
     re.key = key;
     re.loc = classify_index(idx);
+    re.idx_needs = needs(idx);
     reads_.push_back(re);
     if (re.loc.k == home::kind::chase) pin(print(idx));
     return pm->type;
+  }
+
+  /// Header fields (v / e / u) an expression touches when evaluated at some
+  /// hop. Property reads contribute nothing — their values travel in the
+  /// arena, and their index needs are charged to the performing read.
+  static unsigned needs(const expr& e) {
+    switch (e.kind) {
+      case expr::node::input_vertex: return hdr_v;
+      case expr::node::gen_edge: return hdr_e_full;
+      case expr::node::gen_vertex: return hdr_u;
+      case expr::node::src_of:
+        return e.children[0]->kind == expr::node::gen_edge ? hdr_e_src
+                                                           : needs(*e.children[0]);
+      case expr::node::trg_of:
+        return e.children[0]->kind == expr::node::gen_edge ? hdr_e_dst
+                                                           : needs(*e.children[0]);
+      case expr::node::pmap_read:
+      case expr::node::literal: return 0;
+      case expr::node::binary: return needs(*e.children[0]) | needs(*e.children[1]);
+      case expr::node::unary_not: return needs(*e.children[0]);
+    }
+    return 0;
+  }
+
+  static bool contains_read(const expr& e) {
+    if (e.kind == expr::node::pmap_read) return true;
+    for (const auto& c : e.children)
+      if (contains_read(*c)) return true;
+    return false;
+  }
+
+  /// Every property read anywhere in e (nested indices included) is homed
+  /// at the input vertex — the fast-path value precondition.
+  bool reads_all_at_v(const expr& e) {
+    if (e.kind == expr::node::pmap_read)
+      return classify_index(*e.children[0]).k == home::kind::at_v &&
+             reads_all_at_v(*e.children[0]);
+    for (const auto& c : e.children)
+      if (!reads_all_at_v(*c)) return false;
+    return true;
+  }
+
+  unsigned addr_mask(const home& h) const {
+    switch (h.k) {
+      case home::kind::at_v: return hdr_v;
+      case home::kind::at_gen:
+        if (act_.gen == generator_type::out_edges) return hdr_e_dst;
+        if (act_.gen == generator_type::in_edges) return hdr_e_src;
+        return hdr_u;
+      case home::kind::chase: return 0;  // destination is an arena slot
+    }
+    return 0;
   }
 
   value_kind walk_index_kind(const expr& idx) {
@@ -751,13 +917,20 @@ class analyzer {
   void handle_mod(const modification& m) {
     const parsed_property* pm = pmap_of(*m.target);
     const expr& idx = *m.target->children[0];
-    // Chased modification locality needs the chase value gathered.
+    // Chased modification locality needs the chase value gathered; the
+    // second touch mirrors the EDSL compiling the target index expression
+    // (note_ml registers, compile_mod re-reads the shared slot).
     const home h = classify_index(idx);
-    if (h.k == home::kind::chase) (void)register_read(idx);
-    // Argument values travel: walk (and type-check) them.
-    for (const auto& a : m.arguments) (void)walk(*a);
+    if (h.k == home::kind::chase) {
+      (void)register_read(idx);
+      (void)register_read(idx);
+    }
+    // Argument values travel: walk (and type-check) them once, like the
+    // EDSL compiles each value expression exactly once.
+    std::vector<value_kind> arg_kinds;
+    for (const auto& a : m.arguments) arg_kinds.push_back(walk(*a));
     if (m.is_assignment) {
-      const value_kind rk = walk(*m.arguments[0]);
+      const value_kind rk = arg_kinds[0];
       if (pm->type != value_kind::opaque && rk != pm->type &&
           !(pm->type == value_kind::real && rk == value_kind::integer))
         throw parse_error(m.line, "assignment value kind does not match '" + pm->name + "'");
@@ -777,6 +950,9 @@ class analyzer {
   const parsed_pattern& pat_;
   const parsed_action& act_;
   std::vector<read_entry> reads_;
+  std::vector<use_rec> uses_;
+  std::string ctx_;  ///< key of the read whose index is being walked; empty = final
+  std::size_t cse_hits_ = 0;
   std::vector<home> hop_homes_{home{home::kind::at_v, ""}};
   std::set<std::string> read_pmaps_, written_pmaps_;
   home ml_{};
@@ -804,6 +980,9 @@ std::string explain(const analyzed_action& a) {
   info.hop_localities = a.hop_localities;
   info.hop_reads = a.hop_reads;
   info.final_locality = a.final_locality;
+  info.fast_path = a.fast_path;
+  info.cse_hits = a.cse_hits;
+  info.wire_bytes = a.wire_bytes;
   return pattern::explain(a.name, info);
 }
 

@@ -153,6 +153,9 @@ struct analyzed_action {
   std::vector<std::string> hop_localities;
   std::vector<int> hop_reads;
   std::string final_locality;
+  bool fast_path = false;           ///< single-locality relax kernel engaged
+  std::size_t cse_hits = 0;         ///< duplicate reads sharing one arena slot
+  std::vector<std::size_t> wire_bytes;  ///< bytes per synthesized message
 
   int messages_per_application() const {
     return (gather_hops - 1) + (final_merged ? 0 : 1);

@@ -151,9 +151,21 @@ struct read_step {
   bool pinned = false;  ///< must be gathered early even if homed at the
                         ///< modification locality (it feeds a chase index)
   std::size_t arena_offset = 0;
+  std::size_t size = 0;       ///< bytes the value occupies in the arena
+  unsigned idx_needs = 0;     ///< header fields the index expression touches
   const void* pmap_id = nullptr;
   std::type_index self_type = std::type_index(typeid(void));  ///< read_expr type
   std::function<void(gather_state&)> perform;
+};
+
+/// One recorded consumption of an arena slot: which compiled expression
+/// context reads it. `token` identifies the read step whose index
+/// expression consumed the slot, or -1 when the consumer is the final
+/// condition/modification evaluation. The wire-layout pass drops a slot
+/// from every hop transition past its last consumer.
+struct slot_use {
+  std::size_t offset = 0;
+  int token = -1;
 };
 
 /// One gather hop of the synthesized communication (a node of the pruned
@@ -218,23 +230,41 @@ class plan_builder {
 
   /// Registers (or dedups) the read for `ex` and returns its arena slot.
   /// Also used for modification targets' condition-synchronized reads.
+  /// Every call records a slot use in the current consumption context, so
+  /// a dedup hit (CSE) still extends the slot's wire lifetime.
   template <class PM, class Idx>
   std::size_t register_read(const read_expr<PM, Idx>& ex) {
     const dedup_key key{static_cast<const void*>(ex.pm), std::type_index(typeid(ex))};
     for (const auto& [k, entry] : dedup_)
-      if (k == key) return entry.offset;
+      if (k == key) {
+        ++cse_hits_;
+        uses_.push_back(slot_use{entry.offset, use_ctx_});
+        return entry.offset;
+      }
 
     using T = typename PM::value_type;
     static_assert(std::is_trivially_copyable_v<T>,
                   "property values read by a pattern travel in messages and "
                   "must be trivially copyable");
     const std::size_t ofs = allocate(sizeof(T), alignof(T));
+    uses_.push_back(slot_use{ofs, use_ctx_});
+    // The index expression evaluates where this read executes: reads (and
+    // header fields) it touches are consumed by *this* step, not by the
+    // final evaluation. Tokens resolve to step indices once the step is
+    // pushed (nested chase reads push theirs first).
+    const int token = static_cast<int>(token_step_.size());
+    token_step_.push_back(static_cast<std::size_t>(-1));
+    const int saved_ctx = use_ctx_;
+    use_ctx_ = token;
     auto idx_fn = compile(ex.idx);
+    use_ctx_ = saved_ctx;
     PM* pm = ex.pm;
 
     read_step step;
     step.home = make_home<Idx, Gen>(ex.idx);
     step.arena_offset = ofs;
+    step.size = sizeof(T);
+    step.idx_needs = header_needs<Idx>();
     step.pmap_id = pm;
     step.self_type = std::type_index(typeid(ex));
     step.perform = [pm, idx_fn, ofs](gather_state& s) {
@@ -256,14 +286,83 @@ class plan_builder {
     if constexpr (home_of<Idx, Gen>::kind == home_kind::chase) pin_reads_of(ex.idx);
 
     const std::size_t step_index = steps_.size();
+    token_step_[static_cast<std::size_t>(token)] = step_index;
     steps_.push_back(std::move(step));
     dedup_.emplace_back(key, dedup_entry{ofs, step_index});
     return ofs;
   }
 
+  /// Compiles an expression into a callable that reads property maps
+  /// *directly* — no arena, no read registration. Only valid when every
+  /// read it contains resolves at the evaluation site (the single-locality
+  /// fast path guarantees this by construction). Uses the same access
+  /// discipline as the registered read steps: mirror-aware reads for edge
+  /// maps, relaxed atomic loads for atomic-capable values.
+  template <class Expr>
+  static auto compile_direct(const Expr& ex) {
+    using E = std::remove_cvref_t<Expr>;
+    if constexpr (std::is_same_v<E, v_expr>) {
+      return [](const gather_state& s) { return s.v; };
+    } else if constexpr (std::is_same_v<E, e_expr>) {
+      return [](const gather_state& s) { return s.e; };
+    } else if constexpr (std::is_same_v<E, u_expr>) {
+      return [](const gather_state& s) { return s.u; };
+    } else if constexpr (pattern::detail::is_src_expr<E>::value) {
+      auto f = compile_direct(ex.inner);
+      return [f](const gather_state& s) { return f(s).src; };
+    } else if constexpr (pattern::detail::is_trg_expr<E>::value) {
+      auto f = compile_direct(ex.inner);
+      return [f](const gather_state& s) { return f(s).dst; };
+    } else if constexpr (pattern::detail::is_lit_expr<E>::value) {
+      auto val = ex.value;
+      return [val](const gather_state&) { return val; };
+    } else if constexpr (pattern::detail::is_read_expr<E>::value) {
+      using PM = typename pattern::detail::is_read_expr<E>::pm_type;
+      using T = typename PM::value_type;
+      auto idx_fn = compile_direct(ex.idx);
+      PM* pm = ex.pm;
+      return [pm, idx_fn](const gather_state& s) {
+        if constexpr (detail::is_edge_map<PM>) {
+          return pm->read(idx_fn(s));
+        } else if constexpr (pmap::atomic_capable<T>) {
+          T& slot = const_cast<T&>(std::as_const(*pm)[idx_fn(s)]);
+          return std::atomic_ref<T>(slot).load(std::memory_order_relaxed);
+        } else {
+          return std::as_const(*pm)[idx_fn(s)];
+        }
+      };
+    } else if constexpr (pattern::detail::is_bin_expr<E>::value) {
+      auto l = compile_direct(ex.lhs);
+      auto r = compile_direct(ex.rhs);
+      using Op = typename pattern::detail::is_bin_expr<E>::op_type;
+      return [l, r](const gather_state& s) { return apply_op<Op>(l(s), r(s)); };
+    } else if constexpr (pattern::detail::is_not_expr<E>::value) {
+      auto f = compile_direct(ex.inner);
+      return [f](const gather_state& s) { return !f(s); };
+    } else {
+      static_assert(sizeof(E) == 0, "unsupported expression node");
+    }
+  }
+
   const std::vector<read_step>& steps() const { return steps_; }
   std::vector<read_step>& steps() { return steps_; }
   std::size_t arena_used() const { return arena_used_; }
+
+  /// Duplicate reads eliminated by the (map instance, read type) dedup —
+  /// each hit shares an already-allocated arena slot.
+  std::size_t cse_hits() const { return cse_hits_; }
+  /// Did the registered reads outgrow gather_state::arena_bytes? Checked by
+  /// instantiated_action::build, which aborts with a diagnostic naming the
+  /// action; the compiled closures are never run past an overflow.
+  bool overflow() const { return arena_required_ > gather_state::arena_bytes; }
+  std::size_t arena_required() const { return arena_required_; }
+
+  /// Recorded slot consumptions (for the wire-liveness pass).
+  const std::vector<slot_use>& uses() const { return uses_; }
+  /// Resolves a slot_use token to the index of the consuming read step.
+  std::size_t token_to_step(int token) const {
+    return token_step_[static_cast<std::size_t>(token)];
+  }
 
   /// Was property map `pm` read anywhere in the compiled expressions?
   /// (Dependency detection, §IV-C.)
@@ -300,9 +399,12 @@ class plan_builder {
     arena_used_ = (arena_used_ + align - 1) & ~(align - 1);
     const std::size_t ofs = arena_used_;
     arena_used_ += size;
-    DPG_ASSERT_MSG(arena_used_ <= gather_state::arena_bytes,
-                   "pattern reads exceed the gather arena; raise "
-                   "gather_state::arena_bytes");
+    // Overflow is recorded, not fatal here: the action's build pass checks
+    // overflow() once compilation finishes and fails with a diagnostic that
+    // can name the action and the total requirement. The perform closures
+    // capturing an out-of-bounds offset are never executed — build aborts
+    // before the action is registered.
+    arena_required_ = arena_used_ > arena_required_ ? arena_used_ : arena_required_;
     return ofs;
   }
 
@@ -331,6 +433,35 @@ class plan_builder {
   std::vector<std::pair<dedup_key, dedup_entry>> dedup_;
   std::vector<read_step> steps_;
   std::size_t arena_used_ = 0;
+  std::size_t arena_required_ = 0;
+  std::size_t cse_hits_ = 0;
+  std::vector<slot_use> uses_;
+  std::vector<std::size_t> token_step_;  ///< token -> index into steps_
+  int use_ctx_ = -1;  ///< current consumption context (-1: final evaluation)
 };
+
+/// True when every property read anywhere in Expr (nested index
+/// expressions included) is homed at the invocation vertex — the
+/// value-expression precondition of the single-locality fast path: such an
+/// expression evaluates completely at hop 0 without an arena.
+template <class Expr, class Gen>
+constexpr bool reads_all_at_v() {
+  using E = std::remove_cvref_t<Expr>;
+  if constexpr (detail::is_read_expr<E>::value) {
+    using Idx = typename detail::is_read_expr<E>::idx_type;
+    return home_of<Idx, Gen>::kind == home_kind::at_v && reads_all_at_v<Idx, Gen>();
+  } else if constexpr (detail::is_src_expr<E>::value) {
+    return reads_all_at_v<typename detail::is_src_expr<E>::inner, Gen>();
+  } else if constexpr (detail::is_trg_expr<E>::value) {
+    return reads_all_at_v<typename detail::is_trg_expr<E>::inner, Gen>();
+  } else if constexpr (detail::is_bin_expr<E>::value) {
+    return reads_all_at_v<typename detail::is_bin_expr<E>::lhs_type, Gen>() &&
+           reads_all_at_v<typename detail::is_bin_expr<E>::rhs_type, Gen>();
+  } else if constexpr (detail::is_not_expr<E>::value) {
+    return reads_all_at_v<typename detail::is_not_expr<E>::inner, Gen>();
+  } else {
+    return true;
+  }
+}
 
 }  // namespace dpg::pattern

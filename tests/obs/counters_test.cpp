@@ -81,6 +81,42 @@ TEST(Counters, ConsistentUnderChaosFaultPlan) {
   EXPECT_EQ(s.core.envelopes_duplicated, s.core.duplicates_suppressed);
 }
 
+TEST(Counters, WireByteConservationLaws) {
+  // Compact wire layouts may shrink envelopes but never invent bytes. The
+  // per-type envelope/wire accounting must tile the core totals exactly —
+  // even under chaos faults, where retransmits reuse the packed envelope
+  // and must not be double-counted — and each type's wire traffic is
+  // bounded by its envelope count times its largest single envelope.
+  ampp::transport tp(ampp::transport_config{.n_ranks = 4,
+                                            .coalescing_size = 8,
+                                            .seed = 7,
+                                            .faults = ampp::fault_plan::chaos(7)});
+  auto& a = tp.make_message_type<ping>("a", [](ampp::transport_context&, const ping& p) {
+    EXPECT_EQ(p.x, 1u);  // survives wire truncation + receiver scatter
+  });
+  auto& b = tp.make_message_type<ping>("b", [](ampp::transport_context&, const ping&) {});
+  a.set_wire_layout({{0, 4}});  // only the low half of x travels
+  pump(tp, a, b, 300);
+  const stats_snapshot s = tp.obs().snapshot();
+  check_consistency(s);
+
+  std::uint64_t envs = 0, wire = 0, bytes = 0;
+  for (const type_counters& t : s.per_type) {
+    envs += t.envelopes;
+    wire += t.wire_bytes;
+    bytes += t.bytes;
+    EXPECT_LE(t.wire_bytes, t.envelopes * t.max_env_bytes) << "type " << t.name;
+  }
+  EXPECT_EQ(envs, s.core.envelopes_sent);
+  EXPECT_EQ(wire, s.core.wire_bytes_sent);
+  EXPECT_EQ(bytes, s.core.bytes_sent);
+  EXPECT_LE(s.core.wire_bytes_sent, s.core.bytes_sent);
+  // The layout actually bit: `a` moved exactly half its logical bytes.
+  EXPECT_EQ(s.per_type[a.id()].wire_bytes, s.per_type[a.id()].bytes / 2);
+  // `b` has no layout: its wire bytes equal its logical bytes.
+  EXPECT_EQ(s.per_type[b.id()].wire_bytes, s.per_type[b.id()].bytes);
+}
+
 TEST(Counters, ConsistentWithHandlerThreads) {
   ampp::transport tp(ampp::transport_config{
       .n_ranks = 3, .coalescing_size = 16, .handler_threads = 2});

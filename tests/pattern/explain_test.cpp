@@ -86,6 +86,50 @@ TEST(Explain, NoDependencyWhenWrittenMapNeverRead) {
   EXPECT_NE(text.find("dependencies: none"), std::string::npos);
 }
 
+TEST(Explain, CompiledPlanShowsWireBytesCseAndFastPath) {
+  // The compilation pass is introspectable: explain() must print the wire
+  // footprint of every synthesized message, the gather-read CSE count, and
+  // whether the single-locality fast kernel engaged.
+  world w;
+  property d(w.dist);
+  property wt(w.weight);
+  auto mk = [&](compile_options opts) {
+    return instantiate(w.tp, w.g, w.locks,
+                       make_action("relax", out_edges_gen{},
+                                   when(d(trg(e_)) > d(v_) + wt(e_),
+                                        assign(d(trg(e_)), d(v_) + wt(e_)))),
+                       opts);
+  };
+  using tog = compile_options::toggle;
+
+  const std::string fast =
+      explain("relax", mk({.fast_path = tog::on, .compact_wire = tog::on})->plan());
+  EXPECT_NE(fast.find("compiled wire payloads: relax=16B"), std::string::npos);
+  EXPECT_NE(fast.find("(full gather_state = 96B)"), std::string::npos);
+  EXPECT_NE(fast.find("gather read CSE: 2 shared slot(s)"), std::string::npos);
+  EXPECT_NE(fast.find("fast path: compiled single-locality relax kernel"),
+            std::string::npos);
+
+  const std::string general =
+      explain("relax", mk({.fast_path = tog::off, .compact_wire = tog::on})->plan());
+  EXPECT_NE(general.find("compiled wire payloads: eval=24B"), std::string::npos);
+  EXPECT_NE(general.find("fast path: off"), std::string::npos);
+
+  const std::string full =
+      explain("relax", mk({.fast_path = tog::off, .compact_wire = tog::off})->plan());
+  EXPECT_NE(full.find("compiled wire payloads: eval=96B"), std::string::npos);
+}
+
+TEST(Explain, FullyLocalPlanHasNoWirePayloads) {
+  world w;
+  property d(w.dist);
+  auto local = instantiate(w.tp, w.g, w.locks,
+                           make_action("bump", no_generator{},
+                                       when(d(v_) < lit(1.0), assign(d(v_), lit(1.0)))));
+  const std::string text = explain(local->name(), local->plan());
+  EXPECT_NE(text.find("compiled wire payloads: none (fully local)"), std::string::npos);
+}
+
 TEST(Explain, PlanInfoCountsConditions) {
   world w;
   property d(w.dist);

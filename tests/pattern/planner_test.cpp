@@ -231,7 +231,31 @@ TEST(Planner, ArenaOverflowIsDetected) {
                            make_action("fat", no_generator{},
                                        when(A(v_) < B(v_), assign(C(v_), B(v_)))));
   };
-  EXPECT_DEATH(build(), "arena");
+  // The plan-build diagnostic must name the offending action and both byte
+  // counts, so the failure is actionable without a debugger.
+  EXPECT_DEATH(build(), "arena overflow compiling action 'fat'");
+  EXPECT_DEATH(build(), "80 bytes but gather_state::arena_bytes is 48");
+}
+
+TEST(Planner, ArenaExactlyFullCompiles) {
+  // The boundary case: gathered reads summing to exactly arena_bytes (48)
+  // must compile — overflow means strictly greater, not equal.
+  const vertex_id n = 4;
+  distributed_graph g(n, graph::path_graph(n), distribution::block(n, 1));
+  struct trio {
+    double x[2];
+    bool operator<(const trio& o) const { return x[0] < o.x[0]; }
+  };
+  pmap::vertex_property_map<trio> a(g), b(g), c(g);
+  pmap::lock_map locks(g.dist(), pmap::lock_scheme::per_vertex);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 1});
+  property A(a), B(b), C(c);
+  // Three distinct 16-byte reads fill the 48-byte arena to the brim.
+  auto act = instantiate(tp, g, locks,
+                         make_action("brim", no_generator{},
+                                     when(A(v_) < B(v_), assign(A(v_), C(v_)))));
+  ASSERT_NE(act, nullptr);
+  EXPECT_EQ(act->plan().arena_bytes, 48u);
 }
 
 }  // namespace

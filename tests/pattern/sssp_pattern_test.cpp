@@ -3,7 +3,9 @@
 // evaluate+modify at trg(e)).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "ampp/epoch.hpp"
@@ -182,6 +184,85 @@ TEST(SsspPattern, AtomicAndLockedPathsAgree) {
     return out;
   };
   EXPECT_EQ(run_variant(false), run_variant(true));
+}
+
+TEST(SsspPattern, CompiledPathsAreBitIdentical) {
+  // The fast single-locality relax kernel and the compact wire layout are
+  // pure transport optimizations: forcing each toggle on and off must give
+  // identical distances, down to the last bit, on an irregular graph with
+  // distinct per-edge weights.
+  const vertex_id n = 96;
+  const auto edges = graph::erdos_renyi(n, 700, 29);
+  using tog = compile_options::toggle;
+  auto run_variant = [&](tog fast, tog compact) {
+    sssp_fixture fx(n, edges, 3);
+    fx.weight_map = pmap::edge_property_map<double>(fx.g, [](const edge_handle& e) {
+      return graph::edge_weight(e.src, e.dst, 7, 3.0);
+    });
+    ampp::transport tp(ampp::transport_config{.n_ranks = 3});
+    property dist(fx.dist_map);
+    property weight(fx.weight_map);
+    auto relax = instantiate(tp, fx.g, fx.locks,
+                             make_action("relax", out_edges_gen{},
+                                         when(dist(trg(e_)) > dist(v_) + weight(e_),
+                                              assign(dist(trg(e_)), dist(v_) + weight(e_)))),
+                             compile_options{.fast_path = fast, .compact_wire = compact});
+    relax->work([&](ampp::transport_context& ctx, vertex_id dep) { (*relax)(ctx, dep); });
+    fx.dist_map[0] = 0.0;
+    tp.run([&](ampp::transport_context& ctx) {
+      ampp::epoch ep(ctx);
+      if (fx.g.owner(0) == ctx.rank()) (*relax)(ctx, 0);
+    });
+    std::vector<double> out(n);
+    for (vertex_id v = 0; v < n; ++v) out[v] = fx.dist_map[v];
+    return std::pair{out, relax->plan()};
+  };
+  const auto [fast_on, p_fast] = run_variant(tog::on, tog::on);
+  const auto [fast_off, p_compact] = run_variant(tog::off, tog::on);
+  const auto [full, p_full] = run_variant(tog::off, tog::off);
+
+  EXPECT_TRUE(p_fast.fast_path);
+  ASSERT_EQ(p_fast.wire_bytes.size(), 1u);
+  EXPECT_EQ(p_fast.wire_bytes[0], 16u);  // {target vertex, candidate distance}
+  EXPECT_FALSE(p_compact.fast_path);
+  ASSERT_EQ(p_compact.wire_bytes.size(), 1u);
+  EXPECT_EQ(p_compact.wire_bytes[0], 24u);  // trg(e) + dist(v) + weight(e)
+  ASSERT_EQ(p_full.wire_bytes.size(), 1u);
+  EXPECT_EQ(p_full.wire_bytes[0], sizeof(gather_state));
+
+  EXPECT_EQ(fast_on, fast_off);
+  EXPECT_EQ(fast_on, full);
+}
+
+TEST(SsspPattern, CompactWireReducesBytesOnTheWire) {
+  // One relax at the hub of a star produces exactly n-1 payloads of the
+  // synthesized type; the wire-byte counters must show each compilation
+  // mode's per-payload footprint exactly.
+  const vertex_id n = 32;
+  using tog = compile_options::toggle;
+  auto measure = [&](tog fast, tog compact) {
+    sssp_fixture fx(n, graph::star_graph(n), 2, 1.0);
+    ampp::transport tp(ampp::transport_config{.n_ranks = 2, .coalescing_size = 4});
+    property dist(fx.dist_map);
+    property weight(fx.weight_map);
+    auto relax = instantiate(tp, fx.g, fx.locks,
+                             make_action("relax", out_edges_gen{},
+                                         when(dist(trg(e_)) > dist(v_) + weight(e_),
+                                              assign(dist(trg(e_)), dist(v_) + weight(e_)))),
+                             compile_options{.fast_path = fast, .compact_wire = compact});
+    fx.dist_map[0] = 0.0;
+    tp.run([&](ampp::transport_context& ctx) {
+      ampp::epoch ep(ctx);
+      if (fx.g.owner(0) == ctx.rank()) (*relax)(ctx, 0);
+    });
+    std::uint64_t wire = 0;
+    for (const obs::type_counters& t : tp.obs().snapshot().per_type)
+      if (!t.internal) wire += t.wire_bytes;
+    return wire;
+  };
+  EXPECT_EQ(measure(tog::on, tog::on), 16u * (n - 1));   // fast relax record
+  EXPECT_EQ(measure(tog::off, tog::on), 24u * (n - 1));  // compact eval payload
+  EXPECT_EQ(measure(tog::off, tog::off), sizeof(gather_state) * (n - 1));
 }
 
 }  // namespace

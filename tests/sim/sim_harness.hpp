@@ -94,7 +94,16 @@ inline void assert_fault_consistency(const obs::stats_snapshot& s) {
   EXPECT_LE(s.core.envelopes_sent, s.core.flush_lane_visits);
   EXPECT_LE(s.core.pool_reuses, s.core.envelopes_sent);
   std::uint64_t sent = 0, handled = 0;
+  std::uint64_t envs = 0, wire = 0, bytes = 0;
   for (const obs::type_counters& t : s.per_type) {
+    // Wire accounting covers every type, control plane included: each
+    // envelope flush records exactly one (envelope, wire_bytes) pair, and
+    // no type's wire traffic can exceed its envelope count times its
+    // largest single envelope.
+    envs += t.envelopes;
+    wire += t.wire_bytes;
+    bytes += t.bytes;
+    EXPECT_LE(t.wire_bytes, t.envelopes * t.max_env_bytes) << "type " << t.name;
     if (t.internal) continue;
     sent += t.sent;
     handled += t.handled;
@@ -102,6 +111,11 @@ inline void assert_fault_consistency(const obs::stats_snapshot& s) {
   }
   EXPECT_EQ(sent, s.core.messages_sent);
   EXPECT_EQ(handled, s.core.handler_invocations);
+  EXPECT_EQ(envs, s.core.envelopes_sent);
+  EXPECT_EQ(wire, s.core.wire_bytes_sent);
+  EXPECT_EQ(bytes, s.core.bytes_sent);
+  // Compact wire layouts truncate — they never pad.
+  EXPECT_LE(s.core.wire_bytes_sent, s.core.bytes_sent);
 }
 
 /// Occupancy-counter conservation: after a quiescent run, every O(1)
