@@ -1,9 +1,13 @@
 // Experiment FW2 (DESIGN.md §4/§7): graph mutation at the non-morphing
-// boundary — warm-started incremental SSSP repair vs a cold re-solve after
-// adding shortcut edges. Expected shape: the warm repair performs a small
-// fraction of the cold solve's relaxations and wall time, because the
-// dependency mechanism only re-touches the part of the shortest-path tree
-// the new edges actually improve.
+// boundary — in-place incremental SSSP repair vs a cold re-solve after
+// adding shortcut edges. The warm path performs ZERO reconstruction: the
+// shortcut edges are applied once through apply_edges() (delta-CSR
+// overlay), the weight map grows lazily from its stored init function, and
+// each iteration only restores the pre-mutation distance labels and replays
+// the relax pattern from the mutation sites via sssp_solver::repair().
+// Expected shape: the warm repair performs a small fraction of the cold
+// solve's relaxations and wall time, because the dependency mechanism only
+// re-touches the part of the shortest-path tree the new edges improve.
 #include <benchmark/benchmark.h>
 
 #include "algo/sssp.hpp"
@@ -27,13 +31,16 @@ std::vector<graph::edge> shortcut_edges(int count) {
   return extra;
 }
 
+/// Cold baseline: full re-solve on the already-mutated topology (same
+/// delta-CSR overlay the warm path sees, so the comparison is purely
+/// "replay everything" vs "replay from the mutation sites").
 void BM_MutationColdResolve(benchmark::State& state) {
   const auto extra = shortcut_edges(static_cast<int>(state.range(0)));
-  auto base = wl().build(kRanks);
-  auto g2 = graph::with_added_edges(base, extra);
-  auto w2 = wl().weights(g2);
+  auto g = wl().build(kRanks);
+  auto w = wl().weights(g);
+  g.apply_edges(extra);
   ampp::transport tp(ampp::transport_config{.n_ranks = kRanks});
-  algo::sssp_solver solver(tp, g2, w2);
+  algo::sssp_solver solver(tp, g, w);
   strategy::result last;
   for (auto _ : state) {
     tp.run([&](ampp::transport_context& ctx) {
@@ -42,40 +49,57 @@ void BM_MutationColdResolve(benchmark::State& state) {
     });
   }
   state.counters["relaxations"] = static_cast<double>(last.modifications);
+  state.counters["delta_edges"] = static_cast<double>(g.total_delta_edges());
 }
-BENCHMARK(BM_MutationColdResolve)->Arg(8)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_MutationColdResolve)
+    ->Arg(8)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_MutationWarmRepair(benchmark::State& state) {
   const auto extra = shortcut_edges(static_cast<int>(state.range(0)));
-  auto base = wl().build(kRanks);
-  auto w1 = wl().weights(base);
-  auto g2 = graph::with_added_edges(base, extra);
-  auto w2 = wl().weights(g2);
+  auto g = wl().build(kRanks);
+  auto w = wl().weights(g);
 
-  // Solve once on the base graph; its distances seed every warm repair.
-  ampp::transport tp1(ampp::transport_config{.n_ranks = kRanks});
-  algo::sssp_solver base_solver(tp1, base, w1);
-  tp1.run([&](ampp::transport_context& ctx) { base_solver.run_delta(ctx, 0, 5.0); });
+  // Solve once on the base topology; its labels seed every warm repair.
+  ampp::transport tp(ampp::transport_config{.n_ranks = kRanks});
+  g.attach_stats(tp.stats());
+  algo::sssp_solver solver(tp, g, w);
+  tp.run([&](ampp::transport_context& ctx) { solver.run_delta(ctx, 0, 5.0); });
+  std::vector<std::vector<double>> base_dist(kRanks);
+  for (ampp::rank_t r = 0; r < kRanks; ++r) {
+    auto s = solver.dist().local(r);
+    base_dist[r].assign(s.begin(), s.end());
+  }
 
-  ampp::transport tp2(ampp::transport_config{.n_ranks = kRanks});
-  algo::sssp_solver solver(tp2, g2, w2);
+  // The mutation happens ONCE, in place: graph, weight map, solver, and
+  // compiled plan all survive it. No object in the hot loop is rebuilt.
+  std::vector<vertex_id> sources;
+  for (const auto& e : extra) sources.push_back(e.src);
+  g.apply_edges(extra);
+
   strategy::result last;
   for (auto _ : state) {
     for (ampp::rank_t r = 0; r < kRanks; ++r) {
-      auto src = base_solver.dist().local(r);
-      std::copy(src.begin(), src.end(), solver.dist().local(r).begin());
+      auto dst = solver.dist().local(r);
+      std::copy(base_dist[r].begin(), base_dist[r].end(), dst.begin());
     }
-    tp2.run([&](ampp::transport_context& ctx) {
-      std::vector<vertex_id> seeds;
-      for (const auto& e : extra)
-        if (g2.owner(e.src) == ctx.rank()) seeds.push_back(e.src);
-      const strategy::result r = strategy::fixed_point(ctx, solver.relax(), seeds);
+    tp.run([&](ampp::transport_context& ctx) {
+      const strategy::result r = solver.repair(ctx, sources);
       if (ctx.rank() == 0) last = r;
     });
   }
   state.counters["relaxations"] = static_cast<double>(last.modifications);
+  state.counters["delta_edges"] = static_cast<double>(g.total_delta_edges());
+  state.counters["graph_mutations"] =
+      static_cast<double>(tp.stats().graph_mutations.load(std::memory_order_relaxed));
 }
-BENCHMARK(BM_MutationWarmRepair)->Arg(8)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_MutationWarmRepair)
+    ->Arg(8)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace dpg::bench

@@ -32,7 +32,7 @@ echo "=== bench smoke (1 repetition, JSON out) ==="
 # inspection. The werror tree already built the bench binaries.
 BUILD_DIR=build-werror BENCH_SUFFIX=.ci \
   BENCH_ARGS="--benchmark_min_time=0.01 --benchmark_repetitions=1" \
-  scripts/bench_json.sh epoch sssp message_plan
+  scripts/bench_json.sh epoch sssp message_plan mutation
 
 echo "=== bench ratio guard (pattern vs hand-rolled SSSP) ==="
 # The declarative relax pattern must stay within a generous constant
@@ -56,6 +56,32 @@ ratio = pattern / hand
 print(f"pattern fixed-point / hand-rolled @2 ranks: {ratio:.2f}x (limit 6.0x)")
 if ratio >= 6.0:
     raise SystemExit("ratio guard FAILED: compiled pattern SSSP regressed vs hand-rolled")
+EOF
+
+echo "=== bench ratio guard (warm repair vs cold re-solve) ==="
+# The in-place warm repair after apply_edges() must stay decisively
+# cheaper than a cold re-solve on the mutated graph. The real experiment
+# (EXPERIMENTS.md FW2) demands >=5x; this smoke run uses a looser 3x so
+# single-repetition jitter cannot flake CI while still catching any
+# rebuild creeping back into the warm path.
+python3 - <<'EOF'
+import json
+with open("BENCH_mutation.ci.json") as f:
+    rows = json.load(f)["benchmarks"]
+
+def real_time(name):
+    for r in rows:
+        if r["name"] == name and r.get("run_type", "iteration") == "iteration":
+            return r["real_time"]
+    raise SystemExit(f"ratio guard: benchmark '{name}' missing from BENCH_mutation.ci.json")
+
+for edges in (8, 64):
+    cold = real_time(f"BM_MutationColdResolve/{edges}/real_time")
+    warm = real_time(f"BM_MutationWarmRepair/{edges}/real_time")
+    ratio = cold / warm
+    print(f"cold re-solve / warm repair @{edges} edges: {ratio:.1f}x (limit >=3.0x)")
+    if ratio < 3.0:
+        raise SystemExit("ratio guard FAILED: warm mutation repair lost its edge over a cold re-solve")
 EOF
 
 echo "CI OK"

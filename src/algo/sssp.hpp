@@ -9,6 +9,7 @@
 
 #include <limits>
 #include <memory>
+#include <span>
 
 #include "pattern/action.hpp"
 #include "strategy/delta_stepping.hpp"
@@ -52,6 +53,21 @@ class sssp_solver {
     reset(ctx, source);
     std::vector<vertex_id> seeds;
     if (g_->owner(source) == ctx.rank()) seeds.push_back(source);
+    return strategy::fixed_point(ctx, *relax_, seeds, opt);
+  }
+
+  /// Collective warm restart after apply_edges(): re-seeds the fixed_point
+  /// strategy at the sources of the newly added edges *without* resetting
+  /// distances. Because the relax action is monotone (assign only fires when
+  /// it lowers a label), replaying it from the mutation sites corrects every
+  /// label the new edges can improve and leaves the rest untouched — no
+  /// graph rebuild, no property-map rebuild, no full re-solve.
+  strategy::result repair(ampp::transport_context& ctx,
+                          std::span<const vertex_id> sources,
+                          const strategy::options& opt = {}) {
+    std::vector<vertex_id> seeds;
+    for (const vertex_id v : sources)
+      if (g_->owner(v) == ctx.rank() && dist_[v] != infinity) seeds.push_back(v);
     return strategy::fixed_point(ctx, *relax_, seeds, opt);
   }
 

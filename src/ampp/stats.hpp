@@ -46,6 +46,11 @@ struct transport_stats {
   std::atomic<std::uint64_t> flush_lane_visits{0};    ///< lanes locked by a flush (incl. capacity flushes)
   std::atomic<std::uint64_t> flush_lane_skips{0};     ///< lanes a flush skipped via occupancy/dirty tracking
   std::atomic<std::uint64_t> pool_reuses{0};          ///< envelope byte buffers recycled from the pool
+  // Topology-mutation counters (bumped by distributed_graph::apply_edges
+  // when a graph is attached via attach_stats; mutation happens outside
+  // epochs, so these appear in the summary's totals row, not per-epoch).
+  std::atomic<std::uint64_t> graph_mutations{0};      ///< apply_edges calls observed
+  std::atomic<std::uint64_t> delta_edges{0};          ///< overlay edges appended
 
   /// Plain-value snapshot. Manual snapshot-and-subtract in tests/benches is
   /// deprecated — use obs::stats_scope, which also captures per-type deltas.
@@ -55,7 +60,7 @@ struct transport_stats {
         self_deliveries, cache_hits, cache_evictions, td_rounds, barriers, epochs,
         control_messages, envelopes_dropped, envelopes_retried, envelopes_duplicated,
         envelopes_delayed, duplicates_suppressed, flush_lane_visits, flush_lane_skips,
-        pool_reuses;
+        pool_reuses, graph_mutations, delta_edges;
 
     snapshot operator-(const snapshot& o) const {
       return {messages_sent - o.messages_sent,
@@ -77,7 +82,9 @@ struct transport_stats {
               duplicates_suppressed - o.duplicates_suppressed,
               flush_lane_visits - o.flush_lane_visits,
               flush_lane_skips - o.flush_lane_skips,
-              pool_reuses - o.pool_reuses};
+              pool_reuses - o.pool_reuses,
+              graph_mutations - o.graph_mutations,
+              delta_edges - o.delta_edges};
     }
 
     snapshot operator+(const snapshot& o) const {
@@ -100,7 +107,9 @@ struct transport_stats {
               duplicates_suppressed + o.duplicates_suppressed,
               flush_lane_visits + o.flush_lane_visits,
               flush_lane_skips + o.flush_lane_skips,
-              pool_reuses + o.pool_reuses};
+              pool_reuses + o.pool_reuses,
+              graph_mutations + o.graph_mutations,
+              delta_edges + o.delta_edges};
     }
   };
 
@@ -111,7 +120,7 @@ struct transport_stats {
             control_messages.load(), envelopes_dropped.load(), envelopes_retried.load(),
             envelopes_duplicated.load(), envelopes_delayed.load(),
             duplicates_suppressed.load(), flush_lane_visits.load(), flush_lane_skips.load(),
-            pool_reuses.load()};
+            pool_reuses.load(), graph_mutations.load(), delta_edges.load()};
   }
 };
 

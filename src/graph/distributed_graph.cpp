@@ -1,7 +1,10 @@
 #include "graph/distributed_graph.hpp"
 
 #include <algorithm>
+#include <string>
 #include <unordered_set>
+
+#include "ampp/stats.hpp"
 
 namespace dpg::graph {
 
@@ -9,8 +12,13 @@ distributed_graph::distributed_graph(vertex_id n, std::span<const edge> edges,
                                      distribution dist, bool bidirectional)
     : dist_(std::move(dist)), bidirectional_(bidirectional), num_edges_(edges.size()) {
   DPG_ASSERT_MSG(dist_.num_vertices() == n, "distribution sized for a different graph");
+  build_shards(edges);
+}
+
+void distributed_graph::build_shards(std::span<const edge> edges) {
+  const vertex_id n = dist_.num_vertices();
   const rank_t ranks = dist_.num_ranks();
-  shards_.resize(ranks);
+  shards_.assign(ranks, shard{});
 
   // --- out-edges: counting sort by (owner(src), local_index(src)) ---------
   for (rank_t r = 0; r < ranks; ++r)
@@ -80,6 +88,66 @@ distributed_graph::distributed_graph(vertex_id n, std::span<const edge> edges,
   }
 }
 
+void distributed_graph::apply_edges(std::span<const edge> extra) {
+  // The non-morphing boundary (footnote 1): patterns never see the topology
+  // change, because mutation is only legal while no SPMD program runs.
+  if (ampp::current_rank() != ampp::invalid_rank) {
+    const std::string msg =
+        "apply_edges called inside transport::run: the paper's non-morphing "
+        "guarantee (footnote 1) restricts topology mutation to the boundary "
+        "between runs (graph version " +
+        std::to_string(version_) + ")";
+    dpg::assert_fail("ampp::current_rank() == ampp::invalid_rank", __FILE__, __LINE__,
+                     msg.c_str());
+  }
+  if (extra.empty()) return;
+  const vertex_id n = dist_.num_vertices();
+  for (const edge& e : extra) {
+    DPG_ASSERT_MSG(e.src < n && e.dst < n, "edge endpoint out of range");
+    const rank_t r = dist_.owner(e.src);
+    shard& s = shards_[r];
+    if (s.delta_adj.empty()) s.delta_adj.resize(dist_.count(r));
+    const std::uint64_t j = s.delta_dst.size();
+    DPG_ASSERT_MSG(j <= delta_index_mask, "per-rank delta overlay exhausted; compact()");
+    s.delta_src.push_back(e.src);
+    s.delta_dst.push_back(e.dst);
+    s.delta_adj[dist_.local_index(e.src)].push_back(static_cast<std::uint32_t>(j));
+    if (bidirectional_) {
+      const rank_t dr = dist_.owner(e.dst);
+      shard& d = shards_[dr];
+      if (d.delta_in_adj.empty()) d.delta_in_adj.resize(dist_.count(dr));
+      const std::uint64_t k = d.delta_in_src.size();
+      d.delta_in_src.push_back(e.src);
+      d.delta_in_dst.push_back(e.dst);
+      d.delta_in_eid.push_back(make_delta_eid(r, j));
+      d.delta_in_adj[dist_.local_index(e.dst)].push_back(static_cast<std::uint32_t>(k));
+    }
+  }
+  num_edges_ += extra.size();
+  delta_total_ += extra.size();
+  ++version_;
+  if (stats_ != nullptr) {
+    stats_->graph_mutations.fetch_add(1, std::memory_order_relaxed);
+    stats_->delta_edges.fetch_add(extra.size(), std::memory_order_relaxed);
+  }
+}
+
+void distributed_graph::compact() {
+  DPG_ASSERT_MSG(ampp::current_rank() == ampp::invalid_rank,
+                 "compact() rebuilds every shard; call it outside a run");
+  if (delta_total_ == 0) return;
+  // edge_list_of walks base + overlay per vertex, which is exactly the
+  // per-vertex order a from-scratch rebuild over "original edges followed
+  // by extras" produces — so the recounted CSR is structurally identical
+  // (degrees, adjacency, edge-id numbering) to that rebuild.
+  const std::vector<edge> edges = edge_list_of(*this);
+  build_shards(edges);
+  num_edges_ = edges.size();
+  delta_total_ = 0;
+  ++version_;
+  ++structure_version_;
+}
+
 std::vector<edge> edge_list_of(const distributed_graph& g) {
   DPG_ASSERT_MSG(ampp::current_rank() == ampp::invalid_rank,
                  "edge_list_of touches every shard; call it outside a run");
@@ -95,10 +163,11 @@ std::vector<edge> edge_list_of(const distributed_graph& g) {
 }
 
 distributed_graph with_added_edges(const distributed_graph& g, std::span<const edge> extra,
-                                   bool bidirectional) {
+                                   std::optional<bool> bidirectional) {
   std::vector<edge> edges = edge_list_of(g);
   edges.insert(edges.end(), extra.begin(), extra.end());
-  return distributed_graph(g.num_vertices(), edges, g.dist(), bidirectional);
+  return distributed_graph(g.num_vertices(), edges, g.dist(),
+                           bidirectional.value_or(g.bidirectional()));
 }
 
 std::vector<edge> symmetrize(std::span<const edge> edges) {

@@ -7,9 +7,23 @@
 // enumerated on the rank that owns v. Inside ampp::transport::run this is
 // enforced with assertions; outside a run (test inspection, sequential
 // baselines) access is unrestricted.
+//
+// Mutable topology (the non-morphing boundary, footnote 1): the paper's
+// patterns never change graph structure, so mutation happens *between*
+// runs. The graph carries a monotonically increasing topology version and a
+// per-rank delta-CSR overlay: apply_edges() appends edges in place (outside
+// any transport::run — enforced at runtime), assigning stable ids from the
+// per-rank delta base (graph/ids.hpp); compact() folds the overlay back
+// into the base CSR, renumbering edge ids exactly as a from-scratch
+// rebuild would. Every enumeration (out_edges / in_edges / adjacent /
+// degrees) transparently walks base + overlay, which keeps the pattern
+// layer and compiled plans mutation-oblivious. Property maps subscribe to
+// version() and grow lazily (pmap/vertex_map.hpp, pmap/edge_map.hpp).
 #pragma once
 
 #include <cstdint>
+#include <iterator>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -17,6 +31,10 @@
 #include "graph/distribution.hpp"
 #include "graph/ids.hpp"
 #include "util/assert.hpp"
+
+namespace dpg::ampp {
+struct transport_stats;  // obs counter sink (ampp/stats.hpp)
+}
 
 namespace dpg::graph {
 
@@ -39,36 +57,103 @@ class distributed_graph {
 
   rank_t owner(vertex_id v) const { return dist_.owner(v); }
 
-  /// First global edge id assigned to rank r's out-edges.
+  // ---- topology versioning -------------------------------------------------
+
+  /// Monotonically increasing topology version: bumped by every
+  /// apply_edges() and every compact(). Property maps subscribe to it.
+  std::uint64_t version() const noexcept { return version_; }
+  /// Bumped only when edge ids are renumbered (compact()): maps that index
+  /// by edge id must be rebuilt past a structure change, not merely grown.
+  std::uint64_t structure_version() const noexcept { return structure_version_; }
+
+  /// Appends `extra` edges in place at the non-morphing boundary. Must be
+  /// called outside any transport::run / epoch (the paper's footnote-1
+  /// guarantee, enforced at runtime). Each edge joins the delta overlay of
+  /// owner(src) — and owner(dst)'s in-overlay for bidirectional storage —
+  /// with a fresh stable id from the per-rank delta base. O(|extra|);
+  /// existing edge ids, property maps, transports and compiled plans stay
+  /// valid (maps grow lazily on next access).
+  void apply_edges(std::span<const edge> extra);
+
+  /// Folds the delta overlay back into the base CSR, renumbering edge ids
+  /// exactly as a from-scratch rebuild over the concatenated edge list
+  /// would (the equivalence the oracle test asserts). Outside-run only.
+  /// No-op on a graph with an empty overlay. Edge property maps observe the
+  /// structure change and re-derive from their pure init function (maps
+  /// without one must be rebuilt by the caller).
+  void compact();
+
+  /// Attaches an obs counter sink: subsequent apply_edges() calls bump
+  /// graph_mutations / delta_edges (surfaced in the epoch summary).
+  void attach_stats(ampp::transport_stats& st) noexcept { stats_ = &st; }
+
+  /// Total overlay edges across all ranks (0 after compact()).
+  std::uint64_t total_delta_edges() const noexcept { return delta_total_; }
+
+  // ---- per-rank storage accounting ----------------------------------------
+
+  /// First global edge id assigned to rank r's base out-edges.
   std::uint64_t edge_base(rank_t r) const { return shards_[r].edge_base; }
-  /// Number of out-edges stored on rank r.
+  /// Number of base (CSR) out-edges stored on rank r.
   std::uint64_t edge_count(rank_t r) const {
     return shards_[r].out_dst.size();
   }
-  /// Number of in-edges stored on rank r (bidirectional graphs).
+  /// Number of base in-edges stored on rank r (bidirectional graphs).
   std::uint64_t in_edge_count(rank_t r) const { return shards_[r].in_src.size(); }
+  /// Number of overlay out-edges appended on rank r since the last compact.
+  std::uint64_t delta_edge_count(rank_t r) const { return shards_[r].delta_dst.size(); }
+  /// Number of overlay in-edges on rank r (bidirectional graphs).
+  std::uint64_t delta_in_edge_count(rank_t r) const {
+    return shards_[r].delta_in_src.size();
+  }
+
+  /// Handle of rank r's j-th overlay out-edge (for property-map growth).
+  edge_handle delta_out_edge(rank_t r, std::uint64_t j) const {
+    const shard& s = shards_[r];
+    return edge_handle{s.delta_src[j], s.delta_dst[j], make_delta_eid(r, j),
+                       static_cast<std::uint64_t>(-1)};
+  }
+  /// Handle of rank r's j-th overlay in-edge (mirror slot tagged delta).
+  edge_handle delta_in_edge(rank_t r, std::uint64_t j) const {
+    const shard& s = shards_[r];
+    return edge_handle{s.delta_in_src[j], s.delta_in_dst[j], s.delta_in_eid[j],
+                       delta_edge_flag | j};
+  }
 
   std::uint64_t out_degree(vertex_id v) const {
     const shard& s = owner_shard(v);
     const std::uint64_t li = dist_.local_index(v);
-    return s.out_offsets[li + 1] - s.out_offsets[li];
+    return s.out_offsets[li + 1] - s.out_offsets[li] + s.delta_deg(li);
   }
 
   std::uint64_t in_degree(vertex_id v) const {
     DPG_ASSERT_MSG(bidirectional_, "in_degree requires bidirectional storage");
     const shard& s = owner_shard(v);
     const std::uint64_t li = dist_.local_index(v);
-    return s.in_offsets[li + 1] - s.in_offsets[li];
+    return s.in_offsets[li + 1] - s.in_offsets[li] + s.delta_in_deg(li);
   }
 
-  /// Forward iteration over v's out-edges as edge_handles. Owner-only.
+  /// Forward iteration over v's out-edges as edge_handles: the base CSR
+  /// segment first, then the delta overlay in append order (exactly the
+  /// per-vertex order a compact()/rebuild preserves). Owner-only.
   class out_edge_range {
    public:
     class iterator {
      public:
       using value_type = edge_handle;
+      using iterator_category = std::forward_iterator_tag;
+      using difference_type = std::int64_t;
+      using pointer = void;
+      using reference = edge_handle;
       edge_handle operator*() const {
-        return edge_handle{src_, r_->s_->out_dst[pos_], r_->s_->edge_base + pos_,
+        const std::uint64_t base_n = r_->last_ - r_->first_;
+        if (pos_ < base_n) {
+          const std::uint64_t p = r_->first_ + pos_;
+          return edge_handle{src_, r_->s_->out_dst[p], r_->s_->edge_base + p,
+                             static_cast<std::uint64_t>(-1)};
+        }
+        const std::uint32_t j = (*r_->dadj_)[pos_ - base_n];
+        return edge_handle{src_, r_->s_->delta_dst[j], make_delta_eid(r_->rank_, j),
                            static_cast<std::uint64_t>(-1)};
       }
       iterator& operator++() {
@@ -87,29 +172,45 @@ class distributed_graph {
       std::uint64_t pos_;
     };
 
-    iterator begin() const { return iterator(this, src_, first_); }
-    iterator end() const { return iterator(this, src_, last_); }
-    std::uint64_t size() const { return last_ - first_; }
-    bool empty() const { return first_ == last_; }
+    iterator begin() const { return iterator(this, src_, 0); }
+    iterator end() const { return iterator(this, src_, size()); }
+    std::uint64_t size() const {
+      return (last_ - first_) + (dadj_ != nullptr ? dadj_->size() : 0);
+    }
+    bool empty() const { return size() == 0; }
 
    private:
     friend class distributed_graph;
-    out_edge_range(const shard* s, vertex_id src, std::uint64_t first,
-                   std::uint64_t last)
-        : s_(s), src_(src), first_(first), last_(last) {}
+    out_edge_range(const shard* s, rank_t rank, vertex_id src, std::uint64_t first,
+                   std::uint64_t last, const std::vector<std::uint32_t>* dadj)
+        : s_(s), rank_(rank), src_(src), first_(first), last_(last), dadj_(dadj) {}
     const shard* s_;
+    rank_t rank_;
     vertex_id src_;
     std::uint64_t first_, last_;
+    const std::vector<std::uint32_t>* dadj_;  ///< overlay slots, or nullptr
   };
 
-  /// Forward iteration over v's in-edges as edge_handles (mirror slots set).
+  /// Forward iteration over v's in-edges as edge_handles (mirror slots set;
+  /// overlay in-edges carry delta-tagged mirror slots).
   class in_edge_range {
    public:
     class iterator {
      public:
       using value_type = edge_handle;
+      using iterator_category = std::forward_iterator_tag;
+      using difference_type = std::int64_t;
+      using pointer = void;
+      using reference = edge_handle;
       edge_handle operator*() const {
-        return edge_handle{r_->s_->in_src[pos_], dst_, r_->s_->in_eid[pos_], pos_};
+        const std::uint64_t base_n = r_->last_ - r_->first_;
+        if (pos_ < base_n) {
+          const std::uint64_t p = r_->first_ + pos_;
+          return edge_handle{r_->s_->in_src[p], dst_, r_->s_->in_eid[p], p};
+        }
+        const std::uint32_t j = (*r_->dadj_)[pos_ - base_n];
+        return edge_handle{r_->s_->delta_in_src[j], dst_, r_->s_->delta_in_eid[j],
+                           delta_edge_flag | j};
       }
       iterator& operator++() {
         ++pos_;
@@ -127,40 +228,96 @@ class distributed_graph {
       std::uint64_t pos_;
     };
 
-    iterator begin() const { return iterator(this, dst_, first_); }
-    iterator end() const { return iterator(this, dst_, last_); }
-    std::uint64_t size() const { return last_ - first_; }
-    bool empty() const { return first_ == last_; }
+    iterator begin() const { return iterator(this, dst_, 0); }
+    iterator end() const { return iterator(this, dst_, size()); }
+    std::uint64_t size() const {
+      return (last_ - first_) + (dadj_ != nullptr ? dadj_->size() : 0);
+    }
+    bool empty() const { return size() == 0; }
 
    private:
     friend class distributed_graph;
     in_edge_range(const shard* s, vertex_id dst, std::uint64_t first,
-                  std::uint64_t last)
-        : s_(s), dst_(dst), first_(first), last_(last) {}
+                  std::uint64_t last, const std::vector<std::uint32_t>* dadj)
+        : s_(s), dst_(dst), first_(first), last_(last), dadj_(dadj) {}
     const shard* s_;
     vertex_id dst_;
     std::uint64_t first_, last_;
+    const std::vector<std::uint32_t>* dadj_;
+  };
+
+  /// Out-neighbour targets of v (the `adj` generator view): the base CSR
+  /// span followed by overlay targets. Owner-only.
+  class adjacency_range {
+   public:
+    class iterator {
+     public:
+      using value_type = vertex_id;
+      using iterator_category = std::forward_iterator_tag;
+      using difference_type = std::int64_t;
+      using pointer = void;
+      using reference = vertex_id;
+      vertex_id operator*() const {
+        if (pos_ < r_->base_.size()) return r_->base_[pos_];
+        return r_->s_->delta_dst[(*r_->dadj_)[pos_ - r_->base_.size()]];
+      }
+      iterator& operator++() {
+        ++pos_;
+        return *this;
+      }
+      bool operator!=(const iterator& o) const { return pos_ != o.pos_; }
+      bool operator==(const iterator& o) const { return pos_ == o.pos_; }
+
+     private:
+      friend class adjacency_range;
+      iterator(const adjacency_range* r, std::uint64_t pos) : r_(r), pos_(pos) {}
+      const adjacency_range* r_;
+      std::uint64_t pos_;
+    };
+
+    iterator begin() const { return iterator(this, 0); }
+    iterator end() const { return iterator(this, size()); }
+    std::uint64_t size() const {
+      return base_.size() + (dadj_ != nullptr ? dadj_->size() : 0);
+    }
+    bool empty() const { return size() == 0; }
+    /// The contiguous base-CSR prefix (no overlay entries).
+    std::span<const vertex_id> base() const { return base_; }
+
+   private:
+    friend class distributed_graph;
+    adjacency_range(const shard* s, std::span<const vertex_id> base,
+                    const std::vector<std::uint32_t>* dadj)
+        : s_(s), base_(base), dadj_(dadj) {}
+    const shard* s_;
+    std::span<const vertex_id> base_;
+    const std::vector<std::uint32_t>* dadj_;
   };
 
   out_edge_range out_edges(vertex_id v) const {
-    const shard& s = owner_shard(v);
+    const rank_t r = checked_owner(v);
+    const shard& s = shards_[r];
     const std::uint64_t li = dist_.local_index(v);
-    return out_edge_range(&s, v, s.out_offsets[li], s.out_offsets[li + 1]);
+    return out_edge_range(&s, r, v, s.out_offsets[li], s.out_offsets[li + 1],
+                          s.delta_slots(li));
   }
 
   in_edge_range in_edges(vertex_id v) const {
     DPG_ASSERT_MSG(bidirectional_, "in_edges requires bidirectional storage");
     const shard& s = owner_shard(v);
     const std::uint64_t li = dist_.local_index(v);
-    return in_edge_range(&s, v, s.in_offsets[li], s.in_offsets[li + 1]);
+    return in_edge_range(&s, v, s.in_offsets[li], s.in_offsets[li + 1],
+                         s.delta_in_slots(li));
   }
 
-  /// Out-neighbour targets of v (the `adj` generator view). Owner-only.
-  std::span<const vertex_id> adjacent(vertex_id v) const {
+  adjacency_range adjacent(vertex_id v) const {
     const shard& s = owner_shard(v);
     const std::uint64_t li = dist_.local_index(v);
-    return std::span<const vertex_id>(s.out_dst.data() + s.out_offsets[li],
-                                      s.out_offsets[li + 1] - s.out_offsets[li]);
+    return adjacency_range(
+        &s,
+        std::span<const vertex_id>(s.out_dst.data() + s.out_offsets[li],
+                                   s.out_offsets[li + 1] - s.out_offsets[li]),
+        s.delta_slots(li));
   }
 
  private:
@@ -171,34 +328,71 @@ class distributed_graph {
     std::vector<std::uint64_t> in_offsets;   // CSR over local vertices
     std::vector<vertex_id> in_src;
     std::vector<std::uint64_t> in_eid;       // the out-numbering id of each in-edge
+
+    // ---- delta overlay (apply_edges appends; compact() clears) ------------
+    // Arrays indexed by the per-rank delta index (the stable id suffix):
+    std::vector<vertex_id> delta_src;
+    std::vector<vertex_id> delta_dst;
+    // Per-local-vertex slot lists, allocated lazily on the first append:
+    std::vector<std::vector<std::uint32_t>> delta_adj;
+    // In-overlay of bidirectional storage, same layout keyed by dst:
+    std::vector<vertex_id> delta_in_src;
+    std::vector<vertex_id> delta_in_dst;
+    std::vector<std::uint64_t> delta_in_eid;  // out-numbering (delta) id
+    std::vector<std::vector<std::uint32_t>> delta_in_adj;
+
+    const std::vector<std::uint32_t>* delta_slots(std::uint64_t li) const {
+      return delta_adj.empty() || delta_adj[li].empty() ? nullptr : &delta_adj[li];
+    }
+    const std::vector<std::uint32_t>* delta_in_slots(std::uint64_t li) const {
+      return delta_in_adj.empty() || delta_in_adj[li].empty() ? nullptr
+                                                              : &delta_in_adj[li];
+    }
+    std::uint64_t delta_deg(std::uint64_t li) const {
+      return delta_adj.empty() ? 0 : delta_adj[li].size();
+    }
+    std::uint64_t delta_in_deg(std::uint64_t li) const {
+      return delta_in_adj.empty() ? 0 : delta_in_adj[li].size();
+    }
   };
 
-  const shard& owner_shard(vertex_id v) const {
+  rank_t checked_owner(vertex_id v) const {
     const rank_t o = dist_.owner(v);
     const rank_t cur = ampp::current_rank();
     DPG_ASSERT_MSG(cur == ampp::invalid_rank || cur == o,
                    "graph topology accessed on a rank that does not own the vertex");
-    return shards_[o];
+    return o;
   }
+  const shard& owner_shard(vertex_id v) const { return shards_[checked_owner(v)]; }
+
+  /// Builds the base CSR shards from a global edge list (constructor body;
+  /// compact() reuses it after folding the overlay).
+  void build_shards(std::span<const edge> edges);
 
   distribution dist_;
   bool bidirectional_;
   std::uint64_t num_edges_ = 0;
   std::vector<shard> shards_;
+  std::uint64_t version_ = 1;
+  std::uint64_t structure_version_ = 1;
+  std::uint64_t delta_total_ = 0;
+  ampp::transport_stats* stats_ = nullptr;
 };
 
-/// Recovers the full edge list of a distributed graph (in edge-id order).
-/// Call outside transport::run.
+/// Recovers the full edge list of a distributed graph (in edge-id order for
+/// the base CSR; overlay edges follow their vertex's base edges, which is
+/// the order compact() and a rebuild both preserve). Call outside
+/// transport::run.
 std::vector<edge> edge_list_of(const distributed_graph& g);
 
-/// The framework is for non-morphing algorithms (the paper's footnote 1:
-/// patterns may not change graph structure). Mutation therefore happens
-/// *between* runs: this builds a new graph with `extra` edges appended,
-/// preserving the distribution, so existing property values can be carried
-/// over vertex-by-vertex (vertex ownership is unchanged). Newly appended
-/// edges receive fresh edge ids; edge property maps must be rebuilt.
+/// The legacy whole-world mutation path: builds a *new* graph with `extra`
+/// edges appended, preserving the distribution. Prefer apply_edges() +
+/// compact(), which mutate in place and keep property maps, transports and
+/// compiled plans alive. By default the rebuilt graph keeps g's storage
+/// model (bidirectional graphs stay bidirectional); pass an explicit flag
+/// to change it.
 distributed_graph with_added_edges(const distributed_graph& g, std::span<const edge> extra,
-                                   bool bidirectional = false);
+                                   std::optional<bool> bidirectional = std::nullopt);
 
 /// Appends the reverse of every edge, producing the symmetric directed
 /// representation of an undirected graph (the CC algorithms assume this).

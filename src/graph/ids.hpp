@@ -50,4 +50,45 @@ struct edge {
   friend bool operator==(const edge&, const edge&) = default;
 };
 
+// ---------------------------------------------------------------------------
+// Delta edge ids (the mutable-topology overlay)
+// ---------------------------------------------------------------------------
+//
+// Edges appended at the non-morphing boundary (distributed_graph::apply_edges)
+// receive *stable* ids from a per-rank delta base so property maps can index
+// them in O(1) without renumbering the base CSR: bit 63 tags the id as a
+// delta edge, bits [40, 63) carry the owning rank, bits [0, 40) the rank's
+// append index. compact() folds the overlay into the base CSR and retires
+// these ids (the rebuilt numbering is contiguous again).
+//
+// The same tag bit marks delta mirror slots of bidirectional graphs, so an
+// edge_handle's mirror_slot distinguishes base in-CSR slots from overlay
+// slots without widening the handle.
+
+inline constexpr std::uint64_t delta_edge_flag = std::uint64_t{1} << 63;
+inline constexpr unsigned delta_rank_shift = 40;
+inline constexpr std::uint64_t delta_index_mask =
+    (std::uint64_t{1} << delta_rank_shift) - 1;
+
+/// First delta edge id of rank r: the per-rank delta base.
+constexpr std::uint64_t delta_edge_base(std::uint32_t rank) noexcept {
+  return delta_edge_flag | (static_cast<std::uint64_t>(rank) << delta_rank_shift);
+}
+
+constexpr bool is_delta_edge(std::uint64_t eid) noexcept {
+  return (eid & delta_edge_flag) != 0 && eid != static_cast<std::uint64_t>(-1);
+}
+
+constexpr std::uint64_t make_delta_eid(std::uint32_t rank, std::uint64_t index) noexcept {
+  return delta_edge_base(rank) | index;
+}
+
+constexpr std::uint32_t delta_edge_rank(std::uint64_t eid) noexcept {
+  return static_cast<std::uint32_t>((eid & ~delta_edge_flag) >> delta_rank_shift);
+}
+
+constexpr std::uint64_t delta_edge_index(std::uint64_t eid) noexcept {
+  return eid & delta_index_mask;
+}
+
 }  // namespace dpg::graph

@@ -128,9 +128,10 @@ std::string registry::epoch_summary() const {
   std::string out;
   char line[256];
   std::snprintf(line, sizeof line,
-                "%5s %9s %10s %9s %12s %12s %9s %9s %10s %8s %8s %9s %9s\n",
+                "%5s %9s %10s %9s %12s %12s %9s %9s %10s %8s %8s %9s %9s %5s %8s\n",
                 "epoch", "wall_ms", "msgs", "envs", "bytes", "wire_b", "handlers",
-                "td_rnds", "cache_hit", "drops", "retries", "ln_visit", "ln_skip");
+                "td_rnds", "cache_hit", "drops", "retries", "ln_visit", "ln_skip",
+                "muts", "delta_e");
   out += line;
   counters tot{};
   std::uint64_t tot_us = 0;
@@ -138,7 +139,7 @@ std::string registry::epoch_summary() const {
     const counters& d = e.delta.core;
     std::snprintf(line, sizeof line,
                   "%5llu %9.3f %10llu %9llu %12llu %12llu %9llu %9llu %10llu %8llu %8llu "
-                  "%9llu %9llu\n",
+                  "%9llu %9llu %5llu %8llu\n",
                   static_cast<unsigned long long>(e.index), e.dur_us / 1e3,
                   static_cast<unsigned long long>(d.messages_sent),
                   static_cast<unsigned long long>(d.envelopes_sent),
@@ -150,14 +151,24 @@ std::string registry::epoch_summary() const {
                   static_cast<unsigned long long>(d.envelopes_dropped),
                   static_cast<unsigned long long>(d.envelopes_retried),
                   static_cast<unsigned long long>(d.flush_lane_visits),
-                  static_cast<unsigned long long>(d.flush_lane_skips));
+                  static_cast<unsigned long long>(d.flush_lane_skips),
+                  static_cast<unsigned long long>(d.graph_mutations),
+                  static_cast<unsigned long long>(d.delta_edges));
     out += line;
     tot = tot + d;
     tot_us += e.dur_us;
   }
+  // Topology mutation is only legal *between* runs, so every per-epoch
+  // delta is zero for these two; the totals row reports the cumulative
+  // counts instead of the (empty) sum of epoch deltas.
+  {
+    const counters cum = core_.snap();
+    tot.graph_mutations = cum.graph_mutations;
+    tot.delta_edges = cum.delta_edges;
+  }
   std::snprintf(line, sizeof line,
                 "%5s %9.3f %10llu %9llu %12llu %12llu %9llu %9llu %10llu %8llu %8llu "
-                "%9llu %9llu\n",
+                "%9llu %9llu %5llu %8llu\n",
                 "total", tot_us / 1e3, static_cast<unsigned long long>(tot.messages_sent),
                 static_cast<unsigned long long>(tot.envelopes_sent),
                 static_cast<unsigned long long>(tot.bytes_sent),
@@ -168,7 +179,9 @@ std::string registry::epoch_summary() const {
                 static_cast<unsigned long long>(tot.envelopes_dropped),
                 static_cast<unsigned long long>(tot.envelopes_retried),
                 static_cast<unsigned long long>(tot.flush_lane_visits),
-                static_cast<unsigned long long>(tot.flush_lane_skips));
+                static_cast<unsigned long long>(tot.flush_lane_skips),
+                static_cast<unsigned long long>(tot.graph_mutations),
+                static_cast<unsigned long long>(tot.delta_edges));
   out += line;
 
   out += "per-type totals (cumulative):\n";

@@ -543,6 +543,10 @@ class instantiated_action final : public action_instance {
         return;
       }
     }
+    // The generator loops iterate the graph's live ranges (base CSR segment
+    // then delta overlay), so compiled plans are mutation-oblivious: edges
+    // appended by apply_edges() between runs are visited with no plan
+    // recompilation.
     gather_state s;
     s.v = v;
     if constexpr (std::is_same_v<Gen, out_edges_gen>) {
@@ -947,7 +951,9 @@ class instantiated_action final : public action_instance {
   // ---- execution -----------------------------------------------------------
 
   /// Fast-path generator loop: evaluates destination and proposed value
-  /// directly from the generator state — no arena, no gather chain.
+  /// directly from the generator state — no arena, no gather chain. Like
+  /// the arena path, iterates base + overlay ranges, so the fast kernel is
+  /// equally mutation-oblivious.
   void fast_generate(ampp::transport_context& ctx, graph::vertex_id v) {
     if constexpr (kFastShape) {
       gather_state s;

@@ -8,9 +8,26 @@
 // Mirrors are filled at construction from the same pure function as the
 // primary copy; runtime writes go to the primary only (none of the paper's
 // algorithms write edge properties after construction).
+//
+// Topology versioning: the map subscribes to its graph's version() and
+// grows lazily on the first access after apply_edges(). Base (CSR) edges
+// are indexed by `eid - edge_base`; overlay edges carry delta-tagged ids
+// (graph/ids.hpp) and live in per-rank delta shards, so growth appends
+// without disturbing base values. How delta values materialize depends on
+// how the map was built:
+//   * pure init function  — evaluated for each new edge (mirrors included),
+//   * uniform fill        — new edges take the fill value,
+//   * from_edge_values    — frozen: there is no recipe for unseen edges, so
+//     any post-mutation access fails loudly, naming both versions.
+// compact() renumbers edge ids (a structure change): maps with an init
+// function re-derive all storage; fill/frozen maps cannot and fail loudly.
 #pragma once
 
+#include <atomic>
+#include <functional>
+#include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "ampp/types.hpp"
@@ -28,38 +45,89 @@ class edge_property_map {
  public:
   using value_type = T;
 
-  /// Uniform initialization.
-  edge_property_map(const graph::distributed_graph& g, T init = T{}) : g_(&g) {
+  /// Uniform initialization. Overlay edges added later take `init` too.
+  edge_property_map(const graph::distributed_graph& g, T init = T{})
+      : g_(&g), growth_(growth::fill), fill_(init) {
     allocate(init);
+    seen_version_.store(g.version(), std::memory_order_release);
+    seen_structure_ = g.structure_version();
   }
 
   /// Fill from a pure function of the edge. `f` must be deterministic in
-  /// (src, dst, eid) so primary and mirror copies agree.
+  /// (src, dst, eid) so primary and mirror copies agree. The function is
+  /// retained: overlay edges appended by apply_edges() are filled from it
+  /// lazily, and compact() re-derives the whole map through it.
   template <class F>
     requires std::invocable<F&, const edge_handle&>
-  edge_property_map(const graph::distributed_graph& g, F f) : g_(&g) {
+  edge_property_map(const graph::distributed_graph& g, F f)
+      : g_(&g), growth_(growth::fn), init_fn_(std::move(f)) {
     allocate(T{});
     DPG_ASSERT_MSG(ampp::current_rank() == ampp::invalid_rank,
                    "construct edge maps before entering transport::run");
-    const auto& dist = g.dist();
-    for (rank_t r = 0; r < g.num_ranks(); ++r) {
-      for (std::uint64_t li = 0; li < dist.count(r); ++li) {
-        const vertex_id v = dist.global(r, li);
-        for (const edge_handle e : g.out_edges(v))
-          primary_[r][e.eid - g.edge_base(r)] = f(e);
-        if (g.bidirectional())
-          for (const edge_handle e : g.in_edges(v)) mirror_[r][e.mirror_slot] = f(e);
-      }
-    }
+    fill_from_fn();
+    seen_version_.store(g.version(), std::memory_order_release);
+    seen_structure_ = g.structure_version();
+  }
+
+  edge_property_map(const edge_property_map& o)
+      : g_(o.g_), growth_(o.growth_), fill_(o.fill_), init_fn_(o.init_fn_),
+        primary_(o.primary_), mirror_(o.mirror_), delta_primary_(o.delta_primary_),
+        delta_mirror_(o.delta_mirror_), seen_structure_(o.seen_structure_) {
+    seen_version_.store(o.seen_version_.load(std::memory_order_acquire),
+                        std::memory_order_release);
+  }
+  edge_property_map(edge_property_map&& o) noexcept
+      : g_(o.g_), growth_(o.growth_), fill_(std::move(o.fill_)),
+        init_fn_(std::move(o.init_fn_)), primary_(std::move(o.primary_)),
+        mirror_(std::move(o.mirror_)), delta_primary_(std::move(o.delta_primary_)),
+        delta_mirror_(std::move(o.delta_mirror_)), seen_structure_(o.seen_structure_) {
+    seen_version_.store(o.seen_version_.load(std::memory_order_acquire),
+                        std::memory_order_release);
+  }
+  edge_property_map& operator=(const edge_property_map& o) {
+    if (this == &o) return *this;
+    g_ = o.g_;
+    growth_ = o.growth_;
+    fill_ = o.fill_;
+    init_fn_ = o.init_fn_;
+    primary_ = o.primary_;
+    mirror_ = o.mirror_;
+    delta_primary_ = o.delta_primary_;
+    delta_mirror_ = o.delta_mirror_;
+    seen_structure_ = o.seen_structure_;
+    seen_version_.store(o.seen_version_.load(std::memory_order_acquire),
+                        std::memory_order_release);
+    return *this;
+  }
+  edge_property_map& operator=(edge_property_map&& o) noexcept {
+    if (this == &o) return *this;
+    g_ = o.g_;
+    growth_ = o.growth_;
+    fill_ = std::move(o.fill_);
+    init_fn_ = std::move(o.init_fn_);
+    primary_ = std::move(o.primary_);
+    mirror_ = std::move(o.mirror_);
+    delta_primary_ = std::move(o.delta_primary_);
+    delta_mirror_ = std::move(o.delta_mirror_);
+    seen_structure_ = o.seen_structure_;
+    seen_version_.store(o.seen_version_.load(std::memory_order_acquire),
+                        std::memory_order_release);
+    return *this;
   }
 
   /// Authoritative (writable) value; valid only on owner(src(e)).
   T& operator[](const edge_handle& e) {
+    sync();
     const rank_t o = checked_src_owner(e);
+    if (graph::is_delta_edge(e.eid))
+      return delta_primary_[graph::delta_edge_rank(e.eid)][graph::delta_edge_index(e.eid)];
     return primary_[o][e.eid - g_->edge_base(o)];
   }
   const T& operator[](const edge_handle& e) const {
+    sync();
     const rank_t o = checked_src_owner(e);
+    if (graph::is_delta_edge(e.eid))
+      return delta_primary_[graph::delta_edge_rank(e.eid)][graph::delta_edge_index(e.eid)];
     return primary_[o][e.eid - g_->edge_base(o)];
   }
 
@@ -67,30 +135,49 @@ class edge_property_map {
   /// owner(dst) reads the mirror (requires an in-edge handle from a
   /// bidirectional graph). This is what the pattern executor calls.
   const T& read(const edge_handle& e) const {
+    sync();
     const rank_t cur = ampp::current_rank();
     const rank_t so = g_->owner(e.src);
-    if (cur == ampp::invalid_rank || cur == so)
+    if (cur == ampp::invalid_rank || cur == so) {
+      if (graph::is_delta_edge(e.eid))
+        return delta_primary_[graph::delta_edge_rank(e.eid)]
+                             [graph::delta_edge_index(e.eid)];
       return primary_[so][e.eid - g_->edge_base(so)];
+    }
     const rank_t to = g_->owner(e.dst);
     DPG_ASSERT_MSG(cur == to, "edge property read on a rank owning neither endpoint");
     DPG_ASSERT_MSG(e.mirror_slot != static_cast<std::uint64_t>(-1),
                    "mirror read requires an in-edge handle");
+    if ((e.mirror_slot & graph::delta_edge_flag) != 0)
+      return delta_mirror_[to][e.mirror_slot & ~graph::delta_edge_flag];
     return mirror_[to][e.mirror_slot];
+  }
+
+  /// The graph version this map has synced to (tests observe the lazy
+  /// subscription through it).
+  std::uint64_t observed_version() const {
+    return seen_version_.load(std::memory_order_acquire);
   }
 
   /// Builds an edge map from values parallel to the *input edge list* the
   /// graph was constructed from (e.g. weights read from a file, including
   /// distinct values on parallel edges). The builder assigns edge ids in
   /// per-source-vertex input order, which this replays exactly; mirrors of
-  /// bidirectional graphs are filled consistently.
+  /// bidirectional graphs are filled consistently. The result is *frozen*:
+  /// there is no recipe for edges the graph did not have, so the graph must
+  /// carry no delta overlay, and any access after a later mutation fails.
   static edge_property_map from_edge_values(const graph::distributed_graph& g,
                                             std::span<const graph::edge> edges,
                                             std::span<const T> values) {
     DPG_ASSERT_MSG(edges.size() == values.size(), "one value per input edge required");
+    DPG_ASSERT_MSG(g.total_delta_edges() == 0,
+                   "from_edge_values replays the base CSR numbering; compact() the "
+                   "graph's delta overlay first");
     DPG_ASSERT_MSG(edges.size() == g.num_edges(), "edge list does not match the graph");
     DPG_ASSERT_MSG(ampp::current_rank() == ampp::invalid_rank,
                    "construct edge maps before entering transport::run");
     edge_property_map out(g, T{});
+    out.growth_ = growth::frozen;
     const auto& dist = g.dist();
     // Replay the builder's stable counting sort: per source vertex, edge
     // ids follow input order.
@@ -125,6 +212,12 @@ class edge_property_map {
   }
 
  private:
+  enum class growth : std::uint8_t {
+    fill,   ///< overlay edges take the stored fill value
+    fn,     ///< overlay edges evaluate the stored pure init function
+    frozen  ///< no recipe for new edges: post-mutation access is an error
+  };
+
   void allocate(const T& init) {
     primary_.resize(g_->num_ranks());
     for (rank_t r = 0; r < g_->num_ranks(); ++r)
@@ -134,6 +227,79 @@ class edge_property_map {
       for (rank_t r = 0; r < g_->num_ranks(); ++r)
         mirror_[r].assign(g_->in_edge_count(r), init);
     }
+    delta_primary_.assign(g_->num_ranks(), {});
+    delta_mirror_.assign(g_->num_ranks(), {});
+    for (rank_t r = 0; r < g_->num_ranks(); ++r) {
+      grow_rank_primary(r);
+      if (g_->bidirectional()) grow_rank_mirror(r);
+    }
+  }
+
+  /// Evaluates the stored init function over every base edge (and mirror).
+  void fill_from_fn() {
+    const auto& dist = g_->dist();
+    for (rank_t r = 0; r < g_->num_ranks(); ++r) {
+      for (std::uint64_t li = 0; li < dist.count(r); ++li) {
+        const vertex_id v = dist.global(r, li);
+        for (const edge_handle e : g_->out_edges(v))
+          if (!graph::is_delta_edge(e.eid)) primary_[r][e.eid - g_->edge_base(r)] = init_fn_(e);
+        if (g_->bidirectional())
+          for (const edge_handle e : g_->in_edges(v))
+            if ((e.mirror_slot & graph::delta_edge_flag) == 0)
+              mirror_[r][e.mirror_slot] = init_fn_(e);
+      }
+    }
+  }
+
+  /// Brings rank r's delta-primary shard up to the graph's overlay size.
+  void grow_rank_primary(rank_t r) {
+    auto& dp = delta_primary_[r];
+    const std::uint64_t want = g_->delta_edge_count(r);
+    for (std::uint64_t j = dp.size(); j < want; ++j)
+      dp.push_back(growth_ == growth::fn ? init_fn_(g_->delta_out_edge(r, j)) : fill_);
+  }
+  void grow_rank_mirror(rank_t r) {
+    auto& dm = delta_mirror_[r];
+    const std::uint64_t want = g_->delta_in_edge_count(r);
+    for (std::uint64_t j = dm.size(); j < want; ++j)
+      dm.push_back(growth_ == growth::fn ? init_fn_(g_->delta_in_edge(r, j)) : fill_);
+  }
+
+  /// Lazy version sync (double-checked): the fast path is one acquire load
+  /// and a compare; the slow path runs at most once per mutation under the
+  /// growth mutex, then publishes with a release store so every later
+  /// reader sees the grown shards.
+  void sync() const {
+    if (seen_version_.load(std::memory_order_acquire) == g_->version()) return;
+    auto* self = const_cast<edge_property_map*>(this);
+    std::lock_guard<std::mutex> lk(self->grow_mu_);
+    if (seen_version_.load(std::memory_order_relaxed) == g_->version()) return;
+    if (growth_ == growth::frozen) self->fail_stale("mutated");
+    if (seen_structure_ != g_->structure_version()) {
+      // compact() renumbered edge ids: only a pure init function can
+      // re-derive the values for the new numbering.
+      if (growth_ != growth::fn) self->fail_stale("compacted");
+      self->allocate(T{});
+      self->fill_from_fn();
+    } else {
+      for (rank_t r = 0; r < g_->num_ranks(); ++r) {
+        self->grow_rank_primary(r);
+        if (g_->bidirectional()) self->grow_rank_mirror(r);
+      }
+    }
+    self->seen_structure_ = g_->structure_version();
+    seen_version_.store(g_->version(), std::memory_order_release);
+  }
+
+  [[noreturn]] void fail_stale(const char* what) const {
+    const std::string msg =
+        std::string("stale edge property map: the graph was ") + what +
+        " (map synced at graph version " +
+        std::to_string(seen_version_.load(std::memory_order_relaxed)) +
+        ", graph is now at version " + std::to_string(g_->version()) +
+        ") and this map has no pure init function to grow from - rebuild it";
+    dpg::assert_fail("edge map version == graph version", __FILE__, __LINE__,
+                     msg.c_str());
   }
 
   rank_t checked_src_owner(const edge_handle& e) const {
@@ -145,8 +311,16 @@ class edge_property_map {
   }
 
   const graph::distributed_graph* g_;
+  growth growth_;
+  T fill_{};                                      ///< growth::fill value
+  std::function<T(const edge_handle&)> init_fn_;  ///< growth::fn recipe
   std::vector<std::vector<T>> primary_;
   std::vector<std::vector<T>> mirror_;
+  std::vector<std::vector<T>> delta_primary_;  ///< per-rank overlay values
+  std::vector<std::vector<T>> delta_mirror_;   ///< per-rank overlay mirrors
+  mutable std::atomic<std::uint64_t> seen_version_{0};
+  std::uint64_t seen_structure_ = 0;
+  std::mutex grow_mu_;
 };
 
 }  // namespace dpg::pmap

@@ -3,8 +3,15 @@
 // owning rank; any access from a different rank inside a transport run is
 // an error (the pattern runtime reaches remote values with messages, never
 // through shared memory — that is the point of the paper).
+//
+// Topology versioning: the map subscribes to its graph's version() and
+// re-syncs lazily on the first access after a mutation. Edge mutation never
+// changes the vertex set, so the vertex-map sync is a shard-size check plus
+// a version acknowledgement — values survive apply_edges()/compact()
+// untouched, which is what makes in-place warm restarts possible.
 #pragma once
 
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -23,26 +30,55 @@ class vertex_property_map {
   using value_type = T;
 
   vertex_property_map(const graph::distributed_graph& g, T init = T{})
-      : dist_(&g.dist()), shards_(g.num_ranks()) {
+      : g_(&g), dist_(&g.dist()), shards_(g.num_ranks()), seen_version_(g.version()) {
     for (rank_t r = 0; r < g.num_ranks(); ++r)
       shards_[r].assign(dist_->count(r), init);
   }
 
+  vertex_property_map(const vertex_property_map& o)
+      : g_(o.g_), dist_(o.dist_), shards_(o.shards_),
+        seen_version_(o.seen_version_.load(std::memory_order_relaxed)) {}
+  vertex_property_map(vertex_property_map&& o) noexcept
+      : g_(o.g_), dist_(o.dist_), shards_(std::move(o.shards_)),
+        seen_version_(o.seen_version_.load(std::memory_order_relaxed)) {}
+  vertex_property_map& operator=(const vertex_property_map& o) {
+    if (this == &o) return *this;
+    g_ = o.g_;
+    dist_ = o.dist_;
+    shards_ = o.shards_;
+    seen_version_.store(o.seen_version_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    return *this;
+  }
+  vertex_property_map& operator=(vertex_property_map&& o) noexcept {
+    if (this == &o) return *this;
+    g_ = o.g_;
+    dist_ = o.dist_;
+    shards_ = std::move(o.shards_);
+    seen_version_.store(o.seen_version_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Owner-side element access.
   T& operator[](vertex_id v) {
+    sync();
     return shards_[checked_owner(v)][dist_->local_index(v)];
   }
   const T& operator[](vertex_id v) const {
+    sync();
     return shards_[checked_owner(v)][dist_->local_index(v)];
   }
 
   /// The calling rank's whole shard; for owner-local initialization loops
   /// ("for (v in V) dist[v] = ∞" runs as a local loop on every rank).
   std::span<T> local(rank_t r) {
+    sync();
     check_rank(r);
     return shards_[r];
   }
   std::span<const T> local(rank_t r) const {
+    sync();
     check_rank(r);
     return shards_[r];
   }
@@ -54,13 +90,31 @@ class vertex_property_map {
   void fill(const T& value) {
     DPG_ASSERT_MSG(ampp::current_rank() == ampp::invalid_rank,
                    "fill() touches all shards; use local(rank) inside a run");
+    sync();
     for (auto& s : shards_)
       for (auto& x : s) x = value;
   }
 
   const graph::distribution& dist() const { return *dist_; }
 
+  /// The graph version this map has synced to (== graph version after any
+  /// access; tests use it to observe the lazy subscription).
+  std::uint64_t observed_version() const {
+    return seen_version_.load(std::memory_order_acquire);
+  }
+
  private:
+  /// Lazy topology-version acknowledgement. apply_edges()/compact() never
+  /// change the vertex set, so shard sizes are already right — the sync is
+  /// a relaxed counter publish. A benign many-writers-same-value race is
+  /// still a data race, hence the atomic.
+  void sync() const {
+    if (seen_version_.load(std::memory_order_relaxed) == g_->version()) return;
+    DPG_ASSERT_MSG(shards_.empty() || shards_[0].size() == dist_->count(0),
+                   "vertex map shard size diverged from its distribution");
+    seen_version_.store(g_->version(), std::memory_order_release);
+  }
+
   rank_t checked_owner(vertex_id v) const {
     const rank_t o = dist_->owner(v);
     const rank_t cur = ampp::current_rank();
@@ -74,8 +128,10 @@ class vertex_property_map {
                    "shard accessed from a foreign rank");
   }
 
+  const graph::distributed_graph* g_;
   const graph::distribution* dist_;
   std::vector<std::vector<T>> shards_;
+  mutable std::atomic<std::uint64_t> seen_version_;
 };
 
 }  // namespace dpg::pmap

@@ -1,0 +1,254 @@
+// Versioned in-place topology mutation (delta-CSR overlay).
+//
+// The contract under test:
+//   * apply_edges() appends at the non-morphing boundary — degrees,
+//     adjacency, and edge enumeration immediately include the overlay,
+//     overlay edges get stable delta-tagged ids, and version() ticks;
+//   * compact() folds the overlay into the base CSR and is *structurally
+//     identical* (degrees, adjacency, edge-id → endpoints mapping) to a
+//     from-scratch rebuild over "original edges followed by extras", for
+//     every distribution kind — the equivalence oracle;
+//   * mutation inside transport::run and post-mutation access to a frozen
+//     (from_edge_values) property map die with diagnostics naming the
+//     graph version.
+#include "graph/distributed_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "ampp/transport.hpp"
+#include "graph/generators.hpp"
+#include "pmap/edge_map.hpp"
+
+namespace dpg::graph {
+namespace {
+
+distribution make_dist(int kind, vertex_id n, rank_t ranks) {
+  switch (kind) {
+    case 0: return distribution::block(n, ranks);
+    case 1: return distribution::cyclic(n, ranks);
+    default: return distribution::hashed(n, ranks, 7);
+  }
+}
+
+std::vector<edge> random_extra(vertex_id n, int count, std::uint64_t seed) {
+  std::vector<edge> extra;
+  dpg::xoshiro256ss rng(seed);
+  for (int i = 0; i < count; ++i) extra.push_back({rng.below(n), rng.below(n)});
+  return extra;
+}
+
+using params = std::tuple<int, rank_t>;
+
+class MutationEquivalence : public ::testing::TestWithParam<params> {};
+
+TEST_P(MutationEquivalence, ApplyEdgesExtendsTheLiveView) {
+  auto [kind, ranks] = GetParam();
+  const vertex_id n = 120;
+  const auto edges = erdos_renyi(n, 700, 13);
+  distributed_graph g(n, edges, make_dist(kind, n, ranks), /*bidirectional=*/true);
+  const auto extra = random_extra(n, 16, 99);
+
+  std::vector<std::uint64_t> out_before(n), in_before(n);
+  for (vertex_id v = 0; v < n; ++v) {
+    out_before[v] = g.out_degree(v);
+    in_before[v] = g.in_degree(v);
+  }
+  const std::uint64_t v0 = g.version();
+  const std::uint64_t s0 = g.structure_version();
+  g.apply_edges(extra);
+  EXPECT_EQ(g.version(), v0 + 1);
+  EXPECT_EQ(g.structure_version(), s0) << "apply_edges must not renumber edge ids";
+  EXPECT_EQ(g.num_edges(), edges.size() + extra.size());
+  EXPECT_EQ(g.total_delta_edges(), extra.size());
+
+  std::map<vertex_id, std::uint64_t> extra_out, extra_in;
+  for (const edge& e : extra) {
+    extra_out[e.src]++;
+    extra_in[e.dst]++;
+  }
+  std::set<std::uint64_t> delta_eids;
+  for (vertex_id v = 0; v < n; ++v) {
+    ASSERT_EQ(g.out_degree(v), out_before[v] + extra_out[v]) << "v=" << v;
+    ASSERT_EQ(g.in_degree(v), in_before[v] + extra_in[v]) << "v=" << v;
+    // Enumeration order: the base CSR segment first, then overlay edges in
+    // append order; overlay handles carry delta-tagged ids.
+    std::uint64_t pos = 0;
+    const std::uint64_t base_n = out_before[v];
+    for (const edge_handle e : g.out_edges(v)) {
+      ASSERT_EQ(e.src, v);
+      if (pos >= base_n) {
+        ASSERT_TRUE(is_delta_edge(e.eid));
+        ASSERT_TRUE(delta_eids.insert(e.eid).second) << "duplicate delta id";
+        ASSERT_EQ(delta_edge_rank(e.eid), g.owner(v));
+      } else {
+        ASSERT_FALSE(is_delta_edge(e.eid));
+      }
+      ++pos;
+    }
+    // adjacent() sees the same targets as out_edges().
+    std::vector<vertex_id> adj_targets, edge_targets;
+    for (const vertex_id t : g.adjacent(v)) adj_targets.push_back(t);
+    for (const edge_handle e : g.out_edges(v)) edge_targets.push_back(e.dst);
+    ASSERT_EQ(adj_targets, edge_targets) << "v=" << v;
+    // In-edges agree with the out view on endpoints and ids.
+    for (const edge_handle e : g.in_edges(v)) ASSERT_EQ(e.dst, v);
+  }
+  EXPECT_EQ(delta_eids.size(), extra.size());
+}
+
+TEST_P(MutationEquivalence, CompactMatchesFromScratchRebuild) {
+  auto [kind, ranks] = GetParam();
+  const vertex_id n = 100;
+  const auto edges = erdos_renyi(n, 600, 5);
+  const auto extra = random_extra(n, 24, 7);
+
+  // Mutated-then-compacted graph.
+  distributed_graph g(n, edges, make_dist(kind, n, ranks), /*bidirectional=*/true);
+  g.apply_edges(extra);
+  const std::uint64_t v_before = g.version();
+  g.compact();
+  EXPECT_EQ(g.version(), v_before + 1);
+  EXPECT_EQ(g.total_delta_edges(), 0u);
+
+  // From-scratch oracle over "originals followed by extras".
+  std::vector<edge> all(edges.begin(), edges.end());
+  all.insert(all.end(), extra.begin(), extra.end());
+  distributed_graph oracle(n, all, make_dist(kind, n, ranks), /*bidirectional=*/true);
+
+  ASSERT_EQ(g.num_edges(), oracle.num_edges());
+  // Structural identity: degrees, adjacency (with multiplicity and order),
+  // and the edge-id → endpoints mapping must all coincide.
+  std::map<std::uint64_t, std::pair<vertex_id, vertex_id>> ids_g, ids_o;
+  for (vertex_id v = 0; v < n; ++v) {
+    ASSERT_EQ(g.out_degree(v), oracle.out_degree(v)) << "v=" << v;
+    ASSERT_EQ(g.in_degree(v), oracle.in_degree(v)) << "v=" << v;
+    auto ga = g.adjacent(v);
+    auto oa = oracle.adjacent(v);
+    ASSERT_TRUE(std::equal(ga.begin(), ga.end(), oa.begin(), oa.end())) << "v=" << v;
+    for (const edge_handle e : g.out_edges(v)) {
+      ASSERT_FALSE(is_delta_edge(e.eid)) << "compact() left a delta id";
+      ids_g[e.eid] = {e.src, e.dst};
+    }
+    for (const edge_handle e : oracle.out_edges(v)) ids_o[e.eid] = {e.src, e.dst};
+  }
+  EXPECT_EQ(ids_g, ids_o);
+  // Mirrors reference ids the out view assigned, with matching endpoints.
+  for (vertex_id v = 0; v < n; ++v)
+    for (const edge_handle e : g.in_edges(v)) {
+      auto it = ids_g.find(e.eid);
+      ASSERT_NE(it, ids_g.end()) << "mirror id " << e.eid << " unknown to out view";
+      ASSERT_EQ(it->second, std::make_pair(e.src, e.dst));
+    }
+}
+
+TEST_P(MutationEquivalence, CompactIsIdempotentAndRepeatable) {
+  auto [kind, ranks] = GetParam();
+  const vertex_id n = 64;
+  const auto edges = erdos_renyi(n, 300, 3);
+  distributed_graph g(n, edges, make_dist(kind, n, ranks));
+  // compact() with no overlay is a no-op (version unchanged).
+  const std::uint64_t v0 = g.version();
+  g.compact();
+  EXPECT_EQ(g.version(), v0);
+
+  // Two mutate/compact rounds accumulate correctly.
+  std::vector<edge> all(edges.begin(), edges.end());
+  for (std::uint64_t round = 0; round < 2; ++round) {
+    const auto extra = random_extra(n, 8, 40 + round);
+    g.apply_edges(extra);
+    g.compact();
+    all.insert(all.end(), extra.begin(), extra.end());
+  }
+  distributed_graph oracle(n, all, make_dist(kind, n, ranks));
+  for (vertex_id v = 0; v < n; ++v) {
+    ASSERT_EQ(g.out_degree(v), oracle.out_degree(v));
+    auto ga = g.adjacent(v);
+    auto oa = oracle.adjacent(v);
+    ASSERT_TRUE(std::equal(ga.begin(), ga.end(), oa.begin(), oa.end())) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, MutationEquivalence,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(rank_t{1}, rank_t{2},
+                                                              rank_t{4})));
+
+// Regression: with_added_edges used to default `bidirectional` to false,
+// silently dropping the in-edge storage of a bidirectional input graph.
+TEST(GraphMutation, WithAddedEdgesPreservesBidirectionalStorage) {
+  const vertex_id n = 20;
+  distributed_graph g(n, path_graph(n), distribution::block(n, 2),
+                      /*bidirectional=*/true);
+  const std::vector<edge> extra{{0, 9}, {5, 2}};
+  auto g2 = with_added_edges(g, extra);
+  ASSERT_TRUE(g2.bidirectional()) << "in-edge storage was dropped by the rebuild";
+  EXPECT_EQ(g2.num_edges(), g.num_edges() + 2);
+  EXPECT_EQ(g2.in_degree(9), g.in_degree(9) + 1);
+  EXPECT_EQ(g2.in_degree(2), g.in_degree(2) + 1);
+  // An explicit override still wins in both directions.
+  EXPECT_FALSE(with_added_edges(g, extra, false).bidirectional());
+  distributed_graph d(n, path_graph(n), distribution::block(n, 2));
+  EXPECT_FALSE(with_added_edges(d, extra).bidirectional());
+  EXPECT_TRUE(with_added_edges(d, extra, true).bidirectional());
+}
+
+TEST(MutationDeathTest, ApplyEdgesInsideRunDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const vertex_id n = 8;
+  distributed_graph g(n, path_graph(n), distribution::block(n, 2));
+  auto mutate_inside = [&] {
+    ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+    tp.run([&](ampp::transport_context& ctx) {
+      if (ctx.rank() == 0) {
+        const std::vector<edge> extra{{0, 7}};
+        g.apply_edges(extra);
+      }
+      ctx.barrier();
+    });
+  };
+  // The diagnostic names the non-morphing boundary and the graph version.
+  EXPECT_DEATH(mutate_inside(), "non-morphing.*graph version 1");
+}
+
+TEST(MutationDeathTest, CompactInsideRunDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const vertex_id n = 8;
+  distributed_graph g(n, path_graph(n), distribution::block(n, 2));
+  const std::vector<edge> extra{{0, 7}};
+  g.apply_edges(extra);
+  auto compact_inside = [&] {
+    ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+    tp.run([&](ampp::transport_context& ctx) {
+      if (ctx.rank() == 0) g.compact();
+      ctx.barrier();
+    });
+  };
+  EXPECT_DEATH(compact_inside(), "outside a run");
+}
+
+TEST(MutationDeathTest, StaleFrozenEdgeMapAccessDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const vertex_id n = 10;
+  const auto edges = path_graph(n);
+  distributed_graph g(n, edges, distribution::block(n, 2));
+  std::vector<double> values(edges.size(), 1.5);
+  auto w = pmap::edge_property_map<double>::from_edge_values(
+      g, std::span<const edge>(edges), std::span<const double>(values));
+  const edge_handle first = *g.out_edges(0).begin();
+  EXPECT_EQ(w.read(first), 1.5);
+  const std::vector<edge> extra{{0, 5}};
+  g.apply_edges(extra);
+  // A frozen map has no recipe for the overlay: the access must die with a
+  // diagnostic naming both versions.
+  EXPECT_DEATH((void)w.read(first),
+               "stale edge property map.*version 1.*version 2");
+}
+
+}  // namespace
+}  // namespace dpg::graph

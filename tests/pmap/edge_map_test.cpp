@@ -129,5 +129,106 @@ TEST(EdgeMap, FileWeightsEndToEnd) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Lazy growth across topology versions (delta-CSR overlay).
+// ---------------------------------------------------------------------------
+
+TEST(EdgeMapGrowth, FunctionMapEvaluatesInitFnForDeltaEdges) {
+  const auto edges = graph::cycle_graph(8);
+  distributed_graph g(8, edges, distribution::cyclic(8, 2));
+  edge_property_map<vertex_id> w(
+      g, [](const edge_handle& e) { return 100 * e.src + e.dst; });
+  EXPECT_EQ(w.observed_version(), g.version());
+
+  const std::vector<graph::edge> extra{{0, 4}, {3, 7}, {0, 5}};
+  g.apply_edges(extra);
+  EXPECT_NE(w.observed_version(), g.version());  // not synced until touched
+  for (vertex_id v = 0; v < 8; ++v)
+    for (const edge_handle e : g.out_edges(v)) EXPECT_EQ(w[e], 100 * e.src + e.dst);
+  EXPECT_EQ(w.observed_version(), g.version());
+}
+
+TEST(EdgeMapGrowth, FillMapExtendsWithFillValue) {
+  const auto edges = graph::path_graph(6);
+  distributed_graph g(6, edges, distribution::block(6, 3));
+  edge_property_map<double> w(g, 2.5);
+  g.apply_edges(std::vector<graph::edge>{{0, 5}, {4, 1}});
+  for (vertex_id v = 0; v < 6; ++v)
+    for (const edge_handle e : g.out_edges(v)) EXPECT_DOUBLE_EQ(w[e], 2.5);
+}
+
+TEST(EdgeMapGrowth, DeltaWritesStickAndSurviveFurtherGrowth) {
+  const auto edges = graph::path_graph(5);
+  distributed_graph g(5, edges, distribution::block(5, 2));
+  edge_property_map<int> w(g, 0);
+  g.apply_edges(std::vector<graph::edge>{{0, 3}});
+  edge_handle delta{};
+  for (const edge_handle e : g.out_edges(0))
+    if (graph::is_delta_edge(e.eid)) delta = e;
+  ASSERT_TRUE(graph::is_delta_edge(delta.eid));
+  w[delta] = 42;
+  // A second mutation grows the overlay again; earlier delta values stay.
+  g.apply_edges(std::vector<graph::edge>{{0, 4}, {2, 0}});
+  EXPECT_EQ(w[delta], 42);
+  EXPECT_EQ(w.observed_version(), g.version());
+}
+
+TEST(EdgeMapGrowth, MirroredMapGrowsDeltaMirrors) {
+  const auto edges = graph::erdos_renyi(20, 80, 3);
+  distributed_graph g(20, edges, distribution::hashed(20, 3), /*bidirectional=*/true);
+  edge_property_map<double> w(g, [](const edge_handle& e) {
+    return graph::edge_weight(e.src, e.dst, 11, 9.0);
+  });
+  g.apply_edges(std::vector<graph::edge>{{1, 15}, {19, 0}, {7, 7}});
+  // In-edge (mirror-slot) handles of overlay edges resolve through the
+  // delta mirror shard and agree with the init function.
+  std::size_t delta_mirrors = 0;
+  for (vertex_id v = 0; v < 20; ++v)
+    for (const edge_handle e : g.in_edges(v)) {
+      if ((e.mirror_slot & graph::delta_edge_flag) != 0) ++delta_mirrors;
+      EXPECT_DOUBLE_EQ(w[e], graph::edge_weight(e.src, e.dst, 11, 9.0));
+    }
+  EXPECT_EQ(delta_mirrors, 3u);
+}
+
+TEST(EdgeMapGrowth, FunctionMapRederivesAcrossCompact) {
+  const auto edges = graph::erdos_renyi(16, 60, 6);
+  distributed_graph g(16, edges, distribution::cyclic(16, 2));
+  edge_property_map<vertex_id> w(
+      g, [](const edge_handle& e) { return 7 * e.src + e.dst; });
+  g.apply_edges(std::vector<graph::edge>{{2, 9}, {14, 3}});
+  g.compact();  // renumbers: structure version bump forces full re-derive
+  for (vertex_id v = 0; v < 16; ++v)
+    for (const edge_handle e : g.out_edges(v)) {
+      ASSERT_FALSE(graph::is_delta_edge(e.eid));
+      EXPECT_EQ(w[e], 7 * e.src + e.dst);
+    }
+  EXPECT_EQ(w.observed_version(), g.version());
+}
+
+TEST(EdgeMapGrowthDeathTest, FillMapDiesAcrossCompact) {
+  // A uniform-fill map survives apply_edges (fill value extends) but has
+  // no recipe to re-derive per-edge writes across a renumbering compact().
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto edges = graph::path_graph(6);
+  distributed_graph g(6, edges, distribution::block(6, 2));
+  edge_property_map<int> w(g, 1);
+  g.apply_edges(std::vector<graph::edge>{{0, 5}});
+  g.compact();
+  const edge_handle first = *g.out_edges(0).begin();
+  EXPECT_DEATH((void)w[first], "stale edge property map.*compacted");
+}
+
+TEST(EdgeMapGrowthDeathTest, FromEdgeValuesRejectsDirtyGraph) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::vector<graph::edge> edges{{0, 1}, {1, 2}};
+  const std::vector<double> vals{1.0, 2.0};
+  distributed_graph g(3, edges, distribution::block(3, 1));
+  g.apply_edges(std::vector<graph::edge>{{2, 0}});
+  EXPECT_DEATH((void)edge_property_map<double>::from_edge_values(
+                   g, std::span<const graph::edge>(edges), std::span<const double>(vals)),
+               "compact");
+}
+
 }  // namespace
 }  // namespace dpg::pmap

@@ -76,6 +76,27 @@ TEST(VertexMap, OwnerLocalAccessInsideRun) {
   for (graph::vertex_id v = 0; v < n; ++v) EXPECT_EQ(m[v], v + 100);
 }
 
+TEST(VertexMap, ValuesSurviveTopologyMutation) {
+  // Edge mutation never changes the vertex set: values must survive both
+  // apply_edges() and compact() untouched, and the map must acknowledge
+  // the new topology version on first access (the lazy subscription that
+  // makes in-place warm restarts possible).
+  const graph::vertex_id n = 12;
+  distributed_graph g(n, graph::path_graph(n), distribution::cyclic(n, 3));
+  vertex_property_map<int> m(g, 0);
+  for (graph::vertex_id v = 0; v < n; ++v) m[v] = static_cast<int>(v) + 1;
+  EXPECT_EQ(m.observed_version(), g.version());
+
+  g.apply_edges(std::vector<graph::edge>{{0, 11}, {5, 2}});
+  EXPECT_NE(m.observed_version(), g.version());  // not synced until touched
+  for (graph::vertex_id v = 0; v < n; ++v) EXPECT_EQ(m[v], static_cast<int>(v) + 1);
+  EXPECT_EQ(m.observed_version(), g.version());
+
+  g.compact();
+  for (graph::vertex_id v = 0; v < n; ++v) EXPECT_EQ(m[v], static_cast<int>(v) + 1);
+  EXPECT_EQ(m.observed_version(), g.version());
+}
+
 TEST(VertexMapDeathTest, ForeignAccessAbortsInsideRun) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   const graph::vertex_id n = 8;

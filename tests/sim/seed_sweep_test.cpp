@@ -127,6 +127,44 @@ TEST(SeedSweep, SsspDeltaStepping) {
   });
 }
 
+TEST(SeedSweep, SsspMutateThenRepair) {
+  // Versioned topology mutation under chaos: solve, apply_edges() in place
+  // at the non-morphing boundary, then warm-repair with the SAME solver.
+  // Faults must stay invisible — the repaired labels must be bit-identical
+  // to a sequential oracle on the mutated graph for every plan — and the
+  // graph's obs counters must record exactly one mutation.
+  sweep("sssp_mutate_repair", [](std::uint64_t seed, ampp::rank_t ranks,
+                                 const plan_spec& ps, std::uint64_t& events) {
+    distributed_graph g(kN, sim_edges(seed, false), distribution::cyclic(kN, ranks));
+    auto weight = sim_weights(g);
+    ampp::transport tp(sim_config(ranks, seed, ps));
+    g.attach_stats(tp.stats());
+    algo::sssp_solver solver(tp, g, weight);
+    tp.run([&](ampp::transport_context& ctx) { solver.run_fixed_point(ctx, 0); });
+
+    // Shortcut edges drawn from a dedicated substream so every plan in the
+    // sweep mutates identically.
+    std::vector<graph::edge> extra;
+    dpg::xoshiro256ss rng(substream_seed(seed, 9));
+    for (int i = 0; i < 6; ++i) extra.push_back({rng.below(kN), rng.below(kN)});
+    g.apply_edges(extra);
+
+    const auto oracle = algo::dijkstra(g, weight, 0);
+    std::vector<vertex_id> sources;
+    for (const auto& e : extra) sources.push_back(e.src);
+    tp.run([&](ampp::transport_context& ctx) { solver.repair(ctx, sources); });
+
+    for (vertex_id v = 0; v < kN; ++v)
+      ASSERT_DOUBLE_EQ(solver.dist()[v], oracle[v]) << "v=" << v;
+    const auto s = tp.obs().snapshot();
+    ASSERT_EQ(s.core.graph_mutations, 1u);
+    ASSERT_EQ(s.core.delta_edges, extra.size());
+    assert_fault_consistency(s);
+    assert_occupancy_conserved(tp);
+    events += fault_events(s);
+  });
+}
+
 TEST(SeedSweep, Bfs) {
   sweep("bfs", [](std::uint64_t seed, ampp::rank_t ranks, const plan_spec& ps,
                   std::uint64_t& events) {
