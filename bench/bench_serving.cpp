@@ -1,0 +1,162 @@
+// The serving-layer benchmark (ROADMAP item 2): a multi-tenant query storm
+// against one shared graph, with mutations interleaved.
+//
+// Series reported:
+//   * BM_ServingThroughput/clients — N client threads replay the same
+//     deterministic query stream against one server while every iteration
+//     opens with an apply_edges() mutation (so the cache is cold at the new
+//     topology version each round). Reports items_per_second (queries),
+//     p50/p99 query latency, cache hit rate, and merge/solve counts. The
+//     CI guard compares clients=8 against clients=1: admission merging +
+//     the shared result cache must make 8 concurrent sessions serve >= 4x
+//     the single-session throughput *without* 8x the solver work.
+//   * BM_SessionColdConstruct vs BM_SessionWarmPool — what the warm pool
+//     buys: plan compilation + transport + property-map construction per
+//     query vs a checkout of a pre-built session.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "algo/sessions.hpp"
+#include "common.hpp"
+#include "serve/server.hpp"
+
+namespace dpg::bench {
+namespace {
+
+constexpr graph::vertex_id kN = 1 << 10;
+constexpr std::uint64_t kEdges = 8ull * kN;
+constexpr ampp::rank_t kRanks = 2;
+constexpr int kUniqueSources = 6;    ///< distinct queries per version
+constexpr int kQueriesPerClient = 30;
+
+const workload& wl() {
+  static workload w = workload::erdos_renyi(kN, kEdges, 42);
+  return w;
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void BM_ServingThroughput(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  auto g = wl().build(kRanks);
+  auto weights = wl().weights(g);
+  serve::server srv(g, weights, {.machine = {.n_ranks = kRanks}});
+
+  std::mutex lat_mu;
+  std::vector<std::uint64_t> latencies;
+  std::uint64_t total_queries = 0;
+  graph::vertex_id next_v = 1;
+
+  for (auto _ : state) {
+    // One mutation per round: the version moves, the cache goes cold, and
+    // the round's first queries are real solves (the mixed read/mutate
+    // stream of the serving workload).
+    const std::vector<graph::edge> extra = {{0, next_v}, {next_v, 0}};
+    next_v = next_v % (kN - 1) + 1;
+    srv.apply_edges(extra);
+
+    std::vector<std::jthread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<std::uint64_t> local;
+        local.reserve(kQueriesPerClient);
+        for (int i = 0; i < kQueriesPerClient; ++i) {
+          const serve::query q{
+              .algo = serve::algorithm::sssp,
+              .params = {.source =
+                             static_cast<graph::vertex_id>(i % kUniqueSources)},
+              .tenant = static_cast<std::uint64_t>(c)};
+          const std::uint64_t t0 = now_us();
+          benchmark::DoNotOptimize(srv.query(q));
+          local.push_back(now_us() - t0);
+        }
+        std::lock_guard<std::mutex> lk(lat_mu);
+        latencies.insert(latencies.end(), local.begin(), local.end());
+      });
+    }
+    threads.clear();  // join
+    total_queries += static_cast<std::uint64_t>(clients) * kQueriesPerClient;
+  }
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_queries));
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    state.counters["p50_us"] =
+        static_cast<double>(latencies[latencies.size() / 2]);
+    state.counters["p99_us"] =
+        static_cast<double>(latencies[latencies.size() * 99 / 100]);
+  }
+  state.counters["clients"] = clients;
+  state.counters["cache_hit_rate"] = srv.cache().hit_rate();
+  state.counters["cache_invalidations"] =
+      static_cast<double>(srv.cache().invalidations());
+  state.counters["sessions_created"] = static_cast<double>(srv.pool().created());
+  std::uint64_t merged = 0, solves = 0;
+  for (int c = 0; c < clients; ++c) {
+    const auto t = srv.obs().tenant(static_cast<std::uint64_t>(c));
+    merged += t.merged;
+    solves += t.solves;
+  }
+  state.counters["merged"] = static_cast<double>(merged);
+  state.counters["solves"] = static_cast<double>(solves);
+}
+BENCHMARK(BM_ServingThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// What a query costs when every request builds its own context from
+/// scratch: transport + compiled plan + full-size property maps, then one
+/// solve. The anti-pattern the session pool exists to kill.
+void BM_SessionColdConstruct(benchmark::State& state) {
+  auto g = wl().build(kRanks);
+  auto weights = wl().weights(g);
+  algo::session_env env;
+  env.g = &g;
+  env.weights = &weights;
+  env.machine = {.n_ranks = kRanks};
+  env.pool = std::make_shared<ampp::wire_pool>(kRanks);
+  for (auto _ : state) {
+    auto s = algo::make_solver_session(serve::algorithm::sssp, env);
+    benchmark::DoNotOptimize(s->run({.source = 0}));
+  }
+}
+BENCHMARK(BM_SessionColdConstruct)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// The same query through the warm pool: construction amortized away.
+void BM_SessionWarmPool(benchmark::State& state) {
+  auto g = wl().build(kRanks);
+  auto weights = wl().weights(g);
+  algo::session_env env;
+  env.g = &g;
+  env.weights = &weights;
+  env.machine = {.n_ranks = kRanks};
+  env.pool = std::make_shared<ampp::wire_pool>(kRanks);
+  serve::session_pool pool(
+      [&env](serve::algorithm a) { return algo::make_solver_session(a, env); },
+      /*max_warm_per_algo=*/1);
+  for (auto _ : state) {
+    auto lease = pool.checkout(serve::algorithm::sssp);
+    benchmark::DoNotOptimize(lease->run({.source = 0}));
+  }
+  state.counters["warm_hits"] = static_cast<double>(pool.warm_hits());
+  state.counters["created"] = static_cast<double>(pool.created());
+}
+BENCHMARK(BM_SessionWarmPool)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace dpg::bench
+
+BENCHMARK_MAIN();

@@ -84,4 +84,32 @@ for edges in (8, 64):
         raise SystemExit("ratio guard FAILED: warm mutation repair lost its edge over a cold re-solve")
 EOF
 
+echo "=== serving smoke (multi-tenant throughput guard) ==="
+# The serving layer's admission merging + shared result cache must make
+# concurrent sessions pay for each unique query once: 8 clients replaying
+# the same stream have to clear >= 4x the single-client throughput (the
+# solver work is identical; only the serving layer can deliver the
+# multiple). Generous vs the ~8x expectation so smoke jitter cannot flake.
+BUILD_DIR=build-werror BENCH_SUFFIX=.ci \
+  BENCH_ARGS="--benchmark_min_time=0.01 --benchmark_repetitions=1" \
+  scripts/bench_json.sh serving
+python3 - <<'EOF'
+import json
+with open("BENCH_serving.ci.json") as f:
+    rows = json.load(f)["benchmarks"]
+
+def qps(name):
+    for r in rows:
+        if r["name"] == name and r.get("run_type", "iteration") == "iteration":
+            return r["items_per_second"]
+    raise SystemExit(f"serving guard: benchmark '{name}' missing from BENCH_serving.ci.json")
+
+solo = qps("BM_ServingThroughput/1/real_time")
+eight = qps("BM_ServingThroughput/8/real_time")
+ratio = eight / solo
+print(f"8-client / 1-client serving throughput: {ratio:.1f}x (limit >=4.0x)")
+if ratio < 4.0:
+    raise SystemExit("serving guard FAILED: concurrent sessions lost their throughput multiple")
+EOF
+
 echo "CI OK"

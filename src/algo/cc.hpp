@@ -36,11 +36,15 @@ using graph::vertex_id;
 class cc_solver {
  public:
   /// The input graph should be symmetric (use graph::symmetrize) — the CC
-  /// problem is defined on undirected graphs (§II-B).
-  cc_solver(const graph::distributed_graph& g, ampp::transport_config cfg)
+  /// problem is defined on undirected graphs (§II-B). `pool` (optional)
+  /// shares an envelope pool across both internal transports — and, under
+  /// the serving layer, across every concurrent session context.
+  cc_solver(const graph::distributed_graph& g, ampp::transport_config cfg,
+            std::shared_ptr<ampp::wire_pool> pool = nullptr)
       : g_(&g),
         cfg_(cfg),
-        tp_(cfg),
+        pool_(std::move(pool)),
+        tp_(cfg_, pool_),
         pnt_(g, graph::invalid_vertex),
         conf_(g),
         locks_(g.dist(), pmap::lock_scheme::per_vertex) {
@@ -82,6 +86,7 @@ class cc_solver {
   int jump_rounds() const { return jump_rounds_; }
   std::uint64_t search_messages() const { return search_messages_; }
   ampp::transport& transport() { return tp_; }
+  const ampp::transport& transport() const { return tp_; }
 
  private:
   void run_search_phase(bool flush_between_seeds) {
@@ -137,7 +142,7 @@ class cc_solver {
     // A fresh transport for phase 2: its message types depend on the
     // conflict graph, which exists only now. (AM++ registers message types
     // between epochs; our simulator registers them between runs.)
-    ampp::transport tp2(cfg_);
+    ampp::transport tp2(cfg_, pool_);
     property C(chg);
     property P(pnt_);
     auto propagate = instantiate(tp2, cg, cg_locks,
@@ -166,6 +171,7 @@ class cc_solver {
 
   const graph::distributed_graph* g_;
   ampp::transport_config cfg_;
+  std::shared_ptr<ampp::wire_pool> pool_;
   ampp::transport tp_;
   pmap::vertex_property_map<vertex_id> pnt_;
   pmap::vertex_property_map<std::vector<vertex_id>> conf_;

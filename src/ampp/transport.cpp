@@ -35,7 +35,15 @@ current_rank_scope::~current_rank_scope() { tl_current_rank = invalid_rank; }
 // transport: construction / control plane registration
 // ---------------------------------------------------------------------------
 
-transport::transport(transport_config cfg) : cfg_(std::move(cfg)), ranks_(cfg_.n_ranks) {
+transport::transport(machine_config machine, tuning_config tuning,
+                     std::shared_ptr<wire_pool> pool)
+    : transport(transport_config::join(machine, tuning), std::move(pool)) {}
+
+transport::transport(transport_config cfg, std::shared_ptr<wire_pool> pool)
+    : cfg_(std::move(cfg)),
+      ranks_(cfg_.n_ranks),
+      pool_(pool != nullptr ? std::move(pool)
+                            : std::make_shared<wire_pool>(cfg_.n_ranks)) {
   DPG_ASSERT_MSG(cfg_.n_ranks >= 1, "transport needs at least one rank");
   DPG_ASSERT_MSG(cfg_.coalescing_size >= 1, "coalescing size must be positive");
   faults_active_ = cfg_.faults.active();
@@ -246,30 +254,14 @@ bool transport::fault_held_empty(rank_t r) const {
 }
 
 std::vector<std::byte> transport::pool_acquire(rank_t src) {
-  rank_state& rs = ranks_[src];
-  {
-    std::lock_guard<dpg::spinlock> g(rs.pool_mu);
-    if (!rs.byte_pool.empty()) {
-      std::vector<std::byte> bytes = std::move(rs.byte_pool.back());
-      rs.byte_pool.pop_back();
-      obs_.core().pool_reuses.fetch_add(1, std::memory_order_relaxed);
-      return bytes;
-    }
-  }
-  return {};
+  std::vector<std::byte> bytes = pool_->acquire(src);
+  if (bytes.capacity() != 0)
+    obs_.core().pool_reuses.fetch_add(1, std::memory_order_relaxed);
+  return bytes;
 }
 
 void transport::pool_release(rank_t r, std::vector<std::byte>&& bytes) {
-  // Bound both the list length and the buffer size kept alive: envelopes
-  // are normally coalescing_size payloads, but a reduction-cache spill can
-  // be much bigger and should not be hoarded.
-  constexpr std::size_t kMaxPooled = 64;
-  constexpr std::size_t kMaxPooledCapacity = std::size_t{1} << 20;
-  if (bytes.capacity() == 0 || bytes.capacity() > kMaxPooledCapacity) return;
-  bytes.clear();
-  rank_state& rs = ranks_[r];
-  std::lock_guard<dpg::spinlock> g(rs.pool_mu);
-  if (rs.byte_pool.size() < kMaxPooled) rs.byte_pool.push_back(std::move(bytes));
+  pool_->release(r, std::move(bytes));
 }
 
 transport::drain_result transport::drain_rank(transport_context& ctx, bool at_most_one) {

@@ -57,9 +57,26 @@ class transport;
 class transport_context;
 class epoch;
 
-/// Transport configuration.
-struct transport_config {
+/// Construction-time transport knobs: they determine the machine shape
+/// (thread/lane topology) and cannot change over a transport's lifetime.
+/// Under the serving layer every solver session's transport shares the
+/// machine shape of its server, so sessions are interchangeable in the
+/// warm pool.
+struct machine_config {
   rank_t n_ranks = 4;
+  /// Dedicated message-handler threads per rank (§II-A: ranks "each
+  /// running multiple threads"). 0 = polling-only progress (handlers run
+  /// when the rank's SPMD thread calls into the runtime). With helpers,
+  /// handlers execute concurrently with the SPMD thread: property maps
+  /// touched by patterns should hold atomic-capable values or the
+  /// algorithm must phase its accesses (see docs/runtime.md).
+  unsigned handler_threads = 0;
+};
+
+/// Runtime tuning knobs: per-session behavior that may legitimately differ
+/// between transports sharing one machine shape (a chaos-testing session
+/// next to a clean one, different coalescing budgets per workload).
+struct tuning_config {
   /// Payloads buffered per (source, destination) lane before an envelope is
   /// delivered. 1 disables coalescing.
   std::size_t coalescing_size = 256;
@@ -74,13 +91,85 @@ struct transport_config {
   /// library and in patterns alike). `fault_plan::scramble(seed)` is the
   /// old `scramble_delivery = true`. Default: no faults, zero overhead.
   fault_plan faults{};
-  /// Dedicated message-handler threads per rank (§II-A: ranks "each
-  /// running multiple threads"). 0 = polling-only progress (handlers run
-  /// when the rank's SPMD thread calls into the runtime). With helpers,
-  /// handlers execute concurrently with the SPMD thread: property maps
-  /// touched by patterns should hold atomic-capable values or the
-  /// algorithm must phase its accesses (see docs/runtime.md).
+};
+
+/// Transport configuration: the deprecated flat aggregate of machine_config
+/// and tuning_config, kept so existing call sites (designated initializers
+/// everywhere) compile unchanged. New code — the serving layer in
+/// particular — should pass the two halves separately so construction-time
+/// and runtime knobs cannot be conflated.
+struct transport_config {
+  rank_t n_ranks = 4;
+  std::size_t coalescing_size = 256;
+  std::uint64_t seed = 42;
+  fault_plan faults{};
   unsigned handler_threads = 0;
+
+  /// The construction-time half.
+  machine_config machine() const { return machine_config{n_ranks, handler_threads}; }
+  /// The runtime half.
+  tuning_config tuning() const { return tuning_config{coalescing_size, seed, faults}; }
+  /// Reassembles the flat aggregate from its two halves.
+  static transport_config join(const machine_config& m, const tuning_config& t) {
+    return transport_config{m.n_ranks, t.coalescing_size, t.seed, t.faults,
+                            m.handler_threads};
+  }
+};
+
+/// A shareable envelope byte-buffer pool: free lists of wire buffers,
+/// sharded to keep concurrent transports off one lock. A transport that is
+/// not handed a pool creates a private one, so single-solver programs are
+/// unchanged; the serving layer hands every session's transport one shared
+/// pool, which keeps per-session idle overhead near zero — warm sessions
+/// park no buffer capacity of their own (the iPregel memory discipline).
+class wire_pool {
+ public:
+  /// `shards` sizes the lock sharding (rank count is a good choice).
+  explicit wire_pool(std::size_t shards = 16) : shards_(shards == 0 ? 1 : shards) {}
+
+  wire_pool(const wire_pool&) = delete;
+  wire_pool& operator=(const wire_pool&) = delete;
+
+  /// A recycled buffer (capacity intact, size 0) or a fresh empty one.
+  std::vector<std::byte> acquire(std::size_t shard) {
+    shard_t& s = shards_[shard % shards_.size()];
+    std::lock_guard<dpg::spinlock> g(s.mu);
+    if (s.free_list.empty()) return {};
+    std::vector<std::byte> bytes = std::move(s.free_list.back());
+    s.free_list.pop_back();
+    return bytes;
+  }
+
+  /// Returns `bytes` to the shard's free list. Bounded in both list length
+  /// and kept capacity: envelopes are normally coalescing-size payloads,
+  /// but a reduction-cache spill can be much bigger and should not be
+  /// hoarded.
+  void release(std::size_t shard, std::vector<std::byte>&& bytes) {
+    constexpr std::size_t kMaxPooled = 64;
+    constexpr std::size_t kMaxPooledCapacity = std::size_t{1} << 20;
+    if (bytes.capacity() == 0 || bytes.capacity() > kMaxPooledCapacity) return;
+    bytes.clear();
+    shard_t& s = shards_[shard % shards_.size()];
+    std::lock_guard<dpg::spinlock> g(s.mu);
+    if (s.free_list.size() < kMaxPooled) s.free_list.push_back(std::move(bytes));
+  }
+
+  /// Buffers currently parked across all shards (diagnostics).
+  std::size_t pooled() const {
+    std::size_t n = 0;
+    for (const shard_t& s : shards_) {
+      std::lock_guard<dpg::spinlock> g(s.mu);
+      n += s.free_list.size();
+    }
+    return n;
+  }
+
+ private:
+  struct shard_t {
+    mutable dpg::spinlock mu;
+    std::vector<std::vector<std::byte>> free_list;
+  };
+  std::deque<shard_t> shards_;  // deque: shards hold locks
 };
 
 namespace detail {
@@ -341,7 +430,13 @@ class transport_context {
 /// collectives) implemented with internal message types.
 class transport {
  public:
-  explicit transport(transport_config cfg);
+  /// Preferred constructor: construction-time machine shape + runtime
+  /// tuning, with an optional shared envelope pool (the serving layer hands
+  /// every session's transport one pool; see wire_pool).
+  transport(machine_config machine, tuning_config tuning,
+            std::shared_ptr<wire_pool> pool = nullptr);
+  /// Deprecated shim: the flat aggregate, optionally with a shared pool.
+  explicit transport(transport_config cfg, std::shared_ptr<wire_pool> pool = nullptr);
   ~transport();
 
   transport(const transport&) = delete;
@@ -349,6 +444,9 @@ class transport {
 
   rank_t size() const noexcept { return cfg_.n_ranks; }
   const transport_config& config() const noexcept { return cfg_; }
+  /// The envelope byte-buffer pool this transport recycles through —
+  /// shared across sessions when one was injected at construction.
+  const std::shared_ptr<wire_pool>& envelope_pool() const noexcept { return pool_; }
 
   /// Register a message type. Must happen before run(). The handler runs on
   /// the destination rank; the optional address map enables send(payload)
@@ -442,11 +540,6 @@ class transport {
     std::mutex held_mu;
     std::vector<held_tx> held;
 
-    /// Envelope byte-buffer free list: buffers are recycled from the
-    /// draining rank back to flushes (capacity preserved), eliminating the
-    /// per-envelope allocation on the wire path.
-    dpg::spinlock pool_mu;
-    std::vector<std::vector<std::byte>> byte_pool;
   };
 
   /// What one drain accomplished. `envelopes` counts every envelope
@@ -473,9 +566,11 @@ class transport {
       if (mt->rank_occupancy(r) != 0) return false;
     return true;
   }
-  /// Envelope pool: recycled buffer (capacity intact) or a fresh one.
+  /// Envelope pool: recycled buffer (capacity intact) or a fresh one. The
+  /// pool may be shared with other transports (wire_pool).
   std::vector<std::byte> pool_acquire(rank_t src);
-  /// Returns `bytes` to rank `r`'s pool (bounded; oversized buffers freed).
+  /// Returns `bytes` to the pool shard of rank `r` (bounded; oversized
+  /// buffers freed).
   void pool_release(rank_t r, std::vector<std::byte>&& bytes);
   /// Inbox empty and no handler mid-flight (exact snapshot under inbox_mu).
   bool locally_quiet(rank_t r) const;
@@ -552,6 +647,7 @@ class transport {
   transport_config cfg_;
   std::vector<std::unique_ptr<detail::message_type_base>> types_;
   std::vector<rank_state> ranks_;
+  std::shared_ptr<wire_pool> pool_;  ///< envelope buffers, possibly shared
   obs::registry obs_;
   bool running_ = false;
   bool faults_active_ = false;  ///< cfg_.faults.active(), hoisted off hot paths

@@ -26,6 +26,7 @@
 #include "graph/generators.hpp"
 #include "graph/ids.hpp"
 #include "graph/io.hpp"
+#include "graph/snapshot.hpp"
 
 // Property maps and the lock map.
 #include "pmap/edge_map.hpp"
@@ -57,3 +58,10 @@
 #include "algo/sssp.hpp"
 #include "algo/sssp_tree.hpp"
 #include "algo/widest_path.hpp"
+
+// Serving layer: warm solver sessions, result cache, multi-tenant front end.
+#include "algo/sessions.hpp"
+#include "serve/cache.hpp"
+#include "serve/pool.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"

@@ -1,0 +1,87 @@
+// Immutable snapshot views over a versioned distributed graph.
+//
+// PR 5 made topology mutable in place behind a monotonic version counter;
+// the serving layer needs the complementary read-side primitive: a cheap,
+// copyable view *pinned* to the version that was live when the view was
+// taken. A solver session holds a snapshot_view for the duration of one
+// query, so the result it produces is attributable to exactly one topology
+// version — the property the result cache keys on.
+//
+// A snapshot_view does not freeze the graph (mutation is already confined
+// to the non-morphing boundary between transport runs); it freezes the
+// *claim*: `current()` says whether the pinned version is still the live
+// topology, and `graph()` asserts the pin still holds, so a stale session
+// cannot silently read post-mutation structure while advertising an old
+// version. Re-pinning after a mutation is one `refresh()` — property maps
+// already grow lazily on version change, so sessions stay warm across
+// mutations.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/distributed_graph.hpp"
+#include "util/assert.hpp"
+
+namespace dpg::graph {
+
+class snapshot_view {
+ public:
+  /// An unbound view (no graph); bound() is false.
+  snapshot_view() = default;
+
+  /// Pins `g` at its current topology version.
+  explicit snapshot_view(const distributed_graph& g)
+      : g_(&g), version_(g.version()), structure_version_(g.structure_version()) {}
+
+  bool bound() const noexcept { return g_ != nullptr; }
+
+  /// The pinned topology version (what results computed through this view
+  /// must be attributed to).
+  std::uint64_t version() const noexcept { return version_; }
+  /// The pinned structure version (edge-id numbering; bumped by compact()).
+  std::uint64_t structure_version() const noexcept { return structure_version_; }
+
+  /// True while the pinned version is still the live topology. Any
+  /// apply_edges()/compact() since the pin makes the view stale.
+  bool current() const noexcept { return g_ != nullptr && g_->version() == version_; }
+
+  /// The underlying graph. Asserts the pin still holds: a stale view must
+  /// be refresh()ed (or re-taken) before topology is read through it.
+  const distributed_graph& graph() const {
+    DPG_ASSERT_MSG(g_ != nullptr, "snapshot_view is unbound");
+    DPG_ASSERT_MSG(g_->version() == version_,
+                   "snapshot_view is stale: the graph mutated since the pin");
+    return *g_;
+  }
+
+  /// The underlying graph without the staleness check — for code that has
+  /// already branched on current() and wants the live topology (e.g. a
+  /// session about to re-pin).
+  const distributed_graph& graph_unchecked() const {
+    DPG_ASSERT_MSG(g_ != nullptr, "snapshot_view is unbound");
+    return *g_;
+  }
+
+  /// Re-pins the view at the graph's current version. Returns true when the
+  /// pin moved (the caller was stale).
+  bool refresh() {
+    DPG_ASSERT_MSG(g_ != nullptr, "snapshot_view is unbound");
+    const bool moved = g_->version() != version_;
+    version_ = g_->version();
+    structure_version_ = g_->structure_version();
+    return moved;
+  }
+
+  // Convenience forwards that are safe on a stale view (vertex count and
+  // distribution never change under apply_edges/compact).
+  vertex_id num_vertices() const { return graph_unchecked().num_vertices(); }
+  rank_t owner(vertex_id v) const { return graph_unchecked().owner(v); }
+  const distribution& dist() const { return graph_unchecked().dist(); }
+
+ private:
+  const distributed_graph* g_ = nullptr;
+  std::uint64_t version_ = 0;
+  std::uint64_t structure_version_ = 0;
+};
+
+}  // namespace dpg::graph

@@ -1,5 +1,6 @@
 #include "obs/registry.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -96,21 +97,39 @@ stats_snapshot registry::snapshot() const {
 
 void registry::epoch_begin() {
   std::lock_guard<std::mutex> g(epochs_mu_);
-  epoch_open_ = true;
+  if (epoch_depth_++ != 0) {
+    // A window is already open: keep the outer one (overwriting its start
+    // snapshot would corrupt the record) and count the overlap instead of
+    // assuming a single writer.
+    ++epoch_overlaps_;
+    return;
+  }
   epoch_start_us_ = tracer_.now_us();
   epoch_at_begin_ = snapshot();
 }
 
 void registry::epoch_end() {
   std::lock_guard<std::mutex> g(epochs_mu_);
-  if (!epoch_open_) return;  // epoch began before this registry was watching
-  epoch_open_ = false;
+  if (epoch_depth_ == 0) return;  // epoch began before this registry was watching
+  if (--epoch_depth_ != 0) return;  // overlapping windows merge into one record
   epoch_record rec;
   rec.index = epochs_.size();
   rec.start_us = epoch_start_us_;
   rec.dur_us = tracer_.now_us() - epoch_start_us_;
   rec.delta = snapshot() - epoch_at_begin_;
   epochs_.push_back(std::move(rec));
+}
+
+std::uint64_t registry::epoch_overlaps() const {
+  std::lock_guard<std::mutex> g(epochs_mu_);
+  return epoch_overlaps_;
+}
+
+std::uint64_t registry::epoch_wall_us() const {
+  std::lock_guard<std::mutex> g(epochs_mu_);
+  std::uint64_t us = 0;
+  for (const epoch_record& e : epochs_) us += e.dur_us;
+  return us;
 }
 
 std::vector<epoch_record> registry::epoch_records() const {
@@ -199,6 +218,176 @@ std::string registry::epoch_summary() const {
     out += line;
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// cross-registry aggregation (rollup)
+// ---------------------------------------------------------------------------
+
+void merge(stats_snapshot& a, const stats_snapshot& b) {
+  a.core = a.core + b.core;
+  for (const type_counters& t : b.per_type) {
+    type_counters* row = nullptr;
+    for (type_counters& existing : a.per_type)
+      if (existing.name == t.name) {
+        row = &existing;
+        break;
+      }
+    if (row == nullptr) {
+      a.per_type.push_back(t);
+      continue;
+    }
+    row->sent += t.sent;
+    row->handled += t.handled;
+    row->bytes += t.bytes;
+    row->envelopes += t.envelopes;
+    row->wire_bytes += t.wire_bytes;
+    row->max_env_bytes = std::max(row->max_env_bytes, t.max_env_bytes);
+  }
+}
+
+void rollup::absorb(const std::string& label, const stats_snapshot& totals,
+                    std::uint64_t epochs, std::uint64_t wall_us) {
+  std::lock_guard<std::mutex> g(mu_);
+  context_row* row = nullptr;
+  for (context_row& r : rows_)
+    if (r.label == label) {
+      row = &r;
+      break;
+    }
+  if (row == nullptr) {
+    rows_.push_back(context_row{});
+    row = &rows_.back();
+    row->label = label;
+  }
+  merge(row->totals, totals);
+  row->epochs += epochs;
+  row->wall_us += wall_us;
+  ++row->contexts;
+}
+
+void rollup::absorb(const std::string& label, const registry& reg) {
+  absorb(label, reg.snapshot(), reg.epochs_recorded(), reg.epoch_wall_us());
+}
+
+void rollup::note_query(std::uint64_t tenant, bool cache_hit, bool merged,
+                        std::uint64_t latency_us) {
+  std::lock_guard<std::mutex> g(mu_);
+  tenant_row& t = tenants_[tenant];
+  ++t.queries;
+  if (cache_hit) ++t.cache_hits;
+  if (merged) ++t.merged;
+  t.latency_us_sum += latency_us;
+  t.latency_us_max = std::max(t.latency_us_max, latency_us);
+}
+
+void rollup::note_solve(std::uint64_t tenant) {
+  std::lock_guard<std::mutex> g(mu_);
+  ++tenants_[tenant].solves;
+}
+
+void rollup::note_repair(std::uint64_t tenant) {
+  std::lock_guard<std::mutex> g(mu_);
+  ++tenants_[tenant].repairs;
+}
+
+void rollup::note_mutation(std::uint64_t tenant) {
+  std::lock_guard<std::mutex> g(mu_);
+  ++tenants_[tenant].mutations;
+}
+
+std::vector<rollup::context_row> rollup::contexts() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return rows_;
+}
+
+rollup::tenant_row rollup::tenant(std::uint64_t id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  const auto it = tenants_.find(id);
+  return it != tenants_.end() ? it->second : tenant_row{};
+}
+
+std::size_t rollup::tenants_seen() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return tenants_.size();
+}
+
+stats_snapshot rollup::total() const {
+  std::lock_guard<std::mutex> g(mu_);
+  stats_snapshot s;
+  for (const context_row& r : rows_) merge(s, r.totals);
+  return s;
+}
+
+std::string rollup::summary() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-20s %5s %6s %9s %10s %9s %12s %12s %10s\n",
+                "context", "ctxs", "epochs", "wall_ms", "msgs", "envs", "bytes",
+                "wire_b", "cache_hit");
+  out += line;
+  stats_snapshot tot;
+  std::uint64_t tot_epochs = 0, tot_wall = 0, tot_ctxs = 0;
+  for (const context_row& r : rows_) {
+    const counters& c = r.totals.core;
+    std::snprintf(line, sizeof line,
+                  "%-20s %5llu %6llu %9.3f %10llu %9llu %12llu %12llu %10llu\n",
+                  r.label.c_str(), static_cast<unsigned long long>(r.contexts),
+                  static_cast<unsigned long long>(r.epochs), r.wall_us / 1e3,
+                  static_cast<unsigned long long>(c.messages_sent),
+                  static_cast<unsigned long long>(c.envelopes_sent),
+                  static_cast<unsigned long long>(c.bytes_sent),
+                  static_cast<unsigned long long>(c.wire_bytes_sent),
+                  static_cast<unsigned long long>(c.cache_hits));
+    out += line;
+    merge(tot, r.totals);
+    tot_epochs += r.epochs;
+    tot_wall += r.wall_us;
+    tot_ctxs += r.contexts;
+  }
+  {
+    const counters& c = tot.core;
+    std::snprintf(line, sizeof line,
+                  "%-20s %5llu %6llu %9.3f %10llu %9llu %12llu %12llu %10llu\n", "total",
+                  static_cast<unsigned long long>(tot_ctxs),
+                  static_cast<unsigned long long>(tot_epochs), tot_wall / 1e3,
+                  static_cast<unsigned long long>(c.messages_sent),
+                  static_cast<unsigned long long>(c.envelopes_sent),
+                  static_cast<unsigned long long>(c.bytes_sent),
+                  static_cast<unsigned long long>(c.wire_bytes_sent),
+                  static_cast<unsigned long long>(c.cache_hits));
+    out += line;
+  }
+  if (!tenants_.empty()) {
+    out += "per-tenant serving counters:\n";
+    std::snprintf(line, sizeof line, "  %-8s %8s %9s %7s %7s %8s %5s %10s %10s\n",
+                  "tenant", "queries", "cache_hit", "merged", "solves", "repairs",
+                  "muts", "lat_avg_us", "lat_max_us");
+    out += line;
+    for (const auto& [id, t] : tenants_) {
+      const double avg =
+          t.queries != 0 ? static_cast<double>(t.latency_us_sum) / t.queries : 0.0;
+      std::snprintf(line, sizeof line,
+                    "  %-8llu %8llu %9llu %7llu %7llu %8llu %5llu %10.1f %10llu\n",
+                    static_cast<unsigned long long>(id),
+                    static_cast<unsigned long long>(t.queries),
+                    static_cast<unsigned long long>(t.cache_hits),
+                    static_cast<unsigned long long>(t.merged),
+                    static_cast<unsigned long long>(t.solves),
+                    static_cast<unsigned long long>(t.repairs),
+                    static_cast<unsigned long long>(t.mutations), avg,
+                    static_cast<unsigned long long>(t.latency_us_max));
+      out += line;
+    }
+  }
+  return out;
+}
+
+void rollup::clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  rows_.clear();
+  tenants_.clear();
 }
 
 // ---------------------------------------------------------------------------

@@ -30,6 +30,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -151,13 +152,22 @@ class registry {
 
   // ---- per-epoch records --------------------------------------------------
 
-  /// Epoch scoping hooks, called by ampp::epoch on rank 0 (epochs are
-  /// collective and serialized per transport, so begin/end pairs nest).
+  /// Epoch scoping hooks, called by ampp::epoch on rank 0. Epochs are
+  /// collective and serialized per transport, but the registry no longer
+  /// *assumes* one writer: overlapping begin/end pairs (two runs sharing a
+  /// registry, a misbehaving driver) merge into one record instead of
+  /// silently corrupting the open window, and epoch_overlaps() reports how
+  /// often that happened.
   void epoch_begin();
   void epoch_end();
 
   std::vector<epoch_record> epoch_records() const;
   std::size_t epochs_recorded() const;
+  /// Epoch windows that opened while another was still open (0 under the
+  /// intended one-collective-epoch-at-a-time discipline).
+  std::uint64_t epoch_overlaps() const;
+  /// Total wall time of all recorded epochs, µs.
+  std::uint64_t epoch_wall_us() const;
 
   /// Renders the per-epoch records and per-type totals as a fixed-width
   /// table (one epoch per row, totals last).
@@ -195,7 +205,8 @@ class registry {
 
   mutable std::mutex epochs_mu_;
   std::vector<epoch_record> epochs_;
-  bool epoch_open_ = false;
+  std::uint64_t epoch_depth_ = 0;  ///< open windows (overlaps merge into one record)
+  std::uint64_t epoch_overlaps_ = 0;
   std::uint64_t epoch_start_us_ = 0;
   stats_snapshot epoch_at_begin_;
 
@@ -238,6 +249,79 @@ class stats_scope {
   stats_snapshot begin_;
   std::optional<stats_snapshot> end_;
   stats_snapshot* out_;
+};
+
+/// Accumulates `b` into `a`: core counters add field-wise; per-type rows
+/// merge by name (sessions register the same pattern types independently,
+/// so name — not slot — is the stable identity across registries).
+void merge(stats_snapshot& a, const stats_snapshot& b);
+
+/// Cross-registry aggregation for concurrent sessions.
+///
+/// Under the serving layer every solver session owns its transport and
+/// therefore its registry — one writer per context, which is what keeps the
+/// hot-path counters cheap. The rollup is the one deliberately concurrent
+/// surface: sessions (or the pool retiring them) fold their registry totals
+/// in from any thread, the serving front end attributes queries to tenants
+/// from any thread, and summary() renders the combined per-context /
+/// per-tenant epoch summary. Everything here is mutex-guarded; nothing here
+/// is on a message hot path.
+class rollup {
+ public:
+  /// Per-tenant serving counters (surfaced in the combined summary).
+  struct tenant_row {
+    std::uint64_t queries = 0;     ///< requests admitted
+    std::uint64_t cache_hits = 0;  ///< served straight from the result cache
+    std::uint64_t merged = 0;      ///< coalesced onto an identical in-flight query
+    std::uint64_t solves = 0;      ///< full solver runs executed on behalf
+    std::uint64_t repairs = 0;     ///< warm repairs executed on behalf
+    std::uint64_t mutations = 0;   ///< apply_edges calls issued
+    std::uint64_t latency_us_sum = 0;
+    std::uint64_t latency_us_max = 0;
+  };
+
+  /// One aggregated context (e.g. every retired + live "sssp" session).
+  struct context_row {
+    std::string label;
+    stats_snapshot totals;
+    std::uint64_t epochs = 0;
+    std::uint64_t wall_us = 0;
+    std::uint64_t contexts = 0;  ///< registries folded into this row
+  };
+
+  /// Folds one context's counter totals into the row named `label`
+  /// (thread-safe; repeated absorbs accumulate).
+  void absorb(const std::string& label, const stats_snapshot& totals,
+              std::uint64_t epochs, std::uint64_t wall_us);
+  /// Convenience: absorbs a live registry's current cumulative totals.
+  void absorb(const std::string& label, const registry& reg);
+
+  /// Tenant attribution hooks (thread-safe).
+  void note_query(std::uint64_t tenant, bool cache_hit, bool merged,
+                  std::uint64_t latency_us);
+  void note_solve(std::uint64_t tenant);
+  void note_repair(std::uint64_t tenant);
+  void note_mutation(std::uint64_t tenant);
+
+  std::vector<context_row> contexts() const;
+  /// The row for one tenant (zeroes if never seen).
+  tenant_row tenant(std::uint64_t id) const;
+  std::size_t tenants_seen() const;
+
+  /// Sum of every context row's totals.
+  stats_snapshot total() const;
+
+  /// The combined epoch summary: one row per context (epochs, wall time,
+  /// message economy), one row per tenant (queries, hits, merges, solves,
+  /// latency), and a grand-total line.
+  std::string summary() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<context_row> rows_;              // small; linear label lookup
+  std::map<std::uint64_t, tenant_row> tenants_;
 };
 
 }  // namespace dpg::obs

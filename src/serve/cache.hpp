@@ -1,0 +1,156 @@
+// The serving-layer result cache: completed session_results keyed by
+// (topology version, algorithm, params).
+//
+// The topology version in the key is the whole invalidation story:
+// apply_edges() bumps the graph's version, so every entry pinned to the old
+// version can never be *hit* again — lookups always key on the live
+// version. invalidate_stale() reclaims that dead weight eagerly (the server
+// calls it inside the same exclusive section as the mutation); capacity
+// eviction (FIFO) bounds the cache between mutations.
+//
+// Results are shared immutably (shared_ptr<const session_result>), so a hit
+// is one hash probe + one refcount — safe to hand to any number of
+// concurrent tenants.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "serve/session.hpp"
+
+namespace dpg::serve {
+
+/// Cache identity of one query against one topology version.
+struct cache_key {
+  std::uint64_t version = 0;
+  algorithm algo{};
+  query_params params{};
+
+  friend bool operator==(const cache_key&, const cache_key&) = default;
+
+  struct hasher {
+    std::size_t operator()(const cache_key& k) const noexcept {
+      auto mix = [](std::uint64_t h, std::uint64_t x) {
+        h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        return h;
+      };
+      std::uint64_t h = k.version;
+      h = mix(h, static_cast<std::uint64_t>(k.algo));
+      h = mix(h, static_cast<std::uint64_t>(k.params.source));
+      h = mix(h, std::bit_cast<std::uint64_t>(k.params.delta));
+      return static_cast<std::size_t>(h);
+    }
+  };
+};
+
+class result_cache {
+ public:
+  explicit result_cache(std::size_t capacity = 1024) : cap_(capacity) {}
+
+  result_cache(const result_cache&) = delete;
+  result_cache& operator=(const result_cache&) = delete;
+
+  /// The cached result for `k`, or nullptr. Counts a hit or a miss.
+  std::shared_ptr<const session_result> lookup(const cache_key& k) {
+    std::lock_guard<std::mutex> g(mu_);
+    const auto it = map_.find(k);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    return it->second;
+  }
+
+  /// Inserts (or overwrites) `k`. FIFO-evicts past capacity.
+  void insert(const cache_key& k, std::shared_ptr<const session_result> r) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (cap_ == 0) return;
+    auto [it, fresh] = map_.insert_or_assign(k, std::move(r));
+    (void)it;
+    if (fresh) fifo_.push_back(k);
+    ++insertions_;
+    while (map_.size() > cap_) {
+      map_.erase(fifo_.front());
+      fifo_.pop_front();
+      ++evictions_;
+    }
+  }
+
+  /// Drops every entry not pinned to `live_version` (the server calls this
+  /// under its exclusive topology lock right after apply_edges/compact).
+  /// Returns the number of entries reclaimed.
+  std::size_t invalidate_stale(std::uint64_t live_version) {
+    std::lock_guard<std::mutex> g(mu_);
+    std::size_t dropped = 0;
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (it->first.version != live_version) {
+        it = map_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    if (dropped != 0) {
+      std::deque<cache_key> keep;
+      for (const cache_key& k : fifo_)
+        if (map_.contains(k)) keep.push_back(k);
+      fifo_ = std::move(keep);
+      invalidations_ += dropped;
+    }
+    return dropped;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> g(mu_);
+    invalidations_ += map_.size();
+    map_.clear();
+    fifo_.clear();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return map_.size();
+  }
+  std::size_t capacity() const { return cap_; }
+  std::uint64_t hits() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return misses_;
+  }
+  std::uint64_t insertions() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return insertions_;
+  }
+  std::uint64_t evictions() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return evictions_;
+  }
+  std::uint64_t invalidations() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return invalidations_;
+  }
+  double hit_rate() const {
+    std::lock_guard<std::mutex> g(mu_);
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<cache_key, std::shared_ptr<const session_result>,
+                     cache_key::hasher>
+      map_;
+  std::deque<cache_key> fifo_;  ///< insertion order for capacity eviction
+  std::size_t cap_;
+  std::uint64_t hits_ = 0, misses_ = 0, insertions_ = 0, evictions_ = 0,
+                invalidations_ = 0;
+};
+
+}  // namespace dpg::serve

@@ -1,0 +1,186 @@
+// Warm session pool: checkout / return of solver_sessions per algorithm.
+//
+// Session construction is the expensive part of serving a query (a fresh
+// ampp::transport, compiled plan, full-size property maps); the pool
+// amortises it by keeping up to `max_warm_per_algo` idle sessions per
+// algorithm and handing them out under an RAII lease. Checkout re-pins the
+// session to the live topology (rebind()), so a warm session never serves a
+// stale version by accident; give-back either re-warms the session or
+// retires it, rolling its per-context obs registry up into the server's
+// rollup so no counters are lost when a context dies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "serve/session.hpp"
+#include "util/assert.hpp"
+
+namespace dpg::serve {
+
+class session_pool {
+ public:
+  /// Builds a cold session for `a`; called under no pool lock.
+  using factory_fn = std::function<std::unique_ptr<solver_session>(algorithm)>;
+
+  /// RAII checkout. Holds the session exclusively; the destructor returns
+  /// it to the pool (or retires it if the warm list is full).
+  class lease {
+   public:
+    lease() = default;
+    lease(session_pool* pool, std::unique_ptr<solver_session> s)
+        : pool_(pool), s_(std::move(s)) {}
+    lease(lease&& o) noexcept : pool_(o.pool_), s_(std::move(o.s_)) {
+      o.pool_ = nullptr;
+    }
+    lease& operator=(lease&& o) noexcept {
+      if (this != &o) {
+        release();
+        pool_ = o.pool_;
+        s_ = std::move(o.s_);
+        o.pool_ = nullptr;
+      }
+      return *this;
+    }
+    lease(const lease&) = delete;
+    lease& operator=(const lease&) = delete;
+    ~lease() { release(); }
+
+    explicit operator bool() const noexcept { return s_ != nullptr; }
+    solver_session& operator*() const { return *s_; }
+    solver_session* operator->() const { return s_.get(); }
+    solver_session* get() const noexcept { return s_.get(); }
+
+    /// Early give-back (the destructor is the usual path).
+    void release() {
+      if (pool_ != nullptr && s_ != nullptr) pool_->give_back(std::move(s_));
+      pool_ = nullptr;
+      s_.reset();
+    }
+
+   private:
+    session_pool* pool_ = nullptr;
+    std::unique_ptr<solver_session> s_;
+  };
+
+  /// `sink` (optional) receives the obs registry of every retired session.
+  session_pool(factory_fn factory, std::size_t max_warm_per_algo,
+               obs::rollup* sink = nullptr)
+      : factory_(std::move(factory)),
+        max_warm_(max_warm_per_algo),
+        sink_(sink) {
+    DPG_ASSERT_MSG(factory_ != nullptr, "session_pool needs a factory");
+  }
+
+  session_pool(const session_pool&) = delete;
+  session_pool& operator=(const session_pool&) = delete;
+
+  ~session_pool() { drain(); }
+
+  /// Checks out a session for `a`: pops a warm one (re-pinned to the live
+  /// topology) or cold-constructs through the factory.
+  lease checkout(algorithm a) {
+    std::unique_ptr<solver_session> s;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      auto& warm = warm_[slot(a)];
+      if (!warm.empty()) {
+        s = std::move(warm.back());
+        warm.pop_back();
+        ++warm_hits_;
+      }
+      ++outstanding_;
+    }
+    if (s == nullptr) {
+      s = factory_(a);
+      DPG_ASSERT_MSG(s != nullptr, "session factory returned null");
+      std::lock_guard<std::mutex> g(mu_);
+      ++created_;
+    } else if (s->rebind()) {
+      std::lock_guard<std::mutex> g(mu_);
+      ++rebinds_;
+    }
+    return lease(this, std::move(s));
+  }
+
+  /// Retires every warm session now (rolls their registries into the sink).
+  /// Outstanding leases retire on give-back.
+  void drain() {
+    std::vector<std::unique_ptr<solver_session>> victims;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      draining_ = true;
+      for (auto& warm : warm_)
+        for (auto& s : warm) victims.push_back(std::move(s));
+      for (auto& warm : warm_) warm.clear();
+    }
+    for (auto& s : victims) retire(std::move(s));
+  }
+
+  /// Re-opens the pool after drain() (tests use this to force cold paths).
+  void reopen() {
+    std::lock_guard<std::mutex> g(mu_);
+    draining_ = false;
+  }
+
+  std::uint64_t created() const { return locked(created_); }
+  std::uint64_t warm_hits() const { return locked(warm_hits_); }
+  std::uint64_t rebinds() const { return locked(rebinds_); }
+  std::uint64_t retired() const { return locked(retired_); }
+  std::uint64_t outstanding() const { return locked(outstanding_); }
+  std::size_t warm_count(algorithm a) const {
+    std::lock_guard<std::mutex> g(mu_);
+    return warm_[slot(a)].size();
+  }
+
+ private:
+  friend class lease;
+
+  static std::size_t slot(algorithm a) { return static_cast<std::size_t>(a); }
+  static constexpr std::size_t kAlgos = 3;  // sssp, bfs, cc
+
+  std::uint64_t locked(const std::uint64_t& v) const {
+    std::lock_guard<std::mutex> g(mu_);
+    return v;
+  }
+
+  void give_back(std::unique_ptr<solver_session> s) {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      DPG_ASSERT_MSG(outstanding_ > 0, "lease returned to the wrong pool");
+      --outstanding_;
+      auto& warm = warm_[slot(s->algo())];
+      if (!draining_ && warm.size() < max_warm_) {
+        warm.push_back(std::move(s));
+        return;
+      }
+    }
+    retire(std::move(s));
+  }
+
+  void retire(std::unique_ptr<solver_session> s) {
+    if (sink_ != nullptr)
+      sink_->absorb(algorithm_name(s->algo()), s->obs());
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      ++retired_;
+    }
+    s.reset();
+  }
+
+  factory_fn factory_;
+  std::size_t max_warm_;
+  obs::rollup* sink_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<solver_session>> warm_[kAlgos];
+  bool draining_ = false;
+  std::uint64_t created_ = 0, warm_hits_ = 0, rebinds_ = 0, retired_ = 0,
+                outstanding_ = 0;
+};
+
+}  // namespace dpg::serve

@@ -1,0 +1,204 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <condition_variable>
+
+namespace dpg::serve {
+
+namespace {
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// One in-flight solve followers merge onto: the leader fills `result` and
+/// flips `done`; followers wait on `cv`.
+struct server::inflight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool failed = false;
+  std::shared_ptr<const session_result> result;
+};
+
+server::server(graph::distributed_graph& g,
+               pmap::edge_property_map<double>& weights, server_config cfg)
+    : g_(&g),
+      weights_(&weights),
+      cfg_(cfg),
+      wire_pool_(std::make_shared<ampp::wire_pool>(cfg.machine.n_ranks)),
+      cache_(cfg.cache_capacity) {
+  algo::session_env env;
+  env.g = g_;
+  env.weights = weights_;
+  env.machine = cfg_.machine;
+  env.tuning = cfg_.tuning;
+  env.pool = wire_pool_;
+  env.copts = cfg_.copts;
+  env.sopts = cfg_.sopts;
+  pool_ = std::make_unique<session_pool>(
+      [env](algorithm a) { return algo::make_solver_session(a, env); },
+      cfg_.max_warm_sessions, &rollup_);
+}
+
+server::~server() { pool_->drain(); }
+
+std::uint64_t server::version() const {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  return g_->version();
+}
+
+std::shared_ptr<const session_result> server::query(const serve::query& q) {
+  return serve_one(q, /*try_repair=*/false);
+}
+
+std::shared_ptr<const session_result> server::repair_query(
+    const serve::query& q) {
+  return serve_one(q, /*try_repair=*/true);
+}
+
+std::shared_ptr<const session_result> server::serve_one(const serve::query& q,
+                                                        bool try_repair) {
+  const std::uint64_t t0 = now_us();
+  // The shared topology lock spans the whole serve: the version the result
+  // is keyed on cannot move underneath the solve, and mutations queue
+  // behind every in-flight query (the non-morphing boundary).
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  const cache_key key{g_->version(), q.algo, q.params};
+
+  if (auto hit = cache_.lookup(key)) {
+    rollup_.note_query(q.tenant, /*cache_hit=*/true, /*merged=*/false,
+                       now_us() - t0);
+    return hit;
+  }
+
+  // Admission: the first requester of (version, algo, params) leads and
+  // solves; everyone else merges onto its in-flight entry.
+  std::shared_ptr<inflight> entry;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> g(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) {
+      entry = std::make_shared<inflight>();
+      inflight_.emplace(key, entry);
+      leader = true;
+    } else {
+      entry = it->second;
+    }
+  }
+
+  if (!leader) {
+    std::unique_lock<std::mutex> l(entry->mu);
+    entry->cv.wait(l, [&] { return entry->done; });
+    if (!entry->failed && entry->result != nullptr) {
+      rollup_.note_query(q.tenant, /*cache_hit=*/false, /*merged=*/true,
+                         now_us() - t0);
+      return entry->result;
+    }
+    l.unlock();
+    // The leader failed: solve independently rather than cascading the
+    // failure to every merged follower.
+    auto res = solve(q, key, try_repair);
+    cache_.insert(key, res);
+    rollup_.note_query(q.tenant, false, false, now_us() - t0);
+    return res;
+  }
+
+  // Leadership double-check: miss → register is not atomic, so the previous
+  // leader may have cached this key and left in the gap. Re-probing here
+  // makes "N identical queries cost one solve" a guarantee, not a likelihood.
+  if (auto hit = cache_.lookup(key)) {
+    {
+      std::lock_guard<std::mutex> g(inflight_mu_);
+      inflight_.erase(key);
+    }
+    {
+      std::lock_guard<std::mutex> l(entry->mu);
+      entry->result = hit;
+      entry->done = true;
+    }
+    entry->cv.notify_all();
+    rollup_.note_query(q.tenant, /*cache_hit=*/true, /*merged=*/false,
+                       now_us() - t0);
+    return hit;
+  }
+
+  std::shared_ptr<const session_result> res;
+  try {
+    res = solve(q, key, try_repair);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> g(inflight_mu_);
+      inflight_.erase(key);
+    }
+    {
+      std::lock_guard<std::mutex> l(entry->mu);
+      entry->failed = true;
+      entry->done = true;
+    }
+    entry->cv.notify_all();
+    throw;
+  }
+
+  cache_.insert(key, res);
+  {
+    // Erase after the cache insert so a request arriving in between finds
+    // one or the other — never a gap that would duplicate the solve.
+    std::lock_guard<std::mutex> g(inflight_mu_);
+    inflight_.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> l(entry->mu);
+    entry->result = res;
+    entry->done = true;
+  }
+  entry->cv.notify_all();
+
+  if (res->warm_repair)
+    rollup_.note_repair(q.tenant);
+  else
+    rollup_.note_solve(q.tenant);
+  rollup_.note_query(q.tenant, /*cache_hit=*/false, /*merged=*/false,
+                     now_us() - t0);
+  return res;
+}
+
+std::shared_ptr<const session_result> server::solve(const serve::query& q,
+                                                    const cache_key& key,
+                                                    bool try_repair) {
+  session_pool::lease lease = pool_->checkout(q.algo);
+  session_result r = (try_repair && !repair_seeds_.empty())
+                         ? lease->repair(q.params, repair_seeds_)
+                         : lease->run(q.params);
+  DPG_ASSERT_MSG(r.graph_version == key.version,
+                 "session produced a result for the wrong topology version");
+  return std::make_shared<const session_result>(std::move(r));
+}
+
+void server::apply_edges(std::span<const graph::edge> extra,
+                         std::uint64_t tenant) {
+  std::unique_lock<std::shared_mutex> topo(topo_mu_);
+  g_->apply_edges(extra);
+  cache_.invalidate_stale(g_->version());
+  repair_seeds_.clear();
+  repair_seeds_.reserve(extra.size());
+  for (const graph::edge& e : extra) repair_seeds_.push_back(e.src);
+  rollup_.note_mutation(tenant);
+}
+
+std::string server::serving_summary() {
+  // Retire the warm sessions so their registries are folded into the
+  // rollup exactly once, then re-open the pool (subsequent queries rebuild
+  // warmth). Outstanding leases fold in whenever they retire.
+  pool_->drain();
+  pool_->reopen();
+  return rollup_.summary();
+}
+
+}  // namespace dpg::serve

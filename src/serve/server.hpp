@@ -1,0 +1,128 @@
+// The multi-tenant serving front end: admission, merging, caching, and
+// mutation over one shared graph.
+//
+// This is ROADMAP item 2 ("production-scale serving"): the process holds
+// one big distributed_graph and answers a stream of read queries
+// interleaved with mutations. The server composes the pieces this PR
+// introduces —
+//
+//   graph::snapshot_view   results attributable to one topology version
+//   solver_session pool    warm per-query contexts (serve/pool.hpp)
+//   result_cache           (version, algorithm, params) → shared result
+//   obs::rollup            per-context + per-tenant accounting
+//
+// — behind two calls: query() and apply_edges().
+//
+// Admission discipline (the interesting part):
+//   1. A query first probes the cache under the live topology version; a
+//      hit is lock-free of any solver machinery.
+//   2. On a miss, identical in-flight queries *merge*: the first requester
+//      becomes the leader and solves; followers wait on the leader's entry
+//      and share its result. N tenants asking the same question cost one
+//      solve.
+//   3. The leader checks a session out of the warm pool, runs it inside a
+//      shared (reader) topology lock, inserts the result, and wakes the
+//      followers.
+// Mutations take the exclusive side of the topology lock: apply_edges()
+// waits out in-flight solves, mutates (bumping the version), invalidates
+// stale cache entries, and records the mutation sites so repair_query()
+// can warm-restart instead of re-solving.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "algo/sessions.hpp"
+#include "serve/cache.hpp"
+#include "serve/pool.hpp"
+
+namespace dpg::serve {
+
+struct server_config {
+  ampp::machine_config machine{};  ///< rank/thread topology of every session
+  ampp::tuning_config tuning{};    ///< runtime knobs shared by every session
+  std::size_t max_warm_sessions = 2;  ///< warm pool depth per algorithm
+  std::size_t cache_capacity = 1024;
+  pattern::compile_options copts{};
+  strategy::options sopts{};
+};
+
+class server {
+ public:
+  /// `g` and `weights` are the shared state being served; they must outlive
+  /// the server. All topology mutation must go through apply_edges() /
+  /// compact() below — the server's topology lock is what keeps mutation at
+  /// the non-morphing boundary while queries are in flight. Edges added
+  /// later take their weight from the map's own fill value / init function
+  /// (pmap/edge_map.hpp), so build `weights` with the growth recipe you
+  /// want served.
+  server(graph::distributed_graph& g, pmap::edge_property_map<double>& weights,
+         server_config cfg = {});
+  ~server();
+
+  server(const server&) = delete;
+  server& operator=(const server&) = delete;
+
+  /// Serves one query: cache hit, merge onto an identical in-flight query,
+  /// or a fresh solve on a pooled session. Thread-safe; blocks while a
+  /// mutation holds the topology lock. The result is immutable and shared.
+  std::shared_ptr<const session_result> query(const serve::query& q);
+
+  /// Like query(), but a miss warm-repairs from the most recent mutation's
+  /// edge endpoints instead of solving from scratch (transparently falls
+  /// back to a full solve when the leased session can't repair soundly).
+  std::shared_ptr<const session_result> repair_query(const serve::query& q);
+
+  /// Appends edges at the non-morphing boundary: waits out in-flight
+  /// solves, mutates the graph (bumping its version), drops now-stale cache
+  /// entries, and records the edge endpoints as repair seeds.
+  void apply_edges(std::span<const graph::edge> extra, std::uint64_t tenant = 0);
+
+  /// The live topology version queries are currently keyed on.
+  std::uint64_t version() const;
+
+  // ---- introspection -------------------------------------------------------
+
+  result_cache& cache() noexcept { return cache_; }
+  session_pool& pool() noexcept { return *pool_; }
+  obs::rollup& obs() noexcept { return rollup_; }
+  const std::shared_ptr<ampp::wire_pool>& envelope_pool() const noexcept {
+    return wire_pool_;
+  }
+
+  /// The combined per-context / per-tenant epoch summary (drains the warm
+  /// pool first so live sessions' counters are included).
+  std::string serving_summary();
+
+ private:
+  struct inflight;
+
+  std::shared_ptr<const session_result> serve_one(const serve::query& q,
+                                                  bool try_repair);
+  std::shared_ptr<const session_result> solve(const serve::query& q,
+                                              const cache_key& key,
+                                              bool try_repair);
+
+  graph::distributed_graph* g_;
+  pmap::edge_property_map<double>* weights_;
+  server_config cfg_;
+
+  std::shared_ptr<ampp::wire_pool> wire_pool_;
+  obs::rollup rollup_;
+  result_cache cache_;
+  std::unique_ptr<session_pool> pool_;
+
+  /// Readers = queries (shared), writers = apply_edges/compact (exclusive).
+  mutable std::shared_mutex topo_mu_;
+  std::vector<graph::vertex_id> repair_seeds_;  ///< endpoints of last mutation
+
+  std::mutex inflight_mu_;
+  std::unordered_map<cache_key, std::shared_ptr<inflight>, cache_key::hasher>
+      inflight_;
+};
+
+}  // namespace dpg::serve

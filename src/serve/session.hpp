@@ -1,0 +1,139 @@
+// The uniform solver-session interface of the serving layer.
+//
+// The ROADMAP's north-star workload is heavy query traffic against one big
+// graph — many solves per second, not one solver per process. The unit of
+// work is a *session*: a warm bundle of transport context (its own
+// ampp::transport, hence its own lanes/counters/TD state, sharing only the
+// process-wide envelope pool), a compiled pattern plan, and pre-sized
+// property maps, pinned to a graph::snapshot_view. Sessions are checked out
+// of a pool per request (serve/pool.hpp), run one query, and go back warm —
+// construction cost (plan compilation, map allocation) is paid once, not
+// per query.
+//
+// Every algorithm sits behind the same three verbs so the pool and the
+// admission front end are algorithm-agnostic:
+//   run(params)             — full solve, results pinned to the session's
+//                             snapshot version;
+//   repair(params, sources) — warm repair from mutation sites when the
+//                             session's previous run makes that sound,
+//                             transparent fallback to run() otherwise;
+//   the returned session_result — one result shape for all of them.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/snapshot.hpp"
+#include "obs/registry.hpp"
+
+namespace dpg::serve {
+
+using graph::vertex_id;
+
+/// The algorithms the serving layer fronts (extend alongside the factory in
+/// algo/sessions.hpp).
+enum class algorithm : std::uint8_t { sssp, bfs, cc };
+
+inline const char* algorithm_name(algorithm a) {
+  switch (a) {
+    case algorithm::sssp: return "sssp";
+    case algorithm::bfs: return "bfs";
+    case algorithm::cc: return "cc";
+  }
+  return "?";
+}
+
+/// Query parameters — the cache-key half of a request. Kept trivially
+/// comparable so identical queries merge and cache exactly.
+struct query_params {
+  vertex_id source = 0;  ///< ignored by whole-graph algorithms (cc)
+  double delta = 0.0;    ///< > 0 selects the Δ-stepping schedule (sssp/bfs)
+  friend bool operator==(const query_params&, const query_params&) = default;
+};
+
+/// One admitted request: what to run, with what parameters, for whom.
+struct query {
+  algorithm algo = algorithm::sssp;
+  query_params params{};
+  std::uint64_t tenant = 0;  ///< attribution key for per-tenant obs counters
+};
+
+/// The one result shape every session verb returns — the serving-layer
+/// unification of PR 1's strategy::result (rounds / modifications /
+/// stats_delta ride along verbatim) with the metadata a multi-tenant
+/// front end needs: the topology version the answer is pinned to and how
+/// it converged.
+///
+/// `values` holds one 64-bit word per vertex. Floating-point results
+/// travel as the raw bit pattern of their double (std::bit_cast), so
+/// result equality is bit-identity — never an epsilon — and one vector
+/// type serves every algorithm.
+struct session_result {
+  algorithm algo{};
+  std::uint64_t graph_version = 0;  ///< topology version the run was pinned to
+  bool converged = false;           ///< fixed point reached (round cap not hit)
+  bool warm_repair = false;         ///< produced by repair(), not a full solve
+  std::uint64_t rounds = 0;         ///< strategy rounds/epochs driven
+  std::uint64_t modifications = 0;  ///< successful condition firings
+  obs::stats_snapshot stats_delta;  ///< transport counters the run consumed
+  std::vector<std::uint64_t> values;
+
+  std::uint64_t value(vertex_id v) const { return values[v]; }
+  double value_as_double(vertex_id v) const {
+    return std::bit_cast<double>(values[v]);
+  }
+};
+
+/// Abstract warm solver session. Concrete wrappers live with their
+/// algorithms (algo/sessions.hpp); everything above the wrappers — pool,
+/// cache, admission — programs against this interface only.
+class solver_session {
+ public:
+  virtual ~solver_session() = default;
+
+  solver_session(const solver_session&) = delete;
+  solver_session& operator=(const solver_session&) = delete;
+
+  algorithm algo() const noexcept { return algo_; }
+  const graph::snapshot_view& snapshot() const noexcept { return snap_; }
+
+  /// Re-pins the session to the graph's current topology version (cheap:
+  /// property maps grow lazily; the compiled plan is mutation-oblivious).
+  /// Returns true when the pin moved. The pool calls this on checkout so a
+  /// warm session never serves a stale version by accident.
+  bool rebind() { return snap_.refresh(); }
+
+  /// Full solve. Collective machinery runs inside (the session drives its
+  /// own transport); the caller is an ordinary serving thread.
+  virtual session_result run(const query_params& p) = 0;
+
+  /// Warm repair: replay from `sources` (typically the endpoints of newly
+  /// applied edges) on top of the previous run's state. Sound only when
+  /// this session's last run solved the same params and the topology only
+  /// gained edges since — implementations check and transparently fall
+  /// back to run() otherwise, so the pool may hand any session to a repair
+  /// request.
+  virtual session_result repair(const query_params& p,
+                                std::span<const vertex_id> sources) {
+    (void)sources;
+    return run(p);
+  }
+
+  /// The session's observability registry (per-context; the pool rolls
+  /// these up into the server's obs::rollup at retire/summary time).
+  virtual const obs::registry& obs() const = 0;
+
+ protected:
+  solver_session(algorithm a, graph::snapshot_view snap) : snap_(snap), algo_(a) {}
+
+  graph::snapshot_view snap_;
+
+ private:
+  algorithm algo_;
+};
+
+}  // namespace dpg::serve

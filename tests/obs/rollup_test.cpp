@@ -1,0 +1,129 @@
+// Cross-registry aggregation for concurrent sessions (obs::rollup) and the
+// overlap-safe epoch hooks. The registry keeps one writer per context; the
+// rollup is the deliberately concurrent surface — these tests hammer it
+// from many threads and assert nothing is lost or double-counted.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "ampp/transport.hpp"
+#include "obs/registry.hpp"
+
+namespace dpg::obs {
+namespace {
+
+stats_snapshot make_snap(std::uint64_t sent, const char* type_name,
+                         std::uint64_t type_sent) {
+  stats_snapshot s;
+  s.core.messages_sent = sent;
+  type_counters t;
+  t.name = type_name;
+  t.sent = type_sent;
+  s.per_type.push_back(t);
+  return s;
+}
+
+TEST(Merge, CoreAddsAndTypesMergeByName) {
+  stats_snapshot a = make_snap(10, "x.relax", 4);
+  const stats_snapshot b = make_snap(5, "x.relax", 3);
+  const stats_snapshot c = make_snap(1, "y.explore", 2);
+  merge(a, b);
+  merge(a, c);
+  EXPECT_EQ(a.core.messages_sent, 16u);
+  ASSERT_EQ(a.per_type.size(), 2u);
+  EXPECT_EQ(a.per_type[0].name, "x.relax");
+  EXPECT_EQ(a.per_type[0].sent, 7u);
+  EXPECT_EQ(a.per_type[1].name, "y.explore");
+  EXPECT_EQ(a.per_type[1].sent, 2u);
+}
+
+TEST(Rollup, AbsorbAccumulatesPerLabel) {
+  rollup r;
+  r.absorb("sssp", make_snap(10, "sssp.relax", 10), /*epochs=*/2, /*wall_us=*/100);
+  r.absorb("sssp", make_snap(7, "sssp.relax", 7), 1, 50);
+  r.absorb("bfs", make_snap(3, "bfs.explore", 3), 1, 10);
+
+  const auto rows = r.contexts();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].label, "sssp");
+  EXPECT_EQ(rows[0].contexts, 2u);
+  EXPECT_EQ(rows[0].epochs, 3u);
+  EXPECT_EQ(rows[0].wall_us, 150u);
+  EXPECT_EQ(rows[0].totals.core.messages_sent, 17u);
+  EXPECT_EQ(rows[1].label, "bfs");
+  EXPECT_EQ(r.total().core.messages_sent, 20u);
+}
+
+// Many threads absorbing and attributing concurrently: totals must add up
+// exactly (this is the satellite bugfix — the old per-transport aggregation
+// was only safe single-threaded).
+TEST(Rollup, ConcurrentAbsorbAndAttributionLosesNothing) {
+  rollup r;
+  constexpr int kThreads = 8;
+  constexpr int kIter = 200;
+  {
+    std::vector<std::jthread> ts;
+    for (int t = 0; t < kThreads; ++t)
+      ts.emplace_back([&r, t] {
+        for (int i = 0; i < kIter; ++i) {
+          r.absorb("ctx", make_snap(1, "m", 1), 1, 2);
+          r.note_query(static_cast<std::uint64_t>(t % 2), i % 3 == 0,
+                       i % 3 == 1, 5);
+          r.note_solve(static_cast<std::uint64_t>(t % 2));
+        }
+      });
+  }
+  const auto rows = r.contexts();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].contexts, static_cast<std::uint64_t>(kThreads) * kIter);
+  EXPECT_EQ(rows[0].totals.core.messages_sent,
+            static_cast<std::uint64_t>(kThreads) * kIter);
+  EXPECT_EQ(rows[0].epochs, static_cast<std::uint64_t>(kThreads) * kIter);
+  EXPECT_EQ(r.tenants_seen(), 2u);
+  std::uint64_t queries = 0, solves = 0, latency = 0;
+  for (std::uint64_t t = 0; t < 2; ++t) {
+    const auto row = r.tenant(t);
+    queries += row.queries;
+    solves += row.solves;
+    latency += row.latency_us_sum;
+    EXPECT_EQ(row.latency_us_max, 5u);
+  }
+  EXPECT_EQ(queries, static_cast<std::uint64_t>(kThreads) * kIter);
+  EXPECT_EQ(solves, static_cast<std::uint64_t>(kThreads) * kIter);
+  EXPECT_EQ(latency, static_cast<std::uint64_t>(kThreads) * kIter * 5);
+}
+
+TEST(Rollup, AbsorbLiveRegistryAndRenderSummary) {
+  registry reg;
+  reg.core().messages_sent.fetch_add(12, std::memory_order_relaxed);
+  const std::size_t id = reg.add_type("demo.msg");
+  reg.on_sent(id, 12, 96);
+  rollup r;
+  r.absorb("demo", reg);
+  r.note_query(1, true, false, 42);
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("tenant"), std::string::npos);
+  r.clear();
+  EXPECT_TRUE(r.contexts().empty());
+  EXPECT_EQ(r.tenants_seen(), 0u);
+}
+
+// Overlapping epoch windows (two drivers sharing one registry) must merge
+// into one record instead of corrupting the open window.
+TEST(Registry, OverlappingEpochWindowsMergeSafely) {
+  registry reg;
+  reg.epoch_begin();
+  reg.epoch_begin();  // overlap: merged into the outer window
+  reg.core().messages_sent.fetch_add(3, std::memory_order_relaxed);
+  reg.epoch_end();
+  EXPECT_EQ(reg.epochs_recorded(), 0u) << "outer window still open";
+  reg.epoch_end();
+  EXPECT_EQ(reg.epochs_recorded(), 1u);
+  EXPECT_EQ(reg.epoch_overlaps(), 1u);
+  EXPECT_EQ(reg.epoch_records()[0].delta.core.messages_sent, 3u);
+}
+
+}  // namespace
+}  // namespace dpg::obs

@@ -1,0 +1,144 @@
+// The serving result cache: hit/miss accounting, FIFO capacity eviction,
+// and — the property the serving layer leans on — version-keyed
+// invalidation: apply_edges() bumps the topology version, so every cached
+// result pinned to the old version must become unreachable (a stale-version
+// checkout is a miss, never a wrong answer).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.hpp"
+#include "serve/cache.hpp"
+#include "serve/server.hpp"
+
+namespace dpg::serve {
+namespace {
+
+using graph::distributed_graph;
+using graph::distribution;
+
+std::shared_ptr<const session_result> dummy(std::uint64_t version) {
+  auto r = std::make_shared<session_result>();
+  r->graph_version = version;
+  r->values = {1, 2, 3};
+  return r;
+}
+
+TEST(ResultCache, HitMissAndOverwrite) {
+  result_cache c(8);
+  const cache_key k{.version = 1, .algo = algorithm::sssp, .params = {.source = 0}};
+  EXPECT_EQ(c.lookup(k), nullptr);
+  EXPECT_EQ(c.misses(), 1u);
+
+  c.insert(k, dummy(1));
+  auto hit = c.lookup(k);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->graph_version, 1u);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_GT(c.hit_rate(), 0.0);
+
+  // Same key, new result: overwrite, not a duplicate entry.
+  c.insert(k, dummy(1));
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.insertions(), 2u);
+}
+
+TEST(ResultCache, DistinctParamsAreDistinctEntries) {
+  result_cache c(8);
+  const cache_key a{.version = 1, .algo = algorithm::sssp, .params = {.source = 0}};
+  const cache_key b{.version = 1, .algo = algorithm::sssp, .params = {.source = 1}};
+  const cache_key d{.version = 1, .algo = algorithm::sssp,
+                    .params = {.source = 0, .delta = 2.0}};
+  const cache_key e{.version = 1, .algo = algorithm::bfs, .params = {.source = 0}};
+  c.insert(a, dummy(1));
+  EXPECT_EQ(c.lookup(b), nullptr);
+  EXPECT_EQ(c.lookup(d), nullptr);
+  EXPECT_EQ(c.lookup(e), nullptr);
+  EXPECT_NE(c.lookup(a), nullptr);
+}
+
+TEST(ResultCache, FifoEvictionPastCapacity) {
+  result_cache c(3);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    c.insert({.version = 1, .algo = algorithm::sssp, .params = {.source = i}},
+             dummy(1));
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.evictions(), 2u);
+  // The two oldest are gone; the three newest survive.
+  EXPECT_EQ(c.lookup({.version = 1, .algo = algorithm::sssp, .params = {.source = 0}}),
+            nullptr);
+  EXPECT_EQ(c.lookup({.version = 1, .algo = algorithm::sssp, .params = {.source = 1}}),
+            nullptr);
+  for (std::uint64_t i = 2; i < 5; ++i)
+    EXPECT_NE(
+        c.lookup({.version = 1, .algo = algorithm::sssp, .params = {.source = i}}),
+        nullptr)
+        << i;
+}
+
+TEST(ResultCache, InvalidateStaleDropsOldVersionsOnly) {
+  result_cache c(16);
+  for (std::uint64_t v = 1; v <= 3; ++v)
+    for (std::uint64_t s = 0; s < 4; ++s)
+      c.insert({.version = v, .algo = algorithm::sssp, .params = {.source = s}},
+               dummy(v));
+  EXPECT_EQ(c.size(), 12u);
+  EXPECT_EQ(c.invalidate_stale(3), 8u);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.invalidations(), 8u);
+  for (std::uint64_t s = 0; s < 4; ++s)
+    EXPECT_NE(
+        c.lookup({.version = 3, .algo = algorithm::sssp, .params = {.source = s}}),
+        nullptr);
+}
+
+// The end-to-end invalidation contract: a query cached before apply_edges()
+// must not be served after it — the server re-keys on the live version, so
+// the post-mutation lookup misses and re-solves against the new topology.
+TEST(ResultCache, ServerInvalidatesOnApplyEdges) {
+  const graph::vertex_id n = 60;
+  const auto edges = graph::erdos_renyi(n, 240, 7);
+  distributed_graph g(n, edges, distribution::cyclic(n, 2));
+  pmap::edge_property_map<double> w(g, [](const graph::edge_handle& e) {
+    return graph::edge_weight(e.src, e.dst, 11, 10.0);
+  });
+  server srv(g, w, {.machine = {.n_ranks = 2}});
+
+  const query q{.algo = algorithm::sssp, .params = {.source = 0}, .tenant = 7};
+  auto r1 = srv.query(q);
+  ASSERT_NE(r1, nullptr);
+  const std::uint64_t v1 = srv.version();
+  EXPECT_EQ(r1->graph_version, v1);
+
+  // Warm hit at the same version: same shared result object.
+  auto r2 = srv.query(q);
+  EXPECT_EQ(r2.get(), r1.get());
+  EXPECT_EQ(srv.cache().hits(), 1u);
+
+  // Mutate: add a shortcut edge. The version moves and the old entry is
+  // both unreachable (key mismatch) and reclaimed (invalidate_stale).
+  const std::vector<graph::edge> extra = {{0, n - 1}};
+  srv.apply_edges(extra, /*tenant=*/7);
+  EXPECT_EQ(srv.version(), v1 + 1);
+  EXPECT_GE(srv.cache().invalidations(), 1u);
+
+  const std::uint64_t hits_before = srv.cache().hits();
+  auto r3 = srv.query(q);
+  ASSERT_NE(r3, nullptr);
+  EXPECT_EQ(srv.cache().hits(), hits_before) << "stale checkout must miss";
+  EXPECT_EQ(r3->graph_version, v1 + 1);
+  EXPECT_NE(r3.get(), r1.get());
+
+  // The added edge 0 -> n-1 makes n-1 at least as close as before.
+  EXPECT_LE(r3->value_as_double(n - 1), r1->value_as_double(n - 1));
+
+  // Tenant attribution saw the whole story.
+  const auto t = srv.obs().tenant(7);
+  EXPECT_EQ(t.queries, 3u);
+  EXPECT_EQ(t.cache_hits, 1u);
+  EXPECT_EQ(t.mutations, 1u);
+  EXPECT_EQ(t.solves, 2u);
+}
+
+}  // namespace
+}  // namespace dpg::serve

@@ -1,0 +1,146 @@
+// The warm session pool: checkout/return lifecycle, warm reuse, re-pinning
+// of stale sessions at checkout, retirement accounting, and the rollup of
+// retired sessions' observability registries.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "algo/sessions.hpp"
+#include "serve/pool.hpp"
+
+namespace dpg::serve {
+namespace {
+
+using graph::distributed_graph;
+using graph::distribution;
+
+/// A tiny deterministic serving substrate shared by the pool tests.
+struct fixture {
+  static constexpr graph::vertex_id n = 40;
+  distributed_graph g;
+  pmap::edge_property_map<double> w;
+  algo::session_env env;
+
+  fixture()
+      : g(n, graph::erdos_renyi(n, 160, 5), distribution::cyclic(n, 2)),
+        w(g, [](const graph::edge_handle& e) {
+          return graph::edge_weight(e.src, e.dst, 3, 10.0);
+        }) {
+    env.g = &g;
+    env.weights = &w;
+    env.machine = {.n_ranks = 2};
+    env.pool = std::make_shared<ampp::wire_pool>(2);
+  }
+
+  session_pool::factory_fn factory() {
+    return [this](algorithm a) { return algo::make_solver_session(a, env); };
+  }
+};
+
+TEST(SessionPool, ColdCheckoutThenWarmReuse) {
+  fixture fx;
+  session_pool pool(fx.factory(), /*max_warm_per_algo=*/2);
+
+  {
+    auto lease = pool.checkout(algorithm::sssp);
+    ASSERT_TRUE(lease);
+    EXPECT_EQ(lease->algo(), algorithm::sssp);
+    EXPECT_EQ(pool.created(), 1u);
+    EXPECT_EQ(pool.outstanding(), 1u);
+    const session_result r = lease->run({.source = 0});
+    EXPECT_EQ(r.values.size(), fx.g.num_vertices());
+    EXPECT_EQ(r.value_as_double(0), 0.0);
+  }
+  // Returned warm...
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.warm_count(algorithm::sssp), 1u);
+
+  // ...and the next checkout reuses it instead of building a new one.
+  {
+    auto lease = pool.checkout(algorithm::sssp);
+    EXPECT_EQ(pool.created(), 1u);
+    EXPECT_EQ(pool.warm_hits(), 1u);
+  }
+}
+
+TEST(SessionPool, PerAlgorithmWarmLists) {
+  fixture fx;
+  session_pool pool(fx.factory(), 2);
+  {
+    auto a = pool.checkout(algorithm::sssp);
+    auto b = pool.checkout(algorithm::bfs);
+    EXPECT_EQ(pool.outstanding(), 2u);
+  }
+  EXPECT_EQ(pool.warm_count(algorithm::sssp), 1u);
+  EXPECT_EQ(pool.warm_count(algorithm::bfs), 1u);
+  // A bfs checkout never hands back the warm sssp session.
+  auto lease = pool.checkout(algorithm::bfs);
+  EXPECT_EQ(lease->algo(), algorithm::bfs);
+  EXPECT_EQ(pool.warm_count(algorithm::bfs), 0u);
+  EXPECT_EQ(pool.warm_count(algorithm::sssp), 1u);
+}
+
+TEST(SessionPool, OverflowRetiresIntoRollup) {
+  fixture fx;
+  obs::rollup sink;
+  session_pool pool(fx.factory(), /*max_warm_per_algo=*/1, &sink);
+  {
+    auto a = pool.checkout(algorithm::sssp);
+    auto b = pool.checkout(algorithm::sssp);
+    a->run({.source = 0});
+    b->run({.source = 1});
+    EXPECT_EQ(pool.created(), 2u);
+  }
+  // Only one fits the warm list; the other retired and its registry (with
+  // the counters of the run it executed) was absorbed into the sink.
+  EXPECT_EQ(pool.warm_count(algorithm::sssp), 1u);
+  EXPECT_EQ(pool.retired(), 1u);
+  const auto rows = sink.contexts();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].label, "sssp");
+  EXPECT_EQ(rows[0].contexts, 1u);
+  EXPECT_GT(rows[0].totals.core.messages_sent, 0u);
+
+  // drain() retires the warm remainder too — nothing's counters are lost.
+  pool.drain();
+  EXPECT_EQ(pool.retired(), 2u);
+  EXPECT_EQ(sink.contexts()[0].contexts, 2u);
+  EXPECT_EQ(pool.warm_count(algorithm::sssp), 0u);
+}
+
+TEST(SessionPool, CheckoutRebindsStaleSessions) {
+  fixture fx;
+  session_pool pool(fx.factory(), 2);
+  {
+    auto lease = pool.checkout(algorithm::sssp);
+    lease->run({.source = 0});
+    EXPECT_TRUE(lease->snapshot().current());
+  }
+  // Mutate while the session sits warm: its pin goes stale.
+  const std::vector<graph::edge> extra = {{1, 2}};
+  fx.g.apply_edges(extra);
+
+  auto lease = pool.checkout(algorithm::sssp);
+  EXPECT_EQ(pool.rebinds(), 1u) << "checkout must re-pin a stale session";
+  EXPECT_TRUE(lease->snapshot().current());
+  const session_result r = lease->run({.source = 0});
+  EXPECT_EQ(r.graph_version, fx.g.version());
+}
+
+TEST(SessionPool, MovedLeaseReturnsExactlyOnce) {
+  fixture fx;
+  session_pool pool(fx.factory(), 2);
+  auto a = pool.checkout(algorithm::cc);
+  session_pool::lease b = std::move(a);
+  EXPECT_FALSE(a);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(pool.outstanding(), 1u);
+  b.release();
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.warm_count(algorithm::cc), 1u);
+}
+
+}  // namespace
+}  // namespace dpg::serve
