@@ -60,8 +60,8 @@ inline serve::session_result make_result(serve::algorithm a,
 /// SSSP session: delta > 0 selects Δ-stepping, otherwise the chaotic
 /// fixed-point schedule. Values are distance doubles as bit patterns.
 /// repair() is a warm monotone re-relax from the mutation sites — sound
-/// only when this session's previous run solved the same params (checked;
-/// falls back to run() otherwise).
+/// only when this session's previous run solved the same params at the
+/// seeds' base version (checked; falls back to run() otherwise).
 class sssp_session final : public serve::solver_session {
  public:
   explicit sssp_session(const session_env& env)
@@ -93,13 +93,19 @@ class sssp_session final : public serve::solver_session {
   }
 
   serve::session_result repair(
-      const serve::query_params& p,
-      std::span<const graph::vertex_id> sources) override {
-    // Sound only on top of *this* session's state for the same query and a
-    // topology that only gained edges since (apply_edges is append-only;
-    // compact() renumbers edge ids but preserves labels, and dist_ survives
-    // both). A pool can therefore hand any session to a repair request.
-    if (!has_state_ || !(last_ == p) || p.delta > 0.0) return run(p);
+      const serve::query_params& p, std::span<const graph::vertex_id> sources,
+      std::uint64_t seed_base_version) override {
+    // Sound only on top of *this* session's state for the same query, and
+    // only when that state is exactly at `seed_base_version` — the version
+    // the seeds were recorded against. The seeds cover one mutation's edges
+    // only: a pooled session whose last run predates an *earlier* mutation
+    // would replay the newest edges but never relax the older ones,
+    // producing too-large distances stamped with the live version. Any
+    // mismatch falls back to a full solve, so a pool can still hand any
+    // session to a repair request.
+    if (!has_state_ || !(last_ == p) || p.delta > 0.0 ||
+        last_version_ != seed_base_version)
+      return run(p);
     snap_.refresh();
     strategy::result res{};
     obs::stats_scope sc(tp_.obs());

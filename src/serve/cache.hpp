@@ -13,6 +13,7 @@
 // concurrent tenants.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -29,7 +30,17 @@ struct cache_key {
   algorithm algo{};
   query_params params{};
 
-  friend bool operator==(const cache_key&, const cache_key&) = default;
+  /// Equality must agree with the hasher below, which hashes delta's bit
+  /// pattern — so compare the bit pattern too, not the double. A defaulted
+  /// operator== would break the unordered_map contract at the edges: +0.0
+  /// and -0.0 compare equal but hash differently, and a NaN delta never
+  /// equals itself, leaving unerasable map/inflight entries.
+  friend bool operator==(const cache_key& a, const cache_key& b) noexcept {
+    return a.version == b.version && a.algo == b.algo &&
+           a.params.source == b.params.source &&
+           std::bit_cast<std::uint64_t>(a.params.delta) ==
+               std::bit_cast<std::uint64_t>(b.params.delta);
+  }
 
   struct hasher {
     std::size_t operator()(const cache_key& k) const noexcept {
@@ -73,7 +84,9 @@ class result_cache {
     (void)it;
     if (fresh) fifo_.push_back(k);
     ++insertions_;
-    while (map_.size() > cap_) {
+    // fifo_ can't run dry while map_ is over capacity (every map entry was
+    // pushed exactly once), but guard anyway: popping an empty deque is UB.
+    while (map_.size() > cap_ && !fifo_.empty()) {
       map_.erase(fifo_.front());
       fifo_.pop_front();
       ++evictions_;

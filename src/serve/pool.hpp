@@ -92,14 +92,18 @@ class session_pool {
         s = std::move(warm.back());
         warm.pop_back();
         ++warm_hits_;
+        ++outstanding_;
       }
-      ++outstanding_;
     }
     if (s == nullptr) {
+      // Count the session outstanding only once it exists: the factory can
+      // throw (transport construction, plan compile), and a pre-counted
+      // failure would skew outstanding() and the give_back assert forever.
       s = factory_(a);
       DPG_ASSERT_MSG(s != nullptr, "session factory returned null");
       std::lock_guard<std::mutex> g(mu_);
       ++created_;
+      ++outstanding_;
     } else if (s->rebind()) {
       std::lock_guard<std::mutex> g(mu_);
       ++rebinds_;
@@ -140,8 +144,14 @@ class session_pool {
  private:
   friend class lease;
 
-  static std::size_t slot(algorithm a) { return static_cast<std::size_t>(a); }
   static constexpr std::size_t kAlgos = 3;  // sssp, bfs, cc
+  static std::size_t slot(algorithm a) {
+    const auto i = static_cast<std::size_t>(a);
+    // A serve::algorithm added without growing kAlgos must fail loudly here,
+    // not index out of warm_[].
+    DPG_ASSERT_MSG(i < kAlgos, "serve::algorithm out of range for session_pool");
+    return i;
+  }
 
   std::uint64_t locked(const std::uint64_t& v) const {
     std::lock_guard<std::mutex> g(mu_);

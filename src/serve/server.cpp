@@ -174,7 +174,8 @@ std::shared_ptr<const session_result> server::solve(const serve::query& q,
                                                     bool try_repair) {
   session_pool::lease lease = pool_->checkout(q.algo);
   session_result r = (try_repair && !repair_seeds_.empty())
-                         ? lease->repair(q.params, repair_seeds_)
+                         ? lease->repair(q.params, repair_seeds_,
+                                         repair_base_version_)
                          : lease->run(q.params);
   DPG_ASSERT_MSG(r.graph_version == key.version,
                  "session produced a result for the wrong topology version");
@@ -184,6 +185,7 @@ std::shared_ptr<const session_result> server::solve(const serve::query& q,
 void server::apply_edges(std::span<const graph::edge> extra,
                          std::uint64_t tenant) {
   std::unique_lock<std::shared_mutex> topo(topo_mu_);
+  repair_base_version_ = g_->version();  // the version the seeds repair *from*
   g_->apply_edges(extra);
   cache_.invalidate_stale(g_->version());
   repair_seeds_.clear();

@@ -119,6 +119,11 @@ class server {
   /// Readers = queries (shared), writers = apply_edges/compact (exclusive).
   mutable std::shared_mutex topo_mu_;
   std::vector<graph::vertex_id> repair_seeds_;  ///< endpoints of last mutation
+  /// Topology version the seeds were recorded against (the version *before*
+  /// the mutation). A session can only warm-repair from the seeds if its
+  /// own state is pinned to exactly this version — seeds cover the newest
+  /// mutation's edges only. Guarded by topo_mu_ like repair_seeds_.
+  std::uint64_t repair_base_version_ = 0;
 
   std::mutex inflight_mu_;
   std::unordered_map<cache_key, std::shared_ptr<inflight>, cache_key::hasher>

@@ -14,7 +14,8 @@
 // admission front end are algorithm-agnostic:
 //   run(params)             — full solve, results pinned to the session's
 //                             snapshot version;
-//   repair(params, sources) — warm repair from mutation sites when the
+//   repair(params, sources, seed_base_version)
+//                           — warm repair from mutation sites when the
 //                             session's previous run makes that sound,
 //                             transparent fallback to run() otherwise;
 //   the returned session_result — one result shape for all of them.
@@ -112,14 +113,19 @@ class solver_session {
   virtual session_result run(const query_params& p) = 0;
 
   /// Warm repair: replay from `sources` (typically the endpoints of newly
-  /// applied edges) on top of the previous run's state. Sound only when
-  /// this session's last run solved the same params and the topology only
-  /// gained edges since — implementations check and transparently fall
-  /// back to run() otherwise, so the pool may hand any session to a repair
-  /// request.
+  /// applied edges) on top of the previous run's state. `seed_base_version`
+  /// is the topology version the seeds were recorded against (the version
+  /// *before* the mutation that produced them). Sound only when this
+  /// session's last run solved the same params at exactly that version —
+  /// seeds cover one mutation's edges only, so a session two or more
+  /// mutations behind would miss the earlier edges. Implementations check
+  /// and transparently fall back to run() otherwise, so the pool may hand
+  /// any session to a repair request.
   virtual session_result repair(const query_params& p,
-                                std::span<const vertex_id> sources) {
+                                std::span<const vertex_id> sources,
+                                std::uint64_t seed_base_version) {
     (void)sources;
+    (void)seed_base_version;
     return run(p);
   }
 

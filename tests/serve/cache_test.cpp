@@ -5,6 +5,7 @@
 // checkout is a miss, never a wrong answer).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "graph/generators.hpp"
@@ -74,6 +75,43 @@ TEST(ResultCache, FifoEvictionPastCapacity) {
         c.lookup({.version = 1, .algo = algorithm::sssp, .params = {.source = i}}),
         nullptr)
         << i;
+}
+
+// Regression: key equality must agree with the hasher, which hashes delta's
+// bit pattern. With double comparison a NaN delta never equals itself, so
+// FIFO eviction erased nothing for a NaN key and could underflow the deque;
+// +0.0/-0.0 compared equal but hashed apart.
+TEST(ResultCache, NonFiniteAndSignedZeroDeltasStayConsistent) {
+  result_cache c(2);
+  const cache_key kn{.version = 1, .algo = algorithm::sssp,
+                     .params = {.source = 0,
+                                .delta = std::numeric_limits<double>::quiet_NaN()}};
+  c.insert(kn, dummy(1));
+  // A NaN key is re-findable (bit-pattern equality)...
+  EXPECT_NE(c.lookup(kn), nullptr);
+  // ...and evictable: overfill the cache; the map never outgrows capacity
+  // and the FIFO never runs dry while entries remain.
+  for (std::uint64_t s = 1; s <= 4; ++s)
+    c.insert({.version = 1, .algo = algorithm::sssp, .params = {.source = s}},
+             dummy(1));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.lookup(kn), nullptr);
+
+  // +0.0 and -0.0 hash differently, so they must also compare unequal —
+  // two distinct, individually reachable entries.
+  const cache_key kp{.version = 1, .algo = algorithm::bfs,
+                     .params = {.source = 9, .delta = 0.0}};
+  const cache_key km{.version = 1, .algo = algorithm::bfs,
+                     .params = {.source = 9, .delta = -0.0}};
+  c.insert(kp, dummy(1));
+  c.insert(km, dummy(2));
+  EXPECT_EQ(c.size(), 2u);
+  auto rp = c.lookup(kp);
+  auto rm = c.lookup(km);
+  ASSERT_NE(rp, nullptr);
+  ASSERT_NE(rm, nullptr);
+  EXPECT_EQ(rp->graph_version, 1u);
+  EXPECT_EQ(rm->graph_version, 2u);
 }
 
 TEST(ResultCache, InvalidateStaleDropsOldVersionsOnly) {

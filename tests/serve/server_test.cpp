@@ -191,6 +191,55 @@ TEST(ServerTest, RepairQueryWarmRepairsAndMatchesColdSolve) {
     EXPECT_EQ(other->value_as_double(v), oracle[v]) << "v=" << v;
 }
 
+// Regression: warm repair is sound only when the session's state is exactly
+// one mutation behind the seeds. The server overwrites its recorded seeds on
+// every apply_edges(), so after two back-to-back mutations the seeds cover
+// only the newest batch — a session whose last run predates both must detect
+// the version gap and fall back to a full solve, never serve too-large
+// distances stamped with the live version.
+TEST(ServerTest, RepairFallsBackAfterMultipleMutations) {
+  fixture fx;
+  server srv(fx.g, fx.w, fx.cfg());
+  const query q{.algo = algorithm::sssp, .params = {.source = 0}, .tenant = 2};
+
+  auto cold = srv.query(q);
+  ASSERT_NE(cold, nullptr);
+
+  // Two mutations back to back: batch1's endpoints vanish from the recorded
+  // seeds when batch2 overwrites them.
+  const std::vector<graph::edge> batch1 = {{0, 100}, {100, 0}};
+  const std::vector<graph::edge> batch2 = {{7, 110}, {110, 7}};
+  srv.apply_edges(batch1, /*tenant=*/2);
+  srv.apply_edges(batch2, /*tenant=*/2);
+
+  auto r = srv.repair_query(q);
+  ASSERT_NE(r, nullptr);
+  EXPECT_FALSE(r->warm_repair)
+      << "a session two mutations behind the seeds must full-solve";
+  EXPECT_EQ(r->graph_version, srv.version());
+
+  // Exact against the oracle on the twice-mutated topology — batch1's
+  // shortcut must be reflected even though its endpoints left the seeds.
+  fixture fresh;  // same seed → same base graph
+  fresh.g.apply_edges(batch1);
+  fresh.g.apply_edges(batch2);
+  const auto oracle = algo::dijkstra(fresh.g, fresh.w, 0);
+  for (graph::vertex_id v = 0; v < kN; ++v)
+    EXPECT_EQ(r->value_as_double(v), oracle[v]) << "v=" << v;
+
+  // Once re-solved at the live version, the next mutate→repair cycle is
+  // warm again: the session is now exactly one mutation behind the seeds.
+  const std::vector<graph::edge> batch3 = {{3, 115}, {115, 3}};
+  srv.apply_edges(batch3, /*tenant=*/2);
+  auto warm = srv.repair_query(q);
+  ASSERT_NE(warm, nullptr);
+  EXPECT_TRUE(warm->warm_repair);
+  fresh.g.apply_edges(batch3);
+  const auto oracle3 = algo::dijkstra(fresh.g, fresh.w, 0);
+  for (graph::vertex_id v = 0; v < kN; ++v)
+    EXPECT_EQ(warm->value_as_double(v), oracle3[v]) << "v=" << v;
+}
+
 TEST(ServerTest, ServingSummaryRendersContextsAndTenants) {
   fixture fx;
   server srv(fx.g, fx.w, fx.cfg());
