@@ -80,6 +80,9 @@ inline void report_stats(benchmark::State& state, const obs::stats_snapshot& d,
   state.counters[prefix + "lane_visits"] = static_cast<double>(d.core.flush_lane_visits);
   state.counters[prefix + "lane_skips"] = static_cast<double>(d.core.flush_lane_skips);
   state.counters[prefix + "pool_reuses"] = static_cast<double>(d.core.pool_reuses);
+  state.counters[prefix + "batch_records"] = static_cast<double>(d.core.batch_records);
+  state.counters[prefix + "batch_kernels"] =
+      static_cast<double>(d.core.batch_kernels_run);
   state.counters[prefix + "graph_mutations"] = static_cast<double>(d.core.graph_mutations);
   state.counters[prefix + "delta_edges"] = static_cast<double>(d.core.delta_edges);
 }

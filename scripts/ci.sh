@@ -18,6 +18,15 @@ echo "=== sim seed sweep (8 seeds) ==="
 DPG_SIM_SEEDS=1,2,3,4,5,6,7,8 \
   ctest --test-dir build-werror -L sim --output-on-failure --timeout 240 -j "$JOBS"
 
+echo "=== simd forced-ISA sweep ==="
+# The batch-kernel differential matrix: every kernel tier this host can
+# execute, compared bit-for-bit against the scalar reference — at the
+# kernel level, across the algorithm sweep under every fault plan, and
+# across mixed-tier concurrent serving sessions. Tiers above the host CPU
+# are reported and skipped inside the tests.
+DPG_SIM_SEEDS=1,2 \
+  ctest --test-dir build-werror -L simd --output-on-failure --timeout 240 -j "$JOBS"
+
 echo "=== tsan build ==="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS"
@@ -35,10 +44,10 @@ BUILD_DIR=build-werror BENCH_SUFFIX=.ci \
   scripts/bench_json.sh epoch sssp message_plan mutation
 
 echo "=== bench ratio guard (pattern vs hand-rolled SSSP) ==="
-# The declarative relax pattern must stay within a generous constant
-# factor of the hand-written AM++-style SSSP at the same rank count. A
-# smoke run is noisy, so the bound is deliberately loose — it catches
-# order-of-magnitude regressions in the compiled kernels, not jitter.
+# With the whole-envelope batch kernels the declarative relax pattern has
+# to stay within striking distance of the hand-written AM++-style SSSP at
+# the same rank count — the acceptance bound is 1.1x on a quiet machine;
+# CI allows 1.3x so single-repetition smoke jitter cannot flake the gate.
 python3 - <<'EOF'
 import json
 with open("BENCH_sssp.ci.json") as f:
@@ -53,8 +62,8 @@ def real_time(name):
 pattern = real_time("BM_SsspFixedPoint/2/real_time")
 hand = real_time("BM_SsspHandRolledReduction/10/real_time")
 ratio = pattern / hand
-print(f"pattern fixed-point / hand-rolled @2 ranks: {ratio:.2f}x (limit 6.0x)")
-if ratio >= 6.0:
+print(f"pattern fixed-point / hand-rolled @2 ranks: {ratio:.2f}x (limit 1.3x)")
+if ratio >= 1.3:
     raise SystemExit("ratio guard FAILED: compiled pattern SSSP regressed vs hand-rolled")
 EOF
 

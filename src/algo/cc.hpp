@@ -40,10 +40,12 @@ class cc_solver {
   /// shares an envelope pool across both internal transports — and, under
   /// the serving layer, across every concurrent session context.
   cc_solver(const graph::distributed_graph& g, ampp::transport_config cfg,
-            std::shared_ptr<ampp::wire_pool> pool = nullptr)
+            std::shared_ptr<ampp::wire_pool> pool = nullptr,
+            pattern::compile_options copts = {})
       : g_(&g),
         cfg_(cfg),
         pool_(std::move(pool)),
+        copts_(copts),
         tp_(cfg_, pool_),
         pnt_(g, graph::invalid_vertex),
         conf_(g),
@@ -64,7 +66,8 @@ class cc_solver {
                         [](std::vector<vertex_id>& roots, vertex_id r) {
                           roots.push_back(r);
                         },
-                        P(v_)))));
+                        P(v_)))),
+        copts_);
   }
 
   /// Runs the full pipeline. `flush_between_seeds` reproduces the
@@ -148,10 +151,12 @@ class cc_solver {
     auto propagate = instantiate(tp2, cg, cg_locks,
                                  make_action("cc.propagate", out_edges_gen{},
                                              when(C(trg(e_)) > C(v_),
-                                                  assign(C(trg(e_)), C(v_)))));
+                                                  assign(C(trg(e_)), C(v_)))),
+                                 copts_);
     auto jump = instantiate(tp2, *g_, locks_,
                             make_action("cc.jump", no_generator{},
-                                        when(C(P(v_)) < P(v_), assign(P(v_), C(P(v_))))));
+                                        when(C(P(v_)) < P(v_), assign(P(v_), C(P(v_))))),
+                            copts_);
     std::atomic<int> rounds{0};
     tp2.run([&](ampp::transport_context& ctx) {
       // Min-label propagation over the conflict graph (fixed point).
@@ -172,6 +177,7 @@ class cc_solver {
   const graph::distributed_graph* g_;
   ampp::transport_config cfg_;
   std::shared_ptr<ampp::wire_pool> pool_;
+  pattern::compile_options copts_;
   ampp::transport tp_;
   pmap::vertex_property_map<vertex_id> pnt_;
   pmap::vertex_property_map<std::vector<vertex_id>> conf_;

@@ -189,7 +189,7 @@ class cc_session final : public serve::solver_session {
       : solver_session(serve::algorithm::cc, graph::snapshot_view(*env.g)),
         solver_(*env.g,
                 ampp::transport_config::join(env.machine, env.tuning),
-                env.pool) {}
+                env.pool, env.copts) {}
 
   serve::session_result run(const serve::query_params&) override {
     snap_.refresh();

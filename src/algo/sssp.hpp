@@ -50,7 +50,10 @@ class sssp_solver {
   /// fixed_point strategy.
   strategy::result run_fixed_point(ampp::transport_context& ctx, vertex_id source,
                                    const strategy::options& opt = {}) {
-    reset(ctx, source);
+    // Local reset only: the strategy's own hook-install barrier (which every
+    // rank passes before any application) already orders these writes before
+    // the first relax, so a second rendezvous here would be pure overhead.
+    reset_local(ctx, source);
     std::vector<vertex_id> seeds;
     if (g_->owner(source) == ctx.rank()) seeds.push_back(source);
     return strategy::fixed_point(ctx, *relax_, seeds, opt);
@@ -115,10 +118,14 @@ class sssp_solver {
 
  private:
   void reset(ampp::transport_context& ctx, vertex_id source) {
+    reset_local(ctx, source);
+    ctx.barrier();
+  }
+
+  void reset_local(ampp::transport_context& ctx, vertex_id source) {
     auto mine = dist_.local(ctx.rank());
     for (auto& x : mine) x = infinity;
     if (g_->owner(source) == ctx.rank()) dist_[source] = 0.0;
-    ctx.barrier();
   }
 
   const graph::distributed_graph* g_;

@@ -46,6 +46,12 @@ struct transport_stats {
   std::atomic<std::uint64_t> flush_lane_visits{0};    ///< lanes locked by a flush (incl. capacity flushes)
   std::atomic<std::uint64_t> flush_lane_skips{0};     ///< lanes a flush skipped via occupancy/dirty tracking
   std::atomic<std::uint64_t> pool_reuses{0};          ///< envelope byte buffers recycled from the pool
+  // Envelope-batch kernel counters (bumped by the pattern layer's batch
+  // dispatch; zero when no batch kernel is installed). Conservation law
+  // (asserted by the sim harness): batch_records <= handler_invocations —
+  // every batched record is also counted as a handled payload.
+  std::atomic<std::uint64_t> batch_records{0};      ///< fast records processed by batch kernels
+  std::atomic<std::uint64_t> batch_kernels_run{0};  ///< whole-envelope batch kernel invocations
   // Topology-mutation counters (bumped by distributed_graph::apply_edges
   // when a graph is attached via attach_stats; mutation happens outside
   // epochs, so these appear in the summary's totals row, not per-epoch).
@@ -60,7 +66,7 @@ struct transport_stats {
         self_deliveries, cache_hits, cache_evictions, td_rounds, barriers, epochs,
         control_messages, envelopes_dropped, envelopes_retried, envelopes_duplicated,
         envelopes_delayed, duplicates_suppressed, flush_lane_visits, flush_lane_skips,
-        pool_reuses, graph_mutations, delta_edges;
+        pool_reuses, batch_records, batch_kernels_run, graph_mutations, delta_edges;
 
     snapshot operator-(const snapshot& o) const {
       return {messages_sent - o.messages_sent,
@@ -83,6 +89,8 @@ struct transport_stats {
               flush_lane_visits - o.flush_lane_visits,
               flush_lane_skips - o.flush_lane_skips,
               pool_reuses - o.pool_reuses,
+              batch_records - o.batch_records,
+              batch_kernels_run - o.batch_kernels_run,
               graph_mutations - o.graph_mutations,
               delta_edges - o.delta_edges};
     }
@@ -108,6 +116,8 @@ struct transport_stats {
               flush_lane_visits + o.flush_lane_visits,
               flush_lane_skips + o.flush_lane_skips,
               pool_reuses + o.pool_reuses,
+              batch_records + o.batch_records,
+              batch_kernels_run + o.batch_kernels_run,
               graph_mutations + o.graph_mutations,
               delta_edges + o.delta_edges};
     }
@@ -120,7 +130,8 @@ struct transport_stats {
             control_messages.load(), envelopes_dropped.load(), envelopes_retried.load(),
             envelopes_duplicated.load(), envelopes_delayed.load(),
             duplicates_suppressed.load(), flush_lane_visits.load(), flush_lane_skips.load(),
-            pool_reuses.load(), graph_mutations.load(), delta_edges.load()};
+            pool_reuses.load(), batch_records.load(), batch_kernels_run.load(),
+            graph_mutations.load(), delta_edges.load()};
   }
 };
 

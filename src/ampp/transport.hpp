@@ -294,6 +294,18 @@ class message_type final : public detail::message_type_base {
   /// Bytes one payload occupies on the wire under the current layout.
   std::size_t wire_stride() const { return layout_.empty() ? sizeof(Payload) : wire_stride_; }
 
+  /// Installs an envelope-batch handler: the receiver hands a whole
+  /// envelope's payload bytes (`count` packed records) to `h` in one call
+  /// instead of dispatching per record — the entry point of the SIMD batch
+  /// kernels (see pattern::instantiated_action::batch_handle). Only taken
+  /// when no compact wire layout is installed (full payloads travel, so the
+  /// bytes are the records verbatim); a layout silently keeps the
+  /// per-record path. The batch handler fully replaces the per-record
+  /// handler for batched envelopes and must preserve its semantics.
+  using batch_handler_fn =
+      std::function<void(transport_context&, const std::byte*, std::uint32_t)>;
+  void set_batch_handler(batch_handler_fn h);
+
   void flush_rank(rank_t src) override;
   bool rank_buffers_empty(rank_t src) const override;
   std::int64_t rank_occupancy(rank_t src) const override;
@@ -354,6 +366,7 @@ class message_type final : public detail::message_type_base {
   static void note_occupancy(lane& ln, std::int64_t delta);
 
   handler_fn handler_;
+  batch_handler_fn batch_;  ///< whole-envelope dispatch (empty: per record)
   address_fn addr_;
   std::optional<reduction> reduce_;
   std::deque<per_source> rows_;  // indexed by source rank (deque: lanes hold locks)
@@ -671,6 +684,14 @@ void message_type<Payload>::dispatch_thunk(detail::message_type_base* self,
                                            std::uint32_t count) {
   auto* mt = static_cast<message_type<Payload>*>(self);
   if (mt->layout_.empty()) {
+    if (mt->batch_) {
+      // Whole-envelope dispatch: the records sit packed in the wire buffer
+      // exactly as sent (no layout truncation), so the batch kernel can
+      // deinterleave them in place. received/handler accounting is done by
+      // the caller per envelope count, identical to the per-record path.
+      mt->batch_(ctx, data, count);
+      return;
+    }
     for (std::uint32_t i = 0; i < count; ++i) {
       Payload p;
       std::memcpy(&p, data + i * sizeof(Payload), sizeof(Payload));
@@ -692,6 +713,13 @@ void message_type<Payload>::dispatch_thunk(detail::message_type_base* self,
     }
     mt->handler_(ctx, p);
   }
+}
+
+template <class Payload>
+void message_type<Payload>::set_batch_handler(batch_handler_fn h) {
+  DPG_ASSERT_MSG(tp_ == nullptr || !tp_->running_,
+                 "batch handlers must be installed before transport::run");
+  batch_ = std::move(h);
 }
 
 template <class Payload>

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "util/log.hpp"
+#include "util/simd.hpp"
 
 namespace dpg::obs {
 
@@ -147,10 +148,11 @@ std::string registry::epoch_summary() const {
   std::string out;
   char line[256];
   std::snprintf(line, sizeof line,
-                "%5s %9s %10s %9s %12s %12s %9s %9s %10s %8s %8s %9s %9s %5s %8s\n",
+                "%5s %9s %10s %9s %12s %12s %9s %9s %10s %8s %8s %9s %9s %9s %9s "
+                "%5s %8s\n",
                 "epoch", "wall_ms", "msgs", "envs", "bytes", "wire_b", "handlers",
                 "td_rnds", "cache_hit", "drops", "retries", "ln_visit", "ln_skip",
-                "muts", "delta_e");
+                "batch_rec", "batch_krn", "muts", "delta_e");
   out += line;
   counters tot{};
   std::uint64_t tot_us = 0;
@@ -158,7 +160,7 @@ std::string registry::epoch_summary() const {
     const counters& d = e.delta.core;
     std::snprintf(line, sizeof line,
                   "%5llu %9.3f %10llu %9llu %12llu %12llu %9llu %9llu %10llu %8llu %8llu "
-                  "%9llu %9llu %5llu %8llu\n",
+                  "%9llu %9llu %9llu %9llu %5llu %8llu\n",
                   static_cast<unsigned long long>(e.index), e.dur_us / 1e3,
                   static_cast<unsigned long long>(d.messages_sent),
                   static_cast<unsigned long long>(d.envelopes_sent),
@@ -171,6 +173,8 @@ std::string registry::epoch_summary() const {
                   static_cast<unsigned long long>(d.envelopes_retried),
                   static_cast<unsigned long long>(d.flush_lane_visits),
                   static_cast<unsigned long long>(d.flush_lane_skips),
+                  static_cast<unsigned long long>(d.batch_records),
+                  static_cast<unsigned long long>(d.batch_kernels_run),
                   static_cast<unsigned long long>(d.graph_mutations),
                   static_cast<unsigned long long>(d.delta_edges));
     out += line;
@@ -187,7 +191,7 @@ std::string registry::epoch_summary() const {
   }
   std::snprintf(line, sizeof line,
                 "%5s %9.3f %10llu %9llu %12llu %12llu %9llu %9llu %10llu %8llu %8llu "
-                "%9llu %9llu %5llu %8llu\n",
+                "%9llu %9llu %9llu %9llu %5llu %8llu\n",
                 "total", tot_us / 1e3, static_cast<unsigned long long>(tot.messages_sent),
                 static_cast<unsigned long long>(tot.envelopes_sent),
                 static_cast<unsigned long long>(tot.bytes_sent),
@@ -199,10 +203,15 @@ std::string registry::epoch_summary() const {
                 static_cast<unsigned long long>(tot.envelopes_retried),
                 static_cast<unsigned long long>(tot.flush_lane_visits),
                 static_cast<unsigned long long>(tot.flush_lane_skips),
+                static_cast<unsigned long long>(tot.batch_records),
+                static_cast<unsigned long long>(tot.batch_kernels_run),
                 static_cast<unsigned long long>(tot.graph_mutations),
                 static_cast<unsigned long long>(tot.delta_edges));
   out += line;
 
+  std::snprintf(line, sizeof line, "simd level: %s (detected %s)\n",
+                simd::name(simd::active()), simd::name(simd::detect()));
+  out += line;
   out += "per-type totals (cumulative):\n";
   for (std::size_t i = 0; i < num_types(); ++i) {
     std::snprintf(line, sizeof line,

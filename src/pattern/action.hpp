@@ -25,8 +25,10 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
@@ -37,6 +39,7 @@
 #include "graph/distributed_graph.hpp"
 #include "pattern/planner.hpp"
 #include "pmap/lock_map.hpp"
+#include "util/simd.hpp"
 
 namespace dpg::pattern {
 
@@ -135,6 +138,8 @@ struct plan_info {
   std::vector<int> hop_reads;  ///< gather reads performed per hop
   std::string final_locality;
   bool fast_path = false;    ///< single-locality relax kernel engaged
+  bool batch_kernel = false; ///< whole-envelope SIMD batch dispatch engaged
+  bool fast_reduction = false;  ///< sender-side combining cache on the relax lane
   std::size_t cse_hits = 0;  ///< duplicate reads sharing one arena slot
   /// Bytes each synthesized message carries on the wire, in send order:
   /// gather wires first (into hop 1, hop 2, …), then the evaluate message
@@ -278,6 +283,7 @@ struct fast_shape : std::false_type {
   using idx_expr = v_expr;
   using val_expr = lit_expr<int>;
   using value_type = int;
+  static constexpr bool min_update = false;
 };
 
 template <class PM, class Idx, class Gen>
@@ -299,6 +305,7 @@ struct fast_shape<when_clause<bin_expr<op_gt, read_expr<PM, Idx>, R>,
   using idx_expr = Idx;
   using val_expr = R;
   using value_type = typename PM::value_type;
+  static constexpr bool min_update = true;
   static bool cmp(const value_type& cur, const value_type& prop) { return prop < cur; }
 };
 
@@ -312,6 +319,7 @@ struct fast_shape<when_clause<bin_expr<op_lt, L, read_expr<PM, Idx>>,
   using idx_expr = Idx;
   using val_expr = L;
   using value_type = typename PM::value_type;
+  static constexpr bool min_update = true;
   static bool cmp(const value_type& cur, const value_type& prop) { return prop < cur; }
 };
 
@@ -325,6 +333,7 @@ struct fast_shape<when_clause<bin_expr<op_lt, read_expr<PM, Idx>, R>,
   using idx_expr = Idx;
   using val_expr = R;
   using value_type = typename PM::value_type;
+  static constexpr bool min_update = false;
   static bool cmp(const value_type& cur, const value_type& prop) { return cur < prop; }
 };
 
@@ -338,6 +347,7 @@ struct fast_shape<when_clause<bin_expr<op_gt, L, read_expr<PM, Idx>>,
   using idx_expr = Idx;
   using val_expr = L;
   using value_type = typename PM::value_type;
+  static constexpr bool min_update = false;
   static bool cmp(const value_type& cur, const value_type& prop) { return cur < prop; }
 };
 
@@ -508,11 +518,22 @@ inline bool resolve_toggle(int t, const char* env) {
 /// Per-instantiation switches over the plan compiler. The defaults engage
 /// every optimization whose shape matches; tests force paths off to compare
 /// results bit-for-bit. Environment overrides (checked when a toggle is
-/// auto_): DPG_PATTERN_FASTPATH=0 and DPG_PATTERN_COMPACT=0 disable.
+/// auto_): DPG_PATTERN_FASTPATH=0, DPG_PATTERN_COMPACT=0, and
+/// DPG_PATTERN_BATCH=0 disable.
 struct compile_options {
   enum class toggle : std::uint8_t { auto_, off, on };
   toggle fast_path = toggle::auto_;     ///< single-locality relax kernel
   toggle compact_wire = toggle::auto_;  ///< truncated per-hop wire payloads
+  toggle batch_kernel = toggle::auto_;  ///< whole-envelope SIMD batch dispatch
+  /// AM++-style sender-side combining on the fast relax lane: same-target
+  /// candidates merge under the action's own monotone comparator before
+  /// they reach an envelope (min for SSSP/CC/BFS shapes, max for widest
+  /// path). Environment override: DPG_PATTERN_REDUCE=0.
+  toggle fast_reduction = toggle::auto_;
+  /// Forced ISA tier for this instantiation's batch kernels (a
+  /// simd::level value); -1 follows the process-wide simd::active().
+  /// Lets concurrent serving sessions run at different tiers.
+  int simd_level = -1;
 };
 
 // ---------------------------------------------------------------------------
@@ -594,8 +615,9 @@ class instantiated_action final : public action_instance {
       std::declval<std::tuple<Whens...>&>()));
   using fast_idx_fn_t = decltype(plan_builder<Gen>::compile_direct(
       std::declval<const typename fshape::idx_expr&>()));
-  using fast_val_fn_t = decltype(plan_builder<Gen>::compile_direct(
-      std::declval<const typename fshape::val_expr&>()));
+  using fast_val_fn_t = decltype(plan_builder<Gen>::compile_direct_hoisted(
+      std::declval<const typename fshape::val_expr&>(),
+      std::declval<hoisted_reads&>()));
 
   // ---- plan construction --------------------------------------------------
 
@@ -683,11 +705,28 @@ class instantiated_action final : public action_instance {
       auto& a0 = std::get<0>(std::get<0>(def.whens).mods);
       fast_pm_ = a0.target.pm;
       fast_idx_.emplace(plan_builder<Gen>::compile_direct(a0.target.idx));
-      fast_val_.emplace(plan_builder<Gen>::compile_direct(a0.value));
+      // The proposed value hoists its v-indexed reads out of the edge loop
+      // (fast_generate runs fast_hoists_ once per application) — the same
+      // value economy as a hand-written relax handler. DPG_PATTERN_HOIST=0
+      // pre-fills the arena budget so every read falls back to the direct
+      // per-edge access (measurement escape hatch).
+      fast_val_.emplace(
+          plan_builder<Gen>::compile_direct_hoisted(a0.value, fast_hoists_));
       use_fast_ = detail::resolve_toggle(static_cast<int>(opts.fast_path),
                                          "DPG_PATTERN_FASTPATH");
       fast_local_ = merged_;  // v-homed target: apply in place, no message
       fast_dep_ = when_dep_[0];
+      // Whole-envelope batch dispatch rides on the fast record: it needs a
+      // wire message to batch (a fully local fast path has no envelopes).
+      use_batch_ = use_fast_ && !fast_local_ &&
+                   detail::resolve_toggle(static_cast<int>(opts.batch_kernel),
+                                          "DPG_PATTERN_BATCH");
+      // Sender-side combining likewise needs a wire lane to cache on, and
+      // only the fast shape knows its own monotone comparator.
+      use_reduce_ = use_fast_ && !fast_local_ &&
+                    detail::resolve_toggle(static_cast<int>(opts.fast_reduction),
+                                           "DPG_PATTERN_REDUCE");
+      simd_level_ = opts.simd_level;
     }
     use_compact_ = detail::resolve_toggle(static_cast<int>(opts.compact_wire),
                                           "DPG_PATTERN_COMPACT");
@@ -704,6 +743,8 @@ class instantiated_action final : public action_instance {
     }
     plan_.final_locality = home_name(ml_);
     plan_.fast_path = use_fast_;
+    plan_.batch_kernel = use_batch_;
+    plan_.fast_reduction = use_reduce_;
 
     compute_wire_layouts(pb, step_pos, kFinal);
   }
@@ -904,13 +945,47 @@ class instantiated_action final : public action_instance {
         // Compiled relax kernel: one minimal message type, or none when the
         // target is the invocation vertex itself (fully local application).
         fast_label_ = name_ + ".relax";
-        if (!fast_local_)
+        batch_label_ = name_ + ".relax.batch";
+        if (!fast_local_) {
           fast_msg_ = &tp_->make_message_type<fast_rec>(
               name_ + ".relax",
               [this](ampp::transport_context& ctx, const fast_rec& r) {
                 fast_handle(ctx, r);
               },
               [g](const fast_rec& r) { return g->owner(r.loc); });
+          // Whole-envelope dispatch: the receiver hands each coalesced
+          // envelope to batch_handle in one call (SIMD pre-filter + CAS
+          // pass) instead of per-record fast_handle calls.
+          if (use_batch_)
+            fast_msg_->set_batch_handler(
+                [this](ampp::transport_context& ctx, const std::byte* data,
+                       std::uint32_t n) { batch_handle(ctx, data, n); });
+          // Sender-side combining cache (AM++ reduction): same-target relax
+          // candidates merge under the shape's own monotone comparator
+          // before they reach an envelope. Sound for the same reason the
+          // batch pre-filter is: the losing proposal of a monotone pair can
+          // never win a CAS the surviving proposal would lose.
+          if (use_reduce_)
+            fast_msg_->enable_reduction(
+                [](const fast_rec& r) {
+                  return static_cast<std::uint64_t>(r.loc);
+                },
+                [](const fast_rec& a, const fast_rec& b) {
+                  using VT = typename fshape::value_type;
+                  bool b_wins;
+                  if constexpr (fshape::min_update)
+                    b_wins = b.val < a.val;
+                  else
+                    b_wins = a.val < b.val;
+                  if constexpr (std::is_floating_point_v<VT>) {
+                    // A NaN candidate never beats anything; prefer the
+                    // other record so the cache stays monotone.
+                    if (b.val != b.val) b_wins = false;
+                    else if (a.val != a.val) b_wins = true;
+                  }
+                  return b_wins ? b : a;
+                });
+        }
         return;
       }
     }
@@ -958,6 +1033,7 @@ class instantiated_action final : public action_instance {
     if constexpr (kFastShape) {
       gather_state s;
       s.v = v;
+      fast_hoists_.run(s);  // v-homed reads: once per application, not per edge
       if constexpr (std::is_same_v<Gen, out_edges_gen>) {
         for (const graph::edge_handle e : g_->out_edges(v)) {
           s.e = e;
@@ -992,20 +1068,149 @@ class instantiated_action final : public action_instance {
       if (fast_local_)
         fast_handle(ctx, r);  // target is v itself: apply in place
       else
-        fast_msg_->send(ctx, r);  // self-delivery included, like any plan message
+        // Explicit destination: same routing as the registered address map
+        // (§IV-D), minus its type-erased call — this loop is the hot path.
+        fast_msg_->send(ctx, g_->owner(r.loc), r);
     }
   }
 
   void fast_handle(ampp::transport_context& ctx, const fast_rec& r) {
     if constexpr (kFastShape) {
       obs::trace_span sp(&tp_->obs().trace(), "plan", fast_label_.c_str(), ctx.rank());
-      DPG_DEBUG_ASSERT(g_->owner(r.loc) == ctx.rank());
+      fast_commit(ctx, r.loc, r.val);
+    }
+  }
+
+  /// CAS + modification accounting + work hook for one relax record — the
+  /// shared tail of the per-record and batch paths.
+  void fast_commit(ampp::transport_context& ctx, graph::vertex_id loc,
+                   typename fshape::value_type val) {
+    if constexpr (kFastShape) {
+      DPG_DEBUG_ASSERT(g_->owner(loc) == ctx.rank());
+      fast_commit_slot(ctx, loc, (*fast_pm_)[loc], val);
+    }
+  }
+
+  /// fast_commit against an already-resolved shard slot — the batch kernel
+  /// resolves the shard once per envelope instead of paying the checked
+  /// owner-sync property access for every record.
+  void fast_commit_slot(ampp::transport_context& ctx, graph::vertex_id loc,
+                        typename fshape::value_type& slot,
+                        typename fshape::value_type val) {
+    if constexpr (kFastShape) {
       const bool applied = pmap::atomic_update_if(
-          (*fast_pm_)[r.loc], r.val,
+          slot, val,
           [](const auto& cur, const auto& prop) { return fshape::cmp(cur, prop); });
       if (applied) {
         mods_[ctx.rank()].n.fetch_add(1, std::memory_order_relaxed);
-        if (fast_dep_ && hook_) hook_(ctx, r.loc);
+        if (fast_dep_ && hook_) hook_(ctx, loc);
+      }
+    }
+  }
+
+  /// Per-thread SoA scratch for batch_handle. thread_local: concurrent
+  /// transports' handler threads never share one (the serving layer's
+  /// cross-session isolation), and the busy flag downgrades a re-entrant
+  /// dispatch on the same thread to the per-record path instead of
+  /// clobbering a live batch.
+  struct batch_scratch {
+    std::vector<std::uint64_t> loc, val, cur;
+    std::vector<std::uint8_t> mask;
+    bool busy = false;
+    void resize(std::size_t n) {
+      loc.resize(n);
+      val.resize(n);
+      cur.resize(n);
+      mask.resize(n);
+    }
+  };
+  static batch_scratch& scratch() {
+    thread_local batch_scratch s;
+    return s;
+  }
+
+  /// Envelope-batch kernel: deinterleaves a whole envelope's fast records
+  /// into struct-of-arrays scratch, snapshots the current property values,
+  /// runs the vectorized compare pre-filter at the selected ISA tier, and
+  /// CASes only the surviving candidates. Exact by construction: a lane
+  /// the filter rejects is sound to skip because the fast shape moves the
+  /// slot monotonically (min keeps shrinking / max keeps growing, so a
+  /// proposal that lost against a stale snapshot also loses against every
+  /// later value — the same stable-predicate contract atomic_update_if
+  /// documents), and every survivor is re-validated by the identical CAS
+  /// loop the per-record path runs. Final pmap state, modification counts,
+  /// and hook firings are therefore bit-identical to per-record dispatch
+  /// at every tier, duplicate targets within one envelope included.
+  void batch_handle(ampp::transport_context& ctx, const std::byte* data,
+                    std::uint32_t n) {
+    if constexpr (kFastShape) {
+      if (n == 0) return;
+      obs::trace_span sp(&tp_->obs().trace(), "plan", batch_label_.c_str(), ctx.rank());
+      auto& core = tp_->obs().core();
+      core.batch_kernels_run.fetch_add(1, std::memory_order_relaxed);
+      core.batch_records.fetch_add(n, std::memory_order_relaxed);
+      using VT = typename fshape::value_type;
+      constexpr bool k16 = sizeof(fast_rec) == 16 && sizeof(VT) == 8 &&
+                           sizeof(graph::vertex_id) == 8;
+      constexpr bool kF64 = std::is_same_v<VT, double>;
+      constexpr bool kU64 =
+          std::is_integral_v<VT> && std::is_unsigned_v<VT> && sizeof(VT) == 8;
+      if constexpr (k16 && (kF64 || kU64)) {
+        batch_scratch& sc = scratch();
+        if (!sc.busy) {
+          sc.busy = true;
+          sc.resize(n);
+          const simd::level lvl = simd_level_ >= 0
+                                      ? static_cast<simd::level>(simd_level_)
+                                      : simd::active();
+          const simd::kernel_table& kt = simd::kernels(lvl);
+          kt.deinterleave2_u64(data, n, sc.loc.data(), sc.val.data());
+          // Shard-local addressing, hoisted: every record in the envelope is
+          // owned by this rank (send routing guarantees it), so one local()
+          // resolution replaces the checked owner-sync property access per
+          // record — the record loop indexes a flat slab like hand-written
+          // relax handlers do.
+          const std::span<VT> shard = fast_pm_->local(ctx.rank());
+          const graph::distribution& dd = g_->dist();
+          for (std::uint32_t i = 0; i < n; ++i) {
+            const auto loc = static_cast<graph::vertex_id>(sc.loc[i]);
+            DPG_DEBUG_ASSERT(g_->owner(loc) == ctx.rank());
+            // Relaxed atomic snapshot, like the gather reads elsewhere: the
+            // pre-filter tolerates staleness, the CAS below does not.
+            const VT cur = std::atomic_ref<VT>(shard[dd.local_index(loc)])
+                               .load(std::memory_order_relaxed);
+            sc.cur[i] = std::bit_cast<std::uint64_t>(cur);
+          }
+          std::size_t hits;
+          if constexpr (kF64)
+            hits = fshape::min_update
+                       ? kt.filter_lt_f64(sc.val.data(), sc.cur.data(), n,
+                                          sc.mask.data())
+                       : kt.filter_gt_f64(sc.val.data(), sc.cur.data(), n,
+                                          sc.mask.data());
+          else
+            hits = fshape::min_update
+                       ? kt.filter_lt_u64(sc.val.data(), sc.cur.data(), n,
+                                          sc.mask.data())
+                       : kt.filter_gt_u64(sc.val.data(), sc.cur.data(), n,
+                                          sc.mask.data());
+          if (hits != 0)
+            for (std::uint32_t i = 0; i < n; ++i)
+              if (sc.mask[i]) {
+                const auto loc = static_cast<graph::vertex_id>(sc.loc[i]);
+                fast_commit_slot(ctx, loc, shard[dd.local_index(loc)],
+                                 std::bit_cast<VT>(sc.val[i]));
+              }
+          sc.busy = false;
+          return;
+        }
+      }
+      // Value types without a SIMD filter, or a re-entrant dispatch while
+      // the scratch is live up-stack: per-record semantics, one call.
+      for (std::uint32_t i = 0; i < n; ++i) {
+        fast_rec r;
+        std::memcpy(&r, data + i * sizeof(fast_rec), sizeof(fast_rec));
+        fast_commit(ctx, r.loc, r.val);
       }
     }
   }
@@ -1072,10 +1277,15 @@ class instantiated_action final : public action_instance {
   std::optional<fast_idx_fn_t> fast_idx_;
   std::optional<fast_val_fn_t> fast_val_;
   ampp::message_type<fast_rec>* fast_msg_ = nullptr;
+  hoisted_reads fast_hoists_;  ///< per-application invariant loads for fast_val_
   std::string fast_label_;
+  std::string batch_label_;  ///< plan-span name of the envelope-batch kernel
   bool use_fast_ = false;
   bool fast_local_ = false;
   bool fast_dep_ = false;
+  bool use_batch_ = false;  ///< whole-envelope SIMD dispatch installed
+  bool use_reduce_ = false; ///< sender-side combining cache on the relax lane
+  int simd_level_ = -1;     ///< forced ISA tier; -1 follows simd::active()
 
   bool use_compact_ = false;
   /// Truncated layouts per wire: gather wires in hop order, then the
@@ -1128,6 +1338,13 @@ inline std::string explain(const std::string& action_name, const plan_info& p) {
   out += "  gather read CSE: " + std::to_string(p.cse_hits) + " shared slot(s)\n";
   out += std::string("  fast path: ") +
          (p.fast_path ? "compiled single-locality relax kernel" : "off") + "\n";
+  out += std::string("  batch kernel: ") +
+         (p.batch_kernel ? "whole-envelope SIMD relax (runtime ISA dispatch)"
+                         : "off") +
+         "\n";
+  out += std::string("  sender reduction: ") +
+         (p.fast_reduction ? "combining cache on the relax lane" : "off") +
+         "\n";
   return out;
 }
 

@@ -577,6 +577,14 @@ class analyzer {
             (th.k == home::kind::at_gen || !contains_read(val));
         if (idx_ok && val_ok && pmap_of(*m.target)->on_vertices)
           out.fast_path = pattern::detail::resolve_toggle(0, "DPG_PATTERN_FASTPATH");
+        // Mirrors instantiated_action: batch dispatch rides on the fast
+        // record and needs a wire message to batch (not fully local).
+        out.batch_kernel = out.fast_path && !out.final_merged &&
+                           pattern::detail::resolve_toggle(0, "DPG_PATTERN_BATCH");
+        // ... and so does the sender-side combining cache.
+        out.fast_reduction =
+            out.fast_path && !out.final_merged &&
+            pattern::detail::resolve_toggle(0, "DPG_PATTERN_REDUCE");
       }
     }
 
@@ -981,6 +989,8 @@ std::string explain(const analyzed_action& a) {
   info.hop_reads = a.hop_reads;
   info.final_locality = a.final_locality;
   info.fast_path = a.fast_path;
+  info.batch_kernel = a.batch_kernel;
+  info.fast_reduction = a.fast_reduction;
   info.cse_hits = a.cse_hits;
   info.wire_bytes = a.wire_bytes;
   return pattern::explain(a.name, info);

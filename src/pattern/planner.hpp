@@ -187,6 +187,28 @@ template <class T>
 inline constexpr bool is_edge_map<pmap::edge_property_map<T>> = true;
 }  // namespace detail
 
+/// Loop-invariant reads hoisted out of the fast-path generator loop. The
+/// recorded closures load v-homed property values into the arena once per
+/// action application, so the per-edge kernel evaluation reads a stack
+/// slot instead of repeating the sharded (and, for atomic-capable values,
+/// atomic) property-map access for every generated edge — the same value
+/// economy as a hand-written relax handler, which computes its source
+/// value once and carries it through the edge loop. Freshness is
+/// unaffected in spirit: property reads are freshness-relaxed anyway (see
+/// read_step::perform), and any concurrent improvement of a hoisted value
+/// re-triggers the action through the dependency work hook.
+struct hoisted_reads {
+  std::vector<std::function<void(gather_state&)>> loads;
+  std::size_t arena_used = 0;
+  /// One entry per hoisted (map, slot) pair: repeated reads of the same
+  /// v-indexed map share a slot (the fast-path analogue of gather CSE).
+  std::vector<std::pair<const void*, std::size_t>> slots;
+
+  void run(gather_state& s) const {
+    for (const auto& f : loads) f(s);
+  }
+};
+
 /// Accumulates read steps and arena layout while compiling the expressions
 /// of one action. The Gen parameter fixes the generator kind so locality
 /// classification is purely type-level.
@@ -341,6 +363,57 @@ class plan_builder {
       return [f](const gather_state& s) { return !f(s); };
     } else {
       static_assert(sizeof(E) == 0, "unsupported expression node");
+    }
+  }
+
+  /// compile_direct with loop-invariant hoisting: reads indexed by the
+  /// invocation vertex itself load into the arena once per application
+  /// (recorded in `h`) and evaluate as a branchless stack-slot fetch per
+  /// edge; all other nodes compile exactly as compile_direct. Hoisted
+  /// reads always fit: they are a subset of the registered gather reads,
+  /// and build() aborts on arena overflow before any fast compile runs.
+  template <class Expr>
+  static auto compile_direct_hoisted(const Expr& ex, hoisted_reads& h) {
+    using E = std::remove_cvref_t<Expr>;
+    if constexpr (pattern::detail::is_read_expr<E>::value) {
+      using PM = typename pattern::detail::is_read_expr<E>::pm_type;
+      using T = typename PM::value_type;
+      if constexpr (std::is_same_v<std::remove_cvref_t<decltype(ex.idx)>, v_expr> &&
+                    !detail::is_edge_map<PM>) {
+        PM* pm = ex.pm;
+        std::size_t ofs = gather_state::arena_bytes;
+        for (const auto& [id, slot] : h.slots)
+          if (id == pm) ofs = slot;
+        if (ofs == gather_state::arena_bytes) {
+          DPG_ASSERT_MSG(h.arena_used + sizeof(T) <= gather_state::arena_bytes,
+                         "hoisted reads exceed the gather arena");
+          ofs = h.arena_used;
+          h.arena_used += sizeof(T);
+          h.slots.emplace_back(pm, ofs);
+          h.loads.push_back([pm, ofs](gather_state& s) {
+            if constexpr (pmap::atomic_capable<T>) {
+              T& slot = const_cast<T&>(std::as_const(*pm)[s.v]);
+              s.arena_put(ofs,
+                          std::atomic_ref<T>(slot).load(std::memory_order_relaxed));
+            } else {
+              s.arena_put(ofs, std::as_const(*pm)[s.v]);
+            }
+          });
+        }
+        return [ofs](const gather_state& s) { return s.template arena_get<T>(ofs); };
+      } else {
+        return compile_direct(ex);
+      }
+    } else if constexpr (pattern::detail::is_bin_expr<E>::value) {
+      auto l = compile_direct_hoisted(ex.lhs, h);
+      auto r = compile_direct_hoisted(ex.rhs, h);
+      using Op = typename pattern::detail::is_bin_expr<E>::op_type;
+      return [l, r](const gather_state& s) { return apply_op<Op>(l(s), r(s)); };
+    } else if constexpr (pattern::detail::is_not_expr<E>::value) {
+      auto f = compile_direct_hoisted(ex.inner, h);
+      return [f](const gather_state& s) { return !f(s); };
+    } else {
+      return compile_direct(ex);
     }
   }
 

@@ -1,0 +1,543 @@
+// Runtime ISA dispatch: CPUID probing, the DPG_SIMD_LEVEL clamp, and the
+// per-tier kernel tables. One translation unit carries every tier via GCC
+// target attributes, so no part of the build needs -mavx2/-mavx512f and the
+// binary stays runnable on the oldest tier.
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/log.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define DPG_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define DPG_SIMD_X86 0
+#endif
+
+namespace dpg::simd {
+
+const char* name(level l) noexcept {
+  switch (l) {
+    case level::scalar: return "scalar";
+    case level::sse4: return "sse4";
+    case level::avx2: return "avx2";
+    case level::avx512: return "avx512";
+  }
+  return "?";
+}
+
+bool parse(const char* spec, level& out) noexcept {
+  if (spec == nullptr) return false;
+  if (std::strcmp(spec, "scalar") == 0 || std::strcmp(spec, "0") == 0) {
+    out = level::scalar;
+    return true;
+  }
+  if (std::strcmp(spec, "sse4") == 0 || std::strcmp(spec, "sse") == 0 ||
+      std::strcmp(spec, "1") == 0) {
+    out = level::sse4;
+    return true;
+  }
+  if (std::strcmp(spec, "avx2") == 0 || std::strcmp(spec, "2") == 0) {
+    out = level::avx2;
+    return true;
+  }
+  if (std::strcmp(spec, "avx512") == 0 || std::strcmp(spec, "3") == 0) {
+    out = level::avx512;
+    return true;
+  }
+  return false;
+}
+
+level detect() noexcept {
+#if DPG_SIMD_X86
+  static const level lvl = [] {
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx512f")) return level::avx512;
+    if (__builtin_cpu_supports("avx2")) return level::avx2;
+    if (__builtin_cpu_supports("sse4.2")) return level::sse4;
+    return level::scalar;
+  }();
+  return lvl;
+#else
+  return level::scalar;
+#endif
+}
+
+namespace {
+
+// -1 = no override; otherwise a level value. Relaxed atomics: tests flip
+// this between (not during) runs, and a momentarily stale read would only
+// pick a different-but-exact tier.
+std::atomic<int> g_override{-1};
+
+level env_level() noexcept {
+  static const level lvl = [] {
+    level out = detect();
+    if (const char* e = std::getenv("DPG_SIMD_LEVEL")) {
+      level parsed{};
+      if (!parse(e, parsed)) {
+        DPG_WARN("DPG_SIMD_LEVEL='%s' not recognized; using %s", e, name(out));
+      } else if (parsed > detect()) {
+        DPG_WARN("DPG_SIMD_LEVEL=%s exceeds this CPU (%s); clamping",
+                 name(parsed), name(detect()));
+      } else {
+        out = parsed;
+      }
+    }
+    return out;
+  }();
+  return lvl;
+}
+
+}  // namespace
+
+level active() noexcept {
+  const int ov = g_override.load(std::memory_order_relaxed);
+  if (ov >= 0) {
+    const level l = static_cast<level>(ov);
+    return l > detect() ? detect() : l;
+  }
+  return env_level();
+}
+
+void override_level(level l) noexcept {
+  g_override.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+void clear_override() noexcept { g_override.store(-1, std::memory_order_relaxed); }
+
+std::vector<level> available_levels() {
+  std::vector<level> out;
+  for (int l = 0; l <= static_cast<int>(detect()); ++l)
+    out.push_back(static_cast<level>(l));
+  return out;
+}
+
+// ===========================================================================
+// Scalar reference kernels
+// ===========================================================================
+
+namespace {
+
+void deinterleave2_u64_scalar(const std::byte* recs, std::size_t n,
+                              std::uint64_t* lo, std::uint64_t* hi) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(&lo[i], recs + i * 16, 8);
+    std::memcpy(&hi[i], recs + i * 16 + 8, 8);
+  }
+}
+
+std::size_t filter_lt_f64_scalar(const std::uint64_t* prop, const std::uint64_t* cur,
+                                 std::size_t n, std::uint8_t* mask) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool h = std::bit_cast<double>(prop[i]) < std::bit_cast<double>(cur[i]);
+    mask[i] = h ? 1 : 0;
+    hits += h;
+  }
+  return hits;
+}
+
+std::size_t filter_gt_f64_scalar(const std::uint64_t* prop, const std::uint64_t* cur,
+                                 std::size_t n, std::uint8_t* mask) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool h = std::bit_cast<double>(prop[i]) > std::bit_cast<double>(cur[i]);
+    mask[i] = h ? 1 : 0;
+    hits += h;
+  }
+  return hits;
+}
+
+std::size_t filter_lt_u64_scalar(const std::uint64_t* prop, const std::uint64_t* cur,
+                                 std::size_t n, std::uint8_t* mask) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool h = prop[i] < cur[i];
+    mask[i] = h ? 1 : 0;
+    hits += h;
+  }
+  return hits;
+}
+
+std::size_t filter_gt_u64_scalar(const std::uint64_t* prop, const std::uint64_t* cur,
+                                 std::size_t n, std::uint8_t* mask) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool h = prop[i] > cur[i];
+    mask[i] = h ? 1 : 0;
+    hits += h;
+  }
+  return hits;
+}
+
+constexpr kernel_table kScalarTable{
+    deinterleave2_u64_scalar, filter_lt_f64_scalar, filter_gt_f64_scalar,
+    filter_lt_u64_scalar,     filter_gt_u64_scalar,
+};
+
+#if DPG_SIMD_X86
+
+// ===========================================================================
+// SSE4.2 kernels (128-bit: 2 records per step)
+// ===========================================================================
+
+__attribute__((target("sse4.2"))) void deinterleave2_u64_sse4(
+    const std::byte* recs, std::size_t n, std::uint64_t* lo, std::uint64_t* hi) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(recs + i * 16));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(recs + (i + 1) * 16));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(lo + i), _mm_unpacklo_epi64(a, b));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(hi + i), _mm_unpackhi_epi64(a, b));
+  }
+  for (; i < n; ++i) {
+    std::memcpy(&lo[i], recs + i * 16, 8);
+    std::memcpy(&hi[i], recs + i * 16 + 8, 8);
+  }
+}
+
+/// Expands a 2-bit movemask into byte flags; returns its popcount.
+__attribute__((target("sse4.2"))) inline std::size_t emit_mask2(int m,
+                                                                std::uint8_t* mask) {
+  mask[0] = static_cast<std::uint8_t>(m & 1);
+  mask[1] = static_cast<std::uint8_t>((m >> 1) & 1);
+  return static_cast<std::size_t>(__builtin_popcount(static_cast<unsigned>(m)));
+}
+
+__attribute__((target("sse4.2"))) std::size_t filter_lt_f64_sse4(
+    const std::uint64_t* prop, const std::uint64_t* cur, std::size_t n,
+    std::uint8_t* mask) {
+  std::size_t i = 0, hits = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d p =
+        _mm_castsi128_pd(_mm_loadu_si128(reinterpret_cast<const __m128i*>(prop + i)));
+    const __m128d c =
+        _mm_castsi128_pd(_mm_loadu_si128(reinterpret_cast<const __m128i*>(cur + i)));
+    hits += emit_mask2(_mm_movemask_pd(_mm_cmplt_pd(p, c)), mask + i);
+  }
+  for (; i < n; ++i) {
+    const bool h = std::bit_cast<double>(prop[i]) < std::bit_cast<double>(cur[i]);
+    mask[i] = h ? 1 : 0;
+    hits += h;
+  }
+  return hits;
+}
+
+__attribute__((target("sse4.2"))) std::size_t filter_gt_f64_sse4(
+    const std::uint64_t* prop, const std::uint64_t* cur, std::size_t n,
+    std::uint8_t* mask) {
+  std::size_t i = 0, hits = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d p =
+        _mm_castsi128_pd(_mm_loadu_si128(reinterpret_cast<const __m128i*>(prop + i)));
+    const __m128d c =
+        _mm_castsi128_pd(_mm_loadu_si128(reinterpret_cast<const __m128i*>(cur + i)));
+    hits += emit_mask2(_mm_movemask_pd(_mm_cmpgt_pd(p, c)), mask + i);
+  }
+  for (; i < n; ++i) {
+    const bool h = std::bit_cast<double>(prop[i]) > std::bit_cast<double>(cur[i]);
+    mask[i] = h ? 1 : 0;
+    hits += h;
+  }
+  return hits;
+}
+
+__attribute__((target("sse4.2"))) std::size_t filter_lt_u64_sse4(
+    const std::uint64_t* prop, const std::uint64_t* cur, std::size_t n,
+    std::uint8_t* mask) {
+  // No unsigned 64-bit vector compare below AVX-512: bias both sides by
+  // 2^63 so the signed compare orders them as unsigned.
+  const __m128i bias = _mm_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  std::size_t i = 0, hits = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i p = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(prop + i)), bias);
+    const __m128i c = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cur + i)), bias);
+    hits += emit_mask2(_mm_movemask_pd(_mm_castsi128_pd(_mm_cmpgt_epi64(c, p))),
+                       mask + i);
+  }
+  for (; i < n; ++i) {
+    const bool h = prop[i] < cur[i];
+    mask[i] = h ? 1 : 0;
+    hits += h;
+  }
+  return hits;
+}
+
+__attribute__((target("sse4.2"))) std::size_t filter_gt_u64_sse4(
+    const std::uint64_t* prop, const std::uint64_t* cur, std::size_t n,
+    std::uint8_t* mask) {
+  const __m128i bias = _mm_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  std::size_t i = 0, hits = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i p = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(prop + i)), bias);
+    const __m128i c = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cur + i)), bias);
+    hits += emit_mask2(_mm_movemask_pd(_mm_castsi128_pd(_mm_cmpgt_epi64(p, c))),
+                       mask + i);
+  }
+  for (; i < n; ++i) {
+    const bool h = prop[i] > cur[i];
+    mask[i] = h ? 1 : 0;
+    hits += h;
+  }
+  return hits;
+}
+
+constexpr kernel_table kSse4Table{
+    deinterleave2_u64_sse4, filter_lt_f64_sse4, filter_gt_f64_sse4,
+    filter_lt_u64_sse4,     filter_gt_u64_sse4,
+};
+
+// ===========================================================================
+// AVX2 kernels (256-bit: 4 records per step)
+// ===========================================================================
+
+__attribute__((target("avx2"))) void deinterleave2_u64_avx2(const std::byte* recs,
+                                                            std::size_t n,
+                                                            std::uint64_t* lo,
+                                                            std::uint64_t* hi) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(recs + i * 16));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(recs + (i + 2) * 16));
+    // unpack{lo,hi} works per 128-bit half: [x0 x2 x1 x3] — permute fixes it.
+    const __m256i l = _mm256_permute4x64_epi64(_mm256_unpacklo_epi64(a, b),
+                                               _MM_SHUFFLE(3, 1, 2, 0));
+    const __m256i h = _mm256_permute4x64_epi64(_mm256_unpackhi_epi64(a, b),
+                                               _MM_SHUFFLE(3, 1, 2, 0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo + i), l);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(hi + i), h);
+  }
+  for (; i < n; ++i) {
+    std::memcpy(&lo[i], recs + i * 16, 8);
+    std::memcpy(&hi[i], recs + i * 16 + 8, 8);
+  }
+}
+
+/// Expands a 4-bit movemask into byte flags; returns its popcount.
+__attribute__((target("avx2"))) inline std::size_t emit_mask4(int m,
+                                                              std::uint8_t* mask) {
+  mask[0] = static_cast<std::uint8_t>(m & 1);
+  mask[1] = static_cast<std::uint8_t>((m >> 1) & 1);
+  mask[2] = static_cast<std::uint8_t>((m >> 2) & 1);
+  mask[3] = static_cast<std::uint8_t>((m >> 3) & 1);
+  return static_cast<std::size_t>(__builtin_popcount(static_cast<unsigned>(m)));
+}
+
+__attribute__((target("avx2"))) std::size_t filter_lt_f64_avx2(
+    const std::uint64_t* prop, const std::uint64_t* cur, std::size_t n,
+    std::uint8_t* mask) {
+  std::size_t i = 0, hits = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d p = _mm256_castsi256_pd(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prop + i)));
+    const __m256d c = _mm256_castsi256_pd(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cur + i)));
+    hits += emit_mask4(_mm256_movemask_pd(_mm256_cmp_pd(p, c, _CMP_LT_OQ)), mask + i);
+  }
+  for (; i < n; ++i) {
+    const bool h = std::bit_cast<double>(prop[i]) < std::bit_cast<double>(cur[i]);
+    mask[i] = h ? 1 : 0;
+    hits += h;
+  }
+  return hits;
+}
+
+__attribute__((target("avx2"))) std::size_t filter_gt_f64_avx2(
+    const std::uint64_t* prop, const std::uint64_t* cur, std::size_t n,
+    std::uint8_t* mask) {
+  std::size_t i = 0, hits = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d p = _mm256_castsi256_pd(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prop + i)));
+    const __m256d c = _mm256_castsi256_pd(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cur + i)));
+    hits += emit_mask4(_mm256_movemask_pd(_mm256_cmp_pd(p, c, _CMP_GT_OQ)), mask + i);
+  }
+  for (; i < n; ++i) {
+    const bool h = std::bit_cast<double>(prop[i]) > std::bit_cast<double>(cur[i]);
+    mask[i] = h ? 1 : 0;
+    hits += h;
+  }
+  return hits;
+}
+
+__attribute__((target("avx2"))) std::size_t filter_lt_u64_avx2(
+    const std::uint64_t* prop, const std::uint64_t* cur, std::size_t n,
+    std::uint8_t* mask) {
+  const __m256i bias =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  std::size_t i = 0, hits = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i p = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prop + i)), bias);
+    const __m256i c = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cur + i)), bias);
+    hits += emit_mask4(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(c, p))), mask + i);
+  }
+  for (; i < n; ++i) {
+    const bool h = prop[i] < cur[i];
+    mask[i] = h ? 1 : 0;
+    hits += h;
+  }
+  return hits;
+}
+
+__attribute__((target("avx2"))) std::size_t filter_gt_u64_avx2(
+    const std::uint64_t* prop, const std::uint64_t* cur, std::size_t n,
+    std::uint8_t* mask) {
+  const __m256i bias =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  std::size_t i = 0, hits = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i p = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prop + i)), bias);
+    const __m256i c = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cur + i)), bias);
+    hits += emit_mask4(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(p, c))), mask + i);
+  }
+  for (; i < n; ++i) {
+    const bool h = prop[i] > cur[i];
+    mask[i] = h ? 1 : 0;
+    hits += h;
+  }
+  return hits;
+}
+
+constexpr kernel_table kAvx2Table{
+    deinterleave2_u64_avx2, filter_lt_f64_avx2, filter_gt_f64_avx2,
+    filter_lt_u64_avx2,     filter_gt_u64_avx2,
+};
+
+// ===========================================================================
+// AVX-512 kernels (512-bit: 8 records per step; avx512f only)
+// ===========================================================================
+
+__attribute__((target("avx512f"))) void deinterleave2_u64_avx512(
+    const std::byte* recs, std::size_t n, std::uint64_t* lo, std::uint64_t* hi) {
+  const __m512i idx_lo = _mm512_setr_epi64(0, 2, 4, 6, 8, 10, 12, 14);
+  const __m512i idx_hi = _mm512_setr_epi64(1, 3, 5, 7, 9, 11, 13, 15);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i a = _mm512_loadu_si512(recs + i * 16);
+    const __m512i b = _mm512_loadu_si512(recs + (i + 4) * 16);
+    _mm512_storeu_si512(lo + i, _mm512_permutex2var_epi64(a, idx_lo, b));
+    _mm512_storeu_si512(hi + i, _mm512_permutex2var_epi64(a, idx_hi, b));
+  }
+  for (; i < n; ++i) {
+    std::memcpy(&lo[i], recs + i * 16, 8);
+    std::memcpy(&hi[i], recs + i * 16 + 8, 8);
+  }
+}
+
+/// Expands an 8-lane compare mask into byte flags; returns its popcount.
+__attribute__((target("avx512f"))) inline std::size_t emit_mask8(__mmask8 m,
+                                                                 std::uint8_t* mask) {
+  for (int j = 0; j < 8; ++j) mask[j] = static_cast<std::uint8_t>((m >> j) & 1);
+  return static_cast<std::size_t>(__builtin_popcount(static_cast<unsigned>(m)));
+}
+
+__attribute__((target("avx512f"))) std::size_t filter_lt_f64_avx512(
+    const std::uint64_t* prop, const std::uint64_t* cur, std::size_t n,
+    std::uint8_t* mask) {
+  std::size_t i = 0, hits = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d p = _mm512_castsi512_pd(_mm512_loadu_si512(prop + i));
+    const __m512d c = _mm512_castsi512_pd(_mm512_loadu_si512(cur + i));
+    hits += emit_mask8(_mm512_cmp_pd_mask(p, c, _CMP_LT_OQ), mask + i);
+  }
+  for (; i < n; ++i) {
+    const bool h = std::bit_cast<double>(prop[i]) < std::bit_cast<double>(cur[i]);
+    mask[i] = h ? 1 : 0;
+    hits += h;
+  }
+  return hits;
+}
+
+__attribute__((target("avx512f"))) std::size_t filter_gt_f64_avx512(
+    const std::uint64_t* prop, const std::uint64_t* cur, std::size_t n,
+    std::uint8_t* mask) {
+  std::size_t i = 0, hits = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d p = _mm512_castsi512_pd(_mm512_loadu_si512(prop + i));
+    const __m512d c = _mm512_castsi512_pd(_mm512_loadu_si512(cur + i));
+    hits += emit_mask8(_mm512_cmp_pd_mask(p, c, _CMP_GT_OQ), mask + i);
+  }
+  for (; i < n; ++i) {
+    const bool h = std::bit_cast<double>(prop[i]) > std::bit_cast<double>(cur[i]);
+    mask[i] = h ? 1 : 0;
+    hits += h;
+  }
+  return hits;
+}
+
+__attribute__((target("avx512f"))) std::size_t filter_lt_u64_avx512(
+    const std::uint64_t* prop, const std::uint64_t* cur, std::size_t n,
+    std::uint8_t* mask) {
+  std::size_t i = 0, hits = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i p = _mm512_loadu_si512(prop + i);
+    const __m512i c = _mm512_loadu_si512(cur + i);
+    hits += emit_mask8(_mm512_cmplt_epu64_mask(p, c), mask + i);
+  }
+  for (; i < n; ++i) {
+    const bool h = prop[i] < cur[i];
+    mask[i] = h ? 1 : 0;
+    hits += h;
+  }
+  return hits;
+}
+
+__attribute__((target("avx512f"))) std::size_t filter_gt_u64_avx512(
+    const std::uint64_t* prop, const std::uint64_t* cur, std::size_t n,
+    std::uint8_t* mask) {
+  std::size_t i = 0, hits = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i p = _mm512_loadu_si512(prop + i);
+    const __m512i c = _mm512_loadu_si512(cur + i);
+    hits += emit_mask8(_mm512_cmpgt_epu64_mask(p, c), mask + i);
+  }
+  for (; i < n; ++i) {
+    const bool h = prop[i] > cur[i];
+    mask[i] = h ? 1 : 0;
+    hits += h;
+  }
+  return hits;
+}
+
+constexpr kernel_table kAvx512Table{
+    deinterleave2_u64_avx512, filter_lt_f64_avx512, filter_gt_f64_avx512,
+    filter_lt_u64_avx512,     filter_gt_u64_avx512,
+};
+
+#endif  // DPG_SIMD_X86
+
+}  // namespace
+
+const kernel_table& kernels(level l) noexcept {
+  if (l > detect()) l = detect();
+#if DPG_SIMD_X86
+  switch (l) {
+    case level::scalar: return kScalarTable;
+    case level::sse4: return kSse4Table;
+    case level::avx2: return kAvx2Table;
+    case level::avx512: return kAvx512Table;
+  }
+#endif
+  return kScalarTable;
+}
+
+}  // namespace dpg::simd

@@ -1,0 +1,72 @@
+// Runtime ISA dispatch for the envelope-batch kernels (pattern fast path).
+//
+// One binary carries scalar, SSE4.2, AVX2, and AVX-512 variants of a small
+// kernel table; the tier is picked once at startup from CPUID, clamped by
+// the DPG_SIMD_LEVEL environment variable (a name or a digit 0-3), and can
+// be forced per test via override_level(). Every kernel is *exact*: the
+// vector variants perform no floating-point arithmetic, only IEEE ordered
+// comparisons and integer shuffles, so each tier is bit-identical to the
+// scalar reference by construction — the differential test matrix in
+// tests/pattern/batch_kernel_test.cpp holds them to that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dpg::simd {
+
+/// Vector tiers, in strictly increasing capability order. A tier implies
+/// every lower tier (avx512 hosts run avx2/sse4 kernels fine).
+enum class level : int { scalar = 0, sse4 = 1, avx2 = 2, avx512 = 3 };
+
+/// Human-readable tier name ("scalar", "sse4", "avx2", "avx512").
+const char* name(level l) noexcept;
+
+/// Highest tier this CPU supports (CPUID probe, cached after first call).
+level detect() noexcept;
+
+/// The tier batch kernels run at: detect(), clamped down by the
+/// DPG_SIMD_LEVEL environment variable (read once), and superseded by an
+/// override_level() in effect. Never exceeds detect().
+level active() noexcept;
+
+/// Parses a tier spec ("scalar"|"sse4"|"avx2"|"avx512" or "0".."3") into
+/// `out`. Returns false (out untouched) when the spec is unrecognized.
+bool parse(const char* spec, level& out) noexcept;
+
+/// Test hook: force active() to min(l, detect()) until clear_override().
+void override_level(level l) noexcept;
+void clear_override() noexcept;
+
+/// Every tier this host can execute, lowest first: {scalar, ..., detect()}.
+/// This is the axis the forced-ISA differential sweeps iterate.
+std::vector<level> available_levels();
+
+/// The batch-kernel vtable one tier provides. All functions accept any n
+/// (vector body + scalar tail handled inside), require no alignment, and
+/// tolerate n == 0.
+struct kernel_table {
+  /// Deinterleave n 16-byte {lo, hi} u64 pairs (array-of-structs `recs`)
+  /// into two struct-of-arrays outputs.
+  void (*deinterleave2_u64)(const std::byte* recs, std::size_t n,
+                            std::uint64_t* lo, std::uint64_t* hi);
+  /// mask[i] = compare(prop[i], cur[i]) ? 1 : 0; returns the hit count.
+  /// _f64 variants compare the bit patterns as IEEE doubles with *ordered*
+  /// comparisons (a NaN on either side never passes — identical to the
+  /// scalar `<`/`>`); _u64 variants compare as unsigned integers.
+  std::size_t (*filter_lt_f64)(const std::uint64_t* prop, const std::uint64_t* cur,
+                               std::size_t n, std::uint8_t* mask);
+  std::size_t (*filter_gt_f64)(const std::uint64_t* prop, const std::uint64_t* cur,
+                               std::size_t n, std::uint8_t* mask);
+  std::size_t (*filter_lt_u64)(const std::uint64_t* prop, const std::uint64_t* cur,
+                               std::size_t n, std::uint8_t* mask);
+  std::size_t (*filter_gt_u64)(const std::uint64_t* prop, const std::uint64_t* cur,
+                               std::size_t n, std::uint8_t* mask);
+};
+
+/// The kernel table for a tier, clamped to detect() so a forced level on a
+/// lesser host degrades instead of faulting. Entries are never null.
+const kernel_table& kernels(level l) noexcept;
+
+}  // namespace dpg::simd

@@ -1,0 +1,426 @@
+// Forced-ISA differential matrix for the envelope-batch kernels.
+//
+// Two layers of evidence that every vector tier is bit-identical to the
+// scalar reference:
+//
+//  1. Kernel level — each kernel_table entry of every available tier is
+//     compared against a plain C++ reference computed here (not against
+//     the scalar table, so the scalar tier itself is under test too) over
+//     adversarial inputs: NaNs (quiet and signaling), infinities, both
+//     zeros, denormals, exact ties, and batch sizes straddling every
+//     vector width (0, 1, widths ± 1, and well past them).
+//
+//  2. Action level — a compiled relax pattern is run to its fixed point
+//     with each tier forced via simd::override_level(); the resulting
+//     property map must match the scalar run bit for bit, including
+//     envelopes holding duplicate targets and coalescing sizes that are
+//     not a multiple of any vector width. (Modification and message
+//     counts are NOT compared across runs: the chaotic schedule makes
+//     them run-dependent even at a fixed tier — only the fixed point is
+//     deterministic.)
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ampp/epoch.hpp"
+#include "ampp/transport.hpp"
+#include "graph/generators.hpp"
+#include "obs/obs.hpp"
+#include "pattern/action.hpp"
+#include "util/simd.hpp"
+
+namespace dpg::pattern {
+namespace {
+
+using graph::distributed_graph;
+using graph::distribution;
+using graph::edge_handle;
+using graph::vertex_id;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Restores the process-wide SIMD override even when an assertion fails.
+struct override_guard {
+  ~override_guard() { simd::clear_override(); }
+};
+
+// Batch sizes that exercise empty input, every tier's scalar tail, and
+// bodies spanning multiple vector iterations (widths are 2, 4 and 8).
+const std::vector<std::size_t>& batch_sizes() {
+  static const std::vector<std::size_t> sizes = {0,  1,  2,  3,  4,  5,  7, 8,
+                                                 9,  15, 16, 17, 31, 33, 67};
+  return sizes;
+}
+
+// A pool of adversarial 64-bit patterns mixed into the random streams.
+std::vector<std::uint64_t> special_bits() {
+  return {
+      std::bit_cast<std::uint64_t>(std::numeric_limits<double>::quiet_NaN()),
+      std::bit_cast<std::uint64_t>(std::numeric_limits<double>::signaling_NaN()),
+      std::bit_cast<std::uint64_t>(kInf),
+      std::bit_cast<std::uint64_t>(-kInf),
+      std::bit_cast<std::uint64_t>(0.0),
+      std::bit_cast<std::uint64_t>(-0.0),
+      std::bit_cast<std::uint64_t>(std::numeric_limits<double>::denorm_min()),
+      std::bit_cast<std::uint64_t>(-std::numeric_limits<double>::denorm_min()),
+      std::uint64_t{0},
+      ~std::uint64_t{0},
+      std::uint64_t{0x8000000000000000ULL},  // sign-bias boundary
+      std::uint64_t{0x7fffffffffffffffULL},
+  };
+}
+
+std::vector<std::uint64_t> random_words(std::mt19937_64& rng, std::size_t n) {
+  const auto specials = special_bits();
+  std::vector<std::uint64_t> out(n);
+  for (auto& w : out) {
+    switch (rng() % 4) {
+      case 0: w = specials[rng() % specials.size()]; break;
+      case 1: w = rng() % 8; break;  // force exact ties between streams
+      default: w = rng(); break;
+    }
+  }
+  return out;
+}
+
+TEST(BatchKernel, DeinterleaveMatchesReferenceAtEveryTier) {
+  std::mt19937_64 rng(0xD1E5);
+  for (std::size_t n : batch_sizes()) {
+    std::vector<std::uint64_t> lo_ref = random_words(rng, n);
+    std::vector<std::uint64_t> hi_ref = random_words(rng, n);
+    std::vector<std::byte> recs(n * 16);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::memcpy(recs.data() + 16 * i, &lo_ref[i], 8);
+      std::memcpy(recs.data() + 16 * i + 8, &hi_ref[i], 8);
+    }
+    for (simd::level l : simd::available_levels()) {
+      SCOPED_TRACE(std::string("tier=") + simd::name(l) +
+                   " n=" + std::to_string(n));
+      // Canary padding proves the kernels never write past n.
+      std::vector<std::uint64_t> lo(n + 2, 0xCACACACACACACACAULL);
+      std::vector<std::uint64_t> hi(n + 2, 0xCACACACACACACACAULL);
+      simd::kernels(l).deinterleave2_u64(recs.data(), n, lo.data(), hi.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(lo[i], lo_ref[i]) << "lo[" << i << "]";
+        EXPECT_EQ(hi[i], hi_ref[i]) << "hi[" << i << "]";
+      }
+      EXPECT_EQ(lo[n], 0xCACACACACACACACAULL);
+      EXPECT_EQ(hi[n], 0xCACACACACACACACAULL);
+    }
+  }
+}
+
+TEST(BatchKernel, FiltersMatchReferenceAtEveryTier) {
+  struct filter_case {
+    const char* name;
+    std::size_t (*simd::kernel_table::* fn)(const std::uint64_t*,
+                                            const std::uint64_t*, std::size_t,
+                                            std::uint8_t*);
+    bool (*ref)(std::uint64_t, std::uint64_t);
+  };
+  const filter_case cases[] = {
+      {"lt_f64", &simd::kernel_table::filter_lt_f64,
+       [](std::uint64_t p, std::uint64_t c) {
+         return std::bit_cast<double>(p) < std::bit_cast<double>(c);
+       }},
+      {"gt_f64", &simd::kernel_table::filter_gt_f64,
+       [](std::uint64_t p, std::uint64_t c) {
+         return std::bit_cast<double>(p) > std::bit_cast<double>(c);
+       }},
+      {"lt_u64", &simd::kernel_table::filter_lt_u64,
+       [](std::uint64_t p, std::uint64_t c) { return p < c; }},
+      {"gt_u64", &simd::kernel_table::filter_gt_u64,
+       [](std::uint64_t p, std::uint64_t c) { return p > c; }},
+  };
+  std::mt19937_64 rng(0xF17E);
+  for (std::size_t n : batch_sizes()) {
+    for (int round = 0; round < 8; ++round) {
+      const std::vector<std::uint64_t> prop = random_words(rng, n);
+      const std::vector<std::uint64_t> cur = random_words(rng, n);
+      for (const filter_case& fc : cases) {
+        std::vector<std::uint8_t> ref_mask(n);
+        std::size_t ref_hits = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          ref_mask[i] = fc.ref(prop[i], cur[i]) ? 1 : 0;
+          ref_hits += ref_mask[i];
+        }
+        for (simd::level l : simd::available_levels()) {
+          SCOPED_TRACE(std::string("filter=") + fc.name + " tier=" +
+                       simd::name(l) + " n=" + std::to_string(n) +
+                       " round=" + std::to_string(round));
+          std::vector<std::uint8_t> mask(n + 2, 0xEE);
+          const std::size_t hits = (simd::kernels(l).*(fc.fn))(
+              prop.data(), cur.data(), n, mask.data());
+          EXPECT_EQ(hits, ref_hits);
+          for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(mask[i], ref_mask[i]) << "mask[" << i << "]";
+          EXPECT_EQ(mask[n], 0xEE);  // no overwrite past n
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Action level: a compiled relax run under each forced tier must leave the
+// property map bit-identical to the scalar run.
+// ---------------------------------------------------------------------------
+
+struct relax_run {
+  std::vector<std::uint64_t> bits;  // final pmap state, as bit patterns
+  std::uint64_t modifications = 0;
+  std::uint64_t batch_records = 0;
+  std::uint64_t batch_kernels = 0;
+  bool batch_plan = false;
+
+  bool operator==(const relax_run& o) const { return bits == o.bits; }
+};
+
+/// Runs the f64 min-relax (SSSP shape) to its fixed point at a forced tier.
+relax_run run_sssp(simd::level l, const std::vector<graph::edge>& edges,
+                   vertex_id n, std::size_t coalescing,
+                   compile_options::toggle reduce = compile_options::toggle::auto_) {
+  override_guard restore;
+  simd::override_level(l);
+  distributed_graph g(n, edges, distribution::cyclic(n, 3));
+  pmap::vertex_property_map<double> dist_map(g, kInf);
+  pmap::edge_property_map<double> weight_map(g, [](const edge_handle& e) {
+    return graph::edge_weight(e.src, e.dst, 11, 7.0);
+  });
+  pmap::lock_map locks(g.dist(), pmap::lock_scheme::per_vertex);
+  ampp::transport tp(
+      ampp::transport_config{.n_ranks = 3, .coalescing_size = coalescing});
+  property dist(dist_map);
+  property weight(weight_map);
+  auto relax = instantiate(
+      tp, g, locks,
+      make_action("relax", out_edges_gen{},
+                  when(dist(trg(e_)) > dist(v_) + weight(e_),
+                       assign(dist(trg(e_)), dist(v_) + weight(e_)))),
+      compile_options{.fast_path = compile_options::toggle::on,
+                      .batch_kernel = compile_options::toggle::on,
+                      .fast_reduction = reduce});
+  relax->work([&](ampp::transport_context& ctx, vertex_id dep) { (*relax)(ctx, dep); });
+  dist_map[0] = 0.0;
+  obs::stats_scope sc(tp.obs());
+  tp.run([&](ampp::transport_context& ctx) {
+    ampp::epoch ep(ctx);
+    if (g.owner(0) == ctx.rank()) (*relax)(ctx, 0);
+  });
+  const obs::stats_snapshot d = sc.finish();
+  relax_run out;
+  out.bits.resize(n);
+  for (vertex_id v = 0; v < n; ++v)
+    out.bits[v] = std::bit_cast<std::uint64_t>(dist_map[v]);
+  out.modifications = relax->modifications();
+  out.batch_records = d.core.batch_records;
+  out.batch_kernels = d.core.batch_kernels_run;
+  out.batch_plan = relax->plan().batch_kernel;
+  return out;
+}
+
+/// Runs the u64 min-propagate (CC label shape) to its fixed point.
+relax_run run_labels(simd::level l, const std::vector<graph::edge>& edges,
+                     vertex_id n, std::size_t coalescing) {
+  override_guard restore;
+  simd::override_level(l);
+  distributed_graph g(n, edges, distribution::cyclic(n, 3));
+  pmap::vertex_property_map<vertex_id> label_map(g, 0);
+  for (vertex_id v = 0; v < n; ++v) label_map[v] = v;
+  pmap::lock_map locks(g.dist(), pmap::lock_scheme::per_vertex);
+  ampp::transport tp(
+      ampp::transport_config{.n_ranks = 3, .coalescing_size = coalescing});
+  property lbl(label_map);
+  auto prop = instantiate(
+      tp, g, locks,
+      make_action("labels", out_edges_gen{},
+                  when(lbl(trg(e_)) > lbl(v_), assign(lbl(trg(e_)), lbl(v_)))),
+      compile_options{.fast_path = compile_options::toggle::on,
+                      .batch_kernel = compile_options::toggle::on});
+  prop->work([&](ampp::transport_context& ctx, vertex_id dep) { (*prop)(ctx, dep); });
+  obs::stats_scope sc(tp.obs());
+  tp.run([&](ampp::transport_context& ctx) {
+    ampp::epoch ep(ctx);
+    for (vertex_id v = 0; v < n; ++v)
+      if (g.owner(v) == ctx.rank()) (*prop)(ctx, v);
+  });
+  const obs::stats_snapshot d = sc.finish();
+  relax_run out;
+  out.bits.resize(n);
+  for (vertex_id v = 0; v < n; ++v) out.bits[v] = label_map[v];
+  out.modifications = prop->modifications();
+  out.batch_records = d.core.batch_records;
+  out.batch_kernels = d.core.batch_kernels_run;
+  out.batch_plan = prop->plan().batch_kernel;
+  return out;
+}
+
+TEST(BatchKernel, ForcedTierSsspBitIdenticalToScalar) {
+  const vertex_id n = 96;
+  const auto edges = graph::erdos_renyi(n, 700, 31);
+  // Coalescing 5 keeps every full envelope off the vector widths (2/4/8),
+  // so each batch exercises a vector body plus a scalar tail.
+  const relax_run scalar = run_sssp(simd::level::scalar, edges, n, 5);
+  EXPECT_TRUE(scalar.batch_plan);
+  EXPECT_GT(scalar.batch_records, 0u);
+  EXPECT_GT(scalar.batch_kernels, 0u);
+  for (simd::level l : simd::available_levels()) {
+    if (l == simd::level::scalar) continue;
+    SCOPED_TRACE(std::string("tier=") + simd::name(l));
+    const relax_run r = run_sssp(l, edges, n, 5);
+    EXPECT_TRUE(r == scalar);
+    EXPECT_GT(r.batch_records, 0u);
+  }
+}
+
+TEST(BatchKernel, ForcedTierLabelsBitIdenticalToScalar) {
+  const vertex_id n = 80;
+  const auto edges = graph::symmetrize(graph::erdos_renyi(n, 400, 47));
+  const relax_run scalar = run_labels(simd::level::scalar, edges, n, 7);
+  EXPECT_TRUE(scalar.batch_plan);
+  EXPECT_GT(scalar.batch_records, 0u);
+  for (simd::level l : simd::available_levels()) {
+    if (l == simd::level::scalar) continue;
+    SCOPED_TRACE(std::string("tier=") + simd::name(l));
+    const relax_run r = run_labels(l, edges, n, 7);
+    EXPECT_TRUE(r == scalar);
+    EXPECT_GT(r.batch_records, 0u);
+  }
+}
+
+TEST(BatchKernel, DuplicateTargetsWithinOneEnvelope) {
+  // A multigraph hub: four parallel edges to each spoke, so one coalesced
+  // envelope carries several records for the same target vertex and the
+  // batch must apply the best candidate exactly as sequential dispatch
+  // does (the relax values differ per parallel edge via the weight hash).
+  // The sender-side combining cache is pinned off — it would merge the
+  // duplicates before they ever reach an envelope, which is exactly the
+  // case this test must keep exercising.
+  const vertex_id n = 9;
+  std::vector<graph::edge> edges;
+  for (vertex_id v = 1; v < n; ++v)
+    for (int dup = 0; dup < 4; ++dup) edges.push_back(graph::edge{0, v});
+  constexpr auto off = compile_options::toggle::off;
+  const relax_run scalar = run_sssp(simd::level::scalar, edges, n, 64, off);
+  EXPECT_TRUE(scalar.batch_plan);
+  for (simd::level l : simd::available_levels()) {
+    SCOPED_TRACE(std::string("tier=") + simd::name(l));
+    const relax_run r = run_sssp(l, edges, n, 64, off);
+    EXPECT_TRUE(r == scalar);
+  }
+}
+
+TEST(BatchKernel, SingleRecordEnvelopes) {
+  // coalescing_size = 1: every batch is a single record (pure scalar tail
+  // at every tier) — the degenerate envelope shape must still agree.
+  const vertex_id n = 24;
+  const auto edges = graph::erdos_renyi(n, 90, 5);
+  const relax_run scalar = run_sssp(simd::level::scalar, edges, n, 1);
+  for (simd::level l : simd::available_levels()) {
+    SCOPED_TRACE(std::string("tier=") + simd::name(l));
+    EXPECT_TRUE(run_sssp(l, edges, n, 1) == scalar);
+  }
+}
+
+TEST(BatchKernel, BatchTogglePreservesResultsAndCounters) {
+  // Batching off must produce the same distances and report zero batch
+  // activity; batching on must account every record it consumed.
+  const vertex_id n = 48;
+  const auto edges = graph::erdos_renyi(n, 300, 13);
+  auto run_toggle = [&](compile_options::toggle batch) {
+    distributed_graph g(n, edges, distribution::cyclic(n, 2));
+    pmap::vertex_property_map<double> dist_map(g, kInf);
+    pmap::edge_property_map<double> weight_map(g, [](const edge_handle& e) {
+      return graph::edge_weight(e.src, e.dst, 3, 5.0);
+    });
+    pmap::lock_map locks(g.dist(), pmap::lock_scheme::per_vertex);
+    ampp::transport tp(ampp::transport_config{.n_ranks = 2, .coalescing_size = 6});
+    property dist(dist_map);
+    property weight(weight_map);
+    auto relax = instantiate(
+        tp, g, locks,
+        make_action("relax", out_edges_gen{},
+                    when(dist(trg(e_)) > dist(v_) + weight(e_),
+                         assign(dist(trg(e_)), dist(v_) + weight(e_)))),
+        compile_options{.fast_path = compile_options::toggle::on,
+                        .batch_kernel = batch});
+    relax->work(
+        [&](ampp::transport_context& ctx, vertex_id dep) { (*relax)(ctx, dep); });
+    dist_map[0] = 0.0;
+    obs::stats_scope sc(tp.obs());
+    tp.run([&](ampp::transport_context& ctx) {
+      ampp::epoch ep(ctx);
+      if (g.owner(0) == ctx.rank()) (*relax)(ctx, 0);
+    });
+    const obs::stats_snapshot d = sc.finish();
+    std::vector<std::uint64_t> bits(n);
+    for (vertex_id v = 0; v < n; ++v)
+      bits[v] = std::bit_cast<std::uint64_t>(dist_map[v]);
+    return std::tuple{bits, relax->plan().batch_kernel, d};
+  };
+  const auto [on_bits, on_plan, on_d] = run_toggle(compile_options::toggle::on);
+  const auto [off_bits, off_plan, off_d] = run_toggle(compile_options::toggle::off);
+  EXPECT_TRUE(on_plan);
+  EXPECT_FALSE(off_plan);
+  EXPECT_EQ(on_bits, off_bits);
+  EXPECT_GT(on_d.core.batch_records, 0u);
+  EXPECT_LE(on_d.core.batch_records, on_d.core.handler_invocations);
+  EXPECT_LE(on_d.core.batch_kernels_run, on_d.core.batch_records);
+  EXPECT_EQ(off_d.core.batch_records, 0u);
+  EXPECT_EQ(off_d.core.batch_kernels_run, 0u);
+}
+
+TEST(BatchKernel, PerInstanceSimdLevelOverridesGlobal) {
+  // compile_options::simd_level pins one instantiation to a tier without
+  // touching the process-wide selection — the serving layer relies on this
+  // for mixed-tier concurrent sessions.
+  const vertex_id n = 64;
+  const auto edges = graph::erdos_renyi(n, 420, 23);
+  auto run_pinned = [&](int lvl) {
+    distributed_graph g(n, edges, distribution::cyclic(n, 2));
+    pmap::vertex_property_map<double> dist_map(g, kInf);
+    pmap::edge_property_map<double> weight_map(g, [](const edge_handle& e) {
+      return graph::edge_weight(e.src, e.dst, 19, 4.0);
+    });
+    pmap::lock_map locks(g.dist(), pmap::lock_scheme::per_vertex);
+    ampp::transport tp(ampp::transport_config{.n_ranks = 2, .coalescing_size = 5});
+    property dist(dist_map);
+    property weight(weight_map);
+    auto relax = instantiate(
+        tp, g, locks,
+        make_action("relax", out_edges_gen{},
+                    when(dist(trg(e_)) > dist(v_) + weight(e_),
+                         assign(dist(trg(e_)), dist(v_) + weight(e_)))),
+        compile_options{.fast_path = compile_options::toggle::on,
+                        .batch_kernel = compile_options::toggle::on,
+                        .simd_level = lvl});
+    relax->work(
+        [&](ampp::transport_context& ctx, vertex_id dep) { (*relax)(ctx, dep); });
+    dist_map[0] = 0.0;
+    tp.run([&](ampp::transport_context& ctx) {
+      ampp::epoch ep(ctx);
+      if (g.owner(0) == ctx.rank()) (*relax)(ctx, 0);
+    });
+    std::vector<std::uint64_t> bits(n);
+    for (vertex_id v = 0; v < n; ++v)
+      bits[v] = std::bit_cast<std::uint64_t>(dist_map[v]);
+    return bits;
+  };
+  const auto scalar_bits = run_pinned(0);
+  for (simd::level l : simd::available_levels()) {
+    SCOPED_TRACE(std::string("pinned=") + simd::name(l));
+    EXPECT_EQ(run_pinned(static_cast<int>(l)), scalar_bits);
+  }
+  // And -1 (follow the global) agrees too.
+  EXPECT_EQ(run_pinned(-1), scalar_bits);
+}
+
+}  // namespace
+}  // namespace dpg::pattern

@@ -109,11 +109,35 @@ TEST(Explain, CompiledPlanShowsWireBytesCseAndFastPath) {
   EXPECT_NE(fast.find("gather read CSE: 2 shared slot(s)"), std::string::npos);
   EXPECT_NE(fast.find("fast path: compiled single-locality relax kernel"),
             std::string::npos);
+  EXPECT_NE(fast.find("batch kernel: whole-envelope SIMD relax"), std::string::npos);
+  EXPECT_NE(fast.find("sender reduction: combining cache on the relax lane"),
+            std::string::npos);
 
   const std::string general =
       explain("relax", mk({.fast_path = tog::off, .compact_wire = tog::on})->plan());
   EXPECT_NE(general.find("compiled wire payloads: eval=24B"), std::string::npos);
   EXPECT_NE(general.find("fast path: off"), std::string::npos);
+  EXPECT_NE(general.find("batch kernel: off"), std::string::npos);
+  EXPECT_NE(general.find("sender reduction: off"), std::string::npos);
+
+  // Batching can be held off independently of the fast path (and the
+  // sender-side combining cache stays on).
+  const std::string nobatch = explain(
+      "relax",
+      mk({.fast_path = tog::on, .batch_kernel = tog::off})->plan());
+  EXPECT_NE(nobatch.find("fast path: compiled single-locality relax kernel"),
+            std::string::npos);
+  EXPECT_NE(nobatch.find("batch kernel: off"), std::string::npos);
+  EXPECT_NE(nobatch.find("sender reduction: combining cache on the relax lane"),
+            std::string::npos);
+
+  // ... and vice versa: no combining cache, batching untouched.
+  const std::string noreduce = explain(
+      "relax",
+      mk({.fast_path = tog::on, .fast_reduction = tog::off})->plan());
+  EXPECT_NE(noreduce.find("batch kernel: whole-envelope SIMD relax"),
+            std::string::npos);
+  EXPECT_NE(noreduce.find("sender reduction: off"), std::string::npos);
 
   const std::string full =
       explain("relax", mk({.fast_path = tog::off, .compact_wire = tog::off})->plan());

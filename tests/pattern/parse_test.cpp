@@ -108,6 +108,9 @@ TEST(Parse, ParserPlanEqualsEdslPlan) {
   EXPECT_EQ(analyzed.has_dependencies, edsl.has_dependencies);
   EXPECT_EQ(analyzed.hop_localities, edsl.hop_localities);
   EXPECT_EQ(analyzed.final_locality, edsl.final_locality);
+  EXPECT_EQ(analyzed.fast_path, edsl.fast_path);
+  EXPECT_EQ(analyzed.batch_kernel, edsl.batch_kernel);
+  EXPECT_EQ(analyzed.fast_reduction, edsl.fast_reduction);
   EXPECT_EQ(explain(analyzed), pattern::explain("relax", edsl));
 }
 
