@@ -42,6 +42,11 @@ simd_flags() {
 SIMD_DETECTED="$(detect_simd)"
 SIMD_FORCED="${DPG_SIMD_LEVEL:-auto}"
 SIMD_CPU_FLAGS="$(simd_flags)"
+# Wire-backend provenance: the benchmark binaries run the in-process
+# machine unless a runner says otherwise (bench_backend hosts both ends of
+# the shm/tcp pipes in one process — still "inproc" process topology; the
+# backend under test is in each benchmark's name).
+BENCH_BACKEND="${DPG_BENCH_BACKEND:-inproc}"
 
 for name in "${names[@]}"; do
   bin="$BUILD_DIR/bench/bench_$name"
@@ -58,7 +63,8 @@ for name in "${names[@]}"; do
     $BENCH_ARGS
   # Stamp the SIMD provenance into the file's metadata block.
   SIMD_DETECTED="$SIMD_DETECTED" SIMD_FORCED="$SIMD_FORCED" \
-    SIMD_CPU_FLAGS="$SIMD_CPU_FLAGS" OUT="$out" python3 - <<'EOF'
+    SIMD_CPU_FLAGS="$SIMD_CPU_FLAGS" BENCH_BACKEND="$BENCH_BACKEND" \
+    OUT="$out" python3 - <<'EOF'
 import json, os
 path = os.environ["OUT"]
 with open(path) as f:
@@ -67,6 +73,7 @@ doc["dpg_metadata"] = {
     "simd_detected": os.environ["SIMD_DETECTED"],
     "simd_forced": os.environ["SIMD_FORCED"],
     "cpu_simd_flags": os.environ["SIMD_CPU_FLAGS"].split(),
+    "backend": os.environ["BENCH_BACKEND"],
 }
 with open(path, "w") as f:
     json.dump(doc, f, indent=2)

@@ -35,6 +35,25 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
 echo "=== tsan sim sweep ==="
 ctest --test-dir build-tsan -L sim --output-on-failure --timeout 240 -j "$JOBS"
 
+echo "=== wire backend smoke (shm + tcp, one process per rank) ==="
+# Real cross-process machines through the launcher: 4 rankproc processes
+# over the shm ring and over TCP loopback. The bit-for-bit hash matrix is
+# backend_sweep_test (already in the sim stages above); this stage proves
+# the launcher path users actually run.
+scripts/run_ranks.sh --backend shm --ranks 4 --algo sssp --seed 1 \
+  --rankproc build-werror/tools/dpg_rankproc
+scripts/run_ranks.sh --backend tcp --ranks 4 --algo cc --seed 1 \
+  --rankproc build-werror/tools/dpg_rankproc
+
+echo "=== wire backend smoke under tsan ==="
+# The same two wires with every rank process tsan-instrumented: races in
+# the ring's acquire/release protocol or the TCP reassembly path surface
+# here rather than in production.
+scripts/run_ranks.sh --backend shm --ranks 2 --algo bfs --seed 2 \
+  --rankproc build-tsan/tools/dpg_rankproc
+scripts/run_ranks.sh --backend tcp --ranks 2 --algo sssp --seed 2 \
+  --rankproc build-tsan/tools/dpg_rankproc
+
 echo "=== bench smoke (1 repetition, JSON out) ==="
 # One repetition of the quiescence-hot-path and plan-compilation
 # benchmarks: catches bench-code rot and emits BENCH_*.ci.json for

@@ -45,6 +45,11 @@ class bfs_solver {
   /// a label-setting frontier expansion.
   strategy::result run_level_sync(ampp::transport_context& ctx, vertex_id source,
                                   const strategy::options& opt = {}) {
+    // The level-sync driver is one object shared by every rank's thread;
+    // cross-process schedules use run_fixed_point (same fixed point).
+    DPG_ASSERT_MSG(!ctx.tp().cross_process(),
+                   "level-sync BFS shares its driver across ranks; use "
+                   "run_fixed_point over a cross-process backend");
     reset(ctx, source);
     if (ctx.rank() == 0)
       delta_ = std::make_unique<strategy::delta_stepping<std::uint64_t>>(

@@ -23,7 +23,9 @@
 // is better — a pointer-chase pattern (v → pnt[v] → back to v).
 #pragma once
 
+#include <cstring>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "pattern/action.hpp"
@@ -121,12 +123,36 @@ class cc_solver {
     search_messages_ = sc.finish().core.messages_sent;
   }
 
-  std::vector<graph::edge> collect_conflict_pairs() const {
+  std::vector<graph::edge> collect_conflict_pairs() {
     std::vector<graph::edge> pairs;
-    for (vertex_id v = 0; v < g_->num_vertices(); ++v)
+    const auto pairs_of = [&](vertex_id v) {
       for (const vertex_id other_root : conf_[v])
         if (pnt_[v] != other_root) pairs.push_back(graph::edge{pnt_[v], other_root});
-    return graph::simplify(graph::symmetrize(pairs));
+    };
+    if (!tp_.cross_process()) {
+      // Every shard lives in this process: read them all directly.
+      for (vertex_id v = 0; v < g_->num_vertices(); ++v) pairs_of(v);
+      return graph::simplify(graph::symmetrize(pairs));
+    }
+    // Cross-process only the owned shard is authoritative here; the sibling
+    // rank processes hold the rest. Collect owned pairs, allgather the byte
+    // images over the wire, and rebuild the global list — simplify sorts,
+    // so every process derives the identical conflict graph.
+    static_assert(std::is_trivially_copyable_v<graph::edge>);
+    const auto& d = g_->dist();
+    const ampp::rank_t self = tp_.self_rank();
+    const std::uint64_t cnt = d.count(self);
+    for (std::uint64_t li = 0; li < cnt; ++li) pairs_of(d.global(self, li));
+    std::vector<std::byte> mine(pairs.size() * sizeof(graph::edge));
+    if (!mine.empty()) std::memcpy(mine.data(), pairs.data(), mine.size());
+    std::vector<graph::edge> all;
+    for (const std::vector<std::byte>& blob : tp_.exchange_blobs(mine)) {
+      const std::size_t n = blob.size() / sizeof(graph::edge);
+      const std::size_t off = all.size();
+      all.resize(off + n);
+      if (n != 0) std::memcpy(all.data() + off, blob.data(), blob.size());
+    }
+    return graph::simplify(graph::symmetrize(all));
   }
 
   void resolve_and_rewrite(const std::vector<graph::edge>& pairs) {

@@ -77,6 +77,12 @@ class sssp_solver {
   /// Collective: Δ-stepping with one epoch per bucket level.
   strategy::result run_delta(ampp::transport_context& ctx, vertex_id source, double delta,
                              const strategy::options& opt = {}) {
+    // The driver built below is one object shared by every rank's thread —
+    // an inherently in-process design. Cross-process schedules use
+    // run_fixed_point (same action, same fixed point).
+    DPG_ASSERT_MSG(!ctx.tp().cross_process(),
+                   "delta-stepping shares its driver across ranks; use "
+                   "run_fixed_point over a cross-process backend");
     reset(ctx, source);
     // The Δ-stepping driver is per-call state shared across ranks; build it
     // collectively on rank 0 and publish through a barrier.
@@ -96,6 +102,9 @@ class sssp_solver {
   strategy::result run_delta_uncoordinated(ampp::transport_context& ctx, vertex_id source,
                                            double delta,
                                            const strategy::options& opt = {}) {
+    DPG_ASSERT_MSG(!ctx.tp().cross_process(),
+                   "delta-stepping shares its driver across ranks; use "
+                   "run_fixed_point over a cross-process backend");
     reset(ctx, source);
     if (ctx.rank() == 0)
       delta_ = std::make_unique<strategy::delta_stepping<double>>(ctx.tp(), *g_, *relax_,

@@ -1,0 +1,50 @@
+// TCP socket backend: one process per rank, full mesh of stream sockets
+// with length-prefixed envelope frames (the wire_header carries the
+// length) and a versioned handshake in both directions on every
+// connection. Works on loopback for single-host testing and across hosts
+// in principle (one address for all ranks today; a per-rank host list is
+// future work).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "ampp/backend.hpp"
+
+namespace dpg::ampp::backend {
+
+class tcp_backend final : public wire_backend {
+ public:
+  /// Binds this rank's listen port, connects to every lower rank, accepts
+  /// from every higher rank, and validates handshakes both ways. Throws
+  /// wire_error on timeout or a peer speaking a different wire format.
+  tcp_backend(const backend_config& cfg, rank_t n_ranks, std::uint32_t channel);
+  ~tcp_backend() override;
+
+  const char* name() const override { return "tcp"; }
+  rank_t self() const override { return self_; }
+  void send(rank_t dest, const wire_header& h, const std::byte* payload) override;
+  std::size_t poll(const frame_sink& sink) override;
+
+ private:
+  struct peer {
+    int fd = -1;
+    bool closed = false;                // EOF seen
+    std::vector<std::byte> rx;          // reassembly buffer for partial reads
+  };
+
+  void send_all(int fd, const void* buf, std::size_t n, rank_t dest);
+  /// Drains whatever is readable from one peer into its reassembly buffer
+  /// and dispatches every complete frame. Returns frames delivered.
+  std::size_t drain_peer(rank_t src, const frame_sink& sink);
+
+  rank_t self_ = 0;
+  rank_t n_ranks_ = 0;
+  std::vector<peer> peers_;             // indexed by rank; peers_[self_] unused
+  std::vector<std::mutex> send_mu_;
+  std::mutex poll_mu_;
+};
+
+}  // namespace dpg::ampp::backend

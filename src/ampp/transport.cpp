@@ -54,6 +54,20 @@ transport::transport(transport_config cfg, std::shared_ptr<wire_pool> pool)
       rs.dedup.resize(cfg_.n_ranks);
     }
   }
+  if (cfg_.backend.cross_process()) {
+    DPG_ASSERT_MSG(cfg_.n_ranks >= 2, "a cross-process machine needs at least two ranks");
+    DPG_ASSERT_MSG(!faults_active_,
+                   "fault plans are an in-process-only instrument: real backends are "
+                   "reliable ordered pipes, so there is nothing for the plan to model");
+    // Rendezvous happens here: the constructor returns only once every
+    // sibling rank process attached and passed the handshake.
+    backend_ = make_backend(cfg_.backend, cfg_.n_ranks);
+    xproc_ = true;
+    self_rank_ = cfg_.backend.self_rank;
+    xsend_seq_ = std::vector<std::atomic<std::uint64_t>>(cfg_.n_ranks);
+    xrecv_seq_.assign(cfg_.n_ranks, 0);
+    oob_in_.resize(cfg_.n_ranks);
+  }
   register_control_plane();
 }
 
@@ -113,6 +127,25 @@ void transport::deliver(rank_t src, rank_t dest, detail::envelope env,
     sp.arg("count", env.count);
     sp.arg("bytes", env.bytes.size());
   }
+  if (xproc_ && dest != self_rank_) {
+    // Remote rank: frame the envelope and hand it to the wire. Everything
+    // above this point (stats, TD sent-counting at first transmission) is
+    // identical to the in-process path, which is what lets the four-counter
+    // protocol sit oblivious above the seam.
+    DPG_ASSERT_MSG(src == self_rank_, "cross-process send from a foreign rank");
+    wire_header h;
+    h.type_id = env.vt->self->id();
+    h.type_hash = env.vt->self->wire_hash();
+    h.count = env.count;
+    h.payload_bytes = static_cast<std::uint32_t>(env.bytes.size());
+    h.src = src;
+    h.seq = xsend_seq_[dest].fetch_add(1, std::memory_order_relaxed);
+    h.topo_version = topo_version_;
+    h.structure_version = topo_structure_version_;
+    backend_->send(dest, h, env.bytes.data());
+    pool_release(src, std::move(env.bytes));
+    return;
+  }
   if (faults_active_) {
     env.src = src;
     env.seq = ranks_[src].wire_seq[dest].fetch_add(1, std::memory_order_relaxed);
@@ -149,12 +182,20 @@ void transport::transmit(rank_t src, rank_t dest, detail::envelope env, unsigned
       fault_plan::decide(rule->drop, fault_seed_, fault_stage::drop, src, dest, tid, seq,
                          drops)) {
     // Lost on the wire; the sender's ack timeout fires after
-    // retry_timeout_flushes << drops progress ticks (exponential backoff)
-    // and the envelope is retransmitted. max_drops bounds the adversary.
+    // retry_timeout_flushes << min(drops, cap) progress ticks (exponential
+    // backoff) and the envelope is retransmitted. max_drops bounds the
+    // adversary; the shift cap keeps the backoff finite and monotone when a
+    // plan (or a genuinely lossy wire) drops the same envelope dozens of
+    // times — an uncapped `<< drops` is undefined behavior at 64 drops and
+    // wraps the due tick into the far past or future well before that. The
+    // cap (1024 ticks) is already orders of magnitude past any genuine
+    // congestion window here; existing plans (max_drops <= 4) never reach it.
+    constexpr unsigned kMaxBackoffShift = 10;
     st.envelopes_dropped.fetch_add(1, std::memory_order_relaxed);
     hold_envelope(src, dest, std::move(env),
                   ranks_[src].fault_tick.load(std::memory_order_relaxed) +
-                      (static_cast<std::uint64_t>(rule->retry_timeout_flushes) << drops),
+                      (static_cast<std::uint64_t>(rule->retry_timeout_flushes)
+                       << std::min(drops, kMaxBackoffShift)),
                   drops + 1, /*is_retry=*/true);
     return;
   }
@@ -264,8 +305,108 @@ void transport::pool_release(rank_t r, std::vector<std::byte>&& bytes) {
   pool_->release(r, std::move(bytes));
 }
 
+void transport::set_topology_stamp(std::uint64_t version, std::uint64_t structure_version) {
+  DPG_ASSERT_MSG(!running_, "the topology stamp may only change between runs");
+  topo_version_ = version;
+  topo_structure_version_ = structure_version;
+}
+
+void transport::poll_backend() {
+  backend_->poll([this](const wire_header& h, const std::byte* payload) {
+    // The backend already ran validate_header (magic/version/endian/src);
+    // here the frame meets the local process: registry, topology, ordering.
+    if (h.flags & wire_flag_oob) {
+      std::lock_guard<std::mutex> g(oob_mu_);
+      oob_in_[h.src].emplace_back(
+          h.seq, std::vector<std::byte>(payload, payload + h.payload_bytes));
+      return;
+    }
+    if (h.type_id >= types_.size())
+      throw wire_error("wire frame: unknown message type id " +
+                       std::to_string(h.type_id) + " (registry has " +
+                       std::to_string(types_.size()) + " types)");
+    detail::message_type_base* mt = types_[h.type_id].get();
+    if (h.type_hash != mt->wire_hash())
+      throw wire_error("wire frame: type hash mismatch for id " +
+                       std::to_string(h.type_id) + " (local type '" + mt->name() +
+                       "') — processes registered message types in different orders");
+    if (h.topo_version != topo_version_ || h.structure_version != topo_structure_version_)
+      throw wire_error(
+          "wire frame: stale topology stamp (frame v" + std::to_string(h.topo_version) +
+          "/s" + std::to_string(h.structure_version) + ", local v" +
+          std::to_string(topo_version_) + "/s" + std::to_string(topo_structure_version_) +
+          ") — cross-process runs require single-writer topology; see docs/runtime.md");
+    if (h.seq != xrecv_seq_[h.src])
+      throw wire_error("wire frame: sequence gap from rank " + std::to_string(h.src) +
+                       " (got " + std::to_string(h.seq) + ", expected " +
+                       std::to_string(xrecv_seq_[h.src]) +
+                       ") — the backend pipe is supposed to be reliable and ordered");
+    ++xrecv_seq_[h.src];
+    if (h.payload_bytes != h.count * mt->wire_stride_bytes())
+      throw wire_error("wire frame: length disagrees with payload stride for type '" +
+                       mt->name() + "'");
+    detail::envelope env;
+    env.vt = mt->wire_vtable();
+    env.count = h.count;
+    env.bytes = pool_acquire(self_rank_);
+    env.bytes.resize(h.payload_bytes);
+    std::memcpy(env.bytes.data(), payload, h.payload_bytes);
+    env.src = h.src;
+    env.seq = h.seq;
+    rank_state& rs = ranks_[self_rank_];
+    std::lock_guard<std::mutex> g(rs.inbox_mu);
+    rs.inbox.push_back(std::move(env));
+  });
+}
+
+std::vector<std::vector<std::byte>> transport::exchange_blobs(
+    const std::vector<std::byte>& mine) {
+  DPG_ASSERT_MSG(xproc_, "exchange_blobs is the cross-process gather; in-process code "
+                         "reads sibling shards directly");
+  DPG_ASSERT_MSG(!running_, "exchange_blobs is a between-runs collective");
+  DPG_ASSERT_MSG(mine.size() < (std::uint64_t{1} << 32), "blob too large for one frame");
+  const std::uint64_t gen = ++oob_gen_;
+  wire_header h;
+  h.flags = wire_flag_oob;
+  h.payload_bytes = static_cast<std::uint32_t>(mine.size());
+  h.src = self_rank_;
+  h.seq = gen;  // OOB frames use the exchange generation, not the envelope seq
+  h.topo_version = topo_version_;
+  h.structure_version = topo_structure_version_;
+  for (rank_t d = 0; d < cfg_.n_ranks; ++d)
+    if (d != self_rank_) backend_->send(d, h, mine.data());
+
+  std::vector<std::vector<std::byte>> out(cfg_.n_ranks);
+  out[self_rank_] = mine;
+  for (rank_t src = 0; src < cfg_.n_ranks; ++src) {
+    if (src == self_rank_) continue;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> g(oob_mu_);
+        auto& q = oob_in_[src];
+        if (!q.empty()) {
+          // SPMD program order makes generations lockstep per source; a
+          // mismatch means the processes diverged.
+          if (q.front().first != gen)
+            throw wire_error("exchange_blobs: generation mismatch from rank " +
+                             std::to_string(src) + " (got " +
+                             std::to_string(q.front().first) + ", expected " +
+                             std::to_string(gen) + ")");
+          out[src] = std::move(q.front().second);
+          q.pop_front();
+          break;
+        }
+      }
+      poll_backend();
+      std::this_thread::yield();
+    }
+  }
+  return out;
+}
+
 transport::drain_result transport::drain_rank(transport_context& ctx, bool at_most_one) {
   rank_state& rs = ranks_[ctx.rank()];
+  if (xproc_) poll_backend();
   if (faults_active_) pump_faults(ctx.rank());
   drain_result res;
   for (;;) {
@@ -362,7 +503,14 @@ void transport::run(const std::function<void(transport_context&)>& f) {
   td_.reports = 0;
   td_.sum_sent = td_.sum_recv = 0;
   td_.prev_sent = td_.prev_recv = ~0ULL;
-  coll_.rounds.clear();
+  // Deliberately NOT clearing coll_.rounds: in-process it is provably empty
+  // here (all rank threads joined, and a parked contribution would have
+  // deadlocked the collective that owned it), but cross-process a fast peer
+  // can enter the next run and land its first-generation contribution while
+  // this coordinator still drains the previous run's tail — wiping it would
+  // lose the contribution and deadlock that collective. Generation numbers
+  // restart per run in lockstep, so the stashed entry is exactly the one
+  // the next run's first collective will look up.
   for (rank_state& rs : ranks_) {
     rs.td_result_round.store(-1, std::memory_order_relaxed);
     rs.td_result_done.store(false, std::memory_order_relaxed);
@@ -376,6 +524,48 @@ void transport::run(const std::function<void(transport_context&)>& f) {
     quiesce_residual(ctx);
     DPG_ASSERT_MSG(all_buffers_empty(0), "messages left undelivered at end of run");
     running_ = false;
+    return;
+  }
+
+  if (xproc_) {
+    // Cross-process: this process hosts exactly one rank. The SPMD function
+    // runs once, for self_rank_; sibling processes run the same program for
+    // their ranks, and every remote envelope crosses the backend. Optional
+    // helper threads drain the one local inbox, same as in-process.
+    std::mutex xerr_mu;
+    std::exception_ptr xerr;
+    std::atomic<bool> stop_helpers{false};
+    std::vector<std::thread> helpers;
+    for (unsigned hth = 0; hth < cfg_.handler_threads; ++hth) {
+      helpers.emplace_back([this, &stop_helpers, &xerr_mu, &xerr] {
+        detail::current_rank_scope scope(self_rank_);
+        transport_context hctx(this, self_rank_);
+        hctx.in_epoch_ = true;
+        try {
+          while (!stop_helpers.load(std::memory_order_acquire)) {
+            if (drain_rank(hctx, /*at_most_one=*/true).envelopes == 0)
+              std::this_thread::yield();
+          }
+        } catch (...) {
+          std::lock_guard<std::mutex> g(xerr_mu);
+          if (!xerr) xerr = std::current_exception();
+        }
+      });
+    }
+    {
+      detail::current_rank_scope scope(self_rank_);
+      transport_context ctx(this, self_rank_);
+      try {
+        f(ctx);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(xerr_mu);
+        if (!xerr) xerr = std::current_exception();
+      }
+    }
+    stop_helpers.store(true, std::memory_order_release);
+    for (auto& t : helpers) t.join();
+    running_ = false;
+    if (xerr) std::rethrow_exception(xerr);
     return;
   }
 

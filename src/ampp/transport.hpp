@@ -42,8 +42,10 @@
 #include <string>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "ampp/backend.hpp"
 #include "ampp/fault.hpp"
 #include "ampp/stats.hpp"
 #include "ampp/types.hpp"
@@ -71,6 +73,11 @@ struct machine_config {
   /// touched by patterns should hold atomic-capable values or the
   /// algorithm must phase its accesses (see docs/runtime.md).
   unsigned handler_threads = 0;
+  /// Wire backend (see backend.hpp). Default: all ranks in this process,
+  /// the classic simulated machine. shm_ring / tcp make this process host
+  /// exactly rank `backend.self_rank` and carry every remote envelope over
+  /// a real inter-process wire.
+  backend_config backend{};
 };
 
 /// Runtime tuning knobs: per-session behavior that may legitimately differ
@@ -104,15 +111,18 @@ struct transport_config {
   std::uint64_t seed = 42;
   fault_plan faults{};
   unsigned handler_threads = 0;
+  backend_config backend{};
 
   /// The construction-time half.
-  machine_config machine() const { return machine_config{n_ranks, handler_threads}; }
+  machine_config machine() const {
+    return machine_config{n_ranks, handler_threads, backend};
+  }
   /// The runtime half.
   tuning_config tuning() const { return tuning_config{coalescing_size, seed, faults}; }
   /// Reassembles the flat aggregate from its two halves.
   static transport_config join(const machine_config& m, const tuning_config& t) {
     return transport_config{m.n_ranks, t.coalescing_size, t.seed, t.faults,
-                            m.handler_threads};
+                            m.handler_threads, m.backend};
   }
 };
 
@@ -220,13 +230,25 @@ class message_type_base {
   /// conservation oracle for tests; never on a hot path.
   virtual std::int64_t rank_occupancy_scan(rank_t src) const = 0;
 
+  /// Dispatch table for envelopes of this type — the cross-process receive
+  /// path rebuilds an envelope from a wire frame and needs the vtable the
+  /// in-process sender would have stamped.
+  virtual const message_vtable* wire_vtable() const = 0;
+  /// Bytes one payload occupies on the wire (sizeof(Payload), or the
+  /// compact-layout stride): validates a frame's length against its count.
+  virtual std::size_t wire_stride_bytes() const = 0;
+
   const std::string& name() const { return name_; }
   msg_type_id id() const { return id_; }
+  /// FNV-1a of the type name, stamped into every cross-process frame so
+  /// registration-order divergence between processes fails loudly.
+  std::uint32_t wire_hash() const { return wire_hash_; }
 
  protected:
   friend class dpg::ampp::transport;
   std::string name_;
   msg_type_id id_ = 0;
+  std::uint32_t wire_hash_ = 0;
   bool internal_ = false;  ///< control-plane types bypass epoch/TD accounting
   transport* tp_ = nullptr;
 };
@@ -310,6 +332,8 @@ class message_type final : public detail::message_type_base {
   bool rank_buffers_empty(rank_t src) const override;
   std::int64_t rank_occupancy(rank_t src) const override;
   std::int64_t rank_occupancy_scan(rank_t src) const override;
+  const detail::message_vtable* wire_vtable() const override { return &vt_; }
+  std::size_t wire_stride_bytes() const override { return wire_stride(); }
 
  private:
   friend class transport;
@@ -461,6 +485,33 @@ class transport {
   /// shared across sessions when one was injected at construction.
   const std::shared_ptr<wire_pool>& envelope_pool() const noexcept { return pool_; }
 
+  /// True when this transport carries remote envelopes over a real wire
+  /// (shm_ring / tcp): this process hosts exactly one rank and run()
+  /// executes the SPMD function for that rank alone.
+  bool cross_process() const noexcept { return xproc_; }
+  /// The rank this process hosts (0 in-process: every rank is local).
+  rank_t self_rank() const noexcept { return self_rank_; }
+  /// Wire backend name for stats/bench metadata ("inproc" when in-process).
+  const char* backend_name() const noexcept {
+    return backend_ ? backend_->name() : "inproc";
+  }
+
+  /// Stamps every outgoing cross-process frame with the graph's
+  /// (version, structure_version) pair. Receivers reject frames whose stamp
+  /// differs from their own — the loud-failure half of the single-writer
+  /// topology contract (see docs/runtime.md "Transport backends"): a
+  /// process that mutated its topology while a peer still runs on the old
+  /// one produces wire_error, not silent scatter into a resized pmap.
+  void set_topology_stamp(std::uint64_t version, std::uint64_t structure_version);
+
+  /// Cross-process out-of-band allgather: ships `mine` to every peer and
+  /// returns all ranks' blobs indexed by rank (self included). A collective
+  /// — every rank process must call in the same program order, outside
+  /// run(). This is how between-run gathers that the in-process code does
+  /// by reading sibling shards directly (CC's conflict collection, result
+  /// hashing) cross the wire.
+  std::vector<std::vector<std::byte>> exchange_blobs(const std::vector<std::byte>& mine);
+
   /// Register a message type. Must happen before run(). The handler runs on
   /// the destination rank; the optional address map enables send(payload)
   /// without an explicit rank (§IV-D).
@@ -566,6 +617,10 @@ class transport {
   };
 
   void deliver(rank_t src, rank_t dest, detail::envelope env, std::uint32_t user_payloads);
+  /// Drains the wire backend: every frame currently readable becomes an
+  /// inbox envelope (validated against the type registry, topology stamp,
+  /// and per-source sequence) or an OOB blob. No-op in-process.
+  void poll_backend();
   drain_result drain_rank(transport_context& ctx, bool at_most_one);
   void flush_all_types(rank_t src);
   bool all_buffers_empty(rank_t src) const;
@@ -612,13 +667,20 @@ class transport {
   void quiesce_residual(transport_context& ctx);
 
   // ---- control plane ------------------------------------------------------
+  // These payloads cross the backend seam (TD reports/verdicts and
+  // collective contributions travel rank-to-rank like any envelope), so
+  // they obey the wire contract from wire.hpp: fixed-width fields and
+  // explicit padding, asserted padding-free below — their object bytes ARE
+  // their wire bytes, on every process of a run.
   struct td_report_t {
     std::uint64_t round, sent, recv;
     rank_t src;
+    std::uint32_t pad0 = 0;
   };
   struct td_result_t {
     std::uint64_t round;
     std::uint32_t done;
+    std::uint32_t pad0 = 0;
   };
   struct coll_contrib_t {
     std::uint64_t gen;
@@ -629,8 +691,17 @@ class transport {
   struct coll_result_t {
     std::uint64_t gen;
     std::uint32_t size;
+    std::uint32_t pad0 = 0;
     std::array<std::byte, 56> bytes;
   };
+  static_assert(sizeof(td_report_t) == 32 && sizeof(td_result_t) == 16 &&
+                    sizeof(coll_contrib_t) == 72 && sizeof(coll_result_t) == 72,
+                "control-plane payload layouts are part of the wire protocol");
+  static_assert(std::has_unique_object_representations_v<td_report_t> &&
+                    std::has_unique_object_representations_v<td_result_t> &&
+                    std::has_unique_object_representations_v<coll_contrib_t> &&
+                    std::has_unique_object_representations_v<coll_result_t>,
+                "control-plane payloads must be padding-free: they memcpy across the seam");
 
   struct td_coordinator {
     std::mutex mu;
@@ -665,6 +736,23 @@ class transport {
   bool running_ = false;
   bool faults_active_ = false;  ///< cfg_.faults.active(), hoisted off hot paths
   std::uint64_t fault_seed_ = 0;  ///< transport seed mixed with the plan seed
+
+  // ---- cross-process wire (null/unused for the in-process backend) --------
+  std::unique_ptr<wire_backend> backend_;
+  bool xproc_ = false;       ///< backend_ != nullptr, hoisted off hot paths
+  rank_t self_rank_ = 0;     ///< the one rank this process hosts when xproc_
+  /// Next outgoing frame sequence per destination (senders may be the SPMD
+  /// thread and helper threads concurrently).
+  std::vector<std::atomic<std::uint64_t>> xsend_seq_;
+  /// Expected incoming frame sequence per source. Written only inside the
+  /// backend's serialized poll, so plain integers suffice.
+  std::vector<std::uint64_t> xrecv_seq_;
+  /// Topology stamp applied to outgoing frames / checked on incoming ones.
+  std::uint64_t topo_version_ = 0, topo_structure_version_ = 0;
+  /// Out-of-band blob stash: (generation, bytes) per source rank.
+  std::mutex oob_mu_;
+  std::vector<std::deque<std::pair<std::uint64_t, std::vector<std::byte>>>> oob_in_;
+  std::uint64_t oob_gen_ = 0;  ///< exchange_blobs call counter (SPMD order)
 
   td_coordinator td_;
   coll_coordinator coll_;
@@ -918,6 +1006,7 @@ message_type<Payload>& transport::make_message_type(std::string name, H handler)
   auto mt = std::unique_ptr<message_type<Payload>>(new message_type<Payload>());
   mt->name_ = std::move(name);
   mt->id_ = static_cast<msg_type_id>(types_.size());
+  mt->wire_hash_ = wire_name_hash(mt->name_);
   mt->tp_ = this;
   mt->handler_ = std::move(handler);
   mt->rows_.resize(cfg_.n_ranks);

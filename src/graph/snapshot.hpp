@@ -64,6 +64,16 @@ class snapshot_view {
 
   /// Re-pins the view at the graph's current version. Returns true when the
   /// pin moved (the caller was stale).
+  ///
+  /// Visibility caveat: `g_->version()` is this *process's* view of the
+  /// topology. In-process that is the whole machine; over a cross-process
+  /// backend each rank process holds its own graph object, so refresh()
+  /// observes only local mutations. Cross-process runs therefore require
+  /// single-writer topology — every process applies the same mutations in
+  /// the same program order and re-stamps its transport
+  /// (transport::set_topology_stamp); a process that skipped a mutation
+  /// produces stale-stamp envelopes, which the receive path rejects with
+  /// wire_error instead of scattering into a resized pmap.
   bool refresh() {
     DPG_ASSERT_MSG(g_ != nullptr, "snapshot_view is unbound");
     const bool moved = g_->version() != version_;

@@ -33,6 +33,16 @@ server::server(graph::distributed_graph& g,
       cfg_(cfg),
       wire_pool_(std::make_shared<ampp::wire_pool>(cfg.machine.n_ranks)),
       cache_(cfg.cache_capacity) {
+  // The serving layer's topology gate (topo_mu_) and snapshot_view::refresh
+  // assume a mutation is visible process-wide the moment apply_edges
+  // releases the exclusive lock — true only when every rank lives in this
+  // process. Cross-process serving needs a single-writer topology protocol
+  // (the envelope header's version/structure-version stamp is the enforcing
+  // half; see docs/runtime.md "Transport backends"), which the server does
+  // not implement yet — so refuse loudly instead of serving stale shards.
+  DPG_ASSERT_MSG(!cfg_.machine.backend.cross_process(),
+                 "serve::server requires the in-process backend: its topology gate "
+                 "assumes process-wide visibility of mutations");
   algo::session_env env;
   env.g = g_;
   env.weights = weights_;

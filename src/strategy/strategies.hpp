@@ -61,7 +61,11 @@ struct result {
 inline void install_hook_collective(ampp::transport_context& ctx,
                                     pattern::action_instance& a,
                                     pattern::action_instance::work_hook hook) {
-  if (ctx.rank() == 0) a.work(std::move(hook));
+  // In-process every rank shares one action instance, so one assignment
+  // suffices; cross-process each rank process owns its own instance and
+  // must install locally (rank identity no longer implies instance
+  // identity). The barrier publishes either way.
+  if (ctx.rank() == 0 || ctx.tp().cross_process()) a.work(std::move(hook));
   ctx.barrier();
 }
 
@@ -99,7 +103,11 @@ inline result fixed_point(ampp::transport_context& ctx, pattern::action_instance
   }
   result res;
   res.rounds = 1;
+  // In-process the shared instance's counter is already the global count;
+  // cross-process each process saw only its local firings, so the global
+  // count is the sum over rank processes.
   res.modifications = a.modifications() - before;
+  if (ctx.tp().cross_process()) res.modifications = ctx.allreduce_sum(res.modifications);
   if (sc) res.stats_delta = sc->finish();
   return res;
 }
@@ -122,7 +130,11 @@ inline result once(ampp::transport_context& ctx, pattern::action_instance& a,
   }
   result res;
   res.rounds = 1;
+  // Same global-count rule as fixed_point — and load-bearing here: the
+  // once_until_quiet loop keys its termination on changed(), so all rank
+  // processes must agree on it or the synchronous rounds deadlock.
   res.modifications = a.modifications() - before;
+  if (ctx.tp().cross_process()) res.modifications = ctx.allreduce_sum(res.modifications);
   if (sc) res.stats_delta = sc->finish();
   return res;
 }

@@ -105,6 +105,25 @@ TEST(FaultTransport, EveryDropIsRetriedUntilDelivered) {
   EXPECT_EQ(s.core.messages_sent, s.core.handler_invocations);
 }
 
+TEST(FaultTransport, HighDropCountsKeepBackoffFiniteAndMonotone) {
+  // Regression for the retry-path UB fix: the ack-timeout backoff is
+  // `retry_timeout_flushes << drops`, and before the clamp a plan allowed
+  // to drop one envelope more than 63 times shifted past the width of the
+  // tick — undefined behavior that in practice wrapped the due tick into
+  // the far past (a hot retry storm) or the far future (a hang). With the
+  // shift capped, an 80-drop adversary must still converge: every drop is
+  // retried, every envelope is delivered, and the run terminates.
+  fault_rule r;
+  r.drop = 1.0;
+  r.retry_timeout_flushes = 1;
+  r.max_drops = 80;  // well past the 64-bit shift-width UB threshold
+  const auto s = pump(only(r, 23), 2, 2);
+  EXPECT_GT(s.core.envelopes_dropped, 0u);
+  EXPECT_EQ(s.core.envelopes_dropped, s.core.envelopes_retried);
+  EXPECT_EQ(s.core.envelopes_dropped, 80u * s.core.envelopes_sent);
+  EXPECT_EQ(s.core.messages_sent, s.core.handler_invocations);
+}
+
 TEST(FaultTransport, EveryDuplicateIsSuppressed) {
   fault_rule r;
   r.duplicate = 1.0;
