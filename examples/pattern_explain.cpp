@@ -9,11 +9,18 @@
 //        pattern_explain --measure   (instantiates the demo patterns, runs
 //                                     them, and prints each plan's MEASURED
 //                                     message chain from the obs registry)
+//        pattern_explain --fuse      (fuses sssp+widest+bfs-tree into one
+//                                     message family, prints the fused wire
+//                                     layout — shared addressing bytes,
+//                                     per-member live slots, per-hop fused
+//                                     payload — then runs the fused fixed
+//                                     point and prints the measured chain)
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "algo/fused.hpp"
 #include "graph/generators.hpp"
 #include "pattern/action.hpp"
 #include "pattern/parse.hpp"
@@ -120,12 +127,52 @@ int run_measure() {
   return 0;
 }
 
+// Fuses the sssp+widest+bfs-tree triple (the bench_fusion workload) on a
+// small graph, prints the fused plan — the packed wire layout plus the
+// group-dispatch/fixed-point summary — runs it, and prints the measured
+// per-type chain so the fused lane and the per-member solo lanes are
+// visible side by side.
+int run_fuse() {
+  using namespace dpg;
+  using graph::vertex_id;
+
+  const vertex_id n = 64;
+  const auto edges = graph::symmetrize(graph::path_graph(n));
+  graph::distributed_graph g(n, edges, graph::distribution::cyclic(n, 4));
+  pmap::edge_property_map<double> weight_map(g, 1.0);
+  pmap::edge_property_map<double> cap_map(g, 2.0);
+  ampp::transport tp(ampp::transport_config{.n_ranks = 4});
+  algo::fused_triple_solver fused(tp, g, weight_map, cap_map);
+
+  std::fputs(pattern::explain_fused(fused.action()).c_str(), stdout);
+
+  tp.run([&](ampp::transport_context& ctx) {
+    fused.run(ctx, {.sssp = 0, .widest = 0, .bfs = 0});
+  });
+
+  std::printf("\nmeasured message chain (per synthesized message type):\n");
+  std::printf("  %-34s %10s %10s %12s %12s\n", "type", "sent", "handled", "bytes",
+              "wire_bytes");
+  const obs::registry& reg = tp.obs();
+  for (std::size_t i = 0; i < reg.num_types(); ++i) {
+    if (reg.type_internal(i)) continue;  // control plane (TD, collectives)
+    std::printf("  %-34s %10llu %10llu %12llu %12llu\n", reg.type_name(i).c_str(),
+                static_cast<unsigned long long>(reg.type_sent(i)),
+                static_cast<unsigned long long>(reg.type_handled(i)),
+                static_cast<unsigned long long>(reg.type_bytes(i)),
+                static_cast<unsigned long long>(reg.type_wire_bytes(i)));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string source;
   if (argc == 2 && std::string(argv[1]) == "--measure") {
     return run_measure();
+  } else if (argc == 2 && std::string(argv[1]) == "--fuse") {
+    return run_fuse();
   } else if (argc == 2 && std::string(argv[1]) == "--demo") {
     source = kDemo;
   } else if (argc == 2) {
@@ -138,7 +185,7 @@ int main(int argc, char** argv) {
     ss << in.rdbuf();
     source = ss.str();
   } else {
-    std::fprintf(stderr, "usage: %s <file.pat> | --demo | --measure\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <file.pat> | --demo | --measure | --fuse\n", argv[0]);
     return 1;
   }
 

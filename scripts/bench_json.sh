@@ -74,6 +74,9 @@ doc["dpg_metadata"] = {
     "simd_forced": os.environ["SIMD_FORCED"],
     "cpu_simd_flags": os.environ["SIMD_CPU_FLAGS"].split(),
     "backend": os.environ["BENCH_BACKEND"],
+    # Multi-pattern fusion provenance: "on"/"off" when the run measured the
+    # fused vs separate triple (bench_fusion), "n/a" for everything else.
+    "fusion": os.environ.get("DPG_BENCH_FUSION", "n/a"),
 }
 with open(path, "w") as f:
     json.dump(doc, f, indent=2)

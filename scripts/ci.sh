@@ -112,6 +112,37 @@ for edges in (8, 64):
         raise SystemExit("ratio guard FAILED: warm mutation repair lost its edge over a cold re-solve")
 EOF
 
+echo "=== fusion smoke (fused triple vs sum-of-separate guard) ==="
+# Multi-pattern fusion must actually pay for itself: the fused
+# sssp+widest+bfs-tree triple has to beat three separate solves on BOTH
+# wall time and wire bytes (ratio < 1.0) at 2 ranks. Bit-identity of the
+# fused results is covered by fusion_sweep_test in the sim stages above;
+# this stage guards the perf claim.
+DPG_BENCH_FUSION=on BUILD_DIR=build-werror BENCH_SUFFIX=.ci \
+  BENCH_ARGS="--benchmark_min_time=0.05 --benchmark_repetitions=1" \
+  scripts/bench_json.sh fusion
+python3 - <<'EOF'
+import json
+with open("BENCH_fusion.ci.json") as f:
+    rows = json.load(f)["benchmarks"]
+
+def row(name):
+    for r in rows:
+        if r["name"] == name and r.get("run_type", "iteration") == "iteration":
+            return r
+    raise SystemExit(f"fusion guard: benchmark '{name}' missing from BENCH_fusion.ci.json")
+
+fused = row("BM_FusedTriple/2/real_time")
+separate = row("BM_SeparateTriple/2/real_time")
+wall = fused["real_time"] / separate["real_time"]
+wire = fused["wire_bytes"] / separate["wire_bytes_total"]
+print(f"fused / sum-of-separate @2 ranks: wall {wall:.2f}x, wire bytes {wire:.2f}x (limit < 1.0)")
+if wall >= 1.0:
+    raise SystemExit("fusion guard FAILED: fused triple is not faster than three separate solves")
+if wire >= 1.0:
+    raise SystemExit("fusion guard FAILED: fused wire format moves more bytes than separate records")
+EOF
+
 echo "=== serving smoke (multi-tenant throughput guard) ==="
 # The serving layer's admission merging + shared result cache must make
 # concurrent sessions pay for each unique query once: 8 clients replaying

@@ -1,0 +1,793 @@
+// Multi-pattern fusion (§II-A relax shapes, N at a time): run several
+// analytics in one traversal wave with a fused wire format.
+//
+// `pattern::fuse(tp, g, opts, defs...)` takes N single-when action
+// definitions over the same graph whose generator/locality shape matches
+// (each compiles to the single-locality fast record — see
+// detail::fast_shape) and synthesizes ONE fused message family for the
+// group:
+//
+//   * the shared addressing field (the target vertex every member routes
+//     by) travels once per record;
+//   * each member contributes one 8-byte live slot, concatenated after
+//     the addressing prefix (ampp::fused_wire owns the layout math);
+//   * one coalesced envelope stream drives all member commits per
+//     delivery, so N analytics pay one fixed point — one epoch loop, one
+//     termination detection — instead of N.
+//
+// Exactness. Every member is a monotone compare-and-update relaxation
+// (min or max) whose proposed value is computed from the member's own
+// state at the invocation vertex. Its final map is therefore the unique
+// closure of the initial state under improving updates along edges — the
+// pointwise best over deterministic per-path folds — regardless of
+// delivery order, duplication, or which sibling's progress triggered a
+// re-generation. Candidates generated from a member's unreached state
+// self-reject at the target (they never improve anything), so the fused
+// fixed point converges to maps bit-identical to N separate solves. The
+// fusion sweep in tests/sim asserts exactly that under every fault plan.
+//
+// Group dispatch. A work-hook re-invocation regenerates candidates for
+// the members whose invocation-vertex state actually changed since the
+// last emission (per-member change tracking below); members that would
+// only repeat an earlier emission are skipped. A wave that wakes several
+// members ships one fused record (idle slots carry a self-rejecting
+// sentinel); a wave that wakes exactly one member ships that member's
+// 16-byte solo record on a per-member solo lane, so single-member tails
+// never pay the widened record. The SIMD batch path keeps working on
+// both: fused envelopes dispatch per-member sub-batches (strided column
+// extraction, then the same filter kernels), solo envelopes reuse the
+// 16-byte deinterleave kernel unchanged.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "ampp/fused_wire.hpp"
+#include "pattern/action.hpp"
+
+namespace dpg::pattern {
+
+namespace detail {
+
+/// Compile-time: is an expression's value fully determined by (a) the
+/// generator header (v, the generated edge) plus (b) vertex-map reads
+/// indexed by v itself and (c) edge-map reads? Exactly those reads are
+/// captured by the per-member change tracking (the v-indexed reads are
+/// the hoisted slots; edge maps are constant per edge within a fixed
+/// point), so a member whose value expression satisfies this trait may
+/// safely skip re-emission when its tracked state is unchanged. Anything
+/// else (e.g. a vertex-map read indexed by src(e_), which the hoister
+/// leaves as a direct per-edge access) keeps the member on the
+/// always-emit path — correct, just without the redundancy savings.
+template <class E>
+struct skip_safe : std::false_type {};
+
+template <> struct skip_safe<v_expr> : std::true_type {};
+template <> struct skip_safe<e_expr> : std::true_type {};
+template <> struct skip_safe<u_expr> : std::true_type {};
+template <class X> struct skip_safe<src_expr<X>> : skip_safe<X> {};
+template <class X> struct skip_safe<trg_expr<X>> : skip_safe<X> {};
+template <class T> struct skip_safe<lit_expr<T>> : std::true_type {};
+template <class Op, class L, class R>
+struct skip_safe<bin_expr<Op, L, R>>
+    : std::bool_constant<skip_safe<L>::value && skip_safe<R>::value> {};
+template <class X>
+struct skip_safe<un_expr<op_not, X>> : skip_safe<X> {};
+template <class PM, class Idx>
+struct skip_safe<read_expr<PM, Idx>>
+    : std::bool_constant<is_edge_map<PM> ? skip_safe<Idx>::value
+                                         : std::is_same_v<Idx, v_expr>> {};
+
+/// The self-rejecting idle-slot value for a member's comparator: a
+/// min-update never applies the type's maximum, a max-update never
+/// applies its lowest. cmp(cur, sentinel) is false for every cur
+/// (including cur == sentinel and, for floats, cur == NaN — the
+/// comparisons are IEEE-ordered).
+template <class Shape>
+constexpr std::uint64_t sentinel_bits() {
+  using VT = typename Shape::value_type;
+  static_assert(sizeof(VT) == 8);
+  if constexpr (std::is_floating_point_v<VT>) {
+    return std::bit_cast<std::uint64_t>(Shape::min_update
+                                            ? std::numeric_limits<VT>::infinity()
+                                            : -std::numeric_limits<VT>::infinity());
+  } else {
+    return std::bit_cast<std::uint64_t>(Shape::min_update
+                                            ? std::numeric_limits<VT>::max()
+                                            : std::numeric_limits<VT>::lowest());
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Fused action
+// ---------------------------------------------------------------------------
+
+/// N fast-shape members fused into one action instance: one invocation
+/// generates every member's candidates, one message family carries them,
+/// one work hook drives the shared fixed point. Members must share the
+/// generator type and the target index expression (the shared addressing
+/// field), and every member value must be 8 bytes (the atomic fast-path
+/// currency).
+template <class Gen, class... Whens>
+class fused_action final : public action_instance {
+ public:
+  static constexpr std::size_t kMembers = sizeof...(Whens);
+  static_assert(kMembers >= 2, "fusing fewer than two patterns is a no-op");
+
+  template <std::size_t I>
+  using when_t = std::tuple_element_t<I, std::tuple<Whens...>>;
+  template <std::size_t I>
+  using shape_t = detail::fast_shape<when_t<I>, Gen>;
+
+  static_assert((detail::fast_shape<Whens, Gen>::value && ...),
+                "every fused member must compile to the single-locality fast "
+                "shape (one when, compare-and-update, value computable at the "
+                "invocation site)");
+  static_assert((std::is_same_v<typename detail::fast_shape<Whens, Gen>::idx_expr,
+                                typename shape_t<0>::idx_expr> &&
+                 ...),
+                "fused members must share one target index expression — that "
+                "is the shared addressing field");
+  static_assert(home_of<typename shape_t<0>::idx_expr, Gen>::kind ==
+                    home_kind::at_gen,
+                "fused targets must be generator-homed (a v-homed target is a "
+                "local apply with no wire to fuse)");
+  static_assert(((sizeof(typename detail::fast_shape<Whens, Gen>::value_type) ==
+                  8) &&
+                 ...),
+                "fused live slots are 8 bytes per member");
+
+  /// The fused record: shared addressing prefix + one live slot per
+  /// member (value bit patterns; idle slots carry the member sentinel).
+  struct fused_rec {
+    graph::vertex_id loc = graph::invalid_vertex;
+    std::array<std::uint64_t, kMembers> val{};
+  };
+  static_assert(std::is_trivially_copyable_v<fused_rec>);
+  static_assert(sizeof(fused_rec) == sizeof(graph::vertex_id) + kMembers * 8);
+
+  fused_action(ampp::transport& tp, const graph::distributed_graph& g,
+               std::tuple<action_def<Gen, Whens>...> defs,
+               compile_options opts = {})
+      : tp_(&tp), g_(&g) {
+    invocations_ = std::vector<padded_counter>(tp.size());
+    mods_ = std::vector<padded_counter>(tp.size());
+    build(defs, opts);
+    register_messages();
+  }
+
+  void operator()(ampp::transport_context& ctx, graph::vertex_id v) override {
+    DPG_ASSERT_MSG(g_->owner(v) == ctx.rank(), "action invoked off the owner of v");
+    invocations_[ctx.rank()].n.fetch_add(1, std::memory_order_relaxed);
+    generate(ctx, v, std::index_sequence_for<Whens...>{});
+  }
+
+  /// Resets the calling rank's per-member emission tracking. Collective
+  /// with the rest of a run's reset: call once per rank before each fixed
+  /// point (the drivers in src/algo do), so candidates re-emit from the
+  /// fresh initial state and the tracking arrays match the current shard
+  /// sizes (graph mutation grows shards between runs).
+  void reset_emission(ampp::rank_t r) {
+    [&]<std::size_t... I>(std::index_sequence<I...>) {
+      ((reset_member_emission<I>(r)), ...);
+    }(std::index_sequence_for<Whens...>{});
+  }
+
+  /// The packed fused wire layout (shared addressing + per-member slots).
+  const ampp::fused_layout& layout() const { return layout_; }
+  /// Member action names, in slot order.
+  const std::vector<std::string>& member_names() const { return member_names_; }
+
+ private:
+  /// Per-member compiled state. When is the member's single when-clause;
+  /// everything here mirrors one instantiated_action's fast path.
+  template <class When>
+  struct member {
+    using shape = detail::fast_shape<When, Gen>;
+    using value_type = typename shape::value_type;
+    /// The member's own 16-byte fast record, used on its solo lane when a
+    /// wave wakes only this member.
+    struct solo_rec {
+      graph::vertex_id loc = graph::invalid_vertex;
+      value_type val{};
+    };
+    static_assert(std::is_trivially_copyable_v<solo_rec>);
+    using idx_fn_t = decltype(plan_builder<Gen>::compile_direct(
+        std::declval<const typename shape::idx_expr&>()));
+    using val_fn_t = decltype(plan_builder<Gen>::compile_direct_hoisted(
+        std::declval<const typename shape::val_expr&>(),
+        std::declval<hoisted_reads&>()));
+
+    std::string name;
+    typename shape::pm_type* pm = nullptr;
+    std::optional<idx_fn_t> idx;
+    std::optional<val_fn_t> val;
+    hoisted_reads hoists;
+    bool dep = false;         ///< firing creates work (§IV-C)
+    bool skip_safe = false;   ///< change tracking captures the whole value input
+    std::size_t words = 0;    ///< tracked hoist-arena words per vertex
+    ampp::message_type<solo_rec>* solo_msg = nullptr;
+    std::string solo_batch_label;
+    /// Last-emitted hoist state per rank, shard-parallel: `last[r]` holds
+    /// `words` u64 words per local vertex, `seen[r]` one emitted-once
+    /// flag. Accessed through atomic_ref (handler threads of one rank may
+    /// race on a vertex); the seen flag is store-release / load-acquire so
+    /// an observed flag implies an observed (and therefore emitted) state.
+    std::vector<std::vector<std::uint64_t>> last;
+    std::vector<std::vector<std::uint8_t>> seen;
+  };
+
+  template <std::size_t I>
+  using member_t = member<when_t<I>>;
+
+  // ---- plan construction --------------------------------------------------
+
+  void build(std::tuple<action_def<Gen, Whens>...>& defs, compile_options opts) {
+    [&]<std::size_t... I>(std::index_sequence<I...>) {
+      ((build_member<I>(std::get<I>(defs))), ...);
+    }(std::index_sequence_for<Whens...>{});
+
+    name_ = member_names_[0];
+    for (std::size_t i = 1; i < member_names_.size(); ++i)
+      name_ += "+" + member_names_[i];
+
+    // The fused family is itself the fast path; the fast_path /
+    // compact_wire toggles have no general plan to fall back to here, so
+    // only the batch / reduction toggles (and their environment escape
+    // hatches) apply.
+    use_batch_ = detail::resolve_toggle(static_cast<int>(opts.batch_kernel),
+                                        "DPG_PATTERN_BATCH");
+    use_reduce_ = detail::resolve_toggle(static_cast<int>(opts.fast_reduction),
+                                         "DPG_PATTERN_REDUCE");
+    simd_level_ = opts.simd_level;
+
+    std::vector<ampp::fused_slot> slots;
+    [&]<std::size_t... I>(std::index_sequence<I...>) {
+      ((slots.push_back(ampp::fused_slot{
+           .member = std::get<I>(members_).name,
+           .offset = 0,
+           .bytes = sizeof(typename shape_t<I>::value_type),
+           .solo_bytes = sizeof(typename member_t<I>::solo_rec),
+           .update = update_kind<I>()})),
+       ...);
+    }(std::index_sequence_for<Whens...>{});
+    layout_ = ampp::pack_fused_layout(sizeof(graph::vertex_id), std::move(slots));
+
+    plan_.gather_hops = 1;
+    plan_.final_merged = false;
+    plan_.atomic_path = true;
+    plan_.conditions = static_cast<int>(kMembers);
+    plan_.fast_path = true;
+    plan_.batch_kernel = use_batch_;
+    plan_.fast_reduction = use_reduce_;
+    plan_.hop_localities = {"v"};
+    plan_.hop_reads = {0};
+    plan_.final_locality = "trg(e)";
+    plan_.wire_bytes.push_back(sizeof(fused_rec));
+    [&]<std::size_t... I>(std::index_sequence<I...>) {
+      ((plan_.wire_bytes.push_back(sizeof(typename member_t<I>::solo_rec))), ...);
+      plan_.has_dependencies = (std::get<I>(members_).dep || ...);
+    }(std::index_sequence_for<Whens...>{});
+  }
+
+  template <std::size_t I>
+  void build_member(action_def<Gen, when_t<I>>& def) {
+    auto& m = std::get<I>(members_);
+    auto& a0 = std::get<0>(std::get<0>(def.whens).mods);
+    m.name = def.name;
+    member_names_.push_back(def.name);
+    m.pm = a0.target.pm;
+    m.idx.emplace(plan_builder<Gen>::compile_direct(a0.target.idx));
+    m.val.emplace(plan_builder<Gen>::compile_direct_hoisted(a0.value, m.hoists));
+    m.words = (m.hoists.arena_used + 7) / 8;
+    m.skip_safe = detail::skip_safe<typename shape_t<I>::val_expr>::value;
+    // Dependency probe (§IV-C): compiling the full when registers every
+    // read; the member makes work iff its condition or value reads the
+    // map it writes. (Always true for fast shapes — the condition reads
+    // the target — but derive it rather than assume it.)
+    {
+      plan_builder<Gen> pb;
+      detail::compile_ctx cx;
+      (void)detail::compile_one_when(pb, cx, std::get<0>(def.whens));
+      m.dep = pb.reads_pmap(a0.target.pm);
+    }
+    m.last.resize(tp_->size());
+    m.seen.resize(tp_->size());
+    for (ampp::rank_t r = 0; r < tp_->size(); ++r) reset_member_emission<I>(r);
+  }
+
+  template <std::size_t I>
+  void reset_member_emission(ampp::rank_t r) {
+    auto& m = std::get<I>(members_);
+    const std::size_t nloc = m.pm->local(r).size();
+    m.last[r].assign(nloc * m.words, 0);
+    m.seen[r].assign(nloc, 0);
+  }
+
+  template <std::size_t I>
+  std::string update_kind() const {
+    using VT = typename shape_t<I>::value_type;
+    std::string kind = std::is_floating_point_v<VT> ? "f64"
+                       : std::is_signed_v<VT>       ? "i64"
+                                                    : "u64";
+    return kind + (shape_t<I>::min_update ? " min-update" : " max-update");
+  }
+
+  // ---- message registration -----------------------------------------------
+
+  void register_messages() {
+    const auto* g = g_;
+    fused_label_ = name_ + ".fused";
+    fused_batch_label_ = name_ + ".fused.batch";
+    fused_msg_ = &tp_->make_message_type<fused_rec>(
+        fused_label_,
+        [this](ampp::transport_context& ctx, const fused_rec& r) {
+          fused_handle(ctx, r);
+        },
+        [g](const fused_rec& r) { return g->owner(r.loc); });
+    if (use_batch_)
+      fused_msg_->set_batch_handler(
+          [this](ampp::transport_context& ctx, const std::byte* data,
+                 std::uint32_t n) { fused_batch_handle(ctx, data, n); });
+    // Sender-side combining, elementwise: two same-target fused records
+    // merge slot by slot under each member's own comparator (sentinels
+    // never win), so candidates from different waves coalesce into one
+    // record even when different members produced them.
+    if (use_reduce_)
+      fused_msg_->enable_reduction(
+          [](const fused_rec& r) { return static_cast<std::uint64_t>(r.loc); },
+          [](const fused_rec& a, const fused_rec& b) {
+            fused_rec out;
+            out.loc = a.loc;
+            [&]<std::size_t... I>(std::index_sequence<I...>) {
+              ((out.val[I] = better_bits<I>(a.val[I], b.val[I])), ...);
+            }(std::index_sequence_for<Whens...>{});
+            return out;
+          });
+    [&]<std::size_t... I>(std::index_sequence<I...>) {
+      ((register_solo<I>()), ...);
+    }(std::index_sequence_for<Whens...>{});
+  }
+
+  template <std::size_t I>
+  void register_solo() {
+    using M = member_t<I>;
+    using solo_rec = typename M::solo_rec;
+    auto& m = std::get<I>(members_);
+    const auto* g = g_;
+    m.solo_batch_label = m.name + ".solo.batch";
+    m.solo_msg = &tp_->make_message_type<solo_rec>(
+        m.name + ".solo",
+        [this](ampp::transport_context& ctx, const solo_rec& r) {
+          solo_handle<I>(ctx, r);
+        },
+        [g](const solo_rec& r) { return g->owner(r.loc); });
+    if (use_batch_)
+      m.solo_msg->set_batch_handler(
+          [this](ampp::transport_context& ctx, const std::byte* data,
+                 std::uint32_t n) { solo_batch_handle<I>(ctx, data, n); });
+    if (use_reduce_)
+      m.solo_msg->enable_reduction(
+          [](const solo_rec& r) { return static_cast<std::uint64_t>(r.loc); },
+          [](const solo_rec& a, const solo_rec& b) {
+            const std::uint64_t best =
+                better_bits<I>(std::bit_cast<std::uint64_t>(a.val),
+                               std::bit_cast<std::uint64_t>(b.val));
+            solo_rec out = a;
+            out.val = std::bit_cast<typename M::value_type>(best);
+            return out;
+          });
+  }
+
+  /// The better of two member-I value bit patterns under the member's
+  /// comparator; NaN (and the idle-slot sentinel) never wins.
+  template <std::size_t I>
+  static std::uint64_t better_bits(std::uint64_t ab, std::uint64_t bb) {
+    using VT = typename shape_t<I>::value_type;
+    const VT a = std::bit_cast<VT>(ab);
+    const VT b = std::bit_cast<VT>(bb);
+    bool b_wins;
+    if constexpr (shape_t<I>::min_update)
+      b_wins = b < a;
+    else
+      b_wins = a < b;
+    if constexpr (std::is_floating_point_v<VT>) {
+      if (b != b) b_wins = false;
+      else if (a != a) b_wins = true;
+    }
+    return b_wins ? bb : ab;
+  }
+
+  // ---- generation ----------------------------------------------------------
+
+  template <std::size_t... I>
+  void generate(ampp::transport_context& ctx, graph::vertex_id v,
+                std::index_sequence<I...>) {
+    std::array<gather_state, kMembers> gs;
+    const std::uint64_t li = g_->dist().local_index(v);
+    std::uint32_t active = 0;
+    ((active |= prepare_member<I>(ctx.rank(), v, li, gs[I]) ? (1u << I) : 0u), ...);
+    if (active == 0) return;  // every member would repeat its last emission
+    const bool multi = (active & (active - 1)) != 0;
+    const auto emit = [&](const graph::edge_handle& e) {
+      ((gs[I].e = e), ...);
+      if (multi) {
+        emit_fused(ctx, gs, active, std::index_sequence<I...>{});
+      } else {
+        const auto one = [&](auto ic) {
+          constexpr std::size_t J = decltype(ic)::value;
+          if ((active >> J) & 1u) emit_solo<J>(ctx, gs[J]);
+        };
+        (one(std::integral_constant<std::size_t, I>{}), ...);
+      }
+    };
+    // Like the single-pattern fast path, iterate the graph's live ranges
+    // (base CSR + delta overlay): fused plans are mutation-oblivious too.
+    if constexpr (std::is_same_v<Gen, out_edges_gen>) {
+      for (const graph::edge_handle e : g_->out_edges(v)) emit(e);
+    } else {
+      static_assert(std::is_same_v<Gen, in_edges_gen>,
+                    "fusion supports the edge generators (out/in): the fused "
+                    "record's shared addressing is the generated edge endpoint");
+      for (const graph::edge_handle e : g_->in_edges(v)) emit(e);
+    }
+  }
+
+  /// Loads member I's hoisted v-state into `s` and decides whether the
+  /// member emits this wave: yes on first invocation of v or when the
+  /// tracked state changed since the member's last emission at v (a
+  /// repeat emission is always redundant — identical candidates were
+  /// already delivered). Members whose value expression the tracking
+  /// cannot fully capture (skip_safe false) always emit.
+  template <std::size_t I>
+  bool prepare_member(ampp::rank_t rank, graph::vertex_id v, std::uint64_t li,
+                      gather_state& s) {
+    auto& m = std::get<I>(members_);
+    s.v = v;
+    m.hoists.run(s);
+    if (!m.skip_safe) return true;
+    auto& seen = m.seen[rank];
+    auto& last = m.last[rank];
+    DPG_DEBUG_ASSERT(li < seen.size());
+    const std::size_t base = static_cast<std::size_t>(li) * m.words;
+    bool changed =
+        std::atomic_ref<std::uint8_t>(seen[li]).load(std::memory_order_acquire) == 0;
+    if (!changed) {
+      for (std::size_t w = 0; w < m.words; ++w) {
+        std::uint64_t cur;
+        std::memcpy(&cur, s.arena + w * 8, 8);
+        if (std::atomic_ref<std::uint64_t>(last[base + w])
+                .load(std::memory_order_relaxed) != cur) {
+          changed = true;
+          break;
+        }
+      }
+    }
+    if (changed) {
+      // Store state, then publish the flag (release): any thread that
+      // observes the flag and a matching state knows some thread stored —
+      // and therefore emitted — exactly that state. Racing writers can
+      // only cause spurious re-emission (harmless: redundant monotone
+      // candidates), never a skipped one.
+      for (std::size_t w = 0; w < m.words; ++w) {
+        std::uint64_t cur;
+        std::memcpy(&cur, s.arena + w * 8, 8);
+        std::atomic_ref<std::uint64_t>(last[base + w])
+            .store(cur, std::memory_order_relaxed);
+      }
+      std::atomic_ref<std::uint8_t>(seen[li]).store(1, std::memory_order_release);
+    }
+    return changed;
+  }
+
+  template <std::size_t... I>
+  void emit_fused(ampp::transport_context& ctx,
+                  const std::array<gather_state, kMembers>& gs, std::uint32_t active,
+                  std::index_sequence<I...>) {
+    fused_rec r;
+    r.loc = (*std::get<0>(members_).idx)(gs[0]);
+    ((r.val[I] =
+          (active >> I) & 1u
+              ? std::bit_cast<std::uint64_t>(
+                    static_cast<typename shape_t<I>::value_type>(
+                        (*std::get<I>(members_).val)(gs[I])))
+              : detail::sentinel_bits<shape_t<I>>()),
+     ...);
+    fused_msg_->send(ctx, g_->owner(r.loc), r);
+  }
+
+  template <std::size_t I>
+  void emit_solo(ampp::transport_context& ctx, const gather_state& s) {
+    auto& m = std::get<I>(members_);
+    typename member_t<I>::solo_rec r;
+    r.loc = (*m.idx)(s);
+    r.val = static_cast<typename shape_t<I>::value_type>((*m.val)(s));
+    m.solo_msg->send(ctx, g_->owner(r.loc), r);
+  }
+
+  // ---- delivery ------------------------------------------------------------
+
+  /// Commit one member-I candidate: CAS under the member's comparator +
+  /// modification accounting. Returns whether the apply should make work.
+  template <std::size_t I>
+  bool commit_slot(ampp::transport_context& ctx,
+                   typename shape_t<I>::value_type& slot,
+                   typename shape_t<I>::value_type prop) {
+    const bool applied = pmap::atomic_update_if(
+        slot, prop,
+        [](const auto& cur, const auto& p) { return shape_t<I>::cmp(cur, p); });
+    if (!applied) return false;
+    mods_[ctx.rank()].n.fetch_add(1, std::memory_order_relaxed);
+    return std::get<I>(members_).dep;
+  }
+
+  template <std::size_t I>
+  bool commit_member(ampp::transport_context& ctx, graph::vertex_id loc,
+                     std::uint64_t bits) {
+    using VT = typename shape_t<I>::value_type;
+    auto& m = std::get<I>(members_);
+    return commit_slot<I>(ctx, (*m.pm)[loc], std::bit_cast<VT>(bits));
+  }
+
+  void fused_handle(ampp::transport_context& ctx, const fused_rec& r) {
+    obs::trace_span sp(&tp_->obs().trace(), "plan", fused_label_.c_str(), ctx.rank());
+    bool fire = false;
+    [&]<std::size_t... I>(std::index_sequence<I...>) {
+      ((fire = commit_member<I>(ctx, r.loc, r.val[I]) || fire), ...);
+    }(std::index_sequence_for<Whens...>{});
+    // One hook per delivered record, however many members it advanced:
+    // the re-generation it triggers serves every member at once.
+    if (fire && hook_) hook_(ctx, r.loc);
+  }
+
+  template <std::size_t I>
+  void solo_handle(ampp::transport_context& ctx,
+                   const typename member_t<I>::solo_rec& r) {
+    if (commit_member<I>(ctx, r.loc, std::bit_cast<std::uint64_t>(r.val)) && hook_)
+      hook_(ctx, r.loc);
+  }
+
+  // ---- batch dispatch ------------------------------------------------------
+
+  /// Per-thread SoA scratch shared by the fused and solo batch kernels
+  /// (same discipline as the single-pattern path: thread_local so
+  /// concurrent transports never share, busy flag downgrades re-entrant
+  /// dispatch to per-record).
+  struct batch_scratch {
+    std::vector<std::uint64_t> loc, val, cur;
+    std::vector<std::uint8_t> mask, fire;
+    bool busy = false;
+    void resize(std::size_t n) {
+      loc.resize(n);
+      val.resize(n);
+      cur.resize(n);
+      mask.resize(n);
+      fire.resize(n);
+    }
+  };
+  static batch_scratch& scratch() {
+    thread_local batch_scratch s;
+    return s;
+  }
+
+  const simd::kernel_table& kernels() const {
+    const simd::level lvl = simd_level_ >= 0 ? static_cast<simd::level>(simd_level_)
+                                             : simd::active();
+    return simd::kernels(lvl);
+  }
+
+  /// Member-I column filter over SoA scratch (values and current-state
+  /// snapshots as bit patterns). Returns survivors in sc.mask.
+  template <std::size_t I>
+  std::size_t filter_member(const simd::kernel_table& kt, batch_scratch& sc,
+                            std::uint32_t n) {
+    using VT = typename shape_t<I>::value_type;
+    if constexpr (std::is_same_v<VT, double>) {
+      return shape_t<I>::min_update
+                 ? kt.filter_lt_f64(sc.val.data(), sc.cur.data(), n, sc.mask.data())
+                 : kt.filter_gt_f64(sc.val.data(), sc.cur.data(), n, sc.mask.data());
+    } else if constexpr (std::is_integral_v<VT> && std::is_unsigned_v<VT>) {
+      return shape_t<I>::min_update
+                 ? kt.filter_lt_u64(sc.val.data(), sc.cur.data(), n, sc.mask.data())
+                 : kt.filter_gt_u64(sc.val.data(), sc.cur.data(), n, sc.mask.data());
+    } else {
+      // Signed 64-bit: no vector filter in the table — scalar pre-filter
+      // with the same stable-predicate semantics.
+      std::size_t hits = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const VT cur = std::bit_cast<VT>(sc.cur[i]);
+        const VT prop = std::bit_cast<VT>(sc.val[i]);
+        sc.mask[i] = shape_t<I>::cmp(cur, prop) ? 1 : 0;
+        hits += sc.mask[i];
+      }
+      return hits;
+    }
+  }
+
+  /// Whole-envelope dispatch for the fused family: per-member sub-batch
+  /// kernels. The loc column is extracted once; each member's live slots
+  /// are gathered by stride into the same contiguous scratch the 16-byte
+  /// kernels use, so the existing filter tiers run unmodified. Exact for
+  /// the same reason the single-pattern batch kernel is: each member's
+  /// slot moves monotonically, so a candidate rejected against a stale
+  /// snapshot also loses every later CAS, and survivors re-validate in
+  /// the commit. Hooks fire once per record that advanced any member,
+  /// after all member columns committed — same count as the per-record
+  /// handler, deferred to the envelope tail.
+  void fused_batch_handle(ampp::transport_context& ctx, const std::byte* data,
+                          std::uint32_t n) {
+    if (n == 0) return;
+    obs::trace_span sp(&tp_->obs().trace(), "plan", fused_batch_label_.c_str(),
+                       ctx.rank());
+    auto& core = tp_->obs().core();
+    core.batch_kernels_run.fetch_add(1, std::memory_order_relaxed);
+    core.batch_records.fetch_add(n, std::memory_order_relaxed);
+    batch_scratch& sc = scratch();
+    if (sc.busy) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        fused_rec r;
+        std::memcpy(&r, data + i * sizeof(fused_rec), sizeof(fused_rec));
+        fused_handle(ctx, r);
+      }
+      return;
+    }
+    sc.busy = true;
+    sc.resize(n);
+    constexpr std::size_t kStride = sizeof(fused_rec);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::memcpy(&sc.loc[i], data + i * kStride, 8);
+      sc.fire[i] = 0;
+    }
+    const simd::kernel_table& kt = kernels();
+    const graph::distribution& dd = g_->dist();
+    [&]<std::size_t... I>(std::index_sequence<I...>) {
+      ((fused_batch_member<I>(ctx, kt, dd, data, n, sc)), ...);
+    }(std::index_sequence_for<Whens...>{});
+    if (hook_)
+      for (std::uint32_t i = 0; i < n; ++i)
+        if (sc.fire[i]) hook_(ctx, static_cast<graph::vertex_id>(sc.loc[i]));
+    sc.busy = false;
+  }
+
+  template <std::size_t I>
+  void fused_batch_member(ampp::transport_context& ctx, const simd::kernel_table& kt,
+                          const graph::distribution& dd, const std::byte* data,
+                          std::uint32_t n, batch_scratch& sc) {
+    using VT = typename shape_t<I>::value_type;
+    auto& m = std::get<I>(members_);
+    constexpr std::size_t kStride = sizeof(fused_rec);
+    constexpr std::size_t kSlot = sizeof(graph::vertex_id) + I * 8;
+    for (std::uint32_t i = 0; i < n; ++i)
+      std::memcpy(&sc.val[i], data + i * kStride + kSlot, 8);
+    const std::span<VT> shard = m.pm->local(ctx.rank());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto loc = static_cast<graph::vertex_id>(sc.loc[i]);
+      DPG_DEBUG_ASSERT(g_->owner(loc) == ctx.rank());
+      const VT cur = std::atomic_ref<VT>(shard[dd.local_index(loc)])
+                         .load(std::memory_order_relaxed);
+      sc.cur[i] = std::bit_cast<std::uint64_t>(cur);
+    }
+    if (filter_member<I>(kt, sc, n) == 0) return;
+    for (std::uint32_t i = 0; i < n; ++i)
+      if (sc.mask[i]) {
+        const auto loc = static_cast<graph::vertex_id>(sc.loc[i]);
+        if (commit_slot<I>(ctx, shard[dd.local_index(loc)],
+                           std::bit_cast<VT>(sc.val[i])))
+          sc.fire[i] = 1;
+      }
+  }
+
+  /// Whole-envelope dispatch for a member's solo lane: the records are the
+  /// member's own 16-byte fast records, so the pairwise deinterleave
+  /// kernel applies unchanged.
+  template <std::size_t I>
+  void solo_batch_handle(ampp::transport_context& ctx, const std::byte* data,
+                         std::uint32_t n) {
+    using VT = typename shape_t<I>::value_type;
+    using solo_rec = typename member_t<I>::solo_rec;
+    if (n == 0) return;
+    auto& m = std::get<I>(members_);
+    obs::trace_span sp(&tp_->obs().trace(), "plan", m.solo_batch_label.c_str(),
+                       ctx.rank());
+    auto& core = tp_->obs().core();
+    core.batch_kernels_run.fetch_add(1, std::memory_order_relaxed);
+    core.batch_records.fetch_add(n, std::memory_order_relaxed);
+    batch_scratch& sc = scratch();
+    if (sc.busy) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        solo_rec r;
+        std::memcpy(&r, data + i * sizeof(solo_rec), sizeof(solo_rec));
+        solo_handle<I>(ctx, r);
+      }
+      return;
+    }
+    sc.busy = true;
+    sc.resize(n);
+    const simd::kernel_table& kt = kernels();
+    kt.deinterleave2_u64(data, n, sc.loc.data(), sc.val.data());
+    const std::span<VT> shard = m.pm->local(ctx.rank());
+    const graph::distribution& dd = g_->dist();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto loc = static_cast<graph::vertex_id>(sc.loc[i]);
+      DPG_DEBUG_ASSERT(g_->owner(loc) == ctx.rank());
+      const VT cur = std::atomic_ref<VT>(shard[dd.local_index(loc)])
+                         .load(std::memory_order_relaxed);
+      sc.cur[i] = std::bit_cast<std::uint64_t>(cur);
+    }
+    if (filter_member<I>(kt, sc, n) != 0)
+      for (std::uint32_t i = 0; i < n; ++i)
+        if (sc.mask[i]) {
+          const auto loc = static_cast<graph::vertex_id>(sc.loc[i]);
+          if (commit_slot<I>(ctx, shard[dd.local_index(loc)],
+                             std::bit_cast<VT>(sc.val[i])) &&
+              hook_)
+            hook_(ctx, loc);
+        }
+    sc.busy = false;
+  }
+
+  ampp::transport* tp_;
+  const graph::distributed_graph* g_;
+  std::tuple<member<Whens>...> members_;
+  std::vector<std::string> member_names_;
+  ampp::fused_layout layout_;
+  ampp::message_type<fused_rec>* fused_msg_ = nullptr;
+  std::string fused_label_;
+  std::string fused_batch_label_;
+  bool use_batch_ = false;
+  bool use_reduce_ = false;
+  int simd_level_ = -1;
+};
+
+// ---------------------------------------------------------------------------
+// Entry point + explain
+// ---------------------------------------------------------------------------
+
+/// Fuses N compiled patterns over one graph into a single action instance
+/// driving one fixed point. Every definition must carry exactly one when
+/// clause of the single-locality fast shape, all over the same generator
+/// and target index expression. Must be called before transport::run; the
+/// returned object must outlive all runs that use it.
+template <class Gen, class... Whens>
+std::unique_ptr<fused_action<Gen, Whens...>> fuse(
+    ampp::transport& tp, const graph::distributed_graph& g, compile_options opts,
+    action_def<Gen, Whens>... defs) {
+  return std::make_unique<fused_action<Gen, Whens...>>(
+      tp, g, std::tuple<action_def<Gen, Whens>...>{std::move(defs)...}, opts);
+}
+
+/// Renders a fused plan: the packed wire layout (shared addressing bytes,
+/// per-member live slots, per-hop fused payload size) plus the dispatch
+/// and fixed-point sharing summary — the fusion analogue of explain().
+template <class Gen, class... Whens>
+std::string explain_fused(const fused_action<Gen, Whens...>& a) {
+  const plan_info& p = a.plan();
+  std::string out = a.layout().describe(a.name());
+  out += "  group dispatch: fused lane for multi-member waves, per-member solo "
+         "lanes for single-member tails\n";
+  out += std::string("  batch kernel: ") +
+         (p.batch_kernel ? "per-member sub-batch SIMD dispatch (runtime ISA)"
+                         : "off") +
+         "\n";
+  out += std::string("  sender reduction: ") +
+         (p.fast_reduction ? "elementwise combining cache on the fused lane"
+                           : "off") +
+         "\n";
+  out += "  fixed point: one epoch loop, one termination detection for " +
+         std::to_string(sizeof...(Whens)) + " members\n";
+  return out;
+}
+
+}  // namespace dpg::pattern

@@ -39,7 +39,7 @@ server::server(graph::distributed_graph& g,
   // process. Cross-process serving needs a single-writer topology protocol
   // (the envelope header's version/structure-version stamp is the enforcing
   // half; see docs/runtime.md "Transport backends"), which the server does
-  // not implement yet — so refuse loudly instead of serving stale shards.
+  // not yet implement — so refuse loudly instead of serving stale shards.
   DPG_ASSERT_MSG(!cfg_.machine.backend.cross_process(),
                  "serve::server requires the in-process backend: its topology gate "
                  "assumes process-wide visibility of mutations");
@@ -182,6 +182,17 @@ std::shared_ptr<const session_result> server::serve_one(const serve::query& q,
 std::shared_ptr<const session_result> server::solve(const serve::query& q,
                                                     const cache_key& key,
                                                     bool try_repair) {
+  // Fused-plan hook point. Admission currently merges only *identical*
+  // queries (same version/algo/params, via inflight_ above); each leader
+  // checks out one single-algorithm session here. pattern::fuse (see
+  // algo::fused_triple_solver) makes the stronger batching legal: leaders
+  // for *distinct* sources — or distinct member algorithms over the same
+  // snapshot — could be grouped behind one fused solve, since per-member
+  // sources need not coincide and idle members self-reject on the wire.
+  // Plumbing that in means a fused session kind in the pool keyed on the
+  // member set plus a small admission window to gather co-resident
+  // leaders; the solve below is the single point such a batch would
+  // replace.
   session_pool::lease lease = pool_->checkout(q.algo);
   session_result r = (try_repair && !repair_seeds_.empty())
                          ? lease->repair(q.params, repair_seeds_,

@@ -27,6 +27,11 @@
 // waits out in-flight solves, mutates (bumping the version), invalidates
 // stale cache entries, and records the mutation sites so repair_query()
 // can warm-restart instead of re-solving.
+//
+// Groundwork: step 3 is also where multi-pattern fusion will plug into
+// serving — distinct-source (or distinct-algorithm) leaders over one
+// snapshot batched behind a single pattern::fuse solve instead of one
+// session each; see the fused-plan hook note at server::solve.
 #pragma once
 
 #include <memory>

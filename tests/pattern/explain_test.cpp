@@ -4,6 +4,7 @@
 
 #include "graph/generators.hpp"
 #include "pattern/action.hpp"
+#include "pattern/fuse.hpp"
 
 namespace dpg::pattern {
 namespace {
@@ -152,6 +153,87 @@ TEST(Explain, FullyLocalPlanHasNoWirePayloads) {
                                        when(d(v_) < lit(1.0), assign(d(v_), lit(1.0)))));
   const std::string text = explain(local->name(), local->plan());
   EXPECT_NE(text.find("compiled wire payloads: none (fully local)"), std::string::npos);
+}
+
+TEST(Explain, FusedPlanShowsWireLayoutAndGroupDispatch) {
+  // The fusion analogue of explain(): the packed fused wire layout —
+  // shared addressing bytes, each member's live slot, the per-hop fused
+  // payload vs the separate-record sum — plus the group-dispatch and
+  // shared-fixed-point summary.
+  world w;
+  pmap::vertex_property_map<double> width(w.g, 0.0);
+  pmap::vertex_property_map<std::uint64_t> depth(w.g, 8);
+  pmap::edge_property_map<double> cap(w.g, 2.0);
+  property d(w.dist);
+  property wt(w.weight);
+  property wd(width);
+  property dep(depth);
+  property cp(cap);
+  auto fused = fuse(
+      w.tp, w.g, compile_options{},
+      make_action("sssp.relax", out_edges_gen{},
+                  when(d(trg(e_)) > d(v_) + wt(e_),
+                       assign(d(trg(e_)), d(v_) + wt(e_)))),
+      make_action("widest.relax", out_edges_gen{},
+                  when(wd(trg(e_)) < min_(wd(v_), cp(e_)),
+                       assign(wd(trg(e_)), min_(wd(v_), cp(e_))))),
+      make_action("bfs.explore", out_edges_gen{},
+                  when(dep(trg(e_)) > dep(v_) + lit<std::uint64_t>(1),
+                       assign(dep(trg(e_)), dep(v_) + lit<std::uint64_t>(1)))));
+  const std::string text = explain_fused(*fused);
+  EXPECT_NE(text.find("fused family sssp.relax+widest.relax+bfs.explore"),
+            std::string::npos);
+  EXPECT_NE(text.find("members: 3 single-locality relax patterns"), std::string::npos);
+  EXPECT_NE(text.find("shared addressing: 8B (target vertex, sent once per record)"),
+            std::string::npos);
+  EXPECT_NE(text.find("member 0 sssp.relax: live slot @8B +8B f64 min-update"),
+            std::string::npos);
+  EXPECT_NE(text.find("member 1 widest.relax: live slot @16B +8B f64 max-update"),
+            std::string::npos);
+  EXPECT_NE(text.find("member 2 bfs.explore: live slot @24B +8B u64 min-update"),
+            std::string::npos);
+  EXPECT_NE(text.find("per-hop fused payload: 32B (vs 48B as separate records)"),
+            std::string::npos);
+  EXPECT_NE(text.find("group dispatch: fused lane for multi-member waves"),
+            std::string::npos);
+  EXPECT_NE(text.find("fixed point: one epoch loop, one termination detection "
+                      "for 3 members"),
+            std::string::npos);
+
+  // The plan_info mirrors the fused shape: the fused family IS the fast
+  // path, one condition per member, wire bytes for the fused record plus
+  // each member's solo lane.
+  const plan_info& p = fused->plan();
+  EXPECT_TRUE(p.fast_path);
+  EXPECT_TRUE(p.atomic_path);
+  EXPECT_EQ(p.conditions, 3);
+  EXPECT_TRUE(p.has_dependencies);
+  ASSERT_EQ(p.wire_bytes.size(), 4u);
+  EXPECT_EQ(p.wire_bytes[0], 32u);
+  EXPECT_EQ(p.wire_bytes[1], 16u);
+  EXPECT_EQ(p.wire_bytes[2], 16u);
+  EXPECT_EQ(p.wire_bytes[3], 16u);
+
+  // Toggled-off batch/reduction renders as off (the environment default
+  // path is covered above via the default compile_options).
+  pmap::vertex_property_map<double> dist2(w.g, 1e100);
+  pmap::vertex_property_map<double> width2(w.g, 0.0);
+  property d2(dist2);
+  property wd2(width2);
+  using tog = compile_options::toggle;
+  auto off = fuse(
+      w.tp, w.g,
+      compile_options{.batch_kernel = tog::off, .fast_reduction = tog::off},
+      make_action("a", out_edges_gen{},
+                  when(d2(trg(e_)) > d2(v_) + wt(e_),
+                       assign(d2(trg(e_)), d2(v_) + wt(e_)))),
+      make_action("b", out_edges_gen{},
+                  when(wd2(trg(e_)) < min_(wd2(v_), cp(e_)),
+                       assign(wd2(trg(e_)), min_(wd2(v_), cp(e_))))));
+  const std::string offtext = explain_fused(*off);
+  EXPECT_NE(offtext.find("batch kernel: off"), std::string::npos);
+  EXPECT_NE(offtext.find("sender reduction: off"), std::string::npos);
+  EXPECT_NE(offtext.find("for 2 members"), std::string::npos);
 }
 
 TEST(Explain, PlanInfoCountsConditions) {
