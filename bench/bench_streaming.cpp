@@ -1,0 +1,181 @@
+// The streaming end-to-end experiment (DESIGN.md §4/§7, ISSUE 10): a
+// timestamp-ordered edge stream replayed in mixed add/delete batches
+// against a server answering continuous sssp / cc / k-core queries.
+//
+// Two replays of the *identical* stream (same seed, same batches):
+//   BM_StreamingColdReplay   every post-batch query is a full solve
+//                            (query() at the bumped version misses the
+//                            cache and re-runs the session cold);
+//   BM_StreamingWarmReplay   every post-batch query is repair_query() —
+//                            sssp decremental repair, cc union-find
+//                            maintainer, k-core peel-frontier maintainer.
+//
+// The repair-vs-cold wall-time ratio is the headline number (CI guards it
+// at >= 5x; scripts/ci.sh "streaming" stage), and both replays report the
+// idle cost of never compacting: delta-overlay + tombstone bytes left
+// behind by the stream, stamped into BENCH_streaming.json by
+// scripts/bench_json.sh.
+//
+// The iteration count is pinned so both replays consume exactly the same
+// prefix of the stream — mutation state accumulates across iterations (no
+// compaction, by design: that accumulation *is* the idle-overhead
+// measurement), so untimed warmup iterations would desynchronize the
+// comparison.
+#include <benchmark/benchmark.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "algo/baselines.hpp"
+#include "common.hpp"
+#include "serve/server.hpp"
+
+namespace dpg::bench {
+namespace {
+
+constexpr ampp::rank_t kRanks = 2;
+constexpr vertex_id kN = 2000;
+constexpr std::uint64_t kEdges = 8000;  // before symmetrize/simplify
+constexpr int kDelPairs = 16;
+constexpr int kAddPairs = 16;
+constexpr benchmark::IterationCount kReplay = 24;  // batches per replay
+
+/// The timestamp-ordered stream: batch t deletes kDelPairs present pairs
+/// and adds kAddPairs absent ones, always as both directed halves, so the
+/// served graph stays simple and symmetric (the k-core maintainer's
+/// domain) with a constant live-edge count. Deterministic in the seed:
+/// the cold and warm replays consume bit-identical batches.
+struct edge_stream {
+  std::vector<std::pair<vertex_id, vertex_id>> pairs;
+  std::set<std::pair<vertex_id, vertex_id>> present;
+  dpg::xoshiro256ss rng;
+
+  edge_stream(std::span<const graph::edge> base, std::uint64_t seed) : rng(seed) {
+    for (const graph::edge& e : base)
+      if (e.src < e.dst && present.insert({e.src, e.dst}).second)
+        pairs.push_back({e.src, e.dst});
+  }
+
+  void next(std::vector<graph::edge>& adds, std::vector<graph::edge>& dels) {
+    adds.clear();
+    dels.clear();
+    for (int i = 0; i < kDelPairs; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(rng.below(pairs.size()));
+      const auto [u, v] = pairs[idx];
+      pairs.erase(pairs.begin() + static_cast<std::ptrdiff_t>(idx));
+      present.erase({u, v});
+      dels.push_back({u, v});
+      dels.push_back({v, u});
+    }
+    for (int i = 0; i < kAddPairs; ++i) {
+      vertex_id u = 0, v = 0;
+      do {
+        u = rng.below(kN);
+        v = rng.below(kN);
+        if (u > v) std::swap(u, v);
+      } while (u == v || present.contains({u, v}));
+      present.insert({u, v});
+      pairs.push_back({u, v});
+      adds.push_back({u, v});
+      adds.push_back({v, u});
+    }
+  }
+};
+
+std::vector<graph::edge> base_edges() {
+  return graph::simplify(
+      graph::symmetrize(graph::erdos_renyi(kN, kEdges, 7)));
+}
+
+pmap::edge_property_map<double> stream_weights(const graph::distributed_graph& g) {
+  return pmap::edge_property_map<double>(g, [](const edge_handle& e) {
+    return graph::edge_weight(e.src, e.dst, 11, 20.0);
+  });
+}
+
+/// Shared replay skeleton: cold solves pin the sessions, then each timed
+/// iteration ingests one batch and answers the three continuous queries.
+template <bool kWarm>
+void streaming_replay(benchmark::State& state) {
+  const auto base = base_edges();
+  graph::distributed_graph g(kN, base, distribution::cyclic(kN, kRanks));
+  auto w = stream_weights(g);
+  serve::server srv(g, w, {.machine = {.n_ranks = kRanks}});
+  edge_stream stream(base, 31);
+
+  const serve::query qs{serve::algorithm::sssp, {.source = 0}, 0};
+  const serve::query qc{serve::algorithm::cc, {}, 0};
+  const serve::query qk{serve::algorithm::kcore, {}, 0};
+  srv.query(qs);
+  srv.query(qc);
+  srv.query(qk);
+
+  std::vector<graph::edge> adds, dels;
+  std::uint64_t warm_repairs = 0;
+  for (auto _ : state) {
+    stream.next(adds, dels);
+    srv.apply_mutation(adds, dels);
+    for (const serve::query& q : {qs, qc, qk}) {
+      const auto r = kWarm ? srv.repair_query(q) : srv.query(q);
+      benchmark::DoNotOptimize(r.get());
+      warm_repairs += r->warm_repair ? 1 : 0;
+      if (kWarm && !r->warm_repair)
+        state.SkipWithError("repair_query fell back to a cold solve");
+    }
+  }
+
+  state.counters["warm_repairs"] = static_cast<double>(warm_repairs);
+  // The idle streaming overhead: what the never-compacted overlay and
+  // tombstones cost in memory after the replayed prefix of the stream.
+  state.counters["delta_edges"] = static_cast<double>(g.total_delta_edges());
+  state.counters["tombstoned_edges"] =
+      static_cast<double>(g.total_tombstoned_edges());
+  state.counters["overlay_bytes"] = static_cast<double>(g.overlay_bytes());
+  state.counters["tombstone_bytes"] = static_cast<double>(g.tombstone_bytes());
+}
+
+void BM_StreamingColdReplay(benchmark::State& state) {
+  streaming_replay<false>(state);
+}
+BENCHMARK(BM_StreamingColdReplay)
+    ->Iterations(kReplay)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_StreamingWarmReplay(benchmark::State& state) {
+  streaming_replay<true>(state);
+}
+BENCHMARK(BM_StreamingWarmReplay)
+    ->Iterations(kReplay)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The ingest pipeline alone (no queries): resolve + tombstone + append
+/// per batch, timing the boundary operation the server's topology gate
+/// serializes. Reported per batch.
+void BM_StreamingIngestBatch(benchmark::State& state) {
+  const auto base = base_edges();
+  graph::distributed_graph g(kN, base, distribution::cyclic(kN, kRanks));
+  edge_stream stream(base, 33);
+  std::vector<graph::edge> adds, dels;
+  for (auto _ : state) {
+    stream.next(adds, dels);
+    g.apply_edges(adds);
+    g.remove_edges(g.resolve_edges(dels));
+  }
+  state.counters["delta_edges"] = static_cast<double>(g.total_delta_edges());
+  state.counters["tombstoned_edges"] =
+      static_cast<double>(g.total_tombstoned_edges());
+  state.counters["overlay_bytes"] = static_cast<double>(g.overlay_bytes());
+  state.counters["tombstone_bytes"] = static_cast<double>(g.tombstone_bytes());
+}
+BENCHMARK(BM_StreamingIngestBatch)
+    ->Iterations(kReplay * 4)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace dpg::bench
+
+BENCHMARK_MAIN();

@@ -85,6 +85,8 @@ inline void report_stats(benchmark::State& state, const obs::stats_snapshot& d,
       static_cast<double>(d.core.batch_kernels_run);
   state.counters[prefix + "graph_mutations"] = static_cast<double>(d.core.graph_mutations);
   state.counters[prefix + "delta_edges"] = static_cast<double>(d.core.delta_edges);
+  state.counters[prefix + "tombstoned_edges"] =
+      static_cast<double>(d.core.tombstoned_edges);
 }
 
 }  // namespace dpg::bench

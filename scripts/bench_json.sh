@@ -69,6 +69,13 @@ import json, os
 path = os.environ["OUT"]
 with open(path) as f:
     doc = json.load(f)
+# Streaming-overlay occupancy: the peak delta-overlay / tombstone counters
+# any benchmark in this file reported, so a committed BENCH_*.json records
+# how much un-compacted mutation state its numbers were measured under
+# (0 for benchmarks that never mutate).
+def peak(counter):
+    return max((b.get(counter, 0) for b in doc.get("benchmarks", [])
+                if isinstance(b, dict)), default=0)
 doc["dpg_metadata"] = {
     "simd_detected": os.environ["SIMD_DETECTED"],
     "simd_forced": os.environ["SIMD_FORCED"],
@@ -77,6 +84,12 @@ doc["dpg_metadata"] = {
     # Multi-pattern fusion provenance: "on"/"off" when the run measured the
     # fused vs separate triple (bench_fusion), "n/a" for everything else.
     "fusion": os.environ.get("DPG_BENCH_FUSION", "n/a"),
+    "occupancy": {
+        "delta_edges": peak("delta_edges"),
+        "tombstoned_edges": peak("tombstoned_edges"),
+        "overlay_bytes": peak("overlay_bytes"),
+        "tombstone_bytes": peak("tombstone_bytes"),
+    },
 }
 with open(path, "w") as f:
     json.dump(doc, f, indent=2)

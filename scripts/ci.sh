@@ -112,6 +112,37 @@ for edges in (8, 64):
         raise SystemExit("ratio guard FAILED: warm mutation repair lost its edge over a cold re-solve")
 EOF
 
+echo "=== streaming stage (mixed add/delete sweep + repair-vs-cold guard) ==="
+# Tombstone deletions end to end. The streaming sweep replays mixed
+# add/delete mutation batches with warm repair under all four fault plans
+# (it is also part of -L sim above; re-pinned to two seeds here so the
+# stage stands alone), then the stream-replay benchmark must show warm
+# repair >= 5x faster than cold re-solving the three continuous queries
+# (sssp / cc / k-core) after every batch.
+DPG_SIM_SEEDS=1,2 \
+  ctest --test-dir build-werror -L streaming --output-on-failure --timeout 240 -j "$JOBS"
+BUILD_DIR=build-werror BENCH_SUFFIX=.ci \
+  BENCH_ARGS="--benchmark_repetitions=1" \
+  scripts/bench_json.sh streaming
+python3 - <<'EOF'
+import json
+with open("BENCH_streaming.ci.json") as f:
+    rows = json.load(f)["benchmarks"]
+
+def real_time(prefix):
+    for r in rows:
+        if r["name"].startswith(prefix) and r.get("run_type", "iteration") == "iteration":
+            return r["real_time"]
+    raise SystemExit(f"streaming guard: benchmark '{prefix}' missing from BENCH_streaming.ci.json")
+
+cold = real_time("BM_StreamingColdReplay")
+warm = real_time("BM_StreamingWarmReplay")
+ratio = cold / warm
+print(f"cold re-solve / warm repair per streamed batch: {ratio:.1f}x (limit >=5.0x)")
+if ratio < 5.0:
+    raise SystemExit("streaming guard FAILED: warm streaming repair lost its edge over cold re-solves")
+EOF
+
 echo "=== fusion smoke (fused triple vs sum-of-separate guard) ==="
 # Multi-pattern fusion must actually pay for itself: the fused
 # sssp+widest+bfs-tree triple has to beat three separate solves on BOTH

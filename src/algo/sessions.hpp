@@ -18,7 +18,10 @@
 
 #include "algo/bfs.hpp"
 #include "algo/cc.hpp"
+#include "algo/kcore.hpp"
+#include "algo/pagerank.hpp"
 #include "algo/sssp.hpp"
+#include "algo/streaming.hpp"
 #include "serve/session.hpp"
 
 namespace dpg::algo {
@@ -59,9 +62,12 @@ inline serve::session_result make_result(serve::algorithm a,
 
 /// SSSP session: delta > 0 selects Δ-stepping, otherwise the chaotic
 /// fixed-point schedule. Values are distance doubles as bit patterns.
-/// repair() is a warm monotone re-relax from the mutation sites — sound
-/// only when this session's previous run solved the same params at the
-/// seeds' base version (checked; falls back to run() otherwise).
+/// repair() absorbs one mutation batch warm: pure additions re-relax
+/// monotonically from the added edges' sources; any deletion first runs
+/// the solver's decremental invalidation (support-closure walk at the
+/// boundary) and re-relaxes from the returned frontier plus the addition
+/// seeds. Sound only when this session's previous run solved the same
+/// params at the batch's base version (checked; falls back to run()).
 class sssp_session final : public serve::solver_session {
  public:
   explicit sssp_session(const session_env& env)
@@ -92,25 +98,28 @@ class sssp_session final : public serve::solver_session {
     return pack(res, false);
   }
 
-  serve::session_result repair(
-      const serve::query_params& p, std::span<const graph::vertex_id> sources,
-      std::uint64_t seed_base_version) override {
+  serve::session_result repair(const serve::query_params& p,
+                               const serve::mutation_batch& m) override {
     // Sound only on top of *this* session's state for the same query, and
-    // only when that state is exactly at `seed_base_version` — the version
-    // the seeds were recorded against. The seeds cover one mutation's edges
-    // only: a pooled session whose last run predates an *earlier* mutation
-    // would replay the newest edges but never relax the older ones,
-    // producing too-large distances stamped with the live version. Any
-    // mismatch falls back to a full solve, so a pool can still hand any
-    // session to a repair request.
+    // only when that state is exactly at the batch's base version. The
+    // batch covers one mutation only: a pooled session whose last run
+    // predates an *earlier* mutation would replay the newest edges but
+    // never relax the older ones, producing too-large distances stamped
+    // with the live version. Any mismatch falls back to a full solve, so a
+    // pool can still hand any session to a repair request.
     if (!has_state_ || !(last_ == p) || p.delta > 0.0 ||
-        last_version_ != seed_base_version)
+        last_version_ != m.base_version)
       return run(p);
     snap_.refresh();
+    std::vector<graph::vertex_id> seeds;
+    // Deletions invalidate before anything re-relaxes: the support-closure
+    // walk is a boundary operation (it predates the collective run below).
+    if (!m.removed.empty()) seeds = solver_.invalidate_unsupported();
+    for (const graph::edge& e : m.added) seeds.push_back(e.src);
     strategy::result res{};
     obs::stats_scope sc(tp_.obs());
     tp_.run([&](ampp::transport_context& ctx) {
-      const strategy::result r = solver_.repair(ctx, sources, env_.sopts);
+      const strategy::result r = solver_.repair(ctx, seeds, env_.sopts);
       if (ctx.rank() == 0) res = r;
     });
     res.stats_delta = sc.finish();
@@ -182,11 +191,17 @@ class bfs_session final : public serve::solver_session {
 
 /// CC session: whole-graph, so query_params are ignored (every CC query
 /// with any params is the same query — the cache key still distinguishes
-/// them, which is harmless). Values are component labels.
+/// them, which is harmless). Values are *canonical* component labels (the
+/// minimum member id), so the cold distributed solve and the warm
+/// union-find repair below are bit-identical — the solver's raw labels are
+/// schedule-dependent representatives, canonicalized here after solve().
+/// repair() rides the cc_maintainer: additions union, deletions recompute
+/// only the affected components.
 class cc_session final : public serve::solver_session {
  public:
   explicit cc_session(const session_env& env)
       : solver_session(serve::algorithm::cc, graph::snapshot_view(*env.g)),
+        g_(env.g),
         solver_(*env.g,
                 ampp::transport_config::join(env.machine, env.tuning),
                 env.pool, env.copts) {}
@@ -205,7 +220,36 @@ class cc_session final : public serve::solver_session {
     const graph::vertex_id n = snap_.num_vertices();
     out.values.resize(n);
     auto& c = solver_.components();
-    for (graph::vertex_id v = 0; v < n; ++v) out.values[v] = c[v];
+    // Canonicalize: map every solver label to its class's minimum member.
+    std::vector<graph::vertex_id> min_of(n, graph::invalid_vertex);
+    for (graph::vertex_id v = 0; v < n; ++v)
+      if (v < min_of[c[v]]) min_of[c[v]] = v;
+    for (graph::vertex_id v = 0; v < n; ++v) out.values[v] = min_of[c[v]];
+    // Sync the ride-along maintainer to the just-solved live topology so a
+    // later repair can start from it (sequential O(n+m) — noise next to
+    // the distributed solve above).
+    if (maint_ == nullptr)
+      maint_ = std::make_unique<cc_maintainer>(*g_);
+    else
+      maint_->rebuild();
+    maint_version_ = snap_.version();
+    return out;
+  }
+
+  serve::session_result repair(const serve::query_params& p,
+                               const serve::mutation_batch& m) override {
+    if (maint_ == nullptr || maint_version_ != m.base_version) return run(p);
+    snap_.refresh();
+    maint_->apply(m.added, m.removed);
+    maint_version_ = snap_.version();
+    serve::session_result out;
+    out.algo = algo();
+    out.graph_version = snap_.version();
+    out.converged = true;
+    out.warm_repair = true;
+    const graph::vertex_id n = snap_.num_vertices();
+    out.values.resize(n);
+    for (graph::vertex_id v = 0; v < n; ++v) out.values[v] = maint_->label(v);
     return out;
   }
 
@@ -213,17 +257,134 @@ class cc_session final : public serve::solver_session {
   cc_solver& solver() { return solver_; }
 
  private:
+  const graph::distributed_graph* g_;
   cc_solver solver_;
+  std::unique_ptr<cc_maintainer> maint_;
+  std::uint64_t maint_version_ = 0;
+};
+
+/// k-core session: whole-graph (params ignored). Values are coreness.
+/// Requires a simple symmetric graph — the domain on which the distributed
+/// wave peel, the sequential peel, and the streaming maintainer all agree
+/// on standard coreness. repair() rides the kcore_maintainer's
+/// peel-frontier re-activation (one structural edge at a time).
+class kcore_session final : public serve::solver_session {
+ public:
+  explicit kcore_session(const session_env& env)
+      : solver_session(serve::algorithm::kcore, graph::snapshot_view(*env.g)),
+        g_(env.g),
+        tp_(env.machine, env.tuning, env.pool),
+        solver_(tp_, *env.g) {}
+
+  serve::session_result run(const serve::query_params&) override {
+    snap_.refresh();
+    obs::stats_scope sc(tp_.obs());
+    std::uint64_t degeneracy = 0;
+    tp_.run([&](ampp::transport_context& ctx) {
+      const std::uint64_t d = solver_.run(ctx);
+      if (ctx.rank() == 0) degeneracy = d;
+    });
+    serve::session_result out;
+    out.algo = algo();
+    out.graph_version = snap_.version();
+    out.converged = true;
+    out.rounds = degeneracy;  // the peel loop's outer threshold count
+    out.stats_delta = sc.finish();
+    const graph::vertex_id n = snap_.num_vertices();
+    out.values.resize(n);
+    auto& c = solver_.coreness();
+    for (graph::vertex_id v = 0; v < n; ++v) out.values[v] = c[v];
+    if (maint_ == nullptr)
+      maint_ = std::make_unique<kcore_maintainer>(*g_);
+    else
+      maint_->rebuild();
+    maint_version_ = snap_.version();
+    return out;
+  }
+
+  serve::session_result repair(const serve::query_params& p,
+                               const serve::mutation_batch& m) override {
+    if (maint_ == nullptr || maint_version_ != m.base_version) return run(p);
+    snap_.refresh();
+    maint_->apply(m.added, m.removed);
+    maint_version_ = snap_.version();
+    serve::session_result out;
+    out.algo = algo();
+    out.graph_version = snap_.version();
+    out.converged = true;
+    out.warm_repair = true;
+    const graph::vertex_id n = snap_.num_vertices();
+    out.values.resize(n);
+    const auto& c = maint_->cores();
+    for (graph::vertex_id v = 0; v < n; ++v) out.values[v] = c[v];
+    return out;
+  }
+
+  const obs::registry& obs() const override { return tp_.obs(); }
+  kcore_solver& solver() { return solver_; }
+
+ private:
+  const graph::distributed_graph* g_;
+  ampp::transport tp_;
+  kcore_solver solver_;
+  std::unique_ptr<kcore_maintainer> maint_;
+  std::uint64_t maint_version_ = 0;
+};
+
+/// PageRank session: power iteration, run/rebind only — rank mass has no
+/// incremental repair here, so streaming correctness comes from the base
+/// class's repair-as-full-solve fallback. `delta` in (0,1) selects the
+/// damping factor (default 0.85); values are rank doubles as bit patterns.
+class pagerank_session final : public serve::solver_session {
+ public:
+  static constexpr int kIterations = 20;
+
+  explicit pagerank_session(const session_env& env)
+      : solver_session(serve::algorithm::pagerank, graph::snapshot_view(*env.g)),
+        tp_(env.machine, env.tuning, env.pool),
+        solver_(tp_, *env.g) {}
+
+  serve::session_result run(const serve::query_params& p) override {
+    snap_.refresh();
+    const double damping = (p.delta > 0.0 && p.delta < 1.0) ? p.delta : 0.85;
+    obs::stats_scope sc(tp_.obs());
+    tp_.run([&](ampp::transport_context& ctx) {
+      solver_.run(ctx, damping, kIterations);
+    });
+    serve::session_result out;
+    out.algo = algo();
+    out.graph_version = snap_.version();
+    out.converged = true;  // fixed iteration count, always completes
+    out.rounds = kIterations;
+    out.stats_delta = sc.finish();
+    const graph::vertex_id n = snap_.num_vertices();
+    out.values.resize(n);
+    auto& r = solver_.ranks();
+    for (graph::vertex_id v = 0; v < n; ++v)
+      out.values[v] = std::bit_cast<std::uint64_t>(r[v]);
+    return out;
+  }
+
+  const obs::registry& obs() const override { return tp_.obs(); }
+  pagerank_solver& solver() { return solver_; }
+
+ private:
+  ampp::transport tp_;
+  pagerank_solver solver_;
 };
 
 /// The session factory the pool and server construct through. Extend here
-/// (and in serve::algorithm) to front a new algorithm.
+/// (and in serve::algorithm + serve::session_pool::kAlgos) to front a new
+/// algorithm.
 inline std::unique_ptr<serve::solver_session> make_solver_session(
     serve::algorithm a, const session_env& env) {
   switch (a) {
     case serve::algorithm::sssp: return std::make_unique<sssp_session>(env);
     case serve::algorithm::bfs: return std::make_unique<bfs_session>(env);
     case serve::algorithm::cc: return std::make_unique<cc_session>(env);
+    case serve::algorithm::kcore: return std::make_unique<kcore_session>(env);
+    case serve::algorithm::pagerank:
+      return std::make_unique<pagerank_session>(env);
   }
   return nullptr;
 }

@@ -59,12 +59,19 @@ class sssp_solver {
     return strategy::fixed_point(ctx, *relax_, seeds, opt);
   }
 
-  /// Collective warm restart after apply_edges(): re-seeds the fixed_point
-  /// strategy at the sources of the newly added edges *without* resetting
-  /// distances. Because the relax action is monotone (assign only fires when
-  /// it lowers a label), replaying it from the mutation sites corrects every
-  /// label the new edges can improve and leaves the rest untouched — no
-  /// graph rebuild, no property-map rebuild, no full re-solve.
+  /// Collective warm restart after a topology mutation: re-seeds the
+  /// fixed_point strategy at `sources` *without* resetting distances.
+  /// Because the relax action is monotone (assign only fires when it lowers
+  /// a label), replaying it from the mutation sites corrects every label the
+  /// mutation can improve and leaves the rest untouched — no graph rebuild,
+  /// no property-map rebuild, no full re-solve.
+  ///
+  /// Incremental (adds only): seed with the sources of the added edges.
+  /// Decremental / general (any deletions): call invalidate_unsupported()
+  /// at the boundary first, then seed with its returned frontier plus the
+  /// added-edge sources. Seeds whose label was invalidated to infinity are
+  /// dropped here; if they become reachable again the chaotic relaxation
+  /// re-fires their out-edges on its own.
   strategy::result repair(ampp::transport_context& ctx,
                           std::span<const vertex_id> sources,
                           const strategy::options& opt = {}) {
@@ -72,6 +79,63 @@ class sssp_solver {
     for (const vertex_id v : sources)
       if (g_->owner(v) == ctx.rank() && dist_[v] != infinity) seeds.push_back(v);
     return strategy::fixed_point(ctx, *relax_, seeds, opt);
+  }
+
+  /// Decremental invalidation, run at the mutation boundary (outside any
+  /// transport::run) after remove_edges(). Keeps exactly the labels the
+  /// live graph still witnesses and resets the rest to infinity; returns
+  /// the repair frontier: every still-valid vertex with a live out-edge
+  /// into the invalidated region (pass it to repair(), which filters by
+  /// owning rank).
+  ///
+  /// A label survives iff its vertex is reachable from the last solve's
+  /// source through *tight* live edges (dist[u] + w(e) == dist[v] — the
+  /// exact sum the relax action committed, so the comparison is bitwise
+  /// for the surviving shortest-path forest). Survivors are exact for the
+  /// mutated graph: the tight path witnesses new_dist(v) <= dist[v], and
+  /// deletions only lengthen paths so dist[v] = old_dist(v) <= new_dist(v).
+  /// Everything else restarts from infinity, which monotone re-relaxation
+  /// from the returned frontier then repairs to the exact fixed point.
+  /// Ties broken differently by an equal-length alternative path may
+  /// invalidate more than strictly necessary — never less.
+  std::vector<vertex_id> invalidate_unsupported() {
+    DPG_ASSERT_MSG(ampp::current_rank() == ampp::invalid_rank,
+                   "invalidate_unsupported called inside transport::run: "
+                   "decremental invalidation is a boundary operation, like "
+                   "the mutation that makes it necessary");
+    DPG_ASSERT_MSG(has_solution_, "invalidate_unsupported before any solve");
+    const std::uint64_t n = g_->num_vertices();
+    std::vector<std::uint8_t> supported(n, 0);
+    std::vector<vertex_id> stack;
+    if (dist_[source_] == 0.0) {
+      supported[source_] = 1;
+      stack.push_back(source_);
+    }
+    while (!stack.empty()) {
+      const vertex_id u = stack.back();
+      stack.pop_back();
+      const double du = dist_[u];
+      for (const auto e : g_->out_edges(u)) {
+        if (supported[e.dst]) continue;
+        if (dist_[e.dst] == du + (*weight_)[e]) {
+          supported[e.dst] = 1;
+          stack.push_back(e.dst);
+        }
+      }
+    }
+    std::vector<vertex_id> frontier;
+    for (vertex_id v = 0; v < n; ++v) {
+      if (supported[v]) {
+        for (const auto e : g_->out_edges(v))
+          if (!supported[e.dst]) {
+            frontier.push_back(v);
+            break;
+          }
+      } else if (dist_[v] != infinity) {
+        dist_[v] = infinity;
+      }
+    }
+    return frontier;
   }
 
   /// Collective: Δ-stepping with one epoch per bucket level.
@@ -124,6 +188,9 @@ class sssp_solver {
   std::uint64_t relaxations() const { return relax_->modifications(); }
   /// Epochs consumed by the last Δ-stepping run.
   std::uint64_t delta_epochs() const { return delta_ ? delta_->epochs_used() : 0; }
+  /// Source of the last solve (meaningful once has_solution()).
+  vertex_id last_source() const { return source_; }
+  bool has_solution() const { return has_solution_; }
 
  private:
   void reset(ampp::transport_context& ctx, vertex_id source) {
@@ -135,6 +202,10 @@ class sssp_solver {
     auto mine = dist_.local(ctx.rank());
     for (auto& x : mine) x = infinity;
     if (g_->owner(source) == ctx.rank()) dist_[source] = 0.0;
+    // Racy-but-idempotent: every rank writes the same values, and the
+    // strategy's hook-install barrier orders them before any read.
+    source_ = source;
+    has_solution_ = true;
   }
 
   const graph::distributed_graph* g_;
@@ -143,6 +214,8 @@ class sssp_solver {
   pmap::edge_property_map<double>* weight_;
   std::unique_ptr<pattern::action_instance> relax_;
   std::unique_ptr<strategy::delta_stepping<double>> delta_;
+  vertex_id source_ = 0;
+  bool has_solution_ = false;
 };
 
 }  // namespace dpg::algo

@@ -52,11 +52,13 @@ struct transport_stats {
   // every batched record is also counted as a handled payload.
   std::atomic<std::uint64_t> batch_records{0};      ///< fast records processed by batch kernels
   std::atomic<std::uint64_t> batch_kernels_run{0};  ///< whole-envelope batch kernel invocations
-  // Topology-mutation counters (bumped by distributed_graph::apply_edges
-  // when a graph is attached via attach_stats; mutation happens outside
-  // epochs, so these appear in the summary's totals row, not per-epoch).
-  std::atomic<std::uint64_t> graph_mutations{0};      ///< apply_edges calls observed
+  // Topology-mutation counters (bumped by distributed_graph::apply_edges /
+  // remove_edges when a graph is attached via attach_stats; mutation
+  // happens outside epochs, so these appear in the summary's totals row,
+  // not per-epoch).
+  std::atomic<std::uint64_t> graph_mutations{0};      ///< apply_edges/remove_edges calls observed
   std::atomic<std::uint64_t> delta_edges{0};          ///< overlay edges appended
+  std::atomic<std::uint64_t> tombstoned_edges{0};     ///< edges tombstoned by remove_edges
 
   /// Plain-value snapshot. Manual snapshot-and-subtract in tests/benches is
   /// deprecated — use obs::stats_scope, which also captures per-type deltas.
@@ -66,7 +68,8 @@ struct transport_stats {
         self_deliveries, cache_hits, cache_evictions, td_rounds, barriers, epochs,
         control_messages, envelopes_dropped, envelopes_retried, envelopes_duplicated,
         envelopes_delayed, duplicates_suppressed, flush_lane_visits, flush_lane_skips,
-        pool_reuses, batch_records, batch_kernels_run, graph_mutations, delta_edges;
+        pool_reuses, batch_records, batch_kernels_run, graph_mutations, delta_edges,
+        tombstoned_edges;
 
     snapshot operator-(const snapshot& o) const {
       return {messages_sent - o.messages_sent,
@@ -92,7 +95,8 @@ struct transport_stats {
               batch_records - o.batch_records,
               batch_kernels_run - o.batch_kernels_run,
               graph_mutations - o.graph_mutations,
-              delta_edges - o.delta_edges};
+              delta_edges - o.delta_edges,
+              tombstoned_edges - o.tombstoned_edges};
     }
 
     snapshot operator+(const snapshot& o) const {
@@ -119,7 +123,8 @@ struct transport_stats {
               batch_records + o.batch_records,
               batch_kernels_run + o.batch_kernels_run,
               graph_mutations + o.graph_mutations,
-              delta_edges + o.delta_edges};
+              delta_edges + o.delta_edges,
+              tombstoned_edges + o.tombstoned_edges};
     }
   };
 
@@ -131,7 +136,7 @@ struct transport_stats {
             envelopes_duplicated.load(), envelopes_delayed.load(),
             duplicates_suppressed.load(), flush_lane_visits.load(), flush_lane_skips.load(),
             pool_reuses.load(), batch_records.load(), batch_kernels_run.load(),
-            graph_mutations.load(), delta_edges.load()};
+            graph_mutations.load(), delta_edges.load(), tombstoned_edges.load()};
   }
 };
 

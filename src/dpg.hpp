@@ -57,6 +57,7 @@
 #include "algo/pagerank.hpp"
 #include "algo/sssp.hpp"
 #include "algo/sssp_tree.hpp"
+#include "algo/streaming.hpp"
 #include "algo/widest_path.hpp"
 
 // Serving layer: warm solver sessions, result cache, multi-tenant front end.

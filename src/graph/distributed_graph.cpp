@@ -132,20 +132,165 @@ void distributed_graph::apply_edges(std::span<const edge> extra) {
   }
 }
 
+void distributed_graph::remove_edges(std::span<const std::uint64_t> eids) {
+  // Same non-morphing boundary as apply_edges: a pattern in flight must
+  // never observe an edge vanishing underneath it.
+  if (ampp::current_rank() != ampp::invalid_rank) {
+    const std::string msg =
+        "remove_edges called inside transport::run: the paper's non-morphing "
+        "guarantee (footnote 1) restricts topology mutation to the boundary "
+        "between runs (graph version " +
+        std::to_string(version_) + ")";
+    dpg::assert_fail("ampp::current_rank() == ampp::invalid_rank", __FILE__, __LINE__,
+                     msg.c_str());
+  }
+  if (eids.empty()) return;
+  const rank_t ranks = dist_.num_ranks();
+  for (const std::uint64_t eid : eids) {
+    vertex_id src = 0, dst = 0;
+    if (is_delta_edge(eid)) {
+      const rank_t r = delta_edge_rank(eid);
+      const std::uint64_t j = delta_edge_index(eid);
+      DPG_ASSERT_MSG(r < ranks, "delta edge id names a rank this graph lacks");
+      shard& s = shards_[r];
+      DPG_ASSERT_MSG(j < s.delta_dst.size(), "delta edge id out of range");
+      if (s.delta_dead.size() < s.delta_dst.size())
+        s.delta_dead.resize(s.delta_dst.size(), 0);
+      DPG_ASSERT_MSG(!s.delta_dead[j], "edge tombstoned twice");
+      s.delta_dead[j] = 1;
+      src = s.delta_src[j];
+      dst = s.delta_dst[j];
+      // Unlink the slot from its vertex's list: survivors keep their append
+      // order, which is what makes compact() == rebuild hold under mixes.
+      auto& slots = s.delta_adj[dist_.local_index(src)];
+      std::erase(slots, static_cast<std::uint32_t>(j));
+      if (bidirectional_) {
+        shard& d = shards_[dist_.owner(dst)];
+        auto& mirror = d.delta_in_adj[dist_.local_index(dst)];
+        std::size_t k = 0;
+        while (k < mirror.size() && d.delta_in_eid[mirror[k]] != eid) ++k;
+        DPG_ASSERT_MSG(k < mirror.size(), "delta in-mirror missing for removed edge");
+        mirror.erase(mirror.begin() + static_cast<std::ptrdiff_t>(k));
+      }
+      DPG_ASSERT_MSG(delta_total_ > 0, "overlay accounting underflow");
+      --delta_total_;
+    } else {
+      rank_t r = 0;
+      while (r + 1 < ranks && shards_[r + 1].edge_base <= eid) ++r;
+      shard& s = shards_[r];
+      DPG_ASSERT_MSG(eid >= s.edge_base && eid - s.edge_base < s.out_dst.size(),
+                     "base edge id out of range");
+      const std::uint64_t p = eid - s.edge_base;
+      if (s.out_dead.empty()) {
+        s.out_dead.assign(s.out_dst.size(), 0);
+        s.out_dead_cnt.assign(dist_.count(r), 0);
+      }
+      DPG_ASSERT_MSG(!s.out_dead[p], "edge tombstoned twice");
+      s.out_dead[p] = 1;
+      // The owning local vertex is the CSR segment containing slot p.
+      const std::uint64_t li = static_cast<std::uint64_t>(
+          std::upper_bound(s.out_offsets.begin(), s.out_offsets.end(), p) -
+          s.out_offsets.begin() - 1);
+      ++s.out_dead_cnt[li];
+      src = dist_.global(r, li);
+      dst = s.out_dst[p];
+      if (bidirectional_) {
+        const rank_t dr = dist_.owner(dst);
+        shard& d = shards_[dr];
+        if (d.in_dead.empty()) {
+          d.in_dead.assign(d.in_src.size(), 0);
+          d.in_dead_cnt.assign(dist_.count(dr), 0);
+        }
+        const std::uint64_t dl = dist_.local_index(dst);
+        std::uint64_t q = d.in_offsets[dl];
+        while (q < d.in_offsets[dl + 1] && !(d.in_eid[q] == eid && !d.in_dead[q])) ++q;
+        DPG_ASSERT_MSG(q < d.in_offsets[dl + 1],
+                       "in-mirror missing for removed base edge");
+        d.in_dead[q] = 1;
+        ++d.in_dead_cnt[dl];
+      }
+    }
+    DPG_ASSERT_MSG(num_edges_ > 0, "edge accounting underflow");
+    --num_edges_;
+    ++tombstoned_total_;
+  }
+  ++version_;
+  if (stats_ != nullptr) {
+    stats_->graph_mutations.fetch_add(1, std::memory_order_relaxed);
+    stats_->tombstoned_edges.fetch_add(eids.size(), std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::uint64_t> distributed_graph::resolve_edges(
+    std::span<const edge> victims) const {
+  DPG_ASSERT_MSG(ampp::current_rank() == ampp::invalid_rank,
+                 "resolve_edges walks shards directly; call it outside a run");
+  std::vector<std::uint64_t> eids;
+  eids.reserve(victims.size());
+  std::unordered_set<std::uint64_t> claimed;
+  for (const edge& v : victims) {
+    DPG_ASSERT_MSG(v.src < dist_.num_vertices() && v.dst < dist_.num_vertices(),
+                   "edge endpoint out of range");
+    bool found = false;
+    for (const edge_handle e : out_edges(v.src)) {
+      if (e.dst != v.dst || claimed.contains(e.eid)) continue;
+      eids.push_back(e.eid);
+      claimed.insert(e.eid);
+      found = true;
+      break;
+    }
+    if (!found) {
+      const std::string msg = "resolve_edges: no live edge " + std::to_string(v.src) +
+                              " -> " + std::to_string(v.dst) + " left to tombstone";
+      dpg::assert_fail("live edge exists", __FILE__, __LINE__, msg.c_str());
+    }
+  }
+  return eids;
+}
+
 void distributed_graph::compact() {
   DPG_ASSERT_MSG(ampp::current_rank() == ampp::invalid_rank,
                  "compact() rebuilds every shard; call it outside a run");
-  if (delta_total_ == 0) return;
-  // edge_list_of walks base + overlay per vertex, which is exactly the
-  // per-vertex order a from-scratch rebuild over "original edges followed
-  // by extras" produces — so the recounted CSR is structurally identical
-  // (degrees, adjacency, edge-id numbering) to that rebuild.
+  if (delta_total_ == 0 && tombstoned_total_ == 0) return;
+  // edge_list_of walks the *live* base + overlay edges per vertex, which is
+  // exactly the per-vertex order a from-scratch rebuild over "surviving
+  // originals followed by surviving extras" produces — so the recounted CSR
+  // is structurally identical (degrees, adjacency, edge-id numbering) to
+  // that rebuild, and tombstoned slots are reclaimed wholesale because
+  // build_shards reassigns every shard.
   const std::vector<edge> edges = edge_list_of(*this);
   build_shards(edges);
   num_edges_ = edges.size();
   delta_total_ = 0;
+  tombstoned_total_ = 0;
   ++version_;
   ++structure_version_;
+}
+
+std::uint64_t distributed_graph::overlay_bytes() const noexcept {
+  std::uint64_t b = 0;
+  const auto list_bytes = [](const std::vector<std::vector<std::uint32_t>>& lists) {
+    std::uint64_t n = lists.capacity() * sizeof(lists[0]);
+    for (const auto& l : lists) n += l.capacity() * sizeof(std::uint32_t);
+    return n;
+  };
+  for (const shard& s : shards_) {
+    b += (s.delta_src.capacity() + s.delta_dst.capacity() + s.delta_in_src.capacity() +
+          s.delta_in_dst.capacity()) *
+         sizeof(vertex_id);
+    b += s.delta_in_eid.capacity() * sizeof(std::uint64_t);
+    b += list_bytes(s.delta_adj) + list_bytes(s.delta_in_adj);
+  }
+  return b;
+}
+
+std::uint64_t distributed_graph::tombstone_bytes() const noexcept {
+  std::uint64_t b = 0;
+  for (const shard& s : shards_) {
+    b += s.out_dead.capacity() + s.in_dead.capacity() + s.delta_dead.capacity();
+    b += (s.out_dead_cnt.capacity() + s.in_dead_cnt.capacity()) * sizeof(std::uint32_t);
+  }
+  return b;
 }
 
 std::vector<edge> edge_list_of(const distributed_graph& g) {

@@ -19,6 +19,18 @@
 // degrees) transparently walks base + overlay, which keeps the pattern
 // layer and compiled plans mutation-oblivious. Property maps subscribe to
 // version() and grow lazily (pmap/vertex_map.hpp, pmap/edge_map.hpp).
+//
+// Deletions (the streaming half of the mutation story): remove_edges()
+// *tombstones* edges in place. Base-CSR slots are marked in a lazily
+// allocated per-shard dead bitset (mirrored on the in-CSR for
+// bidirectional storage); overlay edges are unlinked from their
+// per-vertex slot lists, which preserves the append order of the
+// survivors. No edge id is ever renumbered by a removal, so property maps
+// stay index-stable until compact() reclaims the dead slots. The range
+// iterators skip tombstoned slots; a shard that has never seen a removal
+// keeps a null dead pointer, so the skip costs one pointer test — zero
+// extra memory and no per-edge branch on the value path — until the first
+// tombstone exists.
 #pragma once
 
 #include <cstdint>
@@ -75,20 +87,47 @@ class distributed_graph {
   /// valid (maps grow lazily on next access).
   void apply_edges(std::span<const edge> extra);
 
-  /// Folds the delta overlay back into the base CSR, renumbering edge ids
-  /// exactly as a from-scratch rebuild over the concatenated edge list
-  /// would (the equivalence the oracle test asserts). Outside-run only.
-  /// No-op on a graph with an empty overlay. Edge property maps observe the
-  /// structure change and re-derive from their pure init function (maps
-  /// without one must be rebuilt by the caller).
+  /// Tombstones the named edges at the non-morphing boundary (outside any
+  /// transport::run, like apply_edges). Each id may name a base-CSR edge or
+  /// a live overlay edge; degrees, num_edges() and every range iterator
+  /// reflect the removal immediately, the in-mirror is tombstoned alongside
+  /// for bidirectional storage, and *no surviving edge id changes* — edge
+  /// property maps stay index-stable until compact(). Removing an id twice
+  /// (or an id that never existed) dies loudly. O(sum of the endpoints'
+  /// degrees) in the worst case (mirror lookup); bumps version().
+  void remove_edges(std::span<const std::uint64_t> eids);
+
+  /// Resolves each (src,dst) pair to the id of one live matching edge —
+  /// the ingest-pipeline front half of remove_edges() for callers that
+  /// speak endpoints (serve::server). Pairs repeated in `victims` resolve
+  /// to distinct parallel edges. Dies if any pair has no live match left.
+  std::vector<std::uint64_t> resolve_edges(std::span<const edge> victims) const;
+
+  /// Folds the delta overlay back into the base CSR and reclaims every
+  /// tombstoned slot, renumbering edge ids exactly as a from-scratch
+  /// rebuild over the live edge list would (the equivalence the oracle
+  /// test asserts). Outside-run only. No-op on a graph with an empty
+  /// overlay and no tombstones. Edge property maps observe the structure
+  /// change and re-derive from their pure init function (maps without one
+  /// must be rebuilt by the caller).
   void compact();
 
-  /// Attaches an obs counter sink: subsequent apply_edges() calls bump
-  /// graph_mutations / delta_edges (surfaced in the epoch summary).
+  /// Attaches an obs counter sink: subsequent apply_edges()/remove_edges()
+  /// calls bump graph_mutations / delta_edges / tombstoned_edges (surfaced
+  /// in the epoch summary).
   void attach_stats(ampp::transport_stats& st) noexcept { stats_ = &st; }
 
-  /// Total overlay edges across all ranks (0 after compact()).
+  /// Total live overlay edges across all ranks (0 after compact()).
   std::uint64_t total_delta_edges() const noexcept { return delta_total_; }
+  /// Tombstoned-but-unreclaimed edges across all ranks (0 after compact()).
+  std::uint64_t total_tombstoned_edges() const noexcept { return tombstoned_total_; }
+
+  /// Bytes held by the delta overlay (slot arrays + per-vertex slot lists)
+  /// and by the tombstone bitsets/counts — the idle memory overhead the
+  /// streaming benchmark reports (iPregel's discipline: both go to ~0 after
+  /// compact()).
+  std::uint64_t overlay_bytes() const noexcept;
+  std::uint64_t tombstone_bytes() const noexcept;
 
   // ---- per-rank storage accounting ----------------------------------------
 
@@ -100,7 +139,10 @@ class distributed_graph {
   }
   /// Number of base in-edges stored on rank r (bidirectional graphs).
   std::uint64_t in_edge_count(rank_t r) const { return shards_[r].in_src.size(); }
-  /// Number of overlay out-edges appended on rank r since the last compact.
+  /// Number of overlay out-edge *slots* appended on rank r since the last
+  /// compact — physical, so it includes tombstoned slots: property-map
+  /// growth indexes by delta slot and must stay index-stable across
+  /// removals.
   std::uint64_t delta_edge_count(rank_t r) const { return shards_[r].delta_dst.size(); }
   /// Number of overlay in-edges on rank r (bidirectional graphs).
   std::uint64_t delta_in_edge_count(rank_t r) const {
@@ -123,19 +165,25 @@ class distributed_graph {
   std::uint64_t out_degree(vertex_id v) const {
     const shard& s = owner_shard(v);
     const std::uint64_t li = dist_.local_index(v);
-    return s.out_offsets[li + 1] - s.out_offsets[li] + s.delta_deg(li);
+    return s.out_offsets[li + 1] - s.out_offsets[li] - s.out_dead_deg(li) +
+           s.delta_deg(li);
   }
 
   std::uint64_t in_degree(vertex_id v) const {
     DPG_ASSERT_MSG(bidirectional_, "in_degree requires bidirectional storage");
     const shard& s = owner_shard(v);
     const std::uint64_t li = dist_.local_index(v);
-    return s.in_offsets[li + 1] - s.in_offsets[li] + s.delta_in_deg(li);
+    return s.in_offsets[li + 1] - s.in_offsets[li] - s.in_dead_deg(li) +
+           s.delta_in_deg(li);
   }
 
-  /// Forward iteration over v's out-edges as edge_handles: the base CSR
-  /// segment first, then the delta overlay in append order (exactly the
-  /// per-vertex order a compact()/rebuild preserves). Owner-only.
+  /// Forward iteration over v's out-edges as edge_handles: the live base
+  /// CSR segment first (tombstoned slots skipped), then the live delta
+  /// overlay in append order (exactly the per-vertex order a
+  /// compact()/rebuild preserves). Owner-only. Overlay slot lists hold only
+  /// live edges (remove_edges unlinks), so only base positions ever skip;
+  /// `dead_` is null until the shard's first tombstone, making the
+  /// no-deletions case a single pointer test.
   class out_edge_range {
    public:
     class iterator {
@@ -158,6 +206,7 @@ class distributed_graph {
       }
       iterator& operator++() {
         ++pos_;
+        skip_dead();
         return *this;
       }
       bool operator!=(const iterator& o) const { return pos_ != o.pos_; }
@@ -166,29 +215,43 @@ class distributed_graph {
      private:
       friend class out_edge_range;
       iterator(const out_edge_range* r, vertex_id src, std::uint64_t pos)
-          : r_(r), src_(src), pos_(pos) {}
+          : r_(r), src_(src), pos_(pos) {
+        skip_dead();
+      }
+      void skip_dead() {
+        if (r_->dead_ == nullptr) return;
+        const std::uint64_t base_n = r_->last_ - r_->first_;
+        while (pos_ < base_n && r_->dead_[r_->first_ + pos_]) ++pos_;
+      }
       const out_edge_range* r_;
       vertex_id src_;
       std::uint64_t pos_;
     };
 
     iterator begin() const { return iterator(this, src_, 0); }
-    iterator end() const { return iterator(this, src_, size()); }
-    std::uint64_t size() const {
-      return (last_ - first_) + (dadj_ != nullptr ? dadj_->size() : 0);
-    }
+    /// end() sits at the *physical* position past the last slot (where
+    /// skip_dead is a no-op), so pos_ comparison stays exact.
+    iterator end() const { return iterator(this, src_, physical_size()); }
+    std::uint64_t size() const { return physical_size() - base_dead_; }
     bool empty() const { return size() == 0; }
 
    private:
     friend class distributed_graph;
+    std::uint64_t physical_size() const {
+      return (last_ - first_) + (dadj_ != nullptr ? dadj_->size() : 0);
+    }
     out_edge_range(const shard* s, rank_t rank, vertex_id src, std::uint64_t first,
-                   std::uint64_t last, const std::vector<std::uint32_t>* dadj)
-        : s_(s), rank_(rank), src_(src), first_(first), last_(last), dadj_(dadj) {}
+                   std::uint64_t last, const std::vector<std::uint32_t>* dadj,
+                   const std::uint8_t* dead, std::uint64_t base_dead)
+        : s_(s), rank_(rank), src_(src), first_(first), last_(last), dadj_(dadj),
+          dead_(dead), base_dead_(base_dead) {}
     const shard* s_;
     rank_t rank_;
     vertex_id src_;
     std::uint64_t first_, last_;
-    const std::vector<std::uint32_t>* dadj_;  ///< overlay slots, or nullptr
+    const std::vector<std::uint32_t>* dadj_;  ///< live overlay slots, or nullptr
+    const std::uint8_t* dead_;                ///< shard-wide dead bitset, or nullptr
+    std::uint64_t base_dead_;                 ///< tombstones inside [first_, last_)
   };
 
   /// Forward iteration over v's in-edges as edge_handles (mirror slots set;
@@ -214,6 +277,7 @@ class distributed_graph {
       }
       iterator& operator++() {
         ++pos_;
+        skip_dead();
         return *this;
       }
       bool operator!=(const iterator& o) const { return pos_ != o.pos_; }
@@ -222,28 +286,40 @@ class distributed_graph {
      private:
       friend class in_edge_range;
       iterator(const in_edge_range* r, vertex_id dst, std::uint64_t pos)
-          : r_(r), dst_(dst), pos_(pos) {}
+          : r_(r), dst_(dst), pos_(pos) {
+        skip_dead();
+      }
+      void skip_dead() {
+        if (r_->dead_ == nullptr) return;
+        const std::uint64_t base_n = r_->last_ - r_->first_;
+        while (pos_ < base_n && r_->dead_[r_->first_ + pos_]) ++pos_;
+      }
       const in_edge_range* r_;
       vertex_id dst_;
       std::uint64_t pos_;
     };
 
     iterator begin() const { return iterator(this, dst_, 0); }
-    iterator end() const { return iterator(this, dst_, size()); }
-    std::uint64_t size() const {
-      return (last_ - first_) + (dadj_ != nullptr ? dadj_->size() : 0);
-    }
+    iterator end() const { return iterator(this, dst_, physical_size()); }
+    std::uint64_t size() const { return physical_size() - base_dead_; }
     bool empty() const { return size() == 0; }
 
    private:
     friend class distributed_graph;
+    std::uint64_t physical_size() const {
+      return (last_ - first_) + (dadj_ != nullptr ? dadj_->size() : 0);
+    }
     in_edge_range(const shard* s, vertex_id dst, std::uint64_t first,
-                  std::uint64_t last, const std::vector<std::uint32_t>* dadj)
-        : s_(s), dst_(dst), first_(first), last_(last), dadj_(dadj) {}
+                  std::uint64_t last, const std::vector<std::uint32_t>* dadj,
+                  const std::uint8_t* dead, std::uint64_t base_dead)
+        : s_(s), dst_(dst), first_(first), last_(last), dadj_(dadj), dead_(dead),
+          base_dead_(base_dead) {}
     const shard* s_;
     vertex_id dst_;
     std::uint64_t first_, last_;
     const std::vector<std::uint32_t>* dadj_;
+    const std::uint8_t* dead_;   ///< shard-wide in-CSR dead bitset, or nullptr
+    std::uint64_t base_dead_;    ///< tombstones inside [first_, last_)
   };
 
   /// Out-neighbour targets of v (the `adj` generator view): the base CSR
@@ -263,6 +339,7 @@ class distributed_graph {
       }
       iterator& operator++() {
         ++pos_;
+        skip_dead();
         return *this;
       }
       bool operator!=(const iterator& o) const { return pos_ != o.pos_; }
@@ -270,28 +347,45 @@ class distributed_graph {
 
      private:
       friend class adjacency_range;
-      iterator(const adjacency_range* r, std::uint64_t pos) : r_(r), pos_(pos) {}
+      iterator(const adjacency_range* r, std::uint64_t pos) : r_(r), pos_(pos) {
+        skip_dead();
+      }
+      void skip_dead() {
+        if (r_->dead_ == nullptr) return;
+        while (pos_ < r_->base_.size() && r_->dead_[pos_]) ++pos_;
+      }
       const adjacency_range* r_;
       std::uint64_t pos_;
     };
 
     iterator begin() const { return iterator(this, 0); }
-    iterator end() const { return iterator(this, size()); }
-    std::uint64_t size() const {
-      return base_.size() + (dadj_ != nullptr ? dadj_->size() : 0);
-    }
+    iterator end() const { return iterator(this, physical_size()); }
+    std::uint64_t size() const { return physical_size() - base_dead_; }
     bool empty() const { return size() == 0; }
-    /// The contiguous base-CSR prefix (no overlay entries).
-    std::span<const vertex_id> base() const { return base_; }
+    /// The contiguous base-CSR prefix (no overlay entries). Only meaningful
+    /// while no slot in the prefix is tombstoned — asserted, because a span
+    /// cannot skip.
+    std::span<const vertex_id> base() const {
+      DPG_ASSERT_MSG(base_dead_ == 0,
+                     "adjacency_range::base() on a vertex with tombstoned "
+                     "base edges; iterate the range instead");
+      return base_;
+    }
 
    private:
     friend class distributed_graph;
+    std::uint64_t physical_size() const {
+      return base_.size() + (dadj_ != nullptr ? dadj_->size() : 0);
+    }
     adjacency_range(const shard* s, std::span<const vertex_id> base,
-                    const std::vector<std::uint32_t>* dadj)
-        : s_(s), base_(base), dadj_(dadj) {}
+                    const std::vector<std::uint32_t>* dadj,
+                    const std::uint8_t* dead, std::uint64_t base_dead)
+        : s_(s), base_(base), dadj_(dadj), dead_(dead), base_dead_(base_dead) {}
     const shard* s_;
     std::span<const vertex_id> base_;
     const std::vector<std::uint32_t>* dadj_;
+    const std::uint8_t* dead_;  ///< aligned with base_ (not the whole shard)
+    std::uint64_t base_dead_;
   };
 
   out_edge_range out_edges(vertex_id v) const {
@@ -299,7 +393,7 @@ class distributed_graph {
     const shard& s = shards_[r];
     const std::uint64_t li = dist_.local_index(v);
     return out_edge_range(&s, r, v, s.out_offsets[li], s.out_offsets[li + 1],
-                          s.delta_slots(li));
+                          s.delta_slots(li), s.out_dead_bits(), s.out_dead_deg(li));
   }
 
   in_edge_range in_edges(vertex_id v) const {
@@ -307,17 +401,19 @@ class distributed_graph {
     const shard& s = owner_shard(v);
     const std::uint64_t li = dist_.local_index(v);
     return in_edge_range(&s, v, s.in_offsets[li], s.in_offsets[li + 1],
-                         s.delta_in_slots(li));
+                         s.delta_in_slots(li), s.in_dead_bits(), s.in_dead_deg(li));
   }
 
   adjacency_range adjacent(vertex_id v) const {
     const shard& s = owner_shard(v);
     const std::uint64_t li = dist_.local_index(v);
+    const std::uint8_t* dead = s.out_dead_bits();
     return adjacency_range(
         &s,
         std::span<const vertex_id>(s.out_dst.data() + s.out_offsets[li],
                                    s.out_offsets[li + 1] - s.out_offsets[li]),
-        s.delta_slots(li));
+        s.delta_slots(li), dead == nullptr ? nullptr : dead + s.out_offsets[li],
+        s.out_dead_deg(li));
   }
 
  private:
@@ -340,6 +436,32 @@ class distributed_graph {
     std::vector<vertex_id> delta_in_dst;
     std::vector<std::uint64_t> delta_in_eid;  // out-numbering (delta) id
     std::vector<std::vector<std::uint32_t>> delta_in_adj;
+
+    // ---- tombstones (remove_edges marks; compact() reclaims) --------------
+    // Base-CSR dead flags per physical slot plus a per-local-vertex count so
+    // out_degree/size() stay O(1). All four stay empty (the iterators carry
+    // a null pointer) until the shard's first removal. Overlay edges need no
+    // flags on the iteration path — their slot-list entry is unlinked — but
+    // delta_dead keeps remove_edges honest about double-removals and lets
+    // resolve_edges/property growth see which delta indices still live.
+    std::vector<std::uint8_t> out_dead;
+    std::vector<std::uint32_t> out_dead_cnt;   // per local vertex
+    std::vector<std::uint8_t> in_dead;
+    std::vector<std::uint32_t> in_dead_cnt;    // per local vertex
+    std::vector<std::uint8_t> delta_dead;      // per delta slot, accounting only
+
+    const std::uint8_t* out_dead_bits() const {
+      return out_dead.empty() ? nullptr : out_dead.data();
+    }
+    const std::uint8_t* in_dead_bits() const {
+      return in_dead.empty() ? nullptr : in_dead.data();
+    }
+    std::uint64_t out_dead_deg(std::uint64_t li) const {
+      return out_dead_cnt.empty() ? 0 : out_dead_cnt[li];
+    }
+    std::uint64_t in_dead_deg(std::uint64_t li) const {
+      return in_dead_cnt.empty() ? 0 : in_dead_cnt[li];
+    }
 
     const std::vector<std::uint32_t>* delta_slots(std::uint64_t li) const {
       return delta_adj.empty() || delta_adj[li].empty() ? nullptr : &delta_adj[li];
@@ -376,13 +498,14 @@ class distributed_graph {
   std::uint64_t version_ = 1;
   std::uint64_t structure_version_ = 1;
   std::uint64_t delta_total_ = 0;
+  std::uint64_t tombstoned_total_ = 0;
   ampp::transport_stats* stats_ = nullptr;
 };
 
-/// Recovers the full edge list of a distributed graph (in edge-id order for
+/// Recovers the live edge list of a distributed graph (in edge-id order for
 /// the base CSR; overlay edges follow their vertex's base edges, which is
-/// the order compact() and a rebuild both preserve). Call outside
-/// transport::run.
+/// the order compact() and a rebuild both preserve; tombstoned edges are
+/// absent). Call outside transport::run.
 std::vector<edge> edge_list_of(const distributed_graph& g);
 
 /// The legacy whole-world mutation path: builds a *new* graph with `extra`

@@ -149,10 +149,10 @@ std::string registry::epoch_summary() const {
   char line[256];
   std::snprintf(line, sizeof line,
                 "%5s %9s %10s %9s %12s %12s %9s %9s %10s %8s %8s %9s %9s %9s %9s "
-                "%5s %8s\n",
+                "%5s %8s %8s\n",
                 "epoch", "wall_ms", "msgs", "envs", "bytes", "wire_b", "handlers",
                 "td_rnds", "cache_hit", "drops", "retries", "ln_visit", "ln_skip",
-                "batch_rec", "batch_krn", "muts", "delta_e");
+                "batch_rec", "batch_krn", "muts", "delta_e", "tomb_e");
   out += line;
   counters tot{};
   std::uint64_t tot_us = 0;
@@ -160,7 +160,7 @@ std::string registry::epoch_summary() const {
     const counters& d = e.delta.core;
     std::snprintf(line, sizeof line,
                   "%5llu %9.3f %10llu %9llu %12llu %12llu %9llu %9llu %10llu %8llu %8llu "
-                  "%9llu %9llu %9llu %9llu %5llu %8llu\n",
+                  "%9llu %9llu %9llu %9llu %5llu %8llu %8llu\n",
                   static_cast<unsigned long long>(e.index), e.dur_us / 1e3,
                   static_cast<unsigned long long>(d.messages_sent),
                   static_cast<unsigned long long>(d.envelopes_sent),
@@ -176,22 +176,24 @@ std::string registry::epoch_summary() const {
                   static_cast<unsigned long long>(d.batch_records),
                   static_cast<unsigned long long>(d.batch_kernels_run),
                   static_cast<unsigned long long>(d.graph_mutations),
-                  static_cast<unsigned long long>(d.delta_edges));
+                  static_cast<unsigned long long>(d.delta_edges),
+                  static_cast<unsigned long long>(d.tombstoned_edges));
     out += line;
     tot = tot + d;
     tot_us += e.dur_us;
   }
   // Topology mutation is only legal *between* runs, so every per-epoch
-  // delta is zero for these two; the totals row reports the cumulative
+  // delta is zero for these three; the totals row reports the cumulative
   // counts instead of the (empty) sum of epoch deltas.
   {
     const counters cum = core_.snap();
     tot.graph_mutations = cum.graph_mutations;
     tot.delta_edges = cum.delta_edges;
+    tot.tombstoned_edges = cum.tombstoned_edges;
   }
   std::snprintf(line, sizeof line,
                 "%5s %9.3f %10llu %9llu %12llu %12llu %9llu %9llu %10llu %8llu %8llu "
-                "%9llu %9llu %9llu %9llu %5llu %8llu\n",
+                "%9llu %9llu %9llu %9llu %5llu %8llu %8llu\n",
                 "total", tot_us / 1e3, static_cast<unsigned long long>(tot.messages_sent),
                 static_cast<unsigned long long>(tot.envelopes_sent),
                 static_cast<unsigned long long>(tot.bytes_sent),
@@ -206,7 +208,8 @@ std::string registry::epoch_summary() const {
                 static_cast<unsigned long long>(tot.batch_records),
                 static_cast<unsigned long long>(tot.batch_kernels_run),
                 static_cast<unsigned long long>(tot.graph_mutations),
-                static_cast<unsigned long long>(tot.delta_edges));
+                static_cast<unsigned long long>(tot.delta_edges),
+                static_cast<unsigned long long>(tot.tombstoned_edges));
   out += line;
 
   std::snprintf(line, sizeof line, "simd level: %s (detected %s)\n",

@@ -144,7 +144,7 @@ class session_pool {
  private:
   friend class lease;
 
-  static constexpr std::size_t kAlgos = 3;  // sssp, bfs, cc
+  static constexpr std::size_t kAlgos = 5;  // sssp, bfs, cc, kcore, pagerank
   static std::size_t slot(algorithm a) {
     const auto i = static_cast<std::size_t>(a);
     // A serve::algorithm added without growing kAlgos must fail loudly here,

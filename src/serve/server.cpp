@@ -194,25 +194,37 @@ std::shared_ptr<const session_result> server::solve(const serve::query& q,
   // leaders; the solve below is the single point such a batch would
   // replace.
   session_pool::lease lease = pool_->checkout(q.algo);
-  session_result r = (try_repair && !repair_seeds_.empty())
-                         ? lease->repair(q.params, repair_seeds_,
-                                         repair_base_version_)
+  session_result r = (try_repair && !last_batch_.empty())
+                         ? lease->repair(q.params, last_batch_)
                          : lease->run(q.params);
   DPG_ASSERT_MSG(r.graph_version == key.version,
                  "session produced a result for the wrong topology version");
   return std::make_shared<const session_result>(std::move(r));
 }
 
+void server::apply_mutation(std::span<const graph::edge> added,
+                            std::span<const graph::edge> removed,
+                            std::uint64_t tenant) {
+  std::unique_lock<std::shared_mutex> topo(topo_mu_);
+  // The batch repairs *from* the pre-mutation version; additions apply
+  // before removals so a batch may remove an edge it just added.
+  last_batch_.base_version = g_->version();
+  if (!added.empty()) g_->apply_edges(added);
+  if (!removed.empty()) g_->remove_edges(g_->resolve_edges(removed));
+  cache_.invalidate_stale(g_->version());
+  last_batch_.added.assign(added.begin(), added.end());
+  last_batch_.removed.assign(removed.begin(), removed.end());
+  rollup_.note_mutation(tenant);
+}
+
 void server::apply_edges(std::span<const graph::edge> extra,
                          std::uint64_t tenant) {
-  std::unique_lock<std::shared_mutex> topo(topo_mu_);
-  repair_base_version_ = g_->version();  // the version the seeds repair *from*
-  g_->apply_edges(extra);
-  cache_.invalidate_stale(g_->version());
-  repair_seeds_.clear();
-  repair_seeds_.reserve(extra.size());
-  for (const graph::edge& e : extra) repair_seeds_.push_back(e.src);
-  rollup_.note_mutation(tenant);
+  apply_mutation(extra, {}, tenant);
+}
+
+void server::remove_edges(std::span<const graph::edge> victims,
+                          std::uint64_t tenant) {
+  apply_mutation({}, victims, tenant);
 }
 
 std::string server::serving_summary() {

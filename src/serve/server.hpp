@@ -23,10 +23,11 @@
 //   3. The leader checks a session out of the warm pool, runs it inside a
 //      shared (reader) topology lock, inserts the result, and wakes the
 //      followers.
-// Mutations take the exclusive side of the topology lock: apply_edges()
-// waits out in-flight solves, mutates (bumping the version), invalidates
-// stale cache entries, and records the mutation sites so repair_query()
-// can warm-restart instead of re-solving.
+// Mutations take the exclusive side of the topology lock: apply_mutation()
+// (and its apply_edges/remove_edges shorthands) waits out in-flight solves,
+// mutates (bumping the version), invalidates stale cache entries, and
+// records the batch — added and removed edges plus its base version — so
+// repair_query() can warm-restart instead of re-solving.
 //
 // Groundwork: step 3 is also where multi-pattern fusion will plug into
 // serving — distinct-source (or distinct-algorithm) leaders over one
@@ -59,8 +60,8 @@ struct server_config {
 class server {
  public:
   /// `g` and `weights` are the shared state being served; they must outlive
-  /// the server. All topology mutation must go through apply_edges() /
-  /// compact() below — the server's topology lock is what keeps mutation at
+  /// the server. All topology mutation must go through apply_mutation() and
+  /// friends below — the server's topology lock is what keeps mutation at
   /// the non-morphing boundary while queries are in flight. Edges added
   /// later take their weight from the map's own fill value / init function
   /// (pmap/edge_map.hpp), so build `weights` with the growth recipe you
@@ -77,15 +78,25 @@ class server {
   /// mutation holds the topology lock. The result is immutable and shared.
   std::shared_ptr<const session_result> query(const serve::query& q);
 
-  /// Like query(), but a miss warm-repairs from the most recent mutation's
-  /// edge endpoints instead of solving from scratch (transparently falls
-  /// back to a full solve when the leased session can't repair soundly).
+  /// Like query(), but a miss warm-repairs from the most recent mutation
+  /// batch instead of solving from scratch (transparently falls back to a
+  /// full solve when the leased session can't repair soundly).
   std::shared_ptr<const session_result> repair_query(const serve::query& q);
 
-  /// Appends edges at the non-morphing boundary: waits out in-flight
-  /// solves, mutates the graph (bumping its version), drops now-stale cache
-  /// entries, and records the edge endpoints as repair seeds.
+  /// One streaming ingest step at the non-morphing boundary: waits out
+  /// in-flight solves, appends `added` then tombstones `removed` (resolved
+  /// to live edge ids — dying loudly if a victim has no live instance),
+  /// drops now-stale cache entries, and records the batch for repair.
+  void apply_mutation(std::span<const graph::edge> added,
+                      std::span<const graph::edge> removed,
+                      std::uint64_t tenant = 0);
+
+  /// apply_mutation with an empty removal set.
   void apply_edges(std::span<const graph::edge> extra, std::uint64_t tenant = 0);
+
+  /// apply_mutation with an empty addition set.
+  void remove_edges(std::span<const graph::edge> victims,
+                    std::uint64_t tenant = 0);
 
   /// The live topology version queries are currently keyed on.
   std::uint64_t version() const;
@@ -121,14 +132,14 @@ class server {
   result_cache cache_;
   std::unique_ptr<session_pool> pool_;
 
-  /// Readers = queries (shared), writers = apply_edges/compact (exclusive).
+  /// Readers = queries (shared), writers = apply_mutation (exclusive).
   mutable std::shared_mutex topo_mu_;
-  std::vector<graph::vertex_id> repair_seeds_;  ///< endpoints of last mutation
-  /// Topology version the seeds were recorded against (the version *before*
-  /// the mutation). A session can only warm-repair from the seeds if its
-  /// own state is pinned to exactly this version — seeds cover the newest
-  /// mutation's edges only. Guarded by topo_mu_ like repair_seeds_.
-  std::uint64_t repair_base_version_ = 0;
+  /// The newest mutation batch, recorded for warm repair. Its base_version
+  /// is the topology version *before* the batch was applied: a session can
+  /// only warm-repair from it if its own state is pinned to exactly that
+  /// version — the batch covers the newest mutation only. Guarded by
+  /// topo_mu_.
+  mutation_batch last_batch_;
 
   std::mutex inflight_mu_;
   std::unordered_map<cache_key, std::shared_ptr<inflight>, cache_key::hasher>

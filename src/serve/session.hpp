@@ -14,10 +14,10 @@
 // admission front end are algorithm-agnostic:
 //   run(params)             — full solve, results pinned to the session's
 //                             snapshot version;
-//   repair(params, sources, seed_base_version)
-//                           — warm repair from mutation sites when the
-//                             session's previous run makes that sound,
-//                             transparent fallback to run() otherwise;
+//   repair(params, batch)   — warm repair from one recorded mutation batch
+//                             (added + removed edges) when the session's
+//                             previous run makes that sound, transparent
+//                             fallback to run() otherwise;
 //   the returned session_result — one result shape for all of them.
 #pragma once
 
@@ -36,17 +36,31 @@ namespace dpg::serve {
 using graph::vertex_id;
 
 /// The algorithms the serving layer fronts (extend alongside the factory in
-/// algo/sessions.hpp).
-enum class algorithm : std::uint8_t { sssp, bfs, cc };
+/// algo/sessions.hpp and the pool's kAlgos).
+enum class algorithm : std::uint8_t { sssp, bfs, cc, kcore, pagerank };
 
 inline const char* algorithm_name(algorithm a) {
   switch (a) {
     case algorithm::sssp: return "sssp";
     case algorithm::bfs: return "bfs";
     case algorithm::cc: return "cc";
+    case algorithm::kcore: return "kcore";
+    case algorithm::pagerank: return "pagerank";
   }
   return "?";
 }
+
+/// One recorded topology mutation, the unit warm repair consumes: the edges
+/// added and removed, plus the topology version the graph was at *before*
+/// the mutation was applied (what a session's previous state must be pinned
+/// to for replaying just this batch to be sound).
+struct mutation_batch {
+  std::vector<graph::edge> added;
+  std::vector<graph::edge> removed;
+  std::uint64_t base_version = 0;
+
+  bool empty() const noexcept { return added.empty() && removed.empty(); }
+};
 
 /// Query parameters — the cache-key half of a request. Kept trivially
 /// comparable so identical queries merge and cache exactly.
@@ -112,20 +126,18 @@ class solver_session {
   /// own transport); the caller is an ordinary serving thread.
   virtual session_result run(const query_params& p) = 0;
 
-  /// Warm repair: replay from `sources` (typically the endpoints of newly
-  /// applied edges) on top of the previous run's state. `seed_base_version`
-  /// is the topology version the seeds were recorded against (the version
-  /// *before* the mutation that produced them). Sound only when this
-  /// session's last run solved the same params at exactly that version —
-  /// seeds cover one mutation's edges only, so a session two or more
-  /// mutations behind would miss the earlier edges. Implementations check
-  /// and transparently fall back to run() otherwise, so the pool may hand
-  /// any session to a repair request.
-  virtual session_result repair(const query_params& p,
-                                std::span<const vertex_id> sources,
-                                std::uint64_t seed_base_version) {
-    (void)sources;
-    (void)seed_base_version;
+  /// Warm repair: absorb one mutation batch (added + removed edges) on top
+  /// of the previous run's state instead of re-solving. `m.base_version` is
+  /// the topology version the batch was applied against; repairing is sound
+  /// only when this session's last run solved the same params at exactly
+  /// that version — the batch covers one mutation only, so a session two or
+  /// more mutations behind would miss the earlier edges. Implementations
+  /// check and transparently fall back to run() otherwise, so the pool may
+  /// hand any session to a repair request. The default is that fallback:
+  /// algorithms without an incremental path (bfs, pagerank) get streaming
+  /// correctness for free at full-solve cost.
+  virtual session_result repair(const query_params& p, const mutation_batch& m) {
+    (void)m;
     return run(p);
   }
 

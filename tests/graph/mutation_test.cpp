@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -174,6 +175,174 @@ TEST_P(MutationEquivalence, CompactIsIdempotentAndRepeatable) {
   }
 }
 
+/// Picks up to `count` victims from `from` whose (src,dst) pair occurs
+/// exactly once in `all` — unambiguous instances, so a from-scratch oracle
+/// can mirror resolve_edges() without knowing which duplicate it claimed.
+std::vector<edge> unique_pairs(std::span<const edge> all, std::span<const edge> from,
+                               std::size_t count) {
+  std::map<std::pair<vertex_id, vertex_id>, int> mult;
+  for (const edge& e : all) ++mult[{e.src, e.dst}];
+  std::vector<edge> out;
+  std::set<std::pair<vertex_id, vertex_id>> used;
+  for (const edge& e : from) {
+    if (out.size() == count) break;
+    if (mult[{e.src, e.dst}] == 1 && used.insert({e.src, e.dst}).second)
+      out.push_back(e);
+  }
+  return out;
+}
+
+TEST_P(MutationEquivalence, RemoveEdgesTombstonesTheLiveView) {
+  auto [kind, ranks] = GetParam();
+  const vertex_id n = 120;
+  const auto edges = erdos_renyi(n, 700, 21);
+  distributed_graph g(n, edges, make_dist(kind, n, ranks), /*bidirectional=*/true);
+  const auto extra = random_extra(n, 20, 77);
+  g.apply_edges(extra);
+
+  // A fn-map taken before the removal: surviving handles must read the same
+  // values afterwards (tombstoning never renumbers — index stability).
+  pmap::edge_property_map<double> w(g, [](const edge_handle& e) {
+    return static_cast<double>(e.src * 1000 + e.dst);
+  });
+
+  std::vector<edge> all(edges.begin(), edges.end());
+  all.insert(all.end(), extra.begin(), extra.end());
+  // Victims from both storage forms: base CSR rows and overlay slots.
+  std::vector<edge> victims = unique_pairs(all, edges, 8);
+  const std::vector<edge> delta_victims = unique_pairs(all, extra, 4);
+  victims.insert(victims.end(), delta_victims.begin(), delta_victims.end());
+  ASSERT_GE(victims.size(), 10u) << "generator produced too few unique pairs";
+
+  const auto eids = g.resolve_edges(victims);
+  std::size_t delta_removed = 0;
+  for (const std::uint64_t eid : eids)
+    if (is_delta_edge(eid)) ++delta_removed;
+  ASSERT_GT(delta_removed, 0u) << "no overlay victim was exercised";
+  ASSERT_GT(eids.size() - delta_removed, 0u) << "no base victim was exercised";
+
+  std::map<vertex_id, std::vector<std::uint64_t>> out_before, in_before;
+  std::map<std::uint64_t, double> w_before;
+  for (vertex_id v = 0; v < n; ++v) {
+    for (const edge_handle e : g.out_edges(v)) {
+      out_before[v].push_back(e.eid);
+      w_before[e.eid] = w.read(e);
+    }
+    for (const edge_handle e : g.in_edges(v)) in_before[v].push_back(e.eid);
+  }
+
+  const std::uint64_t v0 = g.version();
+  const std::uint64_t s0 = g.structure_version();
+  const std::uint64_t m0 = g.num_edges();
+  const std::uint64_t d0 = g.total_delta_edges();
+  g.remove_edges(eids);
+  EXPECT_EQ(g.version(), v0 + 1);
+  EXPECT_EQ(g.structure_version(), s0) << "remove_edges must not renumber edge ids";
+  EXPECT_EQ(g.num_edges(), m0 - eids.size());
+  EXPECT_EQ(g.total_tombstoned_edges(), eids.size());
+  EXPECT_EQ(g.total_delta_edges(), d0 - delta_removed);
+  EXPECT_GT(g.tombstone_bytes(), 0u);
+
+  const std::set<std::uint64_t> dead(eids.begin(), eids.end());
+  std::map<vertex_id, std::uint64_t> out_drop, in_drop;
+  for (const edge& e : victims) {
+    ++out_drop[e.src];
+    ++in_drop[e.dst];
+  }
+  for (vertex_id v = 0; v < n; ++v) {
+    ASSERT_EQ(g.out_degree(v), out_before[v].size() - out_drop[v]) << "v=" << v;
+    ASSERT_EQ(g.in_degree(v), in_before[v].size() - in_drop[v]) << "v=" << v;
+    // Survivors keep their ids, order, and property values; the dead are
+    // never enumerated.
+    std::vector<std::uint64_t> expect_out;
+    for (const std::uint64_t eid : out_before[v])
+      if (!dead.contains(eid)) expect_out.push_back(eid);
+    std::vector<std::uint64_t> got_out;
+    std::vector<vertex_id> edge_targets;
+    for (const edge_handle e : g.out_edges(v)) {
+      got_out.push_back(e.eid);
+      edge_targets.push_back(e.dst);
+      ASSERT_EQ(w.read(e), w_before[e.eid]) << "eid=" << e.eid;
+    }
+    ASSERT_EQ(got_out, expect_out) << "v=" << v;
+    std::vector<vertex_id> adj_targets;
+    for (const vertex_id t : g.adjacent(v)) adj_targets.push_back(t);
+    ASSERT_EQ(adj_targets, edge_targets) << "v=" << v;
+    std::vector<std::uint64_t> expect_in;
+    for (const std::uint64_t eid : in_before[v])
+      if (!dead.contains(eid)) expect_in.push_back(eid);
+    std::vector<std::uint64_t> got_in;
+    for (const edge_handle e : g.in_edges(v)) {
+      got_in.push_back(e.eid);
+      ASSERT_EQ(e.dst, v);
+    }
+    ASSERT_EQ(got_in, expect_in) << "v=" << v;
+  }
+}
+
+TEST_P(MutationEquivalence, CompactAfterMixedMutationMatchesRebuild) {
+  auto [kind, ranks] = GetParam();
+  const vertex_id n = 100;
+  const auto edges = erdos_renyi(n, 600, 11);
+  const auto extra = random_extra(n, 24, 19);
+  std::vector<edge> all(edges.begin(), edges.end());
+  all.insert(all.end(), extra.begin(), extra.end());
+  std::vector<edge> victims = unique_pairs(all, edges, 10);
+  {
+    const auto dv = unique_pairs(all, extra, 5);
+    victims.insert(victims.end(), dv.begin(), dv.end());
+  }
+  ASSERT_GE(victims.size(), 12u);
+
+  // Mutate (adds + deletes), then compact.
+  distributed_graph g(n, edges, make_dist(kind, n, ranks), /*bidirectional=*/true);
+  g.apply_edges(extra);
+  g.remove_edges(g.resolve_edges(victims));
+  const std::uint64_t v_before = g.version();
+  const std::uint64_t s_before = g.structure_version();
+  g.compact();
+  EXPECT_EQ(g.version(), v_before + 1);
+  EXPECT_EQ(g.structure_version(), s_before + 1);
+  EXPECT_EQ(g.total_delta_edges(), 0u);
+  EXPECT_EQ(g.total_tombstoned_edges(), 0u);
+
+  // From-scratch oracle over the surviving edge list in input order (each
+  // victim pair is unique, so "erase the first match" is the instance
+  // resolve_edges claimed).
+  std::vector<edge> survivors = all;
+  for (const edge& vic : victims) {
+    auto it = std::find_if(survivors.begin(), survivors.end(), [&](const edge& e) {
+      return e.src == vic.src && e.dst == vic.dst;
+    });
+    ASSERT_NE(it, survivors.end());
+    survivors.erase(it);
+  }
+  distributed_graph oracle(n, survivors, make_dist(kind, n, ranks),
+                           /*bidirectional=*/true);
+
+  ASSERT_EQ(g.num_edges(), oracle.num_edges());
+  std::map<std::uint64_t, std::pair<vertex_id, vertex_id>> ids_g, ids_o;
+  for (vertex_id v = 0; v < n; ++v) {
+    ASSERT_EQ(g.out_degree(v), oracle.out_degree(v)) << "v=" << v;
+    ASSERT_EQ(g.in_degree(v), oracle.in_degree(v)) << "v=" << v;
+    auto ga = g.adjacent(v);
+    auto oa = oracle.adjacent(v);
+    ASSERT_TRUE(std::equal(ga.begin(), ga.end(), oa.begin(), oa.end())) << "v=" << v;
+    for (const edge_handle e : g.out_edges(v)) {
+      ASSERT_FALSE(is_delta_edge(e.eid)) << "compact() left a delta id";
+      ids_g[e.eid] = {e.src, e.dst};
+    }
+    for (const edge_handle e : oracle.out_edges(v)) ids_o[e.eid] = {e.src, e.dst};
+  }
+  EXPECT_EQ(ids_g, ids_o);
+  for (vertex_id v = 0; v < n; ++v)
+    for (const edge_handle e : g.in_edges(v)) {
+      auto it = ids_g.find(e.eid);
+      ASSERT_NE(it, ids_g.end()) << "mirror id " << e.eid << " unknown to out view";
+      ASSERT_EQ(it->second, std::make_pair(e.src, e.dst));
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllDistributions, MutationEquivalence,
                          ::testing::Combine(::testing::Values(0, 1, 2),
                                             ::testing::Values(rank_t{1}, rank_t{2},
@@ -230,6 +399,39 @@ TEST(MutationDeathTest, CompactInsideRunDies) {
     });
   };
   EXPECT_DEATH(compact_inside(), "outside a run");
+}
+
+TEST(MutationDeathTest, RemoveEdgesInsideRunDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const vertex_id n = 8;
+  distributed_graph g(n, path_graph(n), distribution::block(n, 2));
+  const auto eids = g.resolve_edges(std::vector<edge>{{0, 1}});
+  auto remove_inside = [&] {
+    ampp::transport tp(ampp::transport_config{.n_ranks = 2});
+    tp.run([&](ampp::transport_context& ctx) {
+      if (ctx.rank() == 0) g.remove_edges(eids);
+      ctx.barrier();
+    });
+  };
+  EXPECT_DEATH(remove_inside(), "non-morphing.*graph version 1");
+}
+
+TEST(MutationDeathTest, DoubleTombstoneDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const vertex_id n = 8;
+  distributed_graph g(n, path_graph(n), distribution::block(n, 2));
+  const auto eids = g.resolve_edges(std::vector<edge>{{2, 3}});
+  g.remove_edges(eids);
+  EXPECT_DEATH(g.remove_edges(eids), "tombstoned twice");
+}
+
+TEST(MutationDeathTest, ResolveMissingEdgeDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const vertex_id n = 8;
+  distributed_graph g(n, path_graph(n), distribution::block(n, 2));
+  // 0 -> 1 exists once; the second resolution of the same pair must die.
+  const std::vector<edge> twice{{0, 1}, {0, 1}};
+  EXPECT_DEATH((void)g.resolve_edges(twice), "no live edge 0 -> 1");
 }
 
 TEST(MutationDeathTest, StaleFrozenEdgeMapAccessDies) {

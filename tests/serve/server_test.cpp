@@ -240,6 +240,103 @@ TEST(ServerTest, RepairFallsBackAfterMultipleMutations) {
     EXPECT_EQ(warm->value_as_double(v), oracle3[v]) << "v=" << v;
 }
 
+TEST(ServerTest, KcoreAndPagerankSessionsMatchBaselines) {
+  // k-core (and its streaming maintainer) is defined on simple symmetric
+  // graphs, so this fixture simplifies the symmetrized generator output.
+  distributed_graph g(
+      kN, graph::simplify(graph::symmetrize(graph::erdos_renyi(kN, 300, 5))),
+      distribution::cyclic(kN, 2));
+  pmap::edge_property_map<double> w(g, wfn_value);
+  server srv(g, w, {.machine = {.n_ranks = 2}});
+
+  auto rk = srv.query({.algo = algorithm::kcore});
+  ASSERT_NE(rk, nullptr);
+  EXPECT_TRUE(rk->converged);
+  const auto cores = algo::kcore_peel(g);
+  for (graph::vertex_id v = 0; v < kN; ++v)
+    EXPECT_EQ(rk->value(v), cores[v]) << "v=" << v;
+
+  // PageRank: fixed 20-iteration power method, damping defaults to 0.85.
+  auto rp = srv.query({.algo = algorithm::pagerank});
+  ASSERT_NE(rp, nullptr);
+  EXPECT_EQ(rp->rounds, 20u);
+  const auto oracle = algo::pagerank(g, 0.85, 20);
+  for (graph::vertex_id v = 0; v < kN; ++v)
+    ASSERT_NEAR(rp->value_as_double(v), oracle[v], 1e-12) << "v=" << v;
+
+  // delta in (0,1) re-parameterizes the damping factor (and is a distinct
+  // cache key, so this is a fresh solve, not a hit).
+  auto rp50 = srv.query({.algo = algorithm::pagerank, .params = {.delta = 0.5}});
+  const auto oracle50 = algo::pagerank(g, 0.5, 20);
+  for (graph::vertex_id v = 0; v < kN; ++v)
+    ASSERT_NEAR(rp50->value_as_double(v), oracle50[v], 1e-12) << "v=" << v;
+}
+
+// The streaming ingest path end to end: one apply_mutation() batch that both
+// appends and tombstones, then warm repair_query() for every algorithm with
+// an incremental path — all exactly equal to the sequential oracles on the
+// mutated live view (the baselines walk the same tombstone-skipping
+// iterators the solvers do).
+TEST(ServerTest, ApplyMutationWarmRepairsSsspCcKcore) {
+  distributed_graph g(
+      kN, graph::simplify(graph::symmetrize(graph::erdos_renyi(kN, 420, 9))),
+      distribution::cyclic(kN, 2));
+  pmap::edge_property_map<double> w(g, wfn_value);
+  server srv(g, w, {.machine = {.n_ranks = 2}});
+  const query qs{.algo = algorithm::sssp, .params = {.source = 0}};
+  const query qc{.algo = algorithm::cc};
+  const query qk{.algo = algorithm::kcore};
+
+  // Cold solves pin the pooled sessions to the pre-mutation version.
+  ASSERT_NE(srv.query(qs), nullptr);
+  ASSERT_NE(srv.query(qc), nullptr);
+  ASSERT_NE(srv.query(qk), nullptr);
+  const std::uint64_t v0 = srv.version();
+
+  // One mixed batch: pick two existing symmetric pairs to delete (both
+  // directed halves) and add two fresh pairs.
+  std::vector<graph::edge> dels;
+  for (const auto e : g.out_edges(0)) {
+    dels.push_back({e.src, e.dst});
+    dels.push_back({e.dst, e.src});
+    if (dels.size() == 4) break;
+  }
+  ASSERT_EQ(dels.size(), 4u) << "fixture vertex 0 needs degree >= 2";
+  const std::vector<graph::edge> adds = {{2, 117}, {117, 2}, {50, 81}, {81, 50}};
+  srv.apply_mutation(adds, dels);
+  EXPECT_EQ(srv.version(), v0 + 2) << "one bump per apply + per remove";
+
+  auto rs = srv.repair_query(qs);
+  auto rc = srv.repair_query(qc);
+  auto rk = srv.repair_query(qk);
+  ASSERT_NE(rs, nullptr);
+  ASSERT_NE(rc, nullptr);
+  ASSERT_NE(rk, nullptr);
+  EXPECT_TRUE(rs->warm_repair) << "sssp should decrementally repair, not re-solve";
+  EXPECT_TRUE(rc->warm_repair) << "cc should ride the union-find maintainer";
+  EXPECT_TRUE(rk->warm_repair) << "kcore should ride the peel-frontier maintainer";
+
+  const auto dist = algo::dijkstra(g, w, 0);
+  const auto labels = algo::cc_union_find(g);
+  const auto cores = algo::kcore_peel(g);
+  for (graph::vertex_id v = 0; v < kN; ++v) {
+    EXPECT_EQ(rs->value_as_double(v), dist[v]) << "v=" << v;
+    EXPECT_EQ(rc->value(v), labels[v]) << "v=" << v;
+    EXPECT_EQ(rk->value(v), cores[v]) << "v=" << v;
+  }
+
+  // The remove_edges() shorthand chains: sessions repaired to the live
+  // version above are exactly one mutation behind again.
+  const std::vector<graph::edge> dels2 = {adds[0], adds[1]};
+  srv.remove_edges(dels2);
+  auto rs2 = srv.repair_query(qs);
+  ASSERT_NE(rs2, nullptr);
+  EXPECT_TRUE(rs2->warm_repair);
+  const auto dist2 = algo::dijkstra(g, w, 0);
+  for (graph::vertex_id v = 0; v < kN; ++v)
+    EXPECT_EQ(rs2->value_as_double(v), dist2[v]) << "v=" << v;
+}
+
 TEST(ServerTest, ServingSummaryRendersContextsAndTenants) {
   fixture fx;
   server srv(fx.g, fx.w, fx.cfg());
